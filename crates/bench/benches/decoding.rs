@@ -1,0 +1,91 @@
+//! Criterion benchmarks for the RLNC pipeline: innovative insertion into
+//! a basis and full Gaussian decode — the per-reception cost of every
+//! simulated node.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dyncode_gf::{Gf2Basis, Gf2Vec};
+use dyncode_rlnc::node::Gf2Node;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+fn bench_basis_insert(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut g = c.benchmark_group("gf2_basis");
+    for dims in [32usize, 128, 512] {
+        // A basis at half rank: the steady-state insertion cost.
+        let make = |rng: &mut StdRng| {
+            let mut b = Gf2Basis::new(dims);
+            while b.dim() < dims / 2 {
+                b.insert(Gf2Vec::random(dims, rng));
+            }
+            b
+        };
+        let base = make(&mut rng);
+        g.bench_function(format!("insert_half_rank/{dims}"), |bench| {
+            bench.iter_batched(
+                || (base.clone(), Gf2Vec::random(dims, &mut rng)),
+                |(mut b, v)| b.insert(v),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_decode(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut g = c.benchmark_group("decode");
+    for k in [16usize, 64, 128] {
+        let d = 64;
+        // A full-rank node, built from random combinations of k sources.
+        let mut src = Gf2Node::new(k, d);
+        for i in 0..k {
+            src.seed_source(i, &Gf2Vec::random(d, &mut rng));
+        }
+        let mut sink = Gf2Node::new(k, d);
+        while sink.coefficient_rank() < k {
+            sink.receive(&src.emit(&mut rng).unwrap());
+        }
+        g.bench_function(format!("decode_k{k}_d{d}"), |bench| {
+            bench.iter(|| sink.decode().expect("full rank"))
+        });
+        g.bench_function(format!("emit_k{k}_d{d}"), |bench| {
+            bench.iter(|| sink.emit(&mut rng).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_end_to_end_generation(c: &mut Criterion) {
+    // Source-to-sink over a lossless relay: receptions until decode, the
+    // unit of work every protocol round multiplies.
+    let mut g = c.benchmark_group("generation");
+    g.sample_size(20);
+    for k in [32usize, 96] {
+        g.bench_function(format!("relay_until_decode_k{k}"), |bench| {
+            bench.iter_batched(
+                || StdRng::seed_from_u64(7),
+                |mut rng| {
+                    let d = 32;
+                    let mut src = Gf2Node::new(k, d);
+                    for i in 0..k {
+                        src.seed_source(i, &Gf2Vec::random(d, &mut rng));
+                    }
+                    let mut sink = Gf2Node::new(k, d);
+                    let mut receptions = 0usize;
+                    while sink.decode().is_none() {
+                        sink.receive(&src.emit(&mut rng).unwrap());
+                        receptions += 1;
+                    }
+                    receptions
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+    // Quell unused warning when RngExt is only used transitively.
+    let _ = StdRng::seed_from_u64(0).random::<u8>();
+}
+
+criterion_group!(benches, bench_basis_insert, bench_full_decode, bench_end_to_end_generation);
+criterion_main!(benches);

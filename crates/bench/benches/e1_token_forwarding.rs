@@ -1,0 +1,35 @@
+//! Criterion macro-benchmark for E1 (Theorem 2.1): full token-forwarding
+//! dissemination runs — wall-clock per simulated dissemination, one bench
+//! per table row of E1a.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dyncode_core::params::{Instance, Params, Placement};
+use dyncode_core::protocols::TokenForwarding;
+use dyncode_dynet::adversaries::ShuffledPathAdversary;
+use dyncode_dynet::simulator::{run, SimConfig};
+
+fn bench_forwarding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_token_forwarding");
+    g.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let d = (usize::BITS - (n - 1).leading_zeros()) as usize + 1;
+        let inst = Instance::generate(
+            Params::new(n, n, d, 2 * d),
+            Placement::OneTokenPerNode,
+            42,
+        );
+        g.bench_function(format!("disseminate_n{n}"), |bench| {
+            bench.iter(|| {
+                let mut p = TokenForwarding::baseline(&inst);
+                let mut adv = ShuffledPathAdversary;
+                let r = run(&mut p, &mut adv, &SimConfig::with_max_rounds(10 * n * n), 1);
+                assert!(r.completed);
+                r.rounds
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_forwarding);
+criterion_main!(benches);

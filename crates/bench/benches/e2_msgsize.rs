@@ -1,0 +1,36 @@
+//! Criterion macro-benchmark for E2 (Theorem 2.3): greedy-forward
+//! dissemination across message sizes — one bench per table row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dyncode_core::params::{Instance, Params, Placement};
+use dyncode_core::protocols::GreedyForward;
+use dyncode_dynet::adversaries::ShuffledPathAdversary;
+use dyncode_dynet::simulator::{run, SimConfig};
+
+fn bench_msgsize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_msgsize");
+    g.sample_size(10);
+    let n = 48;
+    let d = 7;
+    for mult in [1usize, 2, 4, 8] {
+        let b = mult * d;
+        let inst = Instance::generate(
+            Params::new(n, n, d, b),
+            Placement::OneTokenPerNode,
+            21,
+        );
+        g.bench_function(format!("greedy_forward_b{b}"), |bench| {
+            bench.iter(|| {
+                let mut p = GreedyForward::new(&inst);
+                let mut adv = ShuffledPathAdversary;
+                let r = run(&mut p, &mut adv, &SimConfig::with_max_rounds(50 * n * n), 1);
+                assert!(r.completed);
+                r.rounds
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_msgsize);
+criterion_main!(benches);

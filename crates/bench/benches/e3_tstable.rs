@@ -1,0 +1,35 @@
+//! Criterion macro-benchmark for E3/E12 (Theorem 2.4, Lemma 8.1): the
+//! T-stable patch machinery per stability parameter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dyncode_core::params::{Instance, Params, Placement};
+use dyncode_core::protocols::patch::{patch_dissemination, PatchParams};
+use dyncode_dynet::adversaries::ShuffledPathAdversary;
+
+fn bench_patch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_patch_dissemination");
+    g.sample_size(10);
+    let n = 48;
+    let d = 7;
+    let b = 8;
+    let inst = Instance::generate(
+        Params::new(n, n, d, b),
+        Placement::OneTokenPerNode,
+        31,
+    );
+    for t in [2usize, 4, 8, 16] {
+        g.bench_function(format!("patch_t{t}"), |bench| {
+            bench.iter(|| {
+                let pp = PatchParams::new(n, t, b);
+                let mut adv = ShuffledPathAdversary;
+                let r = patch_dissemination(&inst, pp, &mut adv, 9, 100_000_000);
+                assert!(r.completed);
+                r.charged_rounds
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_patch);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion macro-benchmark for E4 (Lemma 5.3): RLNC indexed broadcast
+//! per network size and adversary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dyncode_core::params::{Instance, Params, Placement};
+use dyncode_core::protocols::IndexedBroadcast;
+use dyncode_dynet::adversaries::{BottleneckAdversary, ShuffledPathAdversary};
+use dyncode_dynet::adversary::Adversary;
+use dyncode_dynet::simulator::{run, SimConfig};
+
+fn once(inst: &Instance, adv: &mut dyn Adversary, cap: usize) -> usize {
+    let mut p = IndexedBroadcast::new(inst);
+    let r = run(&mut p, adv, &SimConfig::with_max_rounds(cap), 7);
+    assert!(r.completed);
+    r.rounds
+}
+
+fn bench_indexed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_indexed_broadcast");
+    g.sample_size(20);
+    for n in [32usize, 64, 128] {
+        let inst = Instance::generate(
+            Params::new(n, n, 8, n + 8),
+            Placement::OneTokenPerNode,
+            2,
+        );
+        g.bench_function(format!("shuffled_path_n{n}"), |bench| {
+            bench.iter(|| once(&inst, &mut ShuffledPathAdversary, 100 * n))
+        });
+        g.bench_function(format!("bottleneck_n{n}"), |bench| {
+            bench.iter(|| once(&inst, &mut BottleneckAdversary, 100 * n))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_indexed);
+criterion_main!(benches);

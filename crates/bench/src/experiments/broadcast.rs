@@ -1,0 +1,109 @@
+//! E4 (Lemma 5.3) and E10 (Corollary 2.6): indexed broadcast and the
+//! centralized algorithm.
+
+use super::{d_for, mean_rounds, standard_instance};
+use crate::table::{f, print_fit, Table};
+use dyncode_core::params::{Instance, Params, Placement};
+use dyncode_core::protocols::{Centralized, IndexedBroadcast, TokenForwarding};
+use dyncode_core::theory;
+use dyncode_dynet::adversaries::standard_suite;
+use dyncode_dynet::adversaries::ShuffledPathAdversary;
+
+/// E4 — Lemma 5.3: RLNC k-indexed-broadcast completes in O(n + k) rounds
+/// against every adversary.
+pub fn e4(quick: bool) {
+    println!("\n## E4 — Lemma 5.3: indexed broadcast = O(n + k), any adversary");
+    let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3] };
+    let ns: &[usize] = if quick { &[16, 32] } else { &[16, 32, 64, 128] };
+
+    // (a) size sweep under the shuffled path.
+    let mut t = Table::new(
+        "E4a: size sweep (d = 8, b = k + 8 wire)",
+        &["n", "k", "rounds (mean)", "n + k", "ratio"],
+    );
+    let (mut meas, mut pred) = (Vec::new(), Vec::new());
+    for &n in ns {
+        for k in [n / 4, n] {
+            let k = k.max(1);
+            let inst =
+                Instance::generate(Params::new(n, k, 8, (k + 8).max(8)), Placement::RoundRobin, 2);
+            let m = mean_rounds(
+                &seeds,
+                100 * (n + k),
+                || IndexedBroadcast::new(&inst),
+                || Box::new(ShuffledPathAdversary),
+            );
+            let p = theory::indexed_broadcast_bound(n, k);
+            t.row(vec![n.to_string(), k.to_string(), f(m), f(p), f(m / p)]);
+            meas.push(m);
+            pred.push(p);
+        }
+    }
+    t.print();
+    print_fit("E4a", &meas, &pred);
+
+    // (b) adversary sweep at a fixed size: worst-case-ness.
+    let n = if quick { 32 } else { 64 };
+    let inst =
+        Instance::generate(Params::new(n, n, 8, n + 8), Placement::OneTokenPerNode, 3);
+    let mut t = Table::new(
+        format!("E4b: adversary sweep (n = k = {n})"),
+        &["adversary", "rounds (mean)", "rounds/(n+k)"],
+    );
+    for adv in &mut standard_suite() {
+        let name = adv.name();
+        let total: usize = seeds
+            .iter()
+            .map(|&s| super::run_to_done(IndexedBroadcast::new(&inst), adv.as_mut(), 100 * n, s).rounds)
+            .sum();
+        let m = total as f64 / seeds.len() as f64;
+        t.row(vec![name, f(m), f(m / (2 * n) as f64)]);
+    }
+    t.print();
+    println!("(rounds/(n+k) stays O(1) across adversaries: the Lemma 5.3 worst-case claim)");
+}
+
+/// E10 — Corollary 2.6: the randomized centralized algorithm is Θ(n),
+/// breaking the Ω(n log k) centralized token-forwarding bound.
+pub fn e10(quick: bool) {
+    println!("\n## E10 — Corollary 2.6: centralized coding = Θ(n)");
+    let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3] };
+    let ns: &[usize] = if quick { &[16, 32, 64] } else { &[16, 32, 64, 128, 256] };
+    let mut t = Table::new(
+        "E10: n sweep (k = n, d = lg n + 1, b = 2d)",
+        &["n", "centralized rounds", "rounds/n", "forwarding rounds", "fwd / centralized"],
+    );
+    let (mut meas, mut pred) = (Vec::new(), Vec::new());
+    for &n in ns {
+        let d = d_for(n);
+        let inst = standard_instance(n, d, 2 * d, 9);
+        let mc = mean_rounds(
+            &seeds,
+            100 * n,
+            || Centralized::new(&inst),
+            || Box::new(ShuffledPathAdversary),
+        );
+        let mf = mean_rounds(
+            &seeds,
+            10 * n * n,
+            || TokenForwarding::baseline(&inst),
+            || Box::new(ShuffledPathAdversary),
+        );
+        t.row(vec![
+            n.to_string(),
+            f(mc),
+            f(mc / n as f64),
+            f(mf),
+            f(mf / mc),
+        ]);
+        meas.push(mc);
+        pred.push(theory::centralized_bound(n));
+    }
+    t.print();
+    print_fit("E10", &meas, &pred);
+    let ns_f: Vec<f64> = ns.iter().map(|&n| n as f64).collect();
+    println!(
+        "measured log-log slope of centralized rounds vs n: {} (Θ(n) predicts 1)",
+        f(theory::loglog_slope(&ns_f, &meas))
+    );
+}

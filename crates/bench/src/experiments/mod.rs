@@ -1,0 +1,72 @@
+//! The experiments, one per theorem/claim (index in DESIGN.md §4).
+//!
+//! Every experiment takes a `quick: bool`: quick mode shrinks sweeps to
+//! smoke-test sizes (used by CI-style runs); full mode produces the
+//! tables recorded in EXPERIMENTS.md.
+
+mod ablation;
+mod broadcast;
+mod coding;
+mod fields;
+mod forwarding;
+mod progress;
+mod tstable;
+
+pub use ablation::{e15, e16};
+pub use broadcast::{e10, e4};
+pub use coding::{e13, e14, e2, e5, e7, e8};
+pub use fields::{e11, e9};
+pub use forwarding::{e1, e6};
+pub use progress::e17;
+pub use tstable::{e12, e3};
+
+use dyncode_core::params::{Instance, Params, Placement};
+use dyncode_dynet::adversary::Adversary;
+use dyncode_dynet::simulator::{run, Protocol, RunResult, SimConfig};
+
+/// ⌈log₂ n⌉.
+pub(crate) fn lgn(n: usize) -> usize {
+    ((usize::BITS - (n.max(2) - 1).leading_zeros()) as usize).max(1)
+}
+
+/// The standard token size for size-n sweeps: d = ⌈log₂ n⌉ + 1 (big
+/// enough for distinct values, the paper's Θ(log n) regime).
+pub(crate) fn d_for(n: usize) -> usize {
+    lgn(n) + 1
+}
+
+/// Runs one protocol instance to completion and returns the result,
+/// asserting success.
+pub(crate) fn run_to_done<P: Protocol>(
+    mut proto: P,
+    adv: &mut dyn Adversary,
+    cap: usize,
+    seed: u64,
+) -> RunResult {
+    let r = run(&mut proto, adv, &SimConfig::with_max_rounds(cap), seed);
+    assert!(
+        r.completed,
+        "run failed to complete within {cap} rounds under {}",
+        adv.name()
+    );
+    r
+}
+
+/// Mean rounds over seeds for a freshly built protocol/adversary pair.
+pub(crate) fn mean_rounds<P, FB, FA>(seeds: &[u64], cap: usize, mut build: FB, mut adv: FA) -> f64
+where
+    P: Protocol,
+    FB: FnMut() -> P,
+    FA: FnMut() -> Box<dyn Adversary>,
+{
+    let total: usize = seeds
+        .iter()
+        .map(|&s| run_to_done(build(), adv().as_mut(), cap, s).rounds)
+        .sum();
+    total as f64 / seeds.len() as f64
+}
+
+/// The standard one-token-per-node instance at size n.
+pub(crate) fn standard_instance(n: usize, d: usize, b: usize, seed: u64) -> Instance {
+    Instance::generate(Params::new(n, n, d, b), Placement::OneTokenPerNode, seed)
+}

@@ -1,0 +1,40 @@
+//! The experiments binary: regenerates every theorem/claim of the paper
+//! as a measured markdown table.
+//!
+//! ```sh
+//! cargo run -p dyncode-bench --release -- all
+//! cargo run -p dyncode-bench --release -- e2 e7
+//! cargo run -p dyncode-bench --release -- all --quick
+//! ```
+
+use dyncode_bench::registry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let reg = registry();
+    if wanted.is_empty() || wanted.iter().any(|w| w.as_str() == "help") {
+        eprintln!("usage: experiments <all | e1 .. e14>... [--quick]\n");
+        eprintln!("experiments:");
+        for (id, desc, _) in &reg {
+            eprintln!("  {id:<5} {desc}");
+        }
+        std::process::exit(if wanted.is_empty() { 2 } else { 0 });
+    }
+
+    let run_all = wanted.iter().any(|w| w.as_str() == "all");
+    let mut ran = 0;
+    for (id, desc, f) in &reg {
+        if run_all || wanted.iter().any(|w| w.as_str() == *id) {
+            eprintln!("[running {id}: {desc}{}]", if quick { " (quick)" } else { "" });
+            f(quick);
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched {wanted:?}; try `help`");
+        std::process::exit(2);
+    }
+}

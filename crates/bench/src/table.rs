@@ -1,0 +1,110 @@
+//! Markdown table emission for experiment reports.
+
+/// A markdown table under construction.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the table as markdown.
+    pub fn print(&self) {
+        println!("\n### {}\n", self.title);
+        let widths: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain([h.len()])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
+        let fmt_row = |cells: &[String]| {
+            let parts: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            format!("| {} |", parts.join(" | "))
+        };
+        println!("{}", fmt_row(&self.headers));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        println!("{}", fmt_row(&sep));
+        for r in &self.rows {
+            println!("{}", fmt_row(r));
+        }
+    }
+}
+
+/// Formats a float compactly.
+pub fn f(x: f64) -> String {
+    if x.is_nan() {
+        "-".into()
+    } else if x >= 1000.0 {
+        format!("{x:.0}")
+    } else if x >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Prints the standard shape-fit footer: fitted constant and ratio spread.
+pub fn print_fit(label: &str, measured: &[f64], predicted: &[f64]) {
+    let (c, spread) = dyncode_core::theory::fit_constant(measured, predicted);
+    println!("\nshape fit [{label}]: fitted constant = {}, ratio spread = {}", f(c), f(spread));
+    println!(
+        "(spread close to 1.0 means measured rounds track the predicted formula across the sweep)"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_without_panicking() {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        t.print();
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(f64::NAN), "-");
+        assert_eq!(f(12345.6), "12346");
+        assert_eq!(f(12.34), "12.3");
+        assert_eq!(f(1.234), "1.23");
+    }
+}

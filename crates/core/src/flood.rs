@@ -1,0 +1,170 @@
+//! Small flooding primitives shared by the protocols: max-flood (leader /
+//! maximum identification) and AND-flood (Las-Vegas completion
+//! verification).
+//!
+//! Both are the O(log n)-bit control floods the paper uses freely inside
+//! its phase constructions ("Identify a node with the maximum token count
+//! (using O(n) rounds of flooding)"). In a connected dynamic network any
+//! monotone flood converges in at most n − 1 rounds because the set of
+//! nodes holding the running extremum must gain a member every round.
+
+/// Per-node state of a maximum flood over `(value, uid)` pairs; after
+/// n − 1 rounds every node holds the global maximum.
+#[derive(Clone, Debug)]
+pub struct MaxFlood {
+    best: Vec<(u64, u64)>,
+}
+
+impl MaxFlood {
+    /// Starts a flood from the given per-node `(value, uid)` pairs.
+    pub fn new(init: Vec<(u64, u64)>) -> Self {
+        MaxFlood { best: init }
+    }
+
+    /// The message node `u` broadcasts.
+    pub fn message(&self, u: usize) -> (u64, u64) {
+        self.best[u]
+    }
+
+    /// Node `u` absorbs the received pairs.
+    pub fn absorb(&mut self, u: usize, inbox: &[(u64, u64)]) {
+        for &m in inbox {
+            if m > self.best[u] {
+                self.best[u] = m;
+            }
+        }
+    }
+
+    /// The current belief of node `u`.
+    pub fn best(&self, u: usize) -> (u64, u64) {
+        self.best[u]
+    }
+
+    /// Bits on the wire for one message: value + uid.
+    pub fn message_bits(value_bits: usize, uid_bits: usize) -> u64 {
+        (value_bits + uid_bits) as u64
+    }
+}
+
+/// Per-node state of a boolean AND flood; after n − 1 rounds every node
+/// holds the global conjunction. Used as the paper's Las-Vegas
+/// verification step ("check in n rounds whether …").
+#[derive(Clone, Debug)]
+pub struct AndFlood {
+    acc: Vec<bool>,
+}
+
+impl AndFlood {
+    /// Starts an AND flood from per-node predicates.
+    pub fn new(init: Vec<bool>) -> Self {
+        AndFlood { acc: init }
+    }
+
+    /// The 1-bit message node `u` broadcasts.
+    pub fn message(&self, u: usize) -> bool {
+        self.acc[u]
+    }
+
+    /// Node `u` absorbs received bits.
+    pub fn absorb(&mut self, u: usize, inbox: &[bool]) {
+        if inbox.iter().any(|&m| !m) {
+            self.acc[u] = false;
+        }
+    }
+
+    /// The current conjunction at node `u`.
+    pub fn value(&self, u: usize) -> bool {
+        self.acc[u]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyncode_dynet::generators;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Drives a flood over `rounds` rounds of random connected topologies.
+    fn drive_max(n: usize, init: Vec<(u64, u64)>, rounds: usize, seed: u64) -> MaxFlood {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut f = MaxFlood::new(init);
+        for _ in 0..rounds {
+            let g = generators::random_tree(n, &mut rng);
+            let msgs: Vec<(u64, u64)> = (0..n).map(|u| f.message(u)).collect();
+            for u in 0..n {
+                let inbox: Vec<(u64, u64)> =
+                    g.neighbors(u).iter().map(|&v| msgs[v]).collect();
+                f.absorb(u, &inbox);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn max_flood_converges_in_n_rounds() {
+        let n = 24;
+        let init: Vec<(u64, u64)> = (0..n).map(|u| ((u as u64 * 7) % 13, u as u64)).collect();
+        let expected = *init.iter().max().unwrap();
+        let f = drive_max(n, init, n - 1, 3);
+        for u in 0..n {
+            assert_eq!(f.best(u), expected);
+        }
+    }
+
+    #[test]
+    fn and_flood_converges_and_detects_a_zero() {
+        let n = 16;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut init = vec![true; n];
+        init[11] = false;
+        let mut f = AndFlood::new(init);
+        for _ in 0..n - 1 {
+            let g = generators::random_tree(n, &mut rng);
+            let msgs: Vec<bool> = (0..n).map(|u| f.message(u)).collect();
+            for u in 0..n {
+                let inbox: Vec<bool> = g.neighbors(u).iter().map(|&v| msgs[v]).collect();
+                f.absorb(u, &inbox);
+            }
+        }
+        assert!((0..n).all(|u| !f.value(u)), "the false must reach everyone");
+
+        // All-true stays true.
+        let mut f2 = AndFlood::new(vec![true; n]);
+        for _ in 0..n {
+            let g = generators::random_tree(n, &mut rng);
+            let msgs: Vec<bool> = (0..n).map(|u| f2.message(u)).collect();
+            for u in 0..n {
+                let inbox: Vec<bool> = g.neighbors(u).iter().map(|&v| msgs[v]).collect();
+                f2.absorb(u, &inbox);
+            }
+        }
+        assert!((0..n).all(|u| f2.value(u)));
+    }
+
+    #[test]
+    fn message_bits_accounting() {
+        assert_eq!(MaxFlood::message_bits(10, 5), 15);
+    }
+
+    #[test]
+    fn max_flood_tie_breaks_by_uid() {
+        // Two nodes share the max value; the larger uid must win so every
+        // protocol agrees on a *single* leader.
+        let init = vec![(7, 0), (7, 3), (2, 1)];
+        let mut f = MaxFlood::new(init);
+        f.absorb(2, &[(7, 0), (7, 3)]);
+        assert_eq!(f.best(2), (7, 3));
+    }
+
+    #[test]
+    fn and_flood_is_idempotent_and_monotone() {
+        let mut f = AndFlood::new(vec![true, true]);
+        f.absorb(0, &[true, true, true]);
+        assert!(f.value(0));
+        f.absorb(0, &[false]);
+        assert!(!f.value(0));
+        // Once false, later trues cannot resurrect it.
+        f.absorb(0, &[true]);
+        assert!(!f.value(0));
+    }
+}

@@ -1,0 +1,153 @@
+//! Shared per-node token-knowledge bookkeeping for the forwarding-style
+//! protocols, with the *prefix completion* discipline.
+//!
+//! Completion discipline (used by the flooding baseline): tokens are
+//! retired smallest-value-first in fixed-size batches on a public
+//! schedule. After each phase every node knows the `completed` smallest
+//! tokens overall (an invariant the phase lengths guarantee), so "my
+//! completed set" = "the `completed` smallest tokens I know" is globally
+//! consistent while being computable from local knowledge only — this is
+//! what keeps the baseline knowledge-based.
+
+use crate::params::Instance;
+use dyncode_dynet::adversary::KnowledgeView;
+use dyncode_dynet::bitset::BitSet;
+
+/// Per-node sets of known token indices (index order = value order).
+#[derive(Clone, Debug)]
+pub struct TokenKnowledge {
+    known: Vec<BitSet>,
+    k: usize,
+}
+
+impl TokenKnowledge {
+    /// Initial knowledge: each node knows exactly its placed tokens.
+    pub fn from_instance(inst: &Instance) -> Self {
+        let mut known = vec![BitSet::new(inst.params.k); inst.params.n];
+        for (i, holders) in inst.holders.iter().enumerate() {
+            for &u in holders {
+                known[u].insert(i);
+            }
+        }
+        TokenKnowledge { known, k: inst.params.k }
+    }
+
+    /// Number of tokens k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Does node `u` know token `i`?
+    pub fn knows(&self, u: usize, i: usize) -> bool {
+        self.known[u].contains(i)
+    }
+
+    /// Node `u` learns token `i`; returns `true` if new.
+    pub fn learn(&mut self, u: usize, i: usize) -> bool {
+        self.known[u].insert(i)
+    }
+
+    /// How many tokens node `u` knows.
+    pub fn count(&self, u: usize) -> usize {
+        self.known[u].len()
+    }
+
+    /// The known set of node `u`.
+    pub fn set(&self, u: usize) -> &BitSet {
+        &self.known[u]
+    }
+
+    /// Does node `u` know all k tokens?
+    pub fn is_full(&self, u: usize) -> bool {
+        self.count(u) == self.k
+    }
+
+    /// Do all nodes know all tokens?
+    pub fn all_full(&self) -> bool {
+        (0..self.known.len()).all(|u| self.is_full(u))
+    }
+
+    /// The smallest `m` tokens node `u` knows *after* skipping its
+    /// `completed` smallest — i.e. the next batch it should broadcast
+    /// under the prefix completion discipline.
+    pub fn next_batch(&self, u: usize, completed: usize, m: usize) -> Vec<usize> {
+        self.known[u].iter().skip(completed).take(m).collect()
+    }
+
+    /// How many not-yet-completed tokens node `u` knows.
+    pub fn incomplete_count(&self, u: usize, completed: usize) -> usize {
+        self.count(u).saturating_sub(completed)
+    }
+
+    /// Builds the adversary/stats view.
+    pub fn view(&self, done: &[bool]) -> KnowledgeView {
+        KnowledgeView {
+            tokens: self.known.clone(),
+            dims: self.known.iter().map(BitSet::len).collect(),
+            done: done.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Params, Placement};
+
+    fn small() -> TokenKnowledge {
+        let inst = Instance::generate(
+            Params::new(4, 4, 8, 16),
+            Placement::OneTokenPerNode,
+            1,
+        );
+        TokenKnowledge::from_instance(&inst)
+    }
+
+    #[test]
+    fn initial_knowledge_matches_placement() {
+        let kn = small();
+        for u in 0..4 {
+            assert!(kn.knows(u, u));
+            assert_eq!(kn.count(u), 1);
+            assert!(!kn.is_full(u));
+        }
+        assert!(!kn.all_full());
+    }
+
+    #[test]
+    fn learn_and_fill() {
+        let mut kn = small();
+        assert!(kn.learn(0, 2));
+        assert!(!kn.learn(0, 2), "relearning is not new");
+        for u in 0..4 {
+            for i in 0..4 {
+                kn.learn(u, i);
+            }
+        }
+        assert!(kn.all_full());
+    }
+
+    #[test]
+    fn next_batch_skips_completed_prefix() {
+        let mut kn = small();
+        kn.learn(0, 1);
+        kn.learn(0, 3);
+        // Node 0 knows {0, 1, 3}.
+        assert_eq!(kn.next_batch(0, 0, 2), vec![0, 1]);
+        assert_eq!(kn.next_batch(0, 1, 2), vec![1, 3]);
+        assert_eq!(kn.next_batch(0, 2, 2), vec![3]);
+        assert_eq!(kn.next_batch(0, 3, 2), Vec::<usize>::new());
+        assert_eq!(kn.incomplete_count(0, 1), 2);
+        assert_eq!(kn.incomplete_count(0, 5), 0);
+    }
+
+    #[test]
+    fn view_reflects_state() {
+        let mut kn = small();
+        kn.learn(2, 0);
+        let v = kn.view(&[false, false, true, false]);
+        assert_eq!(v.dims, vec![1, 1, 2, 1]);
+        assert!(v.tokens[2].contains(0) && v.tokens[2].contains(2));
+        assert!(v.done[2]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Problem instances of k-token dissemination (Section 4.2).
+//!
+//! "k ≤ n tokens of d ≤ b bits are located in the network and the goal is
+//! for all nodes to become aware of the union of the tokens." Tokens are
+//! chosen and placed by the adversary before the first round; we generate
+//! distinct random d-bit values under a pluggable placement.
+//!
+//! **Simulation convention.** Tokens are identified *by value*; the
+//! instance stores them sorted by value and protocols refer to them by
+//! their sorted index. Because the map index ↔ value is a bijection known
+//! to the simulation (not to the nodes), protocols may carry indices in
+//! their in-memory messages as long as (a) every comparison they make is a
+//! value comparison (index order *is* value order), and (b) messages are
+//! charged the bits of the values/payloads they stand for. The simulator's
+//! strict-bits mode enforces (b).
+
+use dyncode_gf::Gf2Vec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The public parameters of a dissemination problem. All four are known to
+/// every node (n is known per the model; k, d and b are protocol
+/// parameters, as in the paper's theorem statements).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Params {
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of tokens (k ≤ n in the paper; we also allow k > n for
+    /// stress tests).
+    pub k: usize,
+    /// Token size in bits (d ≤ b).
+    pub d: usize,
+    /// Message budget in bits (b ≥ log₂ n).
+    pub b: usize,
+}
+
+impl Params {
+    /// Creates and validates parameters.
+    ///
+    /// # Panics
+    /// Panics unless `n ≥ 1`, `k ≥ 1`, `log₂ n ≤ b`, `d ≤ b`, and tokens
+    /// are distinguishable (`2^d ≥ 2k`, needed for distinct token values).
+    pub fn new(n: usize, k: usize, d: usize, b: usize) -> Self {
+        assert!(n >= 1, "need at least one node");
+        assert!(k >= 1, "need at least one token");
+        assert!(d <= b, "token size d={d} exceeds message size b={b}");
+        let log_n = usize::BITS - n.leading_zeros().max(1);
+        assert!(
+            b >= log_n as usize,
+            "message size b={b} below log2(n)={log_n}"
+        );
+        assert!(
+            d >= 63 || (1usize << d) >= 2 * k,
+            "d={d} bits cannot hold {k} distinct token values"
+        );
+        Params { n, k, d, b }
+    }
+
+    /// ⌈log₂ n⌉, the size of a node UID.
+    pub fn uid_bits(&self) -> usize {
+        (usize::BITS - (self.n.max(2) - 1).leading_zeros()) as usize
+    }
+
+    /// How many whole tokens fit in one message: ⌊b/d⌋ (at least 1 since
+    /// d ≤ b).
+    pub fn tokens_per_message(&self) -> usize {
+        (self.b / self.d).max(1)
+    }
+}
+
+/// Where the adversary places the tokens before round one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Token i starts at node i (requires k ≤ n); the canonical
+    /// "each node starts with one token" setup of the counting problem.
+    OneTokenPerNode,
+    /// Token i starts at node i mod n.
+    RoundRobin,
+    /// All tokens start at a single node.
+    AllAtNode(usize),
+    /// Tokens are crammed into the first `m` nodes round-robin — an
+    /// adversarial clustering that stresses gathering.
+    Clustered(usize),
+}
+
+/// A concrete problem instance: parameters, token values (sorted
+/// ascending), and the initial holders of each token.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// The public parameters.
+    pub params: Params,
+    /// Token values, strictly ascending in value order; index in this
+    /// vector is the canonical token index used throughout the simulation.
+    pub tokens: Vec<Gf2Vec>,
+    /// `holders[i]`: the nodes initially holding token i.
+    pub holders: Vec<Vec<usize>>,
+}
+
+/// Total order on GF(2) vectors by value (big-endian on bit index, so bit
+/// 0 is the most significant — any fixed order works; this one is used
+/// everywhere).
+pub fn token_cmp(a: &Gf2Vec, b: &Gf2Vec) -> std::cmp::Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    for i in 0..a.len() {
+        match (a.get(i), b.get(i)) {
+            (false, true) => return std::cmp::Ordering::Less,
+            (true, false) => return std::cmp::Ordering::Greater,
+            _ => {}
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+impl Instance {
+    /// Generates an instance with distinct random token values.
+    ///
+    /// # Panics
+    /// Panics if the placement is inconsistent with the parameters
+    /// (e.g. [`Placement::OneTokenPerNode`] with k > n).
+    pub fn generate(params: Params, placement: Placement, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Distinct random d-bit values via rejection (2^d ≥ 2k makes the
+        // expected number of retries < 2k).
+        let mut seen = std::collections::HashSet::new();
+        let mut tokens = Vec::with_capacity(params.k);
+        while tokens.len() < params.k {
+            let t = Gf2Vec::random(params.d, &mut rng);
+            if seen.insert(t.to_bytes()) {
+                tokens.push(t);
+            }
+        }
+        tokens.sort_by(token_cmp);
+
+        let holders: Vec<Vec<usize>> = (0..params.k)
+            .map(|i| match placement {
+                Placement::OneTokenPerNode => {
+                    assert!(
+                        params.k <= params.n,
+                        "OneTokenPerNode needs k <= n"
+                    );
+                    vec![i]
+                }
+                Placement::RoundRobin => vec![i % params.n],
+                Placement::AllAtNode(u) => {
+                    assert!(u < params.n, "holder node out of range");
+                    vec![u]
+                }
+                Placement::Clustered(m) => {
+                    assert!(m >= 1 && m <= params.n, "bad cluster size");
+                    vec![i % m]
+                }
+            })
+            .collect();
+
+        Instance { params, tokens, holders }
+    }
+
+    /// The tokens initially held by `node`, as sorted indices.
+    pub fn initial_tokens_of(&self, node: usize) -> Vec<usize> {
+        (0..self.params.k)
+            .filter(|&i| self.holders[i].contains(&node))
+            .collect()
+    }
+
+    /// Looks up a token's index by value.
+    pub fn index_of(&self, value: &Gf2Vec) -> Option<usize> {
+        self.tokens
+            .binary_search_by(|t| token_cmp(t, value))
+            .ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_validation() {
+        let p = Params::new(16, 16, 8, 16);
+        assert_eq!(p.uid_bits(), 4);
+        assert_eq!(p.tokens_per_message(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds message size")]
+    fn d_gt_b_rejected() {
+        Params::new(8, 4, 16, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct token values")]
+    fn too_small_token_space_rejected() {
+        Params::new(8, 8, 3, 8);
+    }
+
+    #[test]
+    fn generated_tokens_are_distinct_and_sorted() {
+        let p = Params::new(32, 32, 8, 16);
+        let inst = Instance::generate(p, Placement::OneTokenPerNode, 7);
+        assert_eq!(inst.tokens.len(), 32);
+        for w in inst.tokens.windows(2) {
+            assert_eq!(token_cmp(&w[0], &w[1]), std::cmp::Ordering::Less);
+        }
+        for (i, t) in inst.tokens.iter().enumerate() {
+            assert_eq!(inst.index_of(t), Some(i));
+        }
+    }
+
+    #[test]
+    fn placements_place_as_documented() {
+        let p = Params::new(8, 8, 8, 16);
+        let one = Instance::generate(p, Placement::OneTokenPerNode, 1);
+        for i in 0..8 {
+            assert_eq!(one.holders[i], vec![i]);
+            assert_eq!(one.initial_tokens_of(i), vec![i]);
+        }
+        let all = Instance::generate(p, Placement::AllAtNode(3), 1);
+        assert!(all.holders.iter().all(|h| h == &vec![3]));
+        assert_eq!(all.initial_tokens_of(3).len(), 8);
+        assert!(all.initial_tokens_of(0).is_empty());
+        let cl = Instance::generate(p, Placement::Clustered(2), 1);
+        assert_eq!(cl.initial_tokens_of(0), vec![0, 2, 4, 6]);
+        assert_eq!(cl.initial_tokens_of(1), vec![1, 3, 5, 7]);
+        let rr =
+            Instance::generate(Params::new(3, 8, 8, 16), Placement::RoundRobin, 1);
+        assert_eq!(rr.initial_tokens_of(0), vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let p = Params::new(16, 16, 10, 16);
+        let a = Instance::generate(p, Placement::OneTokenPerNode, 42);
+        let b = Instance::generate(p, Placement::OneTokenPerNode, 42);
+        assert_eq!(a.tokens, b.tokens);
+        let c = Instance::generate(p, Placement::OneTokenPerNode, 43);
+        assert_ne!(a.tokens, c.tokens);
+    }
+}

@@ -1,0 +1,33 @@
+//! The dissemination protocols: the Kuhn-Lynch-Oshman token-forwarding
+//! baselines and the paper's network-coding algorithms.
+//!
+//! | Module | Algorithm | Paper result | Bound |
+//! |---|---|---|---|
+//! | [`token_forwarding`] | batched smallest-first flooding, plus T-stable pipelining | Theorem 2.1 | O(nkd/(bT) + n) |
+//! | [`random_forward`] | the random gathering primitive | Lemma 7.2 | gathers √(bk/d) |
+//! | [`indexed_broadcast`] | RLNC k-indexed-broadcast | Lemma 5.3 | O(n + k) |
+//! | [`naive_coded`] | flooded-ID indexing + coding | Corollary 7.1 | O(nk·log n/b) |
+//! | [`greedy_forward`] | gather-then-code | Theorem 7.3 | O(nkd/b² + nb) |
+//! | [`priority_forward`] | random block priorities | Theorem 7.5 | O(log n/b · nkd/b + n log n) |
+//! | [`patch`] | T-stable share-pass-share patches | Lemma 8.1, §8.3 | O((n + bT²)·log n); T² speedup |
+//! | [`centralized`] | header-free coding under central control | Corollary 2.6 | Θ(n) |
+//! | [`field_broadcast`] | field-generic / deterministic indexed broadcast | Lemma 5.3 (q ≥ 2), Corollary 6.2 | O(n + k); header k·lg q |
+
+pub mod centralized;
+pub mod field_broadcast;
+pub mod greedy_forward;
+pub mod indexed_broadcast;
+pub mod naive_coded;
+pub mod patch;
+pub mod priority_forward;
+pub mod random_forward;
+pub mod token_forwarding;
+
+pub use centralized::Centralized;
+pub use field_broadcast::FieldBroadcast;
+pub use greedy_forward::{GreedyConfig, GreedyForward};
+pub use indexed_broadcast::IndexedBroadcast;
+pub use naive_coded::NaiveCoded;
+pub use priority_forward::{PriorityConfig, PriorityForward};
+pub use random_forward::RandomForward;
+pub use token_forwarding::{ForwardingConfig, TokenForwarding};

@@ -1,0 +1,332 @@
+//! The naive coded-dissemination algorithm (Corollary 7.1):
+//! `O(nk log n / b)` rounds via flooded ID indexing.
+//!
+//! "All nodes can generate O(log n)-size unique IDs for their own tokens
+//! by concatenating a sequence number to the node ID. Now all nodes flood
+//! the network repeatedly announcing the smallest Ω(b/log n) tokens they
+//! have heard about … The corresponding tokens can then be broadcast to
+//! all nodes in O(n) time using network-coded indexed broadcast."
+//!
+//! This is the ablation showing *why* the paper needs gathering
+//! (experiment E13): the indexing subroutine floods O(log n)-bit IDs —
+//! itself a small dissemination problem — so the whole algorithm is only
+//! a log n/d factor faster than token forwarding and gains nothing for
+//! d = O(log n) tokens.
+
+use crate::flood::AndFlood;
+use crate::knowledge::TokenKnowledge;
+use crate::params::{Instance, Params};
+use dyncode_dynet::adversary::KnowledgeView;
+use dyncode_dynet::simulator::Protocol;
+use dyncode_gf::Gf2Vec;
+use dyncode_rlnc::node::Gf2Node;
+use dyncode_rlnc::packet::Gf2Packet;
+use rand::rngs::StdRng;
+use std::collections::BTreeSet;
+
+/// A token ID: `(initial-holder uid, per-holder sequence number)` —
+/// O(log n) bits, generated without coordination.
+pub type TokenId = (u64, u64);
+
+/// Wire messages.
+#[derive(Clone, Debug)]
+pub enum NcMessage {
+    /// The smallest un-indexed IDs the sender has heard of.
+    Ids(Vec<TokenId>),
+    /// A coded token packet.
+    Coded(Gf2Packet),
+    /// Verification AND bit.
+    Verify(bool),
+}
+
+#[derive(Clone, Debug)]
+enum Stage {
+    FloodIds { rounds_left: usize },
+    Broadcast { rounds_left: usize },
+    Verify { rounds_left: usize },
+    Done,
+}
+
+/// The Corollary 7.1 protocol.
+pub struct NaiveCoded {
+    params: Params,
+    knowledge: TokenKnowledge,
+    tokens: Vec<Gf2Vec>,
+    /// ID of each token index (assigned by its unique initial holder).
+    id_of: Vec<TokenId>,
+    /// Token index of each ID.
+    index_of: std::collections::BTreeMap<TokenId, usize>,
+    /// Per node: IDs heard so far.
+    heard: Vec<BTreeSet<TokenId>>,
+    /// Globally indexed-and-broadcast IDs (identical everywhere).
+    completed: BTreeSet<TokenId>,
+    /// This cycle's selection, ascending by ID.
+    selected: Vec<TokenId>,
+    stage: Stage,
+    verify: AndFlood,
+    coders: Vec<Gf2Node>,
+    broadcast_mult: usize,
+    total_retries: usize,
+}
+
+impl NaiveCoded {
+    /// Builds the protocol.
+    ///
+    /// # Panics
+    /// Panics if some token has multiple initial holders (IDs must be
+    /// unique; use single-holder placements).
+    pub fn new(inst: &Instance) -> Self {
+        let params = inst.params;
+        let mut seq = vec![0u64; params.n];
+        let mut id_of = Vec::with_capacity(params.k);
+        let mut index_of = std::collections::BTreeMap::new();
+        for (i, holders) in inst.holders.iter().enumerate() {
+            assert_eq!(holders.len(), 1, "NaiveCoded needs unique initial holders");
+            let u = holders[0];
+            let id = (u as u64, seq[u]);
+            seq[u] += 1;
+            id_of.push(id);
+            index_of.insert(id, i);
+        }
+        let mut heard = vec![BTreeSet::new(); params.n];
+        for (i, &id) in id_of.iter().enumerate() {
+            heard[inst.holders[i][0]].insert(id);
+        }
+        NaiveCoded {
+            knowledge: TokenKnowledge::from_instance(inst),
+            tokens: inst.tokens.clone(),
+            id_of,
+            index_of,
+            heard,
+            completed: BTreeSet::new(),
+            selected: Vec::new(),
+            stage: Stage::FloodIds { rounds_left: params.n },
+            verify: AndFlood::new(vec![true; params.n]),
+            coders: Vec::new(),
+            broadcast_mult: 3,
+            total_retries: 0,
+            params,
+        }
+    }
+
+    /// ID width in bits: uid + per-holder sequence number (≤ k), both
+    /// O(log n).
+    pub fn id_bits(&self) -> usize {
+        let seq_bits = (usize::BITS - self.params.k.leading_zeros()) as usize;
+        self.params.uid_bits() + seq_bits
+    }
+
+    /// IDs flooded per message: Ω(b/log n).
+    pub fn ids_per_message(&self) -> usize {
+        (self.params.b / self.id_bits()).max(1)
+    }
+
+    fn unindexed_heard(&self, u: usize) -> Vec<TokenId> {
+        self.heard[u]
+            .iter()
+            .filter(|id| !self.completed.contains(id))
+            .take(self.ids_per_message())
+            .cloned()
+            .collect()
+    }
+
+    /// The knowledge state (read-only).
+    pub fn knowledge(&self) -> &TokenKnowledge {
+        &self.knowledge
+    }
+
+    /// Las-Vegas statistics.
+    pub fn total_retries(&self) -> usize {
+        self.total_retries
+    }
+
+    fn start_broadcast(&mut self) {
+        self.selected = self.unindexed_heard(0);
+        debug_assert!(
+            (0..self.params.n).all(|u| self.unindexed_heard(u) == self.selected),
+            "ID flood must converge"
+        );
+        let s = self.selected.len();
+        self.coders = (0..self.params.n)
+            .map(|_| Gf2Node::new(s, self.params.d))
+            .collect();
+        for (j, id) in self.selected.iter().enumerate() {
+            let owner = id.0 as usize;
+            let idx = self.index_of[id];
+            self.coders[owner].seed_source(j, &self.tokens[idx]);
+        }
+        self.stage = Stage::Broadcast {
+            rounds_left: self.broadcast_mult * (self.params.n + s),
+        };
+    }
+
+    fn apply_decode(&mut self) {
+        let payloads = self.coders[0].decode().expect("verified");
+        let indices: Vec<usize> =
+            self.selected.iter().map(|id| self.index_of[id]).collect();
+        for (j, &idx) in indices.iter().enumerate() {
+            debug_assert_eq!(payloads[j], self.tokens[idx], "decode corrupted a token");
+        }
+        for u in 0..self.params.n {
+            debug_assert!(self.coders[u].decode().is_some());
+            for &idx in &indices {
+                self.knowledge.learn(u, idx);
+                self.heard[u].insert(self.id_of[idx]);
+            }
+        }
+        for id in &self.selected {
+            self.completed.insert(*id);
+        }
+        self.coders.clear();
+    }
+}
+
+impl Protocol for NaiveCoded {
+    type Message = NcMessage;
+
+    fn num_nodes(&self) -> usize {
+        self.params.n
+    }
+
+    fn num_tokens(&self) -> usize {
+        self.params.k
+    }
+
+    fn compose(&mut self, node: usize, _round: usize, rng: &mut StdRng) -> Option<NcMessage> {
+        match &self.stage {
+            Stage::FloodIds { .. } => {
+                let ids = self.unindexed_heard(node);
+                if ids.is_empty() {
+                    None
+                } else {
+                    Some(NcMessage::Ids(ids))
+                }
+            }
+            Stage::Broadcast { .. } => self.coders[node].emit(rng).map(NcMessage::Coded),
+            Stage::Verify { .. } => Some(NcMessage::Verify(self.verify.message(node))),
+            Stage::Done => None,
+        }
+    }
+
+    fn message_bits(&self, msg: &NcMessage) -> u64 {
+        match msg {
+            NcMessage::Ids(ids) => (ids.len() * self.id_bits()) as u64,
+            NcMessage::Coded(p) => p.bit_cost(),
+            NcMessage::Verify(_) => 1,
+        }
+    }
+
+    fn deliver(&mut self, node: usize, inbox: &[NcMessage], _round: usize, _rng: &mut StdRng) {
+        for msg in inbox {
+            match msg {
+                NcMessage::Ids(ids) => {
+                    for &id in ids {
+                        self.heard[node].insert(id);
+                    }
+                }
+                NcMessage::Coded(p) => {
+                    self.coders[node].receive(p);
+                }
+                NcMessage::Verify(v) => self.verify.absorb(node, &[*v]),
+            }
+        }
+    }
+
+    fn node_done(&self, _node: usize) -> bool {
+        matches!(self.stage, Stage::Done)
+    }
+
+    fn view(&self) -> KnowledgeView {
+        let done = vec![matches!(self.stage, Stage::Done); self.params.n];
+        self.knowledge.view(&done)
+    }
+
+    fn round_end(&mut self, _round: usize, _rng: &mut StdRng) {
+        match &mut self.stage {
+            Stage::FloodIds { rounds_left } => {
+                *rounds_left -= 1;
+                if *rounds_left == 0 {
+                    if self.unindexed_heard(0).is_empty() {
+                        self.stage = Stage::Done;
+                    } else {
+                        self.start_broadcast();
+                    }
+                }
+            }
+            Stage::Broadcast { rounds_left } => {
+                *rounds_left -= 1;
+                if *rounds_left == 0 {
+                    let s = self.selected.len();
+                    self.verify = AndFlood::new(
+                        (0..self.params.n)
+                            .map(|u| self.coders[u].coefficient_rank() == s)
+                            .collect(),
+                    );
+                    self.stage = Stage::Verify { rounds_left: self.params.n };
+                }
+            }
+            Stage::Verify { rounds_left } => {
+                *rounds_left -= 1;
+                if *rounds_left == 0 {
+                    if self.verify.value(0) {
+                        self.apply_decode();
+                        self.stage = Stage::FloodIds { rounds_left: self.params.n };
+                    } else {
+                        self.total_retries += 1;
+                        self.stage = Stage::Broadcast {
+                            rounds_left: self.broadcast_mult
+                                * (self.params.n + self.selected.len()),
+                        };
+                    }
+                }
+            }
+            Stage::Done => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Placement;
+    use dyncode_dynet::adversaries::ShuffledPathAdversary;
+    use dyncode_dynet::simulator::{run, SimConfig};
+
+    #[test]
+    fn disseminates_under_every_adversary() {
+        let p = Params::new(10, 10, 6, 24);
+        let inst = Instance::generate(p, Placement::OneTokenPerNode, 1);
+        for adv in &mut dyncode_dynet::adversaries::standard_suite() {
+            let mut proto = NaiveCoded::new(&inst);
+            let r = run(&mut proto, adv, &SimConfig::with_max_rounds(50_000), 2);
+            assert!(r.completed, "{}", adv.name());
+            assert!(proto.knowledge().all_full(), "{}", adv.name());
+        }
+    }
+
+    #[test]
+    fn large_tokens_benefit_small_ids() {
+        // d ≫ log n: IDs flood much faster than tokens would. The
+        // coded broadcast then moves s tokens per cycle where forwarding
+        // moves b/d.
+        let p = Params::new(12, 12, 20, 40);
+        let inst = Instance::generate(p, Placement::OneTokenPerNode, 3);
+        let mut proto = NaiveCoded::new(&inst);
+        assert!(proto.ids_per_message() >= 2);
+        let mut adv = ShuffledPathAdversary;
+        let r = run(&mut proto, &mut adv, &SimConfig::with_max_rounds(50_000), 4);
+        assert!(r.completed);
+        assert!(proto.knowledge().all_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "unique initial holders")]
+    fn duplicate_holders_rejected() {
+        // RoundRobin with k > n duplicates holders per node but keeps one
+        // holder per token, so build a 2-holder instance manually.
+        let p = Params::new(4, 2, 8, 16);
+        let mut inst = Instance::generate(p, Placement::OneTokenPerNode, 1);
+        inst.holders[0] = vec![0, 1];
+        let _ = NaiveCoded::new(&inst);
+    }
+}

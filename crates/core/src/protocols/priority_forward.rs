@@ -1,0 +1,459 @@
+//! The `priority-forward` algorithm (Section 7, Theorem 7.5):
+//! `O(log n/b · nkd/b + n log n)`-style dissemination for large message
+//! sizes, where `greedy-forward`'s gathering stalls.
+//!
+//! ```text
+//! Run greedy-forward until no node gets b²/d tokens   (here: a warm-up
+//!                                                      random-forward phase)
+//! while tokens remain to be broadcast
+//!     Nodes group tokens into blocks of size b/d
+//!     Assign each block a random O(log n)-bit priority
+//!     Index Θ(b) random blocks in O(n) time
+//!     Broadcast these blocks in O(n) time (network coded indexed broadcast)
+//!     remove all broadcast tokens from consideration
+//! ```
+//!
+//! Selection works by *priority flooding*: every node floods the s
+//! smallest `(priority, uid, seq, count)` entries it has heard, with
+//! s = ⌊b / entry_bits⌋ entries per b-bit message (entries are O(log n)
+//! bits, so s = Θ(b / log n) — the paper's "b/log n blocks every O(n)
+//! rounds" naive indexing). After n rounds all nodes agree on the s
+//! globally smallest entries; their owners seed the corresponding blocks
+//! and a coded indexed-broadcast of the s blocks follows, then an n-round
+//! AND-flood verification (Las Vegas). The refined recursion the paper
+//! defers to its full version saves one log factor; we implement the
+//! fully specified variant and report both formulas (see DESIGN.md).
+
+use crate::flood::AndFlood;
+use crate::knowledge::TokenKnowledge;
+use crate::params::{Instance, Params};
+use crate::protocols::random_forward::sample_distinct;
+use dyncode_dynet::adversary::KnowledgeView;
+use dyncode_dynet::bitset::BitSet;
+use dyncode_dynet::simulator::Protocol;
+use dyncode_gf::Gf2Vec;
+use dyncode_rlnc::block::{group_tokens, ungroup_tokens};
+use dyncode_rlnc::node::Gf2Node;
+use dyncode_rlnc::packet::Gf2Packet;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::collections::BTreeSet;
+
+/// A block handle: `(priority, owner uid, owner-local block seq, token
+/// count in the block)`. The tuple order is the selection order; uid+seq
+/// break priority ties deterministically.
+pub type Entry = (u64, u64, u64, u64);
+
+/// Wire messages of the stages.
+#[derive(Clone, Debug)]
+pub enum PfMessage {
+    /// Warm-up random-forward token batch.
+    Tokens(Vec<usize>),
+    /// Priority-flood entries (s smallest known).
+    Entries(Vec<Entry>),
+    /// A coded block packet.
+    Coded(Gf2Packet),
+    /// Verification AND bit.
+    Verify(bool),
+}
+
+#[derive(Clone, Debug)]
+enum Stage {
+    Warmup { rounds_left: usize },
+    PriorityFlood { rounds_left: usize },
+    Broadcast { rounds_left: usize },
+    Verify { rounds_left: usize },
+    Done,
+}
+
+/// Phase-length constants.
+#[derive(Clone, Copy, Debug)]
+pub struct PriorityConfig {
+    /// Warm-up length as a multiple of n.
+    pub warmup_mult: usize,
+    /// Broadcast length as a multiple of (n + s).
+    pub broadcast_mult: usize,
+}
+
+impl Default for PriorityConfig {
+    fn default() -> Self {
+        PriorityConfig { warmup_mult: 2, broadcast_mult: 3 }
+    }
+}
+
+/// The `priority-forward` protocol.
+pub struct PriorityForward {
+    params: Params,
+    cfg: PriorityConfig,
+    knowledge: TokenKnowledge,
+    tokens: Vec<Gf2Vec>,
+    completed: BitSet,
+    stage: Stage,
+    /// Per node: the entries heard so far this cycle (own ∪ received).
+    heard: Vec<BTreeSet<Entry>>,
+    /// Per node: this cycle's own chunks (token indices per local block).
+    chunks: Vec<Vec<Vec<usize>>>,
+    /// The agreed selection of this cycle, ascending.
+    selected: Vec<Entry>,
+    verify: AndFlood,
+    coders: Vec<Gf2Node>,
+    retries: usize,
+    total_retries: usize,
+}
+
+impl PriorityForward {
+    /// Builds the protocol with default constants.
+    pub fn new(inst: &Instance) -> Self {
+        PriorityForward::with_config(inst, PriorityConfig::default())
+    }
+
+    /// Builds the protocol with explicit constants.
+    pub fn with_config(inst: &Instance, cfg: PriorityConfig) -> Self {
+        let params = inst.params;
+        PriorityForward {
+            knowledge: TokenKnowledge::from_instance(inst),
+            tokens: inst.tokens.clone(),
+            completed: BitSet::new(params.k),
+            stage: Stage::Warmup { rounds_left: cfg.warmup_mult * params.n },
+            heard: vec![BTreeSet::new(); params.n],
+            chunks: vec![Vec::new(); params.n],
+            selected: Vec::new(),
+            verify: AndFlood::new(vec![true; params.n]),
+            coders: Vec::new(),
+            retries: 0,
+            total_retries: 0,
+            params,
+            cfg,
+        }
+    }
+
+    /// Tokens per block: ⌊b/d⌋.
+    pub fn block_tokens(&self) -> usize {
+        self.params.tokens_per_message()
+    }
+
+    /// Priority width in bits: O(log n), wide enough that collisions are
+    /// rare (they are harmless — uid/seq break ties).
+    fn priority_bits(&self) -> usize {
+        self.params.uid_bits() + 8
+    }
+
+    /// On-the-wire size of one entry: priority + uid + local sequence
+    /// number (≤ k blocks per node) + block token count — all O(log n).
+    pub fn entry_bits(&self) -> usize {
+        let seq_bits = (usize::BITS - self.params.k.leading_zeros()) as usize;
+        let cnt_bits =
+            (usize::BITS - self.block_tokens().leading_zeros()) as usize;
+        self.priority_bits() + self.params.uid_bits() + seq_bits + cnt_bits
+    }
+
+    /// Entries per flood message: s = max(1, ⌊b/entry_bits⌋) — Θ(b/log n).
+    pub fn selection_size(&self) -> usize {
+        (self.params.b / self.entry_bits()).max(1)
+    }
+
+    fn incomplete_known(&self, u: usize) -> Vec<usize> {
+        self.knowledge
+            .set(u)
+            .iter()
+            .filter(|&i| !self.completed.contains(i))
+            .collect()
+    }
+
+    /// Las-Vegas statistics.
+    pub fn total_retries(&self) -> usize {
+        self.total_retries
+    }
+
+    /// The knowledge state (read-only).
+    pub fn knowledge(&self) -> &TokenKnowledge {
+        &self.knowledge
+    }
+
+    /// Starts a selection cycle: re-chunk, draw fresh priorities, seed the
+    /// per-node heard sets.
+    fn start_cycle(&mut self, rng: &mut StdRng) {
+        let g = self.block_tokens();
+        let prio_mask = (1u64 << self.priority_bits().min(63)) - 1;
+        for u in 0..self.params.n {
+            let mine = self.incomplete_known(u);
+            self.chunks[u] = mine.chunks(g).map(<[usize]>::to_vec).collect();
+            self.heard[u] = self.chunks[u]
+                .iter()
+                .enumerate()
+                .map(|(seq, c)| {
+                    (
+                        rng.random::<u64>() & prio_mask,
+                        u as u64,
+                        seq as u64,
+                        c.len() as u64,
+                    )
+                })
+                .collect();
+        }
+        self.stage = Stage::PriorityFlood { rounds_left: self.params.n };
+    }
+
+    /// After the flood: fix the agreed selection and set up the coded
+    /// broadcast.
+    fn start_broadcast(&mut self) {
+        let s = self.selection_size();
+        self.selected = self.heard[0].iter().take(s).cloned().collect();
+        debug_assert!(
+            (0..self.params.n).all(|u| {
+                self.heard[u].iter().take(s).cloned().collect::<Vec<_>>() == self.selected
+            }),
+            "priority flood must converge to a common selection"
+        );
+        let block_bits = self.block_tokens() * self.params.d;
+        let nb = self.selected.len();
+        self.coders = (0..self.params.n)
+            .map(|_| Gf2Node::new(nb, block_bits))
+            .collect();
+        for (j, &(_, uid, seq, _)) in self.selected.iter().enumerate() {
+            let owner = uid as usize;
+            let chunk = &self.chunks[owner][seq as usize];
+            let values: Vec<Gf2Vec> =
+                chunk.iter().map(|&i| self.tokens[i].clone()).collect();
+            let blocks = group_tokens(&values, self.params.d, self.block_tokens());
+            debug_assert_eq!(blocks.len(), 1, "a chunk is one block");
+            self.coders[owner].seed_source(j, &blocks[0]);
+        }
+        self.stage = Stage::Broadcast {
+            rounds_left: self.cfg.broadcast_mult * (self.params.n + nb),
+        };
+    }
+
+    /// Applies a verified decode: learn and retire every token of every
+    /// selected block.
+    fn apply_decode(&mut self) {
+        let mut all_indices: Vec<usize> = Vec::new();
+        for (j, &(_, _, _, cnt)) in self.selected.iter().enumerate() {
+            let block = self.coders[0].decode().expect("verified")[j].clone();
+            let values = ungroup_tokens(&[block], self.params.d, cnt as usize);
+            for v in &values {
+                let idx = self
+                    .tokens
+                    .binary_search_by(|t| crate::params::token_cmp(t, v))
+                    .expect("decoded an unknown token value");
+                all_indices.push(idx);
+            }
+        }
+        for u in 0..self.params.n {
+            debug_assert!(self.coders[u].decode().is_some());
+            for &idx in &all_indices {
+                self.knowledge.learn(u, idx);
+            }
+        }
+        for &idx in &all_indices {
+            self.completed.insert(idx);
+        }
+        self.coders.clear();
+    }
+}
+
+impl Protocol for PriorityForward {
+    type Message = PfMessage;
+
+    fn num_nodes(&self) -> usize {
+        self.params.n
+    }
+
+    fn num_tokens(&self) -> usize {
+        self.params.k
+    }
+
+    fn compose(&mut self, node: usize, _round: usize, rng: &mut StdRng) -> Option<PfMessage> {
+        match &self.stage {
+            Stage::Warmup { .. } => {
+                let pool = self.incomplete_known(node);
+                if pool.is_empty() {
+                    return None;
+                }
+                let m = self.params.tokens_per_message();
+                Some(PfMessage::Tokens(sample_distinct(&pool, m, rng)))
+            }
+            Stage::PriorityFlood { .. } => {
+                let s = self.selection_size();
+                let smallest: Vec<Entry> =
+                    self.heard[node].iter().take(s).cloned().collect();
+                if smallest.is_empty() {
+                    None
+                } else {
+                    Some(PfMessage::Entries(smallest))
+                }
+            }
+            Stage::Broadcast { .. } => self.coders[node].emit(rng).map(PfMessage::Coded),
+            Stage::Verify { .. } => Some(PfMessage::Verify(self.verify.message(node))),
+            Stage::Done => None,
+        }
+    }
+
+    fn message_bits(&self, msg: &PfMessage) -> u64 {
+        match msg {
+            PfMessage::Tokens(ts) => (ts.len() * self.params.d) as u64,
+            PfMessage::Entries(es) => (es.len() * self.entry_bits()) as u64,
+            PfMessage::Coded(p) => p.bit_cost(),
+            PfMessage::Verify(_) => 1,
+        }
+    }
+
+    fn deliver(&mut self, node: usize, inbox: &[PfMessage], _round: usize, _rng: &mut StdRng) {
+        for msg in inbox {
+            match msg {
+                PfMessage::Tokens(ts) => {
+                    for &i in ts {
+                        self.knowledge.learn(node, i);
+                    }
+                }
+                PfMessage::Entries(es) => {
+                    for &e in es {
+                        self.heard[node].insert(e);
+                    }
+                }
+                PfMessage::Coded(p) => {
+                    self.coders[node].receive(p);
+                }
+                PfMessage::Verify(v) => self.verify.absorb(node, &[*v]),
+            }
+        }
+    }
+
+    fn node_done(&self, _node: usize) -> bool {
+        matches!(self.stage, Stage::Done)
+    }
+
+    fn view(&self) -> KnowledgeView {
+        let done = vec![matches!(self.stage, Stage::Done); self.params.n];
+        self.knowledge.view(&done)
+    }
+
+    fn round_end(&mut self, _round: usize, rng: &mut StdRng) {
+        match &mut self.stage {
+            Stage::Warmup { rounds_left } => {
+                *rounds_left -= 1;
+                if *rounds_left == 0 {
+                    self.start_cycle(rng);
+                }
+            }
+            Stage::PriorityFlood { rounds_left } => {
+                *rounds_left -= 1;
+                if *rounds_left == 0 {
+                    if self.heard[0].is_empty() {
+                        // No node announced a block: nothing incomplete.
+                        self.stage = Stage::Done;
+                    } else {
+                        self.retries = 0;
+                        self.start_broadcast();
+                    }
+                }
+            }
+            Stage::Broadcast { rounds_left } => {
+                *rounds_left -= 1;
+                if *rounds_left == 0 {
+                    let nb = self.selected.len();
+                    self.verify = AndFlood::new(
+                        (0..self.params.n)
+                            .map(|u| self.coders[u].coefficient_rank() == nb)
+                            .collect(),
+                    );
+                    self.stage = Stage::Verify { rounds_left: self.params.n };
+                }
+            }
+            Stage::Verify { rounds_left } => {
+                *rounds_left -= 1;
+                if *rounds_left == 0 {
+                    if self.verify.value(0) {
+                        self.apply_decode();
+                        self.start_cycle(rng);
+                    } else {
+                        self.retries += 1;
+                        self.total_retries += 1;
+                        self.stage = Stage::Broadcast {
+                            rounds_left: self.cfg.broadcast_mult
+                                * (self.params.n + self.selected.len()),
+                        };
+                    }
+                }
+            }
+            Stage::Done => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Placement;
+    use dyncode_dynet::adversaries::{RandomConnectedAdversary, ShuffledPathAdversary};
+    use dyncode_dynet::simulator::{run, SimConfig};
+
+    #[test]
+    fn disseminates_under_every_adversary() {
+        let p = Params::new(12, 12, 5, 40);
+        let inst = Instance::generate(p, Placement::OneTokenPerNode, 1);
+        for adv in &mut dyncode_dynet::adversaries::standard_suite() {
+            let mut proto = PriorityForward::new(&inst);
+            let r = run(&mut proto, adv, &SimConfig::with_max_rounds(50_000), 4);
+            assert!(r.completed, "{}", adv.name());
+            assert!(proto.knowledge().all_full(), "{}", adv.name());
+        }
+    }
+
+    #[test]
+    fn selection_geometry() {
+        let p = Params::new(16, 16, 5, 80);
+        let inst = Instance::generate(p, Placement::OneTokenPerNode, 2);
+        let proto = PriorityForward::new(&inst);
+        assert_eq!(proto.block_tokens(), 16);
+        // priority (uid+8) + uid + seq (bits of k) + count bits: all O(log n).
+        assert_eq!(proto.entry_bits(), (4 + 8) + 4 + 5 + 5);
+        assert_eq!(
+            proto.selection_size(),
+            (80 / proto.entry_bits()).max(1)
+        );
+    }
+
+    #[test]
+    fn works_with_tiny_messages_where_s_is_one() {
+        // b barely above d: selection degenerates to one block per cycle
+        // but correctness must hold.
+        let p = Params::new(8, 8, 4, 8);
+        let inst = Instance::generate(p, Placement::OneTokenPerNode, 3);
+        let mut proto = PriorityForward::new(&inst);
+        assert_eq!(proto.selection_size(), 1);
+        let mut adv = ShuffledPathAdversary;
+        let r = run(&mut proto, &mut adv, &SimConfig::with_max_rounds(50_000), 5);
+        assert!(r.completed);
+        assert!(proto.knowledge().all_full());
+    }
+
+    #[test]
+    fn clustered_placement_and_duplicate_coverage() {
+        // Tokens clustered at 2 nodes; blocks from both overlap after the
+        // warm-up spreads copies — decode must stay consistent.
+        let p = Params::new(10, 10, 5, 30);
+        let inst = Instance::generate(p, Placement::Clustered(2), 7);
+        let mut proto = PriorityForward::new(&inst);
+        let mut adv = RandomConnectedAdversary::new(1);
+        let r = run(&mut proto, &mut adv, &SimConfig::with_max_rounds(50_000), 8);
+        assert!(r.completed);
+        assert!(proto.knowledge().all_full());
+    }
+
+    #[test]
+    fn strict_bit_budget_holds_at_two_b() {
+        let p = Params::new(12, 12, 5, 30);
+        let inst = Instance::generate(p, Placement::OneTokenPerNode, 9);
+        let mut proto = PriorityForward::new(&inst);
+        let mut adv = ShuffledPathAdversary;
+        let r = run(
+            &mut proto,
+            &mut adv,
+            &SimConfig::with_max_rounds(50_000).strict_bits(2 * p.b as u64),
+            10,
+        );
+        assert!(r.completed);
+        assert!(proto.knowledge().all_full());
+    }
+}

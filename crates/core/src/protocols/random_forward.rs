@@ -1,0 +1,218 @@
+//! The `random-forward` gathering primitive (Section 7, Lemma 7.2).
+//!
+//! ```text
+//! repeat O(n) times
+//!     each node forwards b/d tokens chosen randomly from those it knows
+//! Identify a node with the maximum token count (using O(n) rounds of flooding)
+//! ```
+//!
+//! Lemma 7.2: afterwards the identified node knows, with high probability,
+//! either all or at least `M = √(bk/d)` tokens. Experiment E6 measures
+//! exactly this; `greedy-forward` and `priority-forward` embed the same
+//! logic as their gathering phase.
+
+use crate::flood::MaxFlood;
+use crate::knowledge::TokenKnowledge;
+use crate::params::{Instance, Params};
+use dyncode_dynet::adversary::KnowledgeView;
+use dyncode_dynet::simulator::Protocol;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Messages of the two sub-phases.
+#[derive(Clone, Debug)]
+pub enum RfMessage {
+    /// A batch of forwarded token indices (charged d bits each).
+    Tokens(Vec<usize>),
+    /// A max-flood pair `(token count, uid)`.
+    Flood((u64, u64)),
+}
+
+/// A standalone run of random-forward + max identification.
+pub struct RandomForward {
+    params: Params,
+    knowledge: TokenKnowledge,
+    /// Rounds of the forwarding sub-phase (≈ c·n).
+    forward_rounds: usize,
+    /// Rounds of the flooding sub-phase (= n).
+    flood_rounds: usize,
+    flood: MaxFlood,
+}
+
+/// Uniformly samples `m` distinct elements from `items` (Fisher–Yates on
+/// a copy; `items` may be shorter than `m`).
+pub(crate) fn sample_distinct(items: &[usize], m: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut pool = items.to_vec();
+    let take = m.min(pool.len());
+    for i in 0..take {
+        let j = rng.random_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    pool.truncate(take);
+    pool
+}
+
+impl RandomForward {
+    /// Builds a run with `forward_rounds` of random forwarding (the paper's
+    /// O(n); pass e.g. `2n`).
+    pub fn new(inst: &Instance, forward_rounds: usize) -> Self {
+        let params = inst.params;
+        let knowledge = TokenKnowledge::from_instance(inst);
+        let flood = MaxFlood::new(
+            (0..params.n)
+                .map(|u| (knowledge.count(u) as u64, u as u64))
+                .collect(),
+        );
+        RandomForward {
+            params,
+            knowledge,
+            forward_rounds,
+            flood_rounds: params.n,
+            flood,
+        }
+    }
+
+    /// Total scheduled rounds.
+    pub fn schedule_rounds(&self) -> usize {
+        self.forward_rounds + self.flood_rounds
+    }
+
+    /// After completion: the identified `(max token count, node)` as agreed
+    /// by node `u`.
+    pub fn identified(&self, u: usize) -> (u64, u64) {
+        self.flood.best(u)
+    }
+
+    /// The knowledge state (for measuring the gather).
+    pub fn knowledge(&self) -> &TokenKnowledge {
+        &self.knowledge
+    }
+}
+
+impl Protocol for RandomForward {
+    type Message = RfMessage;
+
+    fn num_nodes(&self) -> usize {
+        self.params.n
+    }
+
+    fn num_tokens(&self) -> usize {
+        self.params.k
+    }
+
+    fn compose(&mut self, node: usize, round: usize, rng: &mut StdRng) -> Option<RfMessage> {
+        if round < self.forward_rounds {
+            let known: Vec<usize> = self.knowledge.set(node).iter().collect();
+            if known.is_empty() {
+                return None;
+            }
+            let m = self.params.tokens_per_message();
+            Some(RfMessage::Tokens(sample_distinct(&known, m, rng)))
+        } else if round < self.schedule_rounds() {
+            Some(RfMessage::Flood(self.flood.message(node)))
+        } else {
+            None
+        }
+    }
+
+    fn message_bits(&self, msg: &RfMessage) -> u64 {
+        match msg {
+            RfMessage::Tokens(ts) => (ts.len() * self.params.d) as u64,
+            RfMessage::Flood(_) => MaxFlood::message_bits(
+                (usize::BITS - self.params.k.leading_zeros()) as usize,
+                self.params.uid_bits(),
+            ),
+        }
+    }
+
+    fn deliver(&mut self, node: usize, inbox: &[RfMessage], round: usize, _rng: &mut StdRng) {
+        for msg in inbox {
+            match msg {
+                RfMessage::Tokens(ts) => {
+                    for &i in ts {
+                        self.knowledge.learn(node, i);
+                    }
+                }
+                RfMessage::Flood(p) => self.flood.absorb(node, &[*p]),
+            }
+        }
+        // At the flood boundary, refresh this node's own count.
+        if round + 1 == self.forward_rounds {
+            let own = (self.knowledge.count(node) as u64, node as u64);
+            self.flood.absorb(node, &[own]);
+        }
+    }
+
+    fn node_done(&self, _node: usize) -> bool {
+        false // runs to its fixed schedule; the runner caps the rounds
+    }
+
+    fn view(&self) -> KnowledgeView {
+        self.knowledge.view(&vec![false; self.params.n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Placement;
+    use crate::theory;
+    use dyncode_dynet::adversaries::{RandomConnectedAdversary, ShuffledPathAdversary};
+    use dyncode_dynet::simulator::{run, SimConfig};
+
+    #[test]
+    fn sample_distinct_is_distinct_and_bounded() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        use rand::SeedableRng;
+        let items: Vec<usize> = (0..20).collect();
+        for m in [0usize, 1, 5, 20, 30] {
+            let s = sample_distinct(&items, m, &mut rng);
+            assert_eq!(s.len(), m.min(20));
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), s.len(), "duplicates in sample");
+            assert!(s.iter().all(|i| items.contains(i)));
+        }
+    }
+
+    #[test]
+    fn all_nodes_agree_on_the_identified_max() {
+        let p = Params::new(16, 16, 8, 16);
+        let inst = Instance::generate(p, Placement::OneTokenPerNode, 2);
+        let mut proto = RandomForward::new(&inst, 2 * p.n);
+        let cap = proto.schedule_rounds();
+        let mut adv = RandomConnectedAdversary::new(2);
+        run(&mut proto, &mut adv, &SimConfig::with_max_rounds(cap), 3);
+        let agreed = proto.identified(0);
+        for u in 0..p.n {
+            assert_eq!(proto.identified(u), agreed);
+        }
+        // The flooded pair is truthful: that node really has that count.
+        let (count, uid) = agreed;
+        assert_eq!(proto.knowledge().count(uid as usize) as u64, count);
+        // And it is the maximum.
+        let max = (0..p.n).map(|u| proto.knowledge().count(u)).max().unwrap();
+        assert_eq!(count as usize, max);
+    }
+
+    #[test]
+    fn gathers_at_least_the_lemma_7_2_bound() {
+        // k = n tokens of d bits, message b: expect ≥ √(bk/d) at the max
+        // node (Lemma 7.2), with slack for constants.
+        let p = Params::new(48, 48, 8, 16);
+        let inst = Instance::generate(p, Placement::OneTokenPerNode, 7);
+        let bound = theory::gather_bound(p.k, p.d, p.b); // ≈ 9.8
+        let mut worst = usize::MAX;
+        for seed in 0..3u64 {
+            let mut proto = RandomForward::new(&inst, 2 * p.n);
+            let cap = proto.schedule_rounds();
+            let mut adv = ShuffledPathAdversary;
+            run(&mut proto, &mut adv, &SimConfig::with_max_rounds(cap), seed);
+            let (count, _) = proto.identified(0);
+            worst = worst.min(count as usize);
+        }
+        assert!(
+            worst as f64 >= bound / 2.0,
+            "gathered {worst}, Lemma 7.2 predicts ≈ {bound}"
+        );
+    }
+}

@@ -1,0 +1,349 @@
+//! The token-forwarding baseline of Kuhn, Lynch & Oshman (Theorem 2.1).
+//!
+//! Upper bound: `O(nkd/(bT) + n)` rounds with b-bit messages for d-bit
+//! tokens in a T-stable network, via batched smallest-first flooding:
+//!
+//! * **Baseline (T = 1).** Phases of n rounds; in a phase every node
+//!   broadcasts the ⌊b/d⌋ smallest tokens it knows beyond the completed
+//!   prefix. The i-th smallest globally-incomplete token (i ≤ ⌊b/d⌋) has
+//!   at most i−1 incomplete tokens below it, so every node knowing it
+//!   broadcasts it every round; connectivity then floods it in ≤ n−1
+//!   rounds. After the phase all nodes know the batch and retire it
+//!   (prefix completion, see [`crate::knowledge`]).
+//! * **Pipelined (T-stable).** Batches of (T/2)·⌊b/d⌋ tokens; within each
+//!   T-round stability window a node broadcasts the ⌊b/d⌋ smallest batch
+//!   tokens it knows and has *not yet broadcast this window* (FIFO
+//!   pipelining). Over a static window, pipelined flooding advances the
+//!   full batch at least T − P hops (P = pages per batch), so with
+//!   P = T/2 at least T/2 nodes complete the batch per window and a phase
+//!   of 2n + 2T rounds retires a T/2-times larger batch — the factor-T
+//!   speedup of Theorem 2.1. The knowledge-based lower bound says no
+//!   forwarding algorithm can beat T, which experiment E3 contrasts with
+//!   the coding protocols' T².
+//!
+//! Both variants are deterministic and knowledge-based: every message
+//! depends only on the sender's known-token set and the public round
+//! number.
+
+use crate::knowledge::TokenKnowledge;
+use crate::params::{Instance, Params};
+use dyncode_dynet::adversary::KnowledgeView;
+use dyncode_dynet::bitset::BitSet;
+use dyncode_dynet::simulator::Protocol;
+use rand::rngs::StdRng;
+
+/// Static configuration of the forwarding schedule.
+#[derive(Clone, Debug)]
+pub struct ForwardingConfig {
+    /// Tokens retired per phase.
+    pub batch: usize,
+    /// Rounds per phase.
+    pub phase_rounds: usize,
+    /// Stability window for the pipelining rule; `None` disables the
+    /// not-yet-broadcast-this-window filter (baseline mode).
+    pub window: Option<usize>,
+}
+
+impl ForwardingConfig {
+    /// The T = 1 baseline: batch ⌊b/d⌋, phase length n.
+    pub fn baseline(p: &Params) -> Self {
+        ForwardingConfig {
+            batch: p.tokens_per_message(),
+            phase_rounds: p.n.max(1),
+            window: None,
+        }
+    }
+
+    /// The T-stable pipelined schedule: pages = T/2, batch =
+    /// pages·⌊b/d⌋, phase length 2n + 2T. For T < 4 pipelining cannot pay
+    /// for its longer phases and the baseline schedule is returned
+    /// (Theorem 2.1's speedup is Θ(T), constants included).
+    ///
+    /// # Panics
+    /// Panics if `t == 0`.
+    pub fn pipelined(p: &Params, t: usize) -> Self {
+        assert!(t >= 1, "stability period must be positive");
+        if t < 4 {
+            return ForwardingConfig::baseline(p);
+        }
+        ForwardingConfig {
+            batch: (t / 2) * p.tokens_per_message(),
+            phase_rounds: 2 * p.n + 2 * t,
+            window: Some(t),
+        }
+    }
+
+    /// Total phases needed for k tokens.
+    pub fn phases(&self, k: usize) -> usize {
+        k.div_ceil(self.batch)
+    }
+
+    /// The full predicted schedule length in rounds.
+    pub fn schedule_rounds(&self, k: usize) -> usize {
+        self.phases(k) * self.phase_rounds
+    }
+}
+
+/// The knowledge-based token-forwarding protocol (both variants of
+/// Theorem 2.1).
+pub struct TokenForwarding {
+    params: Params,
+    cfg: ForwardingConfig,
+    knowledge: TokenKnowledge,
+    /// Retired-prefix length on the public schedule.
+    completed: usize,
+    /// Per-node: batch tokens already broadcast in the current stability
+    /// window (pipelined mode only).
+    sent_this_window: Vec<BitSet>,
+}
+
+impl TokenForwarding {
+    /// Builds the protocol over an instance with the given schedule.
+    pub fn new(inst: &Instance, cfg: ForwardingConfig) -> Self {
+        let params = inst.params;
+        TokenForwarding {
+            knowledge: TokenKnowledge::from_instance(inst),
+            sent_this_window: vec![BitSet::new(params.k); params.n],
+            completed: 0,
+            params,
+            cfg,
+        }
+    }
+
+    /// Baseline constructor.
+    pub fn baseline(inst: &Instance) -> Self {
+        let cfg = ForwardingConfig::baseline(&inst.params);
+        TokenForwarding::new(inst, cfg)
+    }
+
+    /// Pipelined T-stable constructor.
+    pub fn pipelined(inst: &Instance, t: usize) -> Self {
+        let cfg = ForwardingConfig::pipelined(&inst.params, t);
+        TokenForwarding::new(inst, cfg)
+    }
+
+    /// The current knowledge state (read-only).
+    pub fn knowledge(&self) -> &TokenKnowledge {
+        &self.knowledge
+    }
+
+    /// The schedule in force.
+    pub fn config(&self) -> &ForwardingConfig {
+        &self.cfg
+    }
+}
+
+impl Protocol for TokenForwarding {
+    type Message = Vec<usize>;
+
+    fn num_nodes(&self) -> usize {
+        self.params.n
+    }
+
+    fn num_tokens(&self) -> usize {
+        self.params.k
+    }
+
+    fn compose(&mut self, node: usize, _round: usize, _rng: &mut StdRng) -> Option<Vec<usize>> {
+        let per_msg = self.params.tokens_per_message();
+        let batch = self
+            .knowledge
+            .next_batch(node, self.completed, self.cfg.batch);
+        let chosen: Vec<usize> = if self.cfg.window.is_some() {
+            // Pipelining: the smallest batch pages not yet sent this window.
+            batch
+                .into_iter()
+                .filter(|&i| !self.sent_this_window[node].contains(i))
+                .take(per_msg)
+                .collect()
+        } else {
+            batch.into_iter().take(per_msg).collect()
+        };
+        if chosen.is_empty() {
+            return None;
+        }
+        if self.cfg.window.is_some() {
+            for &i in &chosen {
+                self.sent_this_window[node].insert(i);
+            }
+        }
+        Some(chosen)
+    }
+
+    fn message_bits(&self, msg: &Vec<usize>) -> u64 {
+        // Each forwarded token costs its d bits of content.
+        (msg.len() * self.params.d) as u64
+    }
+
+    fn deliver(&mut self, node: usize, inbox: &[Vec<usize>], _round: usize, _rng: &mut StdRng) {
+        for msg in inbox {
+            for &i in msg {
+                self.knowledge.learn(node, i);
+            }
+        }
+    }
+
+    fn node_done(&self, node: usize) -> bool {
+        self.completed >= self.params.k && self.knowledge.is_full(node)
+    }
+
+    fn view(&self) -> KnowledgeView {
+        let done: Vec<bool> = (0..self.params.n).map(|u| self.node_done(u)).collect();
+        self.knowledge.view(&done)
+    }
+
+    fn round_end(&mut self, round: usize, _rng: &mut StdRng) {
+        if let Some(t) = self.cfg.window {
+            if (round + 1).is_multiple_of(t) {
+                for s in &mut self.sent_this_window {
+                    *s = BitSet::new(self.params.k);
+                }
+            }
+        }
+        if (round + 1).is_multiple_of(self.cfg.phase_rounds) {
+            self.completed = (self.completed + self.cfg.batch).min(self.params.k);
+            for s in &mut self.sent_this_window {
+                *s = BitSet::new(self.params.k);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Placement;
+    use dyncode_dynet::adversaries::{
+        KnowledgeAdaptiveAdversary, RandomConnectedAdversary, ShuffledPathAdversary,
+    };
+    use dyncode_dynet::adversary::TStable;
+    use dyncode_dynet::simulator::{run, SimConfig};
+
+    #[test]
+    fn baseline_disseminates_under_every_adversary() {
+        let p = Params::new(12, 12, 6, 6);
+        let inst = Instance::generate(p, Placement::OneTokenPerNode, 3);
+        for seed in 0..2u64 {
+            for adv in &mut dyncode_dynet::adversaries::standard_suite() {
+                let mut proto = TokenForwarding::baseline(&inst);
+                let cap = proto.config().schedule_rounds(p.k) + 1;
+                let r = run(&mut proto, adv, &SimConfig::with_max_rounds(cap), seed);
+                assert!(r.completed, "{} seed={seed}", adv.name());
+                assert!(proto.knowledge().all_full());
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_takes_the_scheduled_nkd_over_b_rounds() {
+        // k/⌊b/d⌋ phases of n rounds: the Theorem 2.1 shape.
+        let p = Params::new(16, 16, 5, 10);
+        let inst = Instance::generate(p, Placement::OneTokenPerNode, 5);
+        let mut proto = TokenForwarding::baseline(&inst);
+        let mut adv = ShuffledPathAdversary;
+        let expected = proto.config().schedule_rounds(p.k);
+        assert_eq!(expected, (16 / 2) * 16);
+        let r = run(&mut proto, &mut adv, &SimConfig::with_max_rounds(2 * expected), 1);
+        assert!(r.completed);
+        assert_eq!(r.rounds, expected, "deterministic schedule length");
+    }
+
+    #[test]
+    fn messages_respect_the_bit_budget() {
+        let p = Params::new(10, 10, 5, 11);
+        let inst = Instance::generate(p, Placement::RoundRobin, 9);
+        let mut proto = TokenForwarding::baseline(&inst);
+        let mut adv = RandomConnectedAdversary::new(3);
+        let cap = proto.config().schedule_rounds(p.k) + 1;
+        // Strict mode: every message must fit in b bits (2 tokens × 5 ≤ 11).
+        let r = run(
+            &mut proto,
+            &mut adv,
+            &SimConfig::with_max_rounds(cap).strict_bits(p.b as u64),
+            2,
+        );
+        assert!(r.completed);
+        assert!(r.max_message_bits <= p.b as u64);
+    }
+
+    #[test]
+    fn pipelined_completes_and_uses_fewer_rounds_on_stable_networks() {
+        let p = Params::new(24, 24, 8, 8);
+        let inst = Instance::generate(p, Placement::OneTokenPerNode, 11);
+        let t = 8;
+
+        let mut base = TokenForwarding::baseline(&inst);
+        let base_cap = base.config().schedule_rounds(p.k) + 1;
+        let mut adv1 = TStable::new(ShuffledPathAdversary, t);
+        let rb = run(&mut base, &mut adv1, &SimConfig::with_max_rounds(base_cap), 4);
+        assert!(rb.completed);
+
+        let mut pipe = TokenForwarding::pipelined(&inst, t);
+        let pipe_cap = pipe.config().schedule_rounds(p.k) + 1;
+        let mut adv2 = TStable::new(ShuffledPathAdversary, t);
+        let rp = run(&mut pipe, &mut adv2, &SimConfig::with_max_rounds(pipe_cap), 4);
+        assert!(rp.completed, "pipelined failed: {} rounds", rp.rounds);
+        assert!(pipe.knowledge().all_full());
+        assert!(
+            rp.rounds < rb.rounds,
+            "pipelining should win on a {t}-stable network: {} vs {}",
+            rp.rounds,
+            rb.rounds
+        );
+    }
+
+    #[test]
+    fn adaptive_adversary_cannot_break_correctness() {
+        let p = Params::new(14, 14, 7, 7);
+        let inst = Instance::generate(p, Placement::Clustered(3), 13);
+        let mut proto = TokenForwarding::baseline(&inst);
+        let cap = proto.config().schedule_rounds(p.k) + 1;
+        let mut adv = KnowledgeAdaptiveAdversary;
+        let r = run(&mut proto, &mut adv, &SimConfig::with_max_rounds(cap), 6);
+        assert!(r.completed);
+        assert!(proto.knowledge().all_full());
+    }
+
+    #[test]
+    fn window_rule_rebroadcasts_after_reset() {
+        // In pipelined mode a node must not repeat a batch token within a
+        // window, and must repeat it after the window resets.
+        let p = Params::new(8, 8, 4, 8);
+        let inst = Instance::generate(p, Placement::AllAtNode(0), 1);
+        let t = 4;
+        let mut proto = TokenForwarding::new(
+            &inst,
+            ForwardingConfig {
+                batch: 4,
+                phase_rounds: 100,
+                window: Some(t),
+            },
+        );
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        // Node 0 knows everything; it sends 2 tokens per message from a
+        // batch of 4, so rounds 0 and 1 differ and round 2 is silent.
+        let m0 = proto.compose(0, 0, &mut rng).unwrap();
+        let m1 = proto.compose(0, 1, &mut rng).unwrap();
+        assert_eq!(m0, vec![0, 1]);
+        assert_eq!(m1, vec![2, 3]);
+        assert!(proto.compose(0, 2, &mut rng).is_none(), "batch exhausted");
+        // Window boundary at round 4 (round_end of round 3 resets).
+        for r in 2..4 {
+            proto.round_end(r, &mut rng);
+        }
+        let m4 = proto.compose(0, 4, &mut rng).unwrap();
+        assert_eq!(m4, vec![0, 1], "window reset re-enables the batch");
+    }
+
+    #[test]
+    fn single_token_floods_in_n_rounds() {
+        let p = Params::new(20, 1, 8, 8);
+        let inst = Instance::generate(p, Placement::AllAtNode(7), 1);
+        let mut proto = TokenForwarding::baseline(&inst);
+        let mut adv = ShuffledPathAdversary;
+        let r = run(&mut proto, &mut adv, &SimConfig::with_max_rounds(21), 3);
+        assert!(r.completed);
+        assert_eq!(r.rounds, 20, "one phase of n rounds");
+    }
+}

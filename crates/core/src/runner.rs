@@ -1,0 +1,135 @@
+//! Experiment-facing run helpers: seed sweeps, completion verification and
+//! summary statistics.
+
+use dyncode_dynet::adversary::Adversary;
+use dyncode_dynet::simulator::{run, Protocol, RunResult, SimConfig};
+
+/// Checks that a protocol's view reports every token at every node — the
+/// dissemination postcondition.
+pub fn fully_disseminated<P: Protocol>(p: &P) -> bool {
+    let v = p.view();
+    v.tokens.iter().all(|t| t.len() == p.num_tokens())
+}
+
+/// Summary statistics over a seed sweep.
+#[derive(Clone, Debug)]
+pub struct Summary {
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Mean rounds over completed runs.
+    pub mean_rounds: f64,
+    /// Minimum rounds.
+    pub min_rounds: usize,
+    /// Maximum rounds.
+    pub max_rounds: usize,
+    /// Runs that failed to complete within the cap.
+    pub failures: usize,
+    /// Mean total broadcast bits.
+    pub mean_bits: f64,
+}
+
+/// Aggregates run results.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn summarize(results: &[RunResult]) -> Summary {
+    assert!(!results.is_empty(), "no results to summarize");
+    let completed: Vec<&RunResult> = results.iter().filter(|r| r.completed).collect();
+    let failures = results.len() - completed.len();
+    let mean = |f: &dyn Fn(&RunResult) -> f64| -> f64 {
+        if completed.is_empty() {
+            f64::NAN
+        } else {
+            completed.iter().map(|r| f(r)).sum::<f64>() / completed.len() as f64
+        }
+    };
+    Summary {
+        runs: results.len(),
+        mean_rounds: mean(&|r| r.rounds as f64),
+        min_rounds: completed.iter().map(|r| r.rounds).min().unwrap_or(0),
+        max_rounds: completed.iter().map(|r| r.rounds).max().unwrap_or(0),
+        failures,
+        mean_bits: mean(&|r| r.total_bits as f64),
+    }
+}
+
+/// Runs a freshly built protocol once per seed against freshly built
+/// adversaries, asserting dissemination correctness on completion.
+///
+/// `build` constructs the protocol, `adv` the adversary (both per seed, so
+/// runs are independent).
+pub fn sweep_seeds<P, FB, FA>(
+    seeds: &[u64],
+    max_rounds: usize,
+    mut build: FB,
+    mut adv: FA,
+) -> Vec<RunResult>
+where
+    P: Protocol,
+    FB: FnMut() -> P,
+    FA: FnMut() -> Box<dyn Adversary>,
+{
+    seeds
+        .iter()
+        .map(|&seed| {
+            let mut p = build();
+            let mut a = adv();
+            let r = run(&mut p, a.as_mut(), &SimConfig::with_max_rounds(max_rounds), seed);
+            if r.completed {
+                assert!(
+                    fully_disseminated(&p),
+                    "completed run left a node without some token (seed {seed})"
+                );
+            }
+            r
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Instance, Params, Placement};
+    use crate::protocols::token_forwarding::TokenForwarding;
+    use dyncode_dynet::adversaries::ShuffledPathAdversary;
+
+    #[test]
+    fn sweep_and_summarize() {
+        let p = Params::new(8, 8, 4, 8);
+        let inst = Instance::generate(p, Placement::OneTokenPerNode, 1);
+        let results = sweep_seeds(
+            &[1, 2, 3],
+            10_000,
+            || TokenForwarding::baseline(&inst),
+            || Box::new(ShuffledPathAdversary),
+        );
+        let s = summarize(&results);
+        assert_eq!(s.runs, 3);
+        assert_eq!(s.failures, 0);
+        assert!(s.mean_rounds > 0.0);
+        assert!(s.min_rounds <= s.max_rounds);
+        assert!(s.mean_bits > 0.0);
+    }
+
+    #[test]
+    fn summary_counts_failures() {
+        let p = Params::new(8, 8, 4, 8);
+        let inst = Instance::generate(p, Placement::OneTokenPerNode, 1);
+        // A 1-round cap cannot complete.
+        let results = sweep_seeds(
+            &[1, 2],
+            1,
+            || TokenForwarding::baseline(&inst),
+            || Box::new(ShuffledPathAdversary),
+        );
+        let s = summarize(&results);
+        assert_eq!(s.failures, 2);
+        assert!(s.mean_rounds.is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "no results")]
+    fn empty_summary_rejected() {
+        summarize(&[]);
+    }
+}

@@ -1,0 +1,316 @@
+//! Closed-form predicted bounds for every theorem of the paper, plus
+//! shape-regression helpers.
+//!
+//! An asymptotic claim `rounds = O(f(n,k,d,b,T))` is reproduced by fitting
+//! the single leading constant `c` on measured data and checking that
+//! `measured / f` stays flat (bounded ratio spread) across the sweep. The
+//! experiment harness prints both the fitted constant and the spread.
+
+/// log₂(x), clamped below at 1 so bounds never vanish.
+pub fn lg(x: usize) -> f64 {
+    (x.max(2) as f64).log2()
+}
+
+/// Theorem 2.1 (Kuhn et al. baseline): token forwarding,
+/// `O(nkd/(bT) + n)` rounds.
+pub fn tf_bound(n: usize, k: usize, d: usize, b: usize, t: usize) -> f64 {
+    let (n, k, d, b, t) = (n as f64, k as f64, d as f64, b as f64, t as f64);
+    n * k * d / (b * t) + n
+}
+
+/// Theorem 7.3 (`greedy-forward`): `O(nkd/b² + nb)`.
+pub fn greedy_forward_bound(n: usize, k: usize, d: usize, b: usize) -> f64 {
+    let (nf, kf, df, bf) = (n as f64, k as f64, d as f64, b as f64);
+    nf * kf * df / (bf * bf) + nf * bf
+}
+
+/// Theorem 7.5 (`priority-forward`, the variant implemented here — see
+/// DESIGN.md): `O(log²n/b · nkd/b + n log²n)`. The paper's refined
+/// recursion saves one log factor; both are reported.
+pub fn priority_forward_bound(n: usize, k: usize, d: usize, b: usize) -> f64 {
+    let l = lg(n);
+    let (nf, kf, df, bf) = (n as f64, k as f64, d as f64, b as f64);
+    l * l * nf * kf * df / (bf * bf) + nf * l * l
+}
+
+/// Theorem 7.5 as stated (with the deferred recursive indexing):
+/// `O(log n/b · nkd/b + n log n)`.
+pub fn priority_forward_paper_bound(n: usize, k: usize, d: usize, b: usize) -> f64 {
+    let l = lg(n);
+    let (nf, kf, df, bf) = (n as f64, k as f64, d as f64, b as f64);
+    l * nf * kf * df / (bf * bf) + nf * l
+}
+
+/// Theorem 2.3: the combined randomized network-coding bound
+/// `O(min{nkd/b² + nb, log n/b · nkd/b + n log n})`.
+pub fn nc_bound(n: usize, k: usize, d: usize, b: usize) -> f64 {
+    greedy_forward_bound(n, k, d, b).min(priority_forward_paper_bound(n, k, d, b))
+}
+
+/// Lemma 5.3: k-indexed-broadcast in `O(n + k)`.
+pub fn indexed_broadcast_bound(n: usize, k: usize) -> f64 {
+    (n + k) as f64
+}
+
+/// Corollary 7.1 (naive flooded indexing): `O(nk·log n / b)` =
+/// `O(log n/d · nkd/b)`.
+pub fn naive_coded_bound(n: usize, k: usize, b: usize) -> f64 {
+    n as f64 * k as f64 * lg(n) / b as f64
+}
+
+/// Lemma 7.2: the gathering guarantee of `random-forward` —
+/// the max node collects `M = √(bk/d)` tokens (or all of them).
+pub fn gather_bound(k: usize, d: usize, b: usize) -> f64 {
+    ((b as f64) * (k as f64) / (d as f64)).sqrt().min(k as f64)
+}
+
+/// Lemma 8.1: T-stable patched indexed-broadcast of bT blocks of bT bits
+/// in `O((n + bT²) log n)`.
+pub fn patch_broadcast_bound(n: usize, b: usize, t: usize) -> f64 {
+    ((n + b * t * t) as f64) * lg(n)
+}
+
+/// Theorem 2.4 (T-stable randomized coding): the three-way minimum.
+pub fn nc_tstable_bound(n: usize, k: usize, d: usize, b: usize, t: usize) -> f64 {
+    let l = lg(n);
+    let (nf, kf, df, bf, tf) = (n as f64, k as f64, d as f64, b as f64, t as f64);
+    let base = nf * kf * df / bf;
+    let a = l / (bf * tf * tf) * base + nf * bf * tf * tf * l;
+    let bb = l * l / (bf * tf * tf) * base + nf * tf * l * l;
+    let c = l * l / (bf * tf * tf) * nf * nf + nf * l;
+    a.min(bb).min(c)
+}
+
+/// Theorem 2.5 (deterministic T-stable): `O(n·min{k, n/T}/√(bT) + n)`
+/// times the 2^O(√log n) MIS factor, which we fold into the fitted
+/// constant (the MIS stand-in is local, see DESIGN.md).
+pub fn det_tstable_bound(n: usize, k: usize, b: usize, t: usize) -> f64 {
+    let (nf, kf, bf, tf) = (n as f64, k as f64, b as f64, t as f64);
+    nf * kf.min(nf / tf) / (bf * tf).sqrt() + nf
+}
+
+/// Corollary 2.6 (randomized centralized): `Θ(n)`.
+pub fn centralized_bound(n: usize) -> f64 {
+    n as f64
+}
+
+/// Fits the constant `c` minimizing max ratio deviation of
+/// `measured[i] / predicted[i]`: returns `(geometric-mean constant,
+/// spread)` where `spread = max ratio / min ratio`. A small spread means
+/// the measured data has the predicted shape.
+///
+/// # Panics
+/// Panics on empty or mismatched inputs or non-positive predictions.
+pub fn fit_constant(measured: &[f64], predicted: &[f64]) -> (f64, f64) {
+    assert_eq!(measured.len(), predicted.len(), "length mismatch");
+    assert!(!measured.is_empty(), "nothing to fit");
+    let ratios: Vec<f64> = measured
+        .iter()
+        .zip(predicted)
+        .map(|(&m, &p)| {
+            assert!(p > 0.0, "non-positive prediction");
+            m / p
+        })
+        .collect();
+    let log_mean =
+        ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64;
+    let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ratios.iter().cloned().fold(0.0f64, f64::max);
+    (log_mean.exp(), max / min)
+}
+
+/// Fits `measured ≈ c1·term1 + c2·term2` by least squares (the natural
+/// fit for the paper's two-term bounds like nkd/b² + nb, whose terms have
+/// independent constants). Returns `(c1, c2, max relative residual)`;
+/// negative solutions are clamped to the better single-term fit.
+///
+/// # Panics
+/// Panics on empty or mismatched inputs.
+pub fn fit_two_terms(measured: &[f64], term1: &[f64], term2: &[f64]) -> (f64, f64, f64) {
+    assert!(
+        !measured.is_empty() && measured.len() == term1.len() && measured.len() == term2.len(),
+        "bad fit inputs"
+    );
+    let dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
+    let (a11, a12, a22) = (dot(term1, term1), dot(term1, term2), dot(term2, term2));
+    let (b1, b2) = (dot(term1, measured), dot(term2, measured));
+    let det = a11 * a22 - a12 * a12;
+    let (mut c1, mut c2) = if det.abs() > 1e-12 {
+        ((b1 * a22 - b2 * a12) / det, (b2 * a11 - b1 * a12) / det)
+    } else {
+        (b1 / a11.max(1e-12), 0.0)
+    };
+    if c1 < 0.0 {
+        c1 = 0.0;
+        c2 = b2 / a22.max(1e-12);
+    }
+    if c2 < 0.0 {
+        c2 = 0.0;
+        c1 = b1 / a11.max(1e-12);
+    }
+    let resid = measured
+        .iter()
+        .zip(term1.iter().zip(term2))
+        .map(|(&m, (&t1, &t2))| {
+            let p = c1 * t1 + c2 * t2;
+            ((m - p) / m.max(1e-12)).abs()
+        })
+        .fold(0.0f64, f64::max);
+    (c1, c2, resid)
+}
+
+/// Least-squares slope of `ln y` on `ln x` — the measured scaling
+/// exponent, used to verify e.g. the quadratic-in-b speedup of Theorem
+/// 2.3 and the T² speedup of Theorem 2.4.
+///
+/// # Panics
+/// Panics on fewer than two points or non-positive data.
+pub fn loglog_slope(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    assert!(xs.len() >= 2, "need at least two points");
+    let lx: Vec<f64> = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0);
+            x.ln()
+        })
+        .collect();
+    let ly: Vec<f64> = ys
+        .iter()
+        .map(|&y| {
+            assert!(y > 0.0);
+            y.ln()
+        })
+        .collect();
+    let mx = lx.iter().sum::<f64>() / lx.len() as f64;
+    let my = ly.iter().sum::<f64>() / ly.len() as f64;
+    let num: f64 = lx.iter().zip(&ly).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let den: f64 = lx.iter().map(|x| (x - mx) * (x - mx)).sum();
+    num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_positive_and_ordered() {
+        let (n, k, d, b) = (128, 128, 8, 8);
+        assert!(tf_bound(n, k, d, b, 1) > 0.0);
+        // With b = d = log n the coding bound beats forwarding by ~log n.
+        let ratio = tf_bound(n, k, d, b, 1) / nc_bound(n, k, d, b);
+        assert!(ratio > 2.0, "coding should win at b=d=log n (ratio {ratio})");
+    }
+
+    #[test]
+    fn tf_bound_scales_linearly_in_b_and_t() {
+        let f1 = tf_bound(100, 100, 8, 8, 1) - 100.0;
+        let f2 = tf_bound(100, 100, 8, 16, 1) - 100.0;
+        assert!((f1 / f2 - 2.0).abs() < 1e-9);
+        let g2 = tf_bound(100, 100, 8, 8, 2) - 100.0;
+        assert!((f1 / g2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_bound_scales_quadratically_in_b() {
+        let dom1 = greedy_forward_bound(1_000_000, 1_000_000, 8, 8)
+            - 1_000_000.0 * 8.0;
+        let dom2 = greedy_forward_bound(1_000_000, 1_000_000, 8, 16)
+            - 1_000_000.0 * 16.0;
+        assert!((dom1 / dom2 - 4.0).abs() < 1e-6, "quadratic in b");
+    }
+
+    #[test]
+    fn fit_constant_recovers_scale_and_spread() {
+        let predicted = vec![10.0, 20.0, 40.0];
+        let measured: Vec<f64> = predicted.iter().map(|p| 3.0 * p).collect();
+        let (c, spread) = fit_constant(&measured, &predicted);
+        assert!((c - 3.0).abs() < 1e-9);
+        assert!((spread - 1.0).abs() < 1e-9);
+        let noisy = vec![30.0, 66.0, 108.0];
+        let (_, spread2) = fit_constant(&noisy, &predicted);
+        assert!(spread2 > 1.0 && spread2 < 1.3);
+    }
+
+    #[test]
+    fn two_term_fit_recovers_planted_constants() {
+        let t1 = vec![100.0, 25.0, 6.25, 1.5625];
+        let t2 = vec![1.0, 2.0, 4.0, 8.0];
+        let measured: Vec<f64> = t1
+            .iter()
+            .zip(&t2)
+            .map(|(&a, &b)| 3.0 * a + 7.0 * b)
+            .collect();
+        let (c1, c2, resid) = fit_two_terms(&measured, &t1, &t2);
+        assert!((c1 - 3.0).abs() < 1e-9, "c1 = {c1}");
+        assert!((c2 - 7.0).abs() < 1e-9, "c2 = {c2}");
+        assert!(resid < 1e-9);
+    }
+
+    #[test]
+    fn two_term_fit_clamps_negatives() {
+        // Data explained by term2 alone; term1 anti-correlated.
+        let t1 = vec![8.0, 4.0, 2.0];
+        let t2 = vec![1.0, 2.0, 4.0];
+        let measured = vec![2.1, 4.2, 8.1];
+        let (c1, _c2, _) = fit_two_terms(&measured, &t1, &t2);
+        assert!(c1 >= 0.0);
+    }
+
+    #[test]
+    fn loglog_slope_detects_exponents() {
+        let xs = vec![2.0, 4.0, 8.0, 16.0];
+        let quad: Vec<f64> = xs.iter().map(|x| 5.0 * x * x).collect();
+        assert!((loglog_slope(&xs, &quad) - 2.0).abs() < 1e-9);
+        let lin: Vec<f64> = xs.iter().map(|x| 7.0 * x).collect();
+        assert!((loglog_slope(&xs, &lin) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tstable_bound_improves_then_saturates() {
+        // The three-term minimum of Theorem 2.4: for moderate T the nkd
+        // term shrinks ~T²; for huge T the additive terms dominate and
+        // the bound stops improving.
+        // The quadratic regime needs kd/b ≫ T⁴ for the leading term: at
+        // n = 2^20, T = 1 → 4 improves ≈ 15× (close to T² = 16). Note the
+        // three-term minimum is *not* monotone in T — each term's
+        // additive part grows — which E3 observes empirically too.
+        let (n, k, d, b) = (1 << 20, 1 << 20, 20, 20);
+        let t1 = nc_tstable_bound(n, k, d, b, 1);
+        let t4 = nc_tstable_bound(n, k, d, b, 4);
+        assert!(
+            t4 < t1 / 8.0,
+            "near-quadratic improvement expected in the dominant regime: {t1} -> {t4}"
+        );
+        let t_huge = nc_tstable_bound(n, k, d, b, 1 << 16);
+        assert!(t_huge >= n as f64, "additive terms keep the bound ≥ n");
+    }
+
+    #[test]
+    fn paper_vs_implemented_priority_bounds_differ_by_a_log() {
+        let (n, k, d, b) = (1024, 1024, 11, 128);
+        let ours = priority_forward_bound(n, k, d, b);
+        let paper = priority_forward_paper_bound(n, k, d, b);
+        let ratio = ours / paper;
+        assert!(
+            (ratio - lg(n)).abs() < 1e-9,
+            "implemented variant costs exactly one extra log factor"
+        );
+    }
+
+    #[test]
+    fn det_tstable_bound_shrinks_with_sqrt_bt() {
+        let a = det_tstable_bound(4096, 4096, 16, 4) - 4096.0;
+        let b = det_tstable_bound(4096, 4096, 16, 16) - 4096.0;
+        // min{k, n/T} also changes; at these values k > n/T for both, so
+        // the improvement combines 1/√(bT) and n/T factors.
+        assert!(b < a / 2.0, "larger T must help: {a} -> {b}");
+    }
+
+    #[test]
+    fn gather_bound_caps_at_k() {
+        assert_eq!(gather_bound(16, 8, 1024), 16.0);
+        let m = gather_bound(1024, 8, 8);
+        assert!((m - 32.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,237 @@
+//! Topology generators: the building blocks every adversary draws from.
+//!
+//! All generators return *connected* graphs (the KLO model's standing
+//! requirement) for `n >= 1`.
+
+use crate::graph::{Graph, NodeId};
+use rand::{Rng, RngExt};
+
+/// The path 0 - 1 - … - (n-1).
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::empty(n);
+    for i in 1..n {
+        g.add_edge(i - 1, i);
+    }
+    g
+}
+
+/// A path visiting the nodes in the given order.
+///
+/// # Panics
+/// Panics if `order` is not a permutation of `0..n` (detected via duplicate
+/// edges or out-of-range nodes for malformed input).
+pub fn path_with_order(order: &[NodeId]) -> Graph {
+    let mut g = Graph::empty(order.len());
+    for w in order.windows(2) {
+        g.add_edge(w[0], w[1]);
+    }
+    g
+}
+
+/// The cycle on `n >= 3` nodes.
+///
+/// # Panics
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs n >= 3");
+    let mut g = path(n);
+    g.add_edge(n - 1, 0);
+    g
+}
+
+/// The star with the given center.
+///
+/// # Panics
+/// Panics if `center >= n`.
+pub fn star(n: usize, center: NodeId) -> Graph {
+    assert!(center < n, "center out of range");
+    let mut g = Graph::empty(n);
+    for v in 0..n {
+        if v != center {
+            g.add_edge(center, v);
+        }
+    }
+    g
+}
+
+/// The complete graph K_n.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::empty(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            g.add_edge(u, v);
+        }
+    }
+    g
+}
+
+/// A uniformly random labelled spanning tree (random Prüfer-like
+/// attachment: node `i` attaches to a uniform earlier node under a random
+/// relabelling — every node sequence is equally likely up to the
+/// relabelling, giving well-spread random trees).
+pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
+    let mut g = Graph::empty(n);
+    if n <= 1 {
+        return g;
+    }
+    let order = random_permutation(n, rng);
+    for i in 1..n {
+        let j = rng.random_range(0..i);
+        g.add_edge(order[i], order[j]);
+    }
+    g
+}
+
+/// A random connected graph: a random spanning tree plus `extra_edges`
+/// additional distinct random edges (fewer if the graph saturates).
+pub fn random_connected<R: Rng + ?Sized>(n: usize, extra_edges: usize, rng: &mut R) -> Graph {
+    let mut g = random_tree(n, rng);
+    let max_edges = n * (n.saturating_sub(1)) / 2;
+    let target = (g.num_edges() + extra_edges).min(max_edges);
+    let mut attempts = 0;
+    while g.num_edges() < target && attempts < 100 * (target + 1) {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u != v && !g.has_edge(u, v) {
+            g.add_edge(u, v);
+        }
+        attempts += 1;
+    }
+    g
+}
+
+/// A dumbbell: two cliques of ⌈n/2⌉ and ⌊n/2⌋ nodes joined by one bridge
+/// edge `(bridge_a, bridge_b)` where `bridge_a` is in the first clique and
+/// `bridge_b` in the second.
+///
+/// # Panics
+/// Panics if `n < 2` or the bridge endpoints fall in the wrong halves.
+pub fn dumbbell(n: usize, bridge_a: NodeId, bridge_b: NodeId) -> Graph {
+    assert!(n >= 2, "dumbbell needs n >= 2");
+    let half = n.div_ceil(2);
+    assert!(bridge_a < half, "bridge_a must lie in the first clique");
+    assert!((half..n).contains(&bridge_b), "bridge_b must lie in the second clique");
+    let mut g = Graph::empty(n);
+    for u in 0..half {
+        for v in u + 1..half {
+            g.add_edge(u, v);
+        }
+    }
+    for u in half..n {
+        for v in u + 1..n {
+            g.add_edge(u, v);
+        }
+    }
+    g.add_edge(bridge_a, bridge_b);
+    g
+}
+
+/// An `rows × cols` grid graph.
+///
+/// # Panics
+/// Panics if either dimension is zero.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut g = Graph::empty(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = r * cols + c;
+            if c + 1 < cols {
+                g.add_edge(id, id + 1);
+            }
+            if r + 1 < rows {
+                g.add_edge(id, id + cols);
+            }
+        }
+    }
+    g
+}
+
+/// A uniformly random permutation of `0..n` (Fisher–Yates).
+pub fn random_permutation<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<NodeId> {
+    let mut p: Vec<NodeId> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        p.swap(i, j);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn all_generators_produce_connected_graphs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 3, 5, 16, 33] {
+            assert!(path(n).is_connected(), "path({n})");
+            if n >= 3 {
+                assert!(cycle(n).is_connected(), "cycle({n})");
+            }
+            assert!(star(n, 0).is_connected(), "star({n})");
+            assert!(complete(n).is_connected(), "complete({n})");
+            assert!(random_tree(n, &mut rng).is_connected(), "tree({n})");
+            assert!(
+                random_connected(n, n, &mut rng).is_connected(),
+                "random_connected({n})"
+            );
+            if n >= 2 {
+                let half = n.div_ceil(2);
+                assert!(dumbbell(n, 0, half).is_connected(), "dumbbell({n})");
+            }
+        }
+        assert!(grid(4, 7).is_connected());
+    }
+
+    #[test]
+    fn edge_counts() {
+        assert_eq!(path(10).num_edges(), 9);
+        assert_eq!(cycle(10).num_edges(), 10);
+        assert_eq!(star(10, 3).num_edges(), 9);
+        assert_eq!(complete(10).num_edges(), 45);
+        assert_eq!(grid(3, 4).num_edges(), 3 * 3 + 2 * 4);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(random_tree(20, &mut rng).num_edges(), 19);
+        let g = random_connected(20, 10, &mut rng);
+        assert_eq!(g.num_edges(), 29);
+    }
+
+    #[test]
+    fn path_with_order_follows_order() {
+        let g = path_with_order(&[2, 0, 1, 3]);
+        assert!(g.has_edge(2, 0));
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 3));
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn star_diameter_is_two() {
+        assert_eq!(star(8, 2).diameter(), 2);
+    }
+
+    #[test]
+    fn dumbbell_diameter_is_three() {
+        assert_eq!(dumbbell(10, 0, 5).diameter(), 3);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [0, 1, 2, 17] {
+            let mut p = random_permutation(n, &mut rng);
+            p.sort_unstable();
+            assert_eq!(p, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn random_trees_vary() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = random_tree(30, &mut rng);
+        let b = random_tree(30, &mut rng);
+        assert_ne!(a.edges(), b.edges(), "two random trees should differ");
+    }
+}

@@ -1,0 +1,294 @@
+//! Maximal independent sets and the Section 8.1 patch decomposition.
+//!
+//! The T-stable algorithms partition each (temporarily static) topology
+//! into connected *patches* of size Ω(D) and diameter O(D) by taking a
+//! maximal independent set S of the power graph G^D and assigning every
+//! node to its closest S-vertex. The paper runs Luby's permutation
+//! algorithm distributedly in O(D log n) rounds; we compute the same
+//! object on the committed topology and let the caller charge those
+//! rounds (see DESIGN.md, substitution table).
+//!
+//! For the deterministic variants (Theorem 2.5) the paper invokes the
+//! Panconesi–Srinivasan 2^O(√log n)-round MIS; its *output* is any valid
+//! MIS, which [`greedy_mis`] supplies deterministically.
+
+use crate::graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Luby's algorithm: repeatedly draw random priorities, add local maxima
+/// to the MIS, deactivate their neighborhoods.
+///
+/// Returns the indicator vector of the MIS.
+pub fn luby_mis(g: &Graph, rng: &mut StdRng) -> Vec<bool> {
+    let n = g.num_nodes();
+    let mut in_mis = vec![false; n];
+    let mut active: Vec<bool> = vec![true; n];
+    let mut remaining = n;
+    while remaining > 0 {
+        // Random priorities; ties broken by node id (ids are unique).
+        let prio: Vec<u64> = (0..n).map(|_| rng.random()).collect();
+        let key = |u: usize| (prio[u], u);
+        let winners: Vec<NodeId> = (0..n)
+            .filter(|&u| {
+                active[u]
+                    && g.neighbors(u)
+                        .iter()
+                        .all(|&v| !active[v] || key(v) < key(u))
+            })
+            .collect();
+        for &u in &winners {
+            in_mis[u] = true;
+            if active[u] {
+                active[u] = false;
+                remaining -= 1;
+            }
+            for &v in g.neighbors(u) {
+                if active[v] {
+                    active[v] = false;
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    in_mis
+}
+
+/// A deterministic MIS: scan nodes in id order, greedily adding any node
+/// with no selected neighbor. Stands in for the output of the
+/// deterministic distributed MIS of Panconesi–Srinivasan (the paper only
+/// consumes the MIS itself plus its round cost, which callers charge as
+/// `MIS(n) = 2^O(√log n)` per DESIGN.md).
+pub fn greedy_mis(g: &Graph) -> Vec<bool> {
+    let n = g.num_nodes();
+    let mut in_mis = vec![false; n];
+    for u in 0..n {
+        if !g.neighbors(u).iter().any(|&v| in_mis[v]) {
+            in_mis[u] = true;
+        }
+    }
+    in_mis
+}
+
+/// Verifies the MIS properties; used in tests and debug assertions.
+pub fn is_valid_mis(g: &Graph, in_mis: &[bool]) -> bool {
+    let n = g.num_nodes();
+    // Independence.
+    for u in 0..n {
+        if in_mis[u] && g.neighbors(u).iter().any(|&v| in_mis[v]) {
+            return false;
+        }
+    }
+    // Maximality.
+    for u in 0..n {
+        if !in_mis[u] && !g.neighbors(u).iter().any(|&v| in_mis[v]) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The Section 8.1 patch decomposition of a (stable-window) topology.
+#[derive(Clone, Debug)]
+pub struct Patching {
+    /// Patch index of every node.
+    pub patch_of: Vec<usize>,
+    /// The leader (MIS vertex in G^D) of each patch.
+    pub leaders: Vec<NodeId>,
+    /// Parent toward the leader in the patch's shortest-path tree
+    /// (`None` for leaders).
+    pub parent: Vec<Option<NodeId>>,
+    /// Depth of each node in its patch tree (leader = 0).
+    pub depth: Vec<usize>,
+    /// Children lists of the patch trees.
+    pub children: Vec<Vec<NodeId>>,
+}
+
+impl Patching {
+    /// Number of patches.
+    pub fn num_patches(&self) -> usize {
+        self.leaders.len()
+    }
+
+    /// Nodes of the given patch.
+    pub fn members(&self, patch: usize) -> Vec<NodeId> {
+        (0..self.patch_of.len())
+            .filter(|&u| self.patch_of[u] == patch)
+            .collect()
+    }
+
+    /// The maximum tree depth over all patches.
+    pub fn max_depth(&self) -> usize {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Computes the patch decomposition with parameter `d` (≈ D in the paper):
+/// an MIS of G^d (Luby with `rng`, greedy when `rng` is `None`), then a
+/// Voronoi assignment of every node to its closest leader, ties broken by
+/// leader rank so that the assignment is ancestor-closed and each patch is
+/// connected.
+///
+/// # Panics
+/// Panics if `g` is disconnected or empty.
+pub fn patch_decomposition(g: &Graph, d: usize, rng: Option<&mut StdRng>) -> Patching {
+    let n = g.num_nodes();
+    assert!(n > 0, "patching an empty graph");
+    assert!(g.is_connected(), "patching requires a connected graph");
+    let power = g.power(d.max(1));
+    let in_mis = match rng {
+        Some(r) => luby_mis(&power, r),
+        None => greedy_mis(&power),
+    };
+    debug_assert!(is_valid_mis(&power, &in_mis));
+    let leaders: Vec<NodeId> = (0..n).filter(|&u| in_mis[u]).collect();
+
+    // Multi-source BFS with lexicographic keys (dist, leader_rank): if a
+    // node adopts (dist, L) through neighbor p, then p's key is
+    // (dist-1, L), so following parents stays within the same patch and
+    // the patch is connected.
+    let mut dist = vec![usize::MAX; n];
+    let mut patch_of = vec![usize::MAX; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut heap = std::collections::BinaryHeap::new();
+    for (rank, &l) in leaders.iter().enumerate() {
+        dist[l] = 0;
+        patch_of[l] = rank;
+        heap.push(std::cmp::Reverse((0usize, rank, l)));
+    }
+    while let Some(std::cmp::Reverse((du, ru, u))) = heap.pop() {
+        if (du, ru) != (dist[u], patch_of[u]) {
+            continue; // stale entry
+        }
+        for &v in g.neighbors(u) {
+            if (du + 1, ru) < (dist[v], patch_of[v]) {
+                dist[v] = du + 1;
+                patch_of[v] = ru;
+                parent[v] = Some(u);
+                heap.push(std::cmp::Reverse((du + 1, ru, v)));
+            }
+        }
+    }
+
+    let mut children = vec![Vec::new(); n];
+    for v in 0..n {
+        if let Some(p) = parent[v] {
+            children[p].push(v);
+        }
+    }
+    Patching { patch_of, leaders, parent, depth: dist, children }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::SeedableRng;
+
+    #[test]
+    fn luby_produces_valid_mis() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 5, 20, 60] {
+            for g in [
+                generators::path(n),
+                generators::complete(n),
+                generators::random_connected(n, n / 2, &mut rng),
+            ] {
+                let mis = luby_mis(&g, &mut rng);
+                assert!(is_valid_mis(&g, &mis), "luby failed on n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_produces_valid_mis() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [1usize, 2, 5, 20, 60] {
+            let g = generators::random_connected(n, n, &mut rng);
+            assert!(is_valid_mis(&g, &greedy_mis(&g)));
+        }
+        // Greedy on a path picks alternating nodes starting at 0.
+        let p = generators::path(5);
+        assert_eq!(greedy_mis(&p), vec![true, false, true, false, true]);
+    }
+
+    #[test]
+    fn mis_of_complete_graph_is_single_vertex() {
+        let g = generators::complete(9);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(luby_mis(&g, &mut rng).iter().filter(|&&b| b).count(), 1);
+        assert_eq!(greedy_mis(&g).iter().filter(|&&b| b).count(), 1);
+    }
+
+    fn check_patching(g: &Graph, d: usize, p: &Patching) {
+        let n = g.num_nodes();
+        // Every node assigned; leaders are their own patch roots.
+        for u in 0..n {
+            assert!(p.patch_of[u] < p.num_patches());
+        }
+        for (rank, &l) in p.leaders.iter().enumerate() {
+            assert_eq!(p.patch_of[l], rank);
+            assert_eq!(p.depth[l], 0);
+            assert_eq!(p.parent[l], None);
+        }
+        // Depth bound: every node within distance d of its leader
+        // (maximality of the MIS in G^d).
+        assert!(p.max_depth() <= d, "depth {} > D={d}", p.max_depth());
+        // Parents stay in the same patch with depth - 1: patches connected.
+        for u in 0..n {
+            if let Some(par) = p.parent[u] {
+                assert_eq!(p.patch_of[par], p.patch_of[u]);
+                assert_eq!(p.depth[par] + 1, p.depth[u]);
+                assert!(g.has_edge(par, u));
+            }
+        }
+        // Leaders pairwise further than d apart in g (independence in G^d).
+        for (i, &a) in p.leaders.iter().enumerate() {
+            let dist = g.bfs_distances(a);
+            for &b in &p.leaders[i + 1..] {
+                assert!(dist[b] > d, "leaders {a},{b} at distance {} <= D={d}", dist[b]);
+            }
+        }
+    }
+
+    #[test]
+    fn patch_decomposition_invariants_hold() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for n in [1usize, 4, 12, 40, 80] {
+            for d in [1usize, 2, 4] {
+                let g = generators::random_connected(n, n / 3, &mut rng);
+                let p = patch_decomposition(&g, d, Some(&mut rng));
+                check_patching(&g, d, &p);
+                let p2 = patch_decomposition(&g, d, None);
+                check_patching(&g, d, &p2);
+            }
+        }
+    }
+
+    #[test]
+    fn path_patches_have_size_at_least_half_d() {
+        // On a long path every patch must contain ≥ D/2 nodes (paper §8.1,
+        // point 3) except possibly boundary effects; with n ≫ D all
+        // interior patches satisfy it. We check the average size.
+        let g = generators::path(100);
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = 6;
+        let p = patch_decomposition(&g, d, Some(&mut rng));
+        let avg = 100.0 / p.num_patches() as f64;
+        assert!(avg >= d as f64 / 2.0, "average patch size {avg} < D/2");
+    }
+
+    #[test]
+    fn children_are_inverse_of_parent() {
+        let g = generators::grid(6, 6);
+        let p = patch_decomposition(&g, 3, None);
+        for u in 0..36 {
+            for &c in &p.children[u] {
+                assert_eq!(p.parent[c], Some(u));
+            }
+            if let Some(par) = p.parent[u] {
+                assert!(p.children[par].contains(&u));
+            }
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! The round-synchronous simulation engine for the KLO dynamic network
+//! model (Section 4.1).
+//!
+//! Round structure, exactly as in the model:
+//!
+//! 1. The adversary observes node state (a [`KnowledgeView`]) and commits a
+//!    **connected** topology for the round.
+//! 2. Every node chooses an O(b)-bit message *without knowing its
+//!    neighbors* (the compose step receives no topology information).
+//! 3. Every node receives the messages of all its neighbors in the
+//!    committed graph (anonymous broadcast).
+//!
+//! The simulator meters every message in bits and can enforce a hard
+//! per-message budget, which is how the paper's "messages of size O(b)"
+//! accounting is kept honest (Section 3 stresses that the coding-header
+//! overhead must be paid inside the message).
+
+use crate::adversary::{Adversary, KnowledgeView};
+use crate::graph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A protocol running on the dynamic network: per-node message generation
+/// and delivery plus introspection for termination and adversaries.
+///
+/// # Contract
+///
+/// * [`compose`](Protocol::compose) and [`deliver`](Protocol::deliver) are
+///   invoked once per node per round; implementations must only read/write
+///   state belonging to the given node (plus immutable shared config), so
+///   that delivery order is immaterial — the model is simultaneous.
+/// * `compose` must not depend on the current round's topology (nodes do
+///   not know their neighbors when they speak).
+/// * [`round_end`](Protocol::round_end) runs after all deliveries of a
+///   round and may advance *globally known* phase counters (legitimate
+///   because phase schedules depend only on the round number and public
+///   parameters n, k, b, d, T).
+pub trait Protocol {
+    /// The message type broadcast by nodes.
+    type Message: Clone;
+
+    /// Number of nodes n.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of tokens k being disseminated (for views/stats).
+    fn num_tokens(&self) -> usize;
+
+    /// Node `node` chooses its broadcast for `round`; `None` means silence.
+    fn compose(&mut self, node: NodeId, round: usize, rng: &mut StdRng)
+        -> Option<Self::Message>;
+
+    /// The size of `msg` on the wire, in bits.
+    fn message_bits(&self, msg: &Self::Message) -> u64;
+
+    /// Node `node` receives the round's neighbor messages.
+    fn deliver(&mut self, node: NodeId, inbox: &[Self::Message], round: usize, rng: &mut StdRng);
+
+    /// Has `node` locally terminated (it knows all k tokens and may stop)?
+    fn node_done(&self, node: NodeId) -> bool;
+
+    /// A snapshot of per-node knowledge for the adversary and statistics.
+    fn view(&self) -> KnowledgeView;
+
+    /// Global end-of-round hook (phase counters); defaults to a no-op.
+    fn round_end(&mut self, _round: usize, _rng: &mut StdRng) {}
+}
+
+/// Simulator configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Abort (incomplete) after this many rounds.
+    pub max_rounds: usize,
+    /// If set, panic when any message exceeds this many bits — the strict
+    /// O(b) accounting mode.
+    pub bit_limit: Option<u64>,
+    /// Record a per-round history (costs memory on long runs).
+    pub record_history: bool,
+}
+
+impl SimConfig {
+    /// A config with the given round cap, permissive bits, no history.
+    pub fn with_max_rounds(max_rounds: usize) -> Self {
+        SimConfig { max_rounds, bit_limit: None, record_history: false }
+    }
+
+    /// Enables the strict per-message bit limit.
+    pub fn strict_bits(mut self, limit: u64) -> Self {
+        self.bit_limit = Some(limit);
+        self
+    }
+
+    /// Enables per-round history recording.
+    pub fn recording(mut self) -> Self {
+        self.record_history = true;
+        self
+    }
+}
+
+/// One row of the per-round history.
+#[derive(Clone, Debug)]
+pub struct RoundRecord {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Edges in the round's topology.
+    pub edges: usize,
+    /// Bits broadcast this round (sum over nodes; a broadcast is charged
+    /// once regardless of the number of receivers, as in the model).
+    pub bits: u64,
+    /// Minimum per-node knowledge scalar.
+    pub min_dim: usize,
+    /// Maximum per-node knowledge scalar.
+    pub max_dim: usize,
+    /// Total decodable tokens summed over nodes.
+    pub total_tokens: usize,
+    /// Nodes that have locally terminated.
+    pub done: usize,
+}
+
+/// The outcome of a run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Rounds executed (= rounds until global termination if `completed`).
+    pub rounds: usize,
+    /// Did every node terminate within the round cap?
+    pub completed: bool,
+    /// Total broadcast bits across the run.
+    pub total_bits: u64,
+    /// The largest single message observed, in bits.
+    pub max_message_bits: u64,
+    /// Adversary name, for reports.
+    pub adversary: String,
+    /// Optional per-round history.
+    pub history: Vec<RoundRecord>,
+}
+
+/// Runs `protocol` against `adversary` from `seed` until every node is
+/// done or `config.max_rounds` elapse.
+///
+/// # Panics
+/// Panics if the adversary produces a disconnected or wrongly-sized graph,
+/// or (in strict mode) if a message exceeds the bit limit.
+pub fn run<P: Protocol>(
+    protocol: &mut P,
+    adversary: &mut dyn Adversary,
+    config: &SimConfig,
+    seed: u64,
+) -> RunResult {
+    let n = protocol.num_nodes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut total_bits = 0u64;
+    let mut max_message_bits = 0u64;
+    let mut history = Vec::new();
+
+    let all_done = |p: &P| (0..n).all(|u| p.node_done(u));
+
+    let mut round = 0usize;
+    let mut completed = all_done(protocol);
+    while !completed && round < config.max_rounds {
+        // 1. Adversary commits a topology from the current state.
+        let view = protocol.view();
+        let graph = adversary.topology(round, &view, &mut rng);
+        assert_eq!(
+            graph.num_nodes(),
+            n,
+            "adversary {} produced a graph of the wrong size",
+            adversary.name()
+        );
+        assert!(
+            graph.is_connected(),
+            "adversary {} produced a disconnected graph at round {round}",
+            adversary.name()
+        );
+
+        // 2. Nodes speak, neighbor-blind.
+        let mut round_bits = 0u64;
+        let messages: Vec<Option<P::Message>> = (0..n)
+            .map(|u| {
+                let msg = protocol.compose(u, round, &mut rng);
+                if let Some(m) = &msg {
+                    let bits = protocol.message_bits(m);
+                    if let Some(limit) = config.bit_limit {
+                        assert!(
+                            bits <= limit,
+                            "node {u} exceeded the message budget at round {round}: \
+                             {bits} > {limit} bits"
+                        );
+                    }
+                    round_bits += bits;
+                    max_message_bits = max_message_bits.max(bits);
+                }
+                msg
+            })
+            .collect();
+        total_bits += round_bits;
+
+        // 3. Anonymous broadcast delivery.
+        for u in 0..n {
+            let inbox: Vec<P::Message> = graph
+                .neighbors(u)
+                .iter()
+                .filter_map(|&v| messages[v].clone())
+                .collect();
+            protocol.deliver(u, &inbox, round, &mut rng);
+        }
+        protocol.round_end(round, &mut rng);
+
+        if config.record_history {
+            let v = protocol.view();
+            history.push(RoundRecord {
+                round,
+                edges: graph.num_edges(),
+                bits: round_bits,
+                min_dim: v.dims.iter().copied().min().unwrap_or(0),
+                max_dim: v.dims.iter().copied().max().unwrap_or(0),
+                total_tokens: v.tokens.iter().map(|t| t.len()).sum(),
+                done: v.done.iter().filter(|&&d| d).count(),
+            });
+        }
+
+        round += 1;
+        completed = all_done(protocol);
+    }
+
+    RunResult {
+        rounds: round,
+        completed,
+        total_bits,
+        max_message_bits,
+        adversary: adversary.name(),
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversaries::{RandomConnectedAdversary, ShuffledPathAdversary};
+    use crate::bitset::BitSet;
+
+    /// A toy protocol: node 0 holds a flag; every node repeats the flag
+    /// once it has heard it. Terminates when everyone has it. This is
+    /// 1-token flooding, so it must finish within the dynamic-flooding
+    /// bound of n-1 rounds.
+    struct Flood {
+        n: usize,
+        has: Vec<bool>,
+    }
+
+    impl Flood {
+        fn new(n: usize) -> Self {
+            let mut has = vec![false; n];
+            has[0] = true;
+            Flood { n, has }
+        }
+    }
+
+    impl Protocol for Flood {
+        type Message = ();
+
+        fn num_nodes(&self) -> usize {
+            self.n
+        }
+
+        fn num_tokens(&self) -> usize {
+            1
+        }
+
+        fn compose(&mut self, node: NodeId, _round: usize, _rng: &mut StdRng) -> Option<()> {
+            self.has[node].then_some(())
+        }
+
+        fn message_bits(&self, _msg: &()) -> u64 {
+            1
+        }
+
+        fn deliver(&mut self, node: NodeId, inbox: &[()], _round: usize, _rng: &mut StdRng) {
+            if !inbox.is_empty() {
+                self.has[node] = true;
+            }
+        }
+
+        fn node_done(&self, node: NodeId) -> bool {
+            self.has[node]
+        }
+
+        fn view(&self) -> KnowledgeView {
+            KnowledgeView {
+                tokens: self
+                    .has
+                    .iter()
+                    .map(|&h| {
+                        let mut s = BitSet::new(1);
+                        if h {
+                            s.insert(0);
+                        }
+                        s
+                    })
+                    .collect(),
+                dims: self.has.iter().map(|&h| h as usize).collect(),
+                done: self.has.clone(),
+            }
+        }
+    }
+
+    #[test]
+    fn flooding_completes_within_n_rounds_under_any_adversary() {
+        for n in [2usize, 5, 20, 50] {
+            for seed in 0..3u64 {
+                let mut p = Flood::new(n);
+                let mut adv = ShuffledPathAdversary;
+                let cfg = SimConfig::with_max_rounds(2 * n);
+                let r = run(&mut p, &mut adv, &cfg, seed);
+                assert!(r.completed, "n={n} seed={seed}");
+                // Connectivity guarantees ≥1 new node informed per round.
+                assert!(r.rounds < n, "n={n}: took {} rounds", r.rounds);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_accounting_sums_broadcasts() {
+        let mut p = Flood::new(4);
+        let mut adv = RandomConnectedAdversary::new(0);
+        let cfg = SimConfig::with_max_rounds(10).recording();
+        let r = run(&mut p, &mut adv, &cfg, 1);
+        assert!(r.completed);
+        assert_eq!(r.max_message_bits, 1);
+        // Each round, each informed node speaks 1 bit.
+        let hist_bits: u64 = r.history.iter().map(|h| h.bits).sum();
+        assert_eq!(hist_bits, r.total_bits);
+        assert!(r.total_bits >= (r.rounds as u64), "at least node 0 speaks");
+        // History dims are monotone in the number of informed nodes.
+        for w in r.history.windows(2) {
+            assert!(w[1].total_tokens >= w[0].total_tokens);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded the message budget")]
+    fn strict_bits_enforced() {
+        struct Fat;
+        impl Protocol for Fat {
+            type Message = ();
+            fn num_nodes(&self) -> usize {
+                2
+            }
+            fn num_tokens(&self) -> usize {
+                1
+            }
+            fn compose(&mut self, _n: NodeId, _r: usize, _g: &mut StdRng) -> Option<()> {
+                Some(())
+            }
+            fn message_bits(&self, _m: &()) -> u64 {
+                100
+            }
+            fn deliver(&mut self, _n: NodeId, _i: &[()], _r: usize, _g: &mut StdRng) {}
+            fn node_done(&self, _n: NodeId) -> bool {
+                false
+            }
+            fn view(&self) -> KnowledgeView {
+                KnowledgeView::blank(2, 1)
+            }
+        }
+        let mut p = Fat;
+        let mut adv = RandomConnectedAdversary::new(0);
+        let cfg = SimConfig::with_max_rounds(5).strict_bits(64);
+        run(&mut p, &mut adv, &cfg, 0);
+    }
+
+    #[test]
+    fn incomplete_run_reports_round_cap() {
+        struct Silent;
+        impl Protocol for Silent {
+            type Message = ();
+            fn num_nodes(&self) -> usize {
+                3
+            }
+            fn num_tokens(&self) -> usize {
+                1
+            }
+            fn compose(&mut self, _n: NodeId, _r: usize, _g: &mut StdRng) -> Option<()> {
+                None
+            }
+            fn message_bits(&self, _m: &()) -> u64 {
+                0
+            }
+            fn deliver(&mut self, _n: NodeId, _i: &[()], _r: usize, _g: &mut StdRng) {}
+            fn node_done(&self, _n: NodeId) -> bool {
+                false
+            }
+            fn view(&self) -> KnowledgeView {
+                KnowledgeView::blank(3, 1)
+            }
+        }
+        let mut p = Silent;
+        let mut adv = RandomConnectedAdversary::new(0);
+        let r = run(&mut p, &mut adv, &SimConfig::with_max_rounds(7), 0);
+        assert!(!r.completed);
+        assert_eq!(r.rounds, 7);
+        assert_eq!(r.total_bits, 0);
+    }
+
+    #[test]
+    fn already_done_protocol_takes_zero_rounds() {
+        let mut p = Flood::new(1);
+        let mut adv = RandomConnectedAdversary::new(0);
+        let r = run(&mut p, &mut adv, &SimConfig::with_max_rounds(5), 0);
+        assert!(r.completed);
+        assert_eq!(r.rounds, 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Topology trace recording and replay.
+//!
+//! Deterministic replays make adversarial schedules reproducible across
+//! protocols: record the topologies one protocol saw, then run another
+//! protocol against the identical schedule (useful for paired comparisons
+//! and for the omniscient-adversary experiments, where a schedule is
+//! searched for offline and then replayed).
+
+use crate::adversary::{Adversary, KnowledgeView};
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A shared, growable topology trace.
+pub type SharedTrace = Rc<RefCell<Vec<Graph>>>;
+
+/// Wraps an adversary, recording every topology it emits.
+pub struct RecordingAdversary<A> {
+    inner: A,
+    trace: SharedTrace,
+}
+
+impl<A: Adversary> RecordingAdversary<A> {
+    /// Wraps `inner`; returns the wrapper and a handle to the trace being
+    /// recorded.
+    pub fn new(inner: A) -> (Self, SharedTrace) {
+        let trace: SharedTrace = Rc::new(RefCell::new(Vec::new()));
+        (RecordingAdversary { inner, trace: trace.clone() }, trace)
+    }
+}
+
+impl<A: Adversary> Adversary for RecordingAdversary<A> {
+    fn name(&self) -> String {
+        format!("recorded({})", self.inner.name())
+    }
+
+    fn topology(&mut self, round: usize, view: &KnowledgeView, rng: &mut StdRng) -> Graph {
+        let g = self.inner.topology(round, view, rng);
+        self.trace.borrow_mut().push(g.clone());
+        g
+    }
+}
+
+/// Replays a fixed topology sequence; past the end it cycles (so longer
+/// protocols can still run against the recorded schedule).
+pub struct ReplayAdversary {
+    trace: Vec<Graph>,
+}
+
+impl ReplayAdversary {
+    /// Replays `trace`.
+    ///
+    /// # Panics
+    /// Panics if `trace` is empty.
+    pub fn new(trace: Vec<Graph>) -> Self {
+        assert!(!trace.is_empty(), "cannot replay an empty trace");
+        ReplayAdversary { trace }
+    }
+
+    /// Replays a previously recorded shared trace.
+    ///
+    /// # Panics
+    /// Panics if the trace is empty.
+    pub fn from_shared(trace: &SharedTrace) -> Self {
+        ReplayAdversary::new(trace.borrow().clone())
+    }
+
+    /// The recorded length.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Is the trace empty? (Never true for constructed values.)
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+}
+
+impl Adversary for ReplayAdversary {
+    fn name(&self) -> String {
+        format!("replay({} rounds)", self.trace.len())
+    }
+
+    fn topology(&mut self, round: usize, _view: &KnowledgeView, _rng: &mut StdRng) -> Graph {
+        self.trace[round % self.trace.len()].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversaries::ShuffledPathAdversary;
+    use rand::SeedableRng;
+
+    #[test]
+    fn record_then_replay_reproduces_topologies() {
+        let (mut rec, trace) = RecordingAdversary::new(ShuffledPathAdversary);
+        let view = KnowledgeView::blank(10, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let originals: Vec<Graph> =
+            (0..6).map(|r| rec.topology(r, &view, &mut rng)).collect();
+        assert_eq!(trace.borrow().len(), 6);
+
+        let mut replay = ReplayAdversary::from_shared(&trace);
+        let mut rng2 = StdRng::seed_from_u64(999); // replay ignores rng
+        for (r, g) in originals.iter().enumerate() {
+            assert_eq!(&replay.topology(r, &view, &mut rng2), g);
+        }
+        // Cycles past the end.
+        assert_eq!(&replay.topology(6, &view, &mut rng2), &originals[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_replay_rejected() {
+        let _ = ReplayAdversary::new(Vec::new());
+    }
+}

@@ -1,0 +1,107 @@
+//! GF(2), the binary field — the paper's default coding field.
+//!
+//! Section 5.1: "For most of this paper one can choose q = 2, i.e., take the
+//! natural token representation as a bit sequence of length d′ = d and
+//! replace linear combinations by XORs." This type is the *element-wise*
+//! representation used by the generic linear algebra; the protocol hot path
+//! uses the bit-packed [`crate::Gf2Vec`] instead.
+
+use crate::field::Field;
+use rand::{Rng, RngExt};
+
+/// An element of GF(2): 0 or 1. Addition is XOR, multiplication is AND.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Gf2(u8);
+
+impl Gf2 {
+    /// Builds an element from a boolean.
+    pub fn from_bool(b: bool) -> Self {
+        Gf2(b as u8)
+    }
+
+    /// Returns the element as a boolean.
+    pub fn as_bool(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl core::fmt::Debug for Gf2 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Field for Gf2 {
+    const ZERO: Self = Gf2(0);
+    const ONE: Self = Gf2(1);
+
+    fn order() -> u128 {
+        2
+    }
+
+    fn add(self, rhs: Self) -> Self {
+        Gf2(self.0 ^ rhs.0)
+    }
+
+    fn sub(self, rhs: Self) -> Self {
+        // Characteristic 2: subtraction and addition coincide.
+        self.add(rhs)
+    }
+
+    fn neg(self) -> Self {
+        self
+    }
+
+    fn mul(self, rhs: Self) -> Self {
+        Gf2(self.0 & rhs.0)
+    }
+
+    fn inv(self) -> Option<Self> {
+        if self.0 == 1 {
+            Some(self)
+        } else {
+            None
+        }
+    }
+
+    fn from_u64(x: u64) -> Self {
+        Gf2((x & 1) as u8)
+    }
+
+    fn to_u64(self) -> u64 {
+        self.0 as u64
+    }
+
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Gf2::from_bool(rng.random())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_tables() {
+        let (z, o) = (Gf2::ZERO, Gf2::ONE);
+        assert_eq!(z.add(z), z);
+        assert_eq!(z.add(o), o);
+        assert_eq!(o.add(o), z);
+        assert_eq!(o.mul(o), o);
+        assert_eq!(o.mul(z), z);
+        assert_eq!(o.inv(), Some(o));
+        assert_eq!(z.inv(), None);
+    }
+
+    #[test]
+    fn from_u64_reduces_mod_2() {
+        assert_eq!(Gf2::from_u64(17), Gf2::ONE);
+        assert_eq!(Gf2::from_u64(42), Gf2::ZERO);
+    }
+
+    #[test]
+    fn bool_round_trip() {
+        assert!(Gf2::from_bool(true).as_bool());
+        assert!(!Gf2::from_bool(false).as_bool());
+    }
+}

@@ -1,0 +1,164 @@
+//! GF(2^8) with the AES reduction polynomial x^8 + x^4 + x^3 + x + 1.
+//!
+//! This is the field practical RLNC systems use: one byte per symbol keeps
+//! the coefficient header at `k` bytes and makes the per-hop "sensing"
+//! failure probability 1/q = 1/256 (Lemma 5.2) negligible. Multiplication
+//! uses compile-time generated log/antilog tables over the generator 3.
+
+use crate::field::Field;
+use rand::{Rng, RngExt};
+
+/// The AES reduction polynomial (degree-8 part implied by the shift loop).
+const POLY: u16 = 0x11b;
+
+/// Carry-less multiplication modulo `POLY`, usable in const contexts.
+const fn mul_slow(a: u8, b: u8) -> u8 {
+    let mut a = a as u16;
+    let mut b = b as u16;
+    let mut p: u16 = 0;
+    let mut i = 0;
+    while i < 8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        b >>= 1;
+        a <<= 1;
+        if a & 0x100 != 0 {
+            a ^= POLY;
+        }
+        i += 1;
+    }
+    p as u8
+}
+
+/// EXP[i] = g^i for the generator g = 3, duplicated so that
+/// `EXP[LOG[a] + LOG[b]]` needs no modular reduction.
+const EXP: [u8; 512] = {
+    let mut exp = [0u8; 512];
+    let mut x: u8 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x;
+        exp[i + 255] = x;
+        x = mul_slow(x, 3);
+        i += 1;
+    }
+    // Pad the tail; indices >= 510 are never produced by LOG[a]+LOG[b].
+    exp[510] = exp[0];
+    exp[511] = exp[1];
+    exp
+};
+
+/// LOG[g^i] = i; LOG[0] is unused (guarded by zero checks).
+const LOG: [u16; 256] = {
+    let mut log = [0u16; 256];
+    let mut x: u8 = 1;
+    let mut i = 0u16;
+    while i < 255 {
+        log[x as usize] = i;
+        x = mul_slow(x, 3);
+        i += 1;
+    }
+    log
+};
+
+/// An element of GF(2^8).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Gf256(pub u8);
+
+impl core::fmt::Debug for Gf256 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:02x}", self.0)
+    }
+}
+
+impl Field for Gf256 {
+    const ZERO: Self = Gf256(0);
+    const ONE: Self = Gf256(1);
+
+    fn order() -> u128 {
+        256
+    }
+
+    fn add(self, rhs: Self) -> Self {
+        Gf256(self.0 ^ rhs.0)
+    }
+
+    fn sub(self, rhs: Self) -> Self {
+        self.add(rhs)
+    }
+
+    fn neg(self) -> Self {
+        self
+    }
+
+    fn mul(self, rhs: Self) -> Self {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf256(0);
+        }
+        Gf256(EXP[LOG[self.0 as usize] as usize + LOG[rhs.0 as usize] as usize])
+    }
+
+    fn inv(self) -> Option<Self> {
+        if self.0 == 0 {
+            return None;
+        }
+        Some(Gf256(EXP[255 - LOG[self.0 as usize] as usize]))
+    }
+
+    fn from_u64(x: u64) -> Self {
+        Gf256((x & 0xff) as u8)
+    }
+
+    fn to_u64(self) -> u64 {
+        self.0 as u64
+    }
+
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Gf256(rng.random())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_mul_matches_slow_mul_exhaustively() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(Gf256(a).mul(Gf256(b)).0, mul_slow(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for a in 1..=255u8 {
+            let inv = Gf256(a).inv().unwrap();
+            assert_eq!(Gf256(a).mul(inv), Gf256::ONE, "a={a}");
+        }
+        assert_eq!(Gf256(0).inv(), None);
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // 3 generates the multiplicative group: its powers hit all 255
+        // nonzero elements.
+        let mut seen = [false; 256];
+        let mut x = Gf256::ONE;
+        for _ in 0..255 {
+            assert!(!seen[x.0 as usize], "generator order < 255");
+            seen[x.0 as usize] = true;
+            x = x.mul(Gf256(3));
+        }
+        assert_eq!(x, Gf256::ONE);
+    }
+
+    #[test]
+    fn known_aes_products() {
+        // Classic AES examples: 0x57 * 0x83 = 0xc1, 0x57 * 0x13 = 0xfe.
+        assert_eq!(Gf256(0x57).mul(Gf256(0x83)), Gf256(0xc1));
+        assert_eq!(Gf256(0x57).mul(Gf256(0x13)), Gf256(0xfe));
+    }
+}

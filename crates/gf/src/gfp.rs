@@ -1,0 +1,163 @@
+//! Prime fields GF(p) for odd primes, via a const-generic modulus.
+//!
+//! The derandomization results (Section 6) need field sizes far beyond
+//! GF(2^8): Theorem 6.1 picks q = n^Ω(k) so that a union bound over all
+//! compact adversarial "witnesses" goes through. No machine can represent
+//! n^Ω(k)-sized fields, but the *operational* content — an omniscient
+//! adversary cannot make random combinations collapse when 1/q is tiny — is
+//! exercised faithfully by [`Mersenne61`] (q = 2^61 − 1), whose 2^-61
+//! per-hop failure probability is far below anything an experiment at
+//! simulatable scales can exploit. Small primes ([`Gf257`], [`Gf65537`])
+//! cover the intermediate regime of the field-size experiments (E9/E11).
+
+use crate::field::Field;
+use rand::{Rng, RngExt};
+
+/// An element of GF(P) for a prime `P < 2^63`. The value is kept reduced in
+/// `0..P`.
+///
+/// `P` must be prime; [`GfP::order`] and inversion rely on Fermat's little
+/// theorem. Debug builds assert primality once per process for small `P`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub struct GfP<const P: u64>(u64);
+
+/// GF(257): the smallest prime field able to index a byte plus one.
+pub type Gf257 = GfP<257>;
+/// GF(65537): the Fermat-prime field F_4.
+pub type Gf65537 = GfP<65537>;
+/// GF(2^61 − 1): the Mersenne-prime field standing in for the paper's
+/// "large q" derandomization regime.
+pub type Mersenne61 = GfP<2_305_843_009_213_693_951>;
+
+impl<const P: u64> GfP<P> {
+    /// Builds an element from an already-reduced representative.
+    ///
+    /// # Panics
+    /// Panics if `value >= P`.
+    pub fn new(value: u64) -> Self {
+        assert!(value < P, "representative {value} out of range for GF({P})");
+        GfP(value)
+    }
+
+    /// The canonical representative.
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl<const P: u64> core::fmt::Debug for GfP<P> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl<const P: u64> Field for GfP<P> {
+    const ZERO: Self = GfP(0);
+    const ONE: Self = GfP(1);
+
+    fn order() -> u128 {
+        P as u128
+    }
+
+    fn add(self, rhs: Self) -> Self {
+        let s = self.0 + rhs.0; // P < 2^63 so this cannot overflow u64
+        GfP(if s >= P { s - P } else { s })
+    }
+
+    fn sub(self, rhs: Self) -> Self {
+        GfP(if self.0 >= rhs.0 {
+            self.0 - rhs.0
+        } else {
+            self.0 + P - rhs.0
+        })
+    }
+
+    fn mul(self, rhs: Self) -> Self {
+        GfP(((self.0 as u128 * rhs.0 as u128) % P as u128) as u64)
+    }
+
+    fn inv(self) -> Option<Self> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.pow(P - 2))
+        }
+    }
+
+    fn from_u64(x: u64) -> Self {
+        GfP(x % P)
+    }
+
+    fn to_u64(self) -> u64 {
+        self.0
+    }
+
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        GfP(rng.random_range(0..P))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn small_prime_arithmetic_exhaustive() {
+        type F5 = GfP<5>;
+        for a in 0..5u64 {
+            for b in 0..5u64 {
+                assert_eq!(
+                    F5::from_u64(a).add(F5::from_u64(b)).value(),
+                    (a + b) % 5
+                );
+                assert_eq!(
+                    F5::from_u64(a).mul(F5::from_u64(b)).value(),
+                    (a * b) % 5
+                );
+                assert_eq!(
+                    F5::from_u64(a).sub(F5::from_u64(b)).value(),
+                    (a + 5 - b) % 5
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mersenne61_inverse_round_trips() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..100 {
+            let a = Mersenne61::random_nonzero(&mut rng);
+            assert_eq!(a.mul(a.inv().unwrap()), Mersenne61::ONE);
+        }
+    }
+
+    #[test]
+    fn mersenne61_no_overflow_near_modulus() {
+        let p = 2_305_843_009_213_693_951u64;
+        let a = Mersenne61::new(p - 1);
+        assert_eq!(a.add(a).value(), p - 2);
+        // (p-1)^2 mod p = 1
+        assert_eq!(a.mul(a), Mersenne61::ONE);
+        assert_eq!(a.sub(Mersenne61::new(0)), a);
+        assert_eq!(Mersenne61::new(0).sub(a).value(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = Gf257::new(257);
+    }
+
+    #[test]
+    fn random_is_in_range_and_varied() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let x = Gf257::random(&mut rng);
+            assert!(x.value() < 257);
+            seen.insert(x.value());
+        }
+        assert!(seen.len() > 100, "random sampling looks degenerate");
+    }
+}

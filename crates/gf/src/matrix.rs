@@ -1,0 +1,302 @@
+//! Dense matrices over any [`Field`] with reduced row-echelon form, rank,
+//! and linear solving — the "Gaussian elimination" the paper's decoding
+//! step uses (Section 5.1: "it can use Gaussian elimination to reconstruct
+//! the v_i, and thus the original tokens").
+
+use crate::field::Field;
+use crate::vector;
+use rand::Rng;
+
+/// A dense row-major matrix over `F`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix<F: Field> {
+    rows: Vec<Vec<F>>,
+    ncols: usize,
+}
+
+impl<F: Field> core::fmt::Debug for Matrix<F> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.nrows(), self.ncols)?;
+        for r in &self.rows {
+            writeln!(f, "  {r:?}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<F: Field> Matrix<F> {
+    /// An empty matrix with the given number of columns.
+    pub fn new(ncols: usize) -> Self {
+        Matrix { rows: Vec::new(), ncols }
+    }
+
+    /// Builds a matrix from rows.
+    ///
+    /// # Panics
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: Vec<Vec<F>>) -> Self {
+        let ncols = rows.first().map_or(0, Vec::len);
+        for r in &rows {
+            assert_eq!(r.len(), ncols, "ragged rows");
+        }
+        Matrix { rows, ncols }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Matrix::from_rows((0..n).map(|i| vector::unit_vec(n, i)).collect())
+    }
+
+    /// A uniformly random matrix.
+    pub fn random<R: Rng + ?Sized>(nrows: usize, ncols: usize, rng: &mut R) -> Self {
+        Matrix {
+            rows: (0..nrows).map(|_| vector::random_vec(ncols, rng)).collect(),
+            ncols,
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Immutable row access.
+    pub fn row(&self, i: usize) -> &[F] {
+        &self.rows[i]
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<F>] {
+        &self.rows
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row length differs from `ncols`.
+    pub fn push_row(&mut self, row: Vec<F>) {
+        assert_eq!(row.len(), self.ncols, "row length mismatch");
+        self.rows.push(row);
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != ncols`.
+    pub fn mul_vec(&self, v: &[F]) -> Vec<F> {
+        assert_eq!(v.len(), self.ncols, "dimension mismatch");
+        self.rows.iter().map(|r| vector::dot(r, v)).collect()
+    }
+
+    /// Matrix-matrix product.
+    ///
+    /// # Panics
+    /// Panics if inner dimensions disagree.
+    pub fn mul(&self, other: &Matrix<F>) -> Matrix<F> {
+        assert_eq!(self.ncols, other.nrows(), "dimension mismatch");
+        let mut out = Matrix::new(other.ncols);
+        for r in &self.rows {
+            let mut row = vec![F::ZERO; other.ncols];
+            for (c, other_row) in r.iter().zip(other.rows()) {
+                vector::scale_add(&mut row, other_row, *c);
+            }
+            out.push_row(row);
+        }
+        out
+    }
+
+    /// Transforms `self` to *reduced* row-echelon form in place and returns
+    /// the pivot column of each (nonzero) row, in order.
+    ///
+    /// Zero rows are removed. After the call, each pivot entry is 1 and is
+    /// the only nonzero entry of its column.
+    pub fn rref(&mut self) -> Vec<usize> {
+        let mut pivots = Vec::new();
+        let mut pivot_row = 0usize;
+        for col in 0..self.ncols {
+            // Find a row at or below pivot_row with a nonzero entry in col.
+            let Some(sel) = (pivot_row..self.rows.len()).find(|&r| !self.rows[r][col].is_zero())
+            else {
+                continue;
+            };
+            self.rows.swap(pivot_row, sel);
+            // Normalize the pivot to 1.
+            let p = self.rows[pivot_row][col];
+            let pinv = p.inv().expect("pivot is nonzero");
+            vector::scale(&mut self.rows[pivot_row], pinv);
+            // Eliminate the column from every other row.
+            let pivot = self.rows[pivot_row].clone();
+            for (r, row) in self.rows.iter_mut().enumerate() {
+                if r != pivot_row && !row[col].is_zero() {
+                    let c = row[col].neg();
+                    vector::scale_add(row, &pivot, c);
+                }
+            }
+            pivots.push(col);
+            pivot_row += 1;
+            if pivot_row == self.rows.len() {
+                break;
+            }
+        }
+        self.rows.truncate(pivot_row);
+        pivots
+    }
+
+    /// The rank of the matrix (leaves `self` unchanged).
+    pub fn rank(&self) -> usize {
+        let mut m = self.clone();
+        m.rref().len()
+    }
+
+    /// Solves `A x = b` for one solution, or `None` if inconsistent.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != nrows`.
+    pub fn solve(&self, b: &[F]) -> Option<Vec<F>> {
+        assert_eq!(b.len(), self.nrows(), "rhs length mismatch");
+        // Augment with b as an extra column and reduce.
+        let mut aug = Matrix::new(self.ncols + 1);
+        for (r, bi) in self.rows.iter().zip(b) {
+            let mut row = r.clone();
+            row.push(*bi);
+            aug.push_row(row);
+        }
+        let pivots = aug.rref();
+        // Inconsistent iff some pivot lies in the augmented column.
+        if pivots.last() == Some(&self.ncols) {
+            return None;
+        }
+        let mut x = vec![F::ZERO; self.ncols];
+        for (row, &p) in aug.rows.iter().zip(&pivots) {
+            x[p] = row[self.ncols];
+        }
+        Some(x)
+    }
+
+    /// The inverse of a square matrix, or `None` if singular.
+    pub fn inverse(&self) -> Option<Matrix<F>> {
+        let n = self.nrows();
+        if n != self.ncols {
+            return None;
+        }
+        let mut aug = Matrix::new(2 * n);
+        for (i, r) in self.rows.iter().enumerate() {
+            let mut row = r.clone();
+            row.extend(vector::unit_vec::<F>(n, i));
+            aug.push_row(row);
+        }
+        let pivots = aug.rref();
+        if pivots.len() < n || pivots[..n] != (0..n).collect::<Vec<_>>()[..] {
+            return None;
+        }
+        let mut out = Matrix::new(n);
+        for r in aug.rows() {
+            out.push_row(r[n..].to_vec());
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gf256, Gf257};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn m257(data: &[&[u64]]) -> Matrix<Gf257> {
+        Matrix::from_rows(
+            data.iter()
+                .map(|r| r.iter().map(|&x| Gf257::from_u64(x)).collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn rref_of_identity_is_identity() {
+        let mut m: Matrix<Gf256> = Matrix::identity(5);
+        let pivots = m.rref();
+        assert_eq!(pivots, vec![0, 1, 2, 3, 4]);
+        assert_eq!(m, Matrix::identity(5));
+    }
+
+    #[test]
+    fn rank_of_dependent_rows() {
+        let m = m257(&[&[1, 2, 3], &[2, 4, 6], &[1, 1, 1]]);
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn rref_produces_cleared_pivot_columns() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..20 {
+            let mut m: Matrix<Gf256> = Matrix::random(6, 9, &mut rng);
+            let pivots = m.rref();
+            for (r, &p) in pivots.iter().enumerate() {
+                assert_eq!(m.row(r)[p], Gf256::ONE);
+                for (r2, row) in m.rows().iter().enumerate() {
+                    if r2 != r {
+                        assert!(row[p].is_zero(), "pivot column {p} not cleared");
+                    }
+                }
+            }
+            // Pivot columns strictly increase.
+            assert!(pivots.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let a: Matrix<Gf257> = Matrix::random(7, 7, &mut rng);
+            let x = crate::vector::random_vec::<Gf257, _>(7, &mut rng);
+            let b = a.mul_vec(&x);
+            let got = a.solve(&b).expect("consistent by construction");
+            // Any solution must reproduce b.
+            assert_eq!(a.mul_vec(&got), b);
+        }
+    }
+
+    #[test]
+    fn solve_detects_inconsistency() {
+        let a = m257(&[&[1, 0], &[1, 0]]);
+        assert!(a.solve(&[Gf257::new(1), Gf257::new(2)]).is_none());
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut found = 0;
+        for _ in 0..20 {
+            let a: Matrix<Gf256> = Matrix::random(5, 5, &mut rng);
+            if let Some(ai) = a.inverse() {
+                assert_eq!(a.mul(&ai), Matrix::identity(5));
+                assert_eq!(ai.mul(&a), Matrix::identity(5));
+                found += 1;
+            }
+        }
+        assert!(found > 10, "random GF(256) matrices should usually be invertible");
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let a = m257(&[&[1, 2], &[2, 4]]);
+        assert!(a.inverse().is_none());
+        let rect = m257(&[&[1, 2, 3]]);
+        assert!(rect.inverse().is_none());
+    }
+
+    #[test]
+    fn mul_is_associative_with_vec() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a: Matrix<Gf256> = Matrix::random(4, 5, &mut rng);
+        let b: Matrix<Gf256> = Matrix::random(5, 3, &mut rng);
+        let v = crate::vector::random_vec::<Gf256, _>(3, &mut rng);
+        assert_eq!(a.mul(&b).mul_vec(&v), a.mul_vec(&b.mul_vec(&v)));
+    }
+}

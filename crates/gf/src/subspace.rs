@@ -1,0 +1,321 @@
+//! An incrementally maintained subspace basis — the per-node state of every
+//! coding node.
+//!
+//! A node's knowledge in the paper is exactly "the subspace spanned by the
+//! received vectors" (Section 5.1; this is what makes the algorithm
+//! *knowledge-based*). [`Subspace`] keeps that span as a reduced
+//! row-echelon basis so that
+//!
+//! * inserting a received vector is O(dim · len) and reports whether the
+//!   vector was **innovative** (a "learning event" in the language of the
+//!   Theorem 6.1 witness argument — the dimension grew);
+//! * membership tests, random combinations, sensing tests (Definition 5.1)
+//!   and prefix decoding are all cheap.
+
+use crate::field::Field;
+use crate::vector;
+use rand::Rng;
+
+/// A subspace of F^len maintained as a basis in reduced row-echelon form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Subspace<F: Field> {
+    /// Basis rows, sorted by strictly increasing pivot index; each pivot is
+    /// 1 and its column is zero in every other row.
+    rows: Vec<Vec<F>>,
+    /// `pivots[i]` is the pivot column of `rows[i]`.
+    pivots: Vec<usize>,
+    len: usize,
+}
+
+impl<F: Field> Subspace<F> {
+    /// The zero subspace of F^len.
+    pub fn new(len: usize) -> Self {
+        Subspace { rows: Vec::new(), pivots: Vec::new(), len }
+    }
+
+    /// Ambient dimension (vector length).
+    pub fn ambient_len(&self) -> usize {
+        self.len
+    }
+
+    /// The dimension of the subspace.
+    pub fn dim(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The basis rows (in RREF, pivots strictly increasing).
+    pub fn basis(&self) -> &[Vec<F>] {
+        &self.rows
+    }
+
+    /// The pivot columns of the basis rows.
+    pub fn pivots(&self) -> &[usize] {
+        &self.pivots
+    }
+
+    /// Reduces `v` against the basis in place; afterwards `v` is zero iff it
+    /// was in the span.
+    fn reduce(&self, v: &mut [F]) {
+        for (row, &p) in self.rows.iter().zip(&self.pivots) {
+            let c = v[p];
+            if !c.is_zero() {
+                vector::scale_add(v, row, c.neg());
+            }
+        }
+    }
+
+    /// Inserts a vector; returns `true` iff it was innovative (the
+    /// dimension increased).
+    ///
+    /// # Panics
+    /// Panics if `v.len()` differs from the ambient length.
+    pub fn insert(&mut self, mut v: Vec<F>) -> bool {
+        assert_eq!(v.len(), self.len, "vector length mismatch");
+        self.reduce(&mut v);
+        let Some(p) = vector::leading_index(&v) else {
+            return false;
+        };
+        // Normalize the new pivot to 1.
+        let inv = v[p].inv().expect("leading entry nonzero");
+        vector::scale(&mut v, inv);
+        // Back-eliminate the new pivot column from existing rows.
+        for row in &mut self.rows {
+            let c = row[p];
+            if !c.is_zero() {
+                vector::scale_add(row, &v, c.neg());
+            }
+        }
+        // Insert keeping pivots sorted.
+        let idx = self.pivots.partition_point(|&q| q < p);
+        self.rows.insert(idx, v);
+        self.pivots.insert(idx, p);
+        true
+    }
+
+    /// Does the span contain `v`?
+    pub fn contains(&self, v: &[F]) -> bool {
+        assert_eq!(v.len(), self.len, "vector length mismatch");
+        let mut w = v.to_vec();
+        self.reduce(&mut w);
+        vector::is_zero(&w)
+    }
+
+    /// A uniformly random vector of the subspace (random coefficients over
+    /// the basis) — the message a coding node emits. `None` if the subspace
+    /// is zero-dimensional.
+    pub fn random_combination<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Vec<F>> {
+        vector::random_combination(&self.rows, self.len, rng)
+    }
+
+    /// Does the node **sense** μ (Definition 5.1): has it received a vector
+    /// whose first `mu.len()` coordinates are not orthogonal to `mu`?
+    ///
+    /// Equivalently (and how we compute it): some basis row's prefix has a
+    /// nonzero inner product with `mu`.
+    pub fn senses(&self, mu: &[F]) -> bool {
+        self.rows
+            .iter()
+            .any(|row| !vector::dot(&row[..mu.len()], mu).is_zero())
+    }
+
+    /// Rank of the projection onto the first `k` coordinates.
+    pub fn prefix_rank(&self, k: usize) -> usize {
+        self.pivots.iter().take_while(|&&p| p < k).count()
+    }
+
+    /// Attempts to decode `k` indexed payloads from vectors of the form
+    /// `[coefficients (k) | payload]`.
+    ///
+    /// Returns `Some(payloads)` — payload `i` corresponding to unit
+    /// coefficient vector e_i — iff the coefficient prefix has full rank
+    /// `k`. In RREF full prefix rank means the first `k` rows restricted to
+    /// the first `k` columns form the identity, so row `i`'s suffix *is*
+    /// payload `i`.
+    pub fn decode(&self, k: usize) -> Option<Vec<Vec<F>>> {
+        if self.prefix_rank(k) < k {
+            return None;
+        }
+        Some(self.rows[..k].iter().map(|r| r[k..].to_vec()).collect())
+    }
+
+    /// Decodes the payloads that are *individually* available: entry `i` is
+    /// `Some(payload_i)` iff some vector with coefficient part exactly e_i
+    /// lies in the span. With the RREF invariant this holds iff row `j`
+    /// with pivot `i` has all other first-`k` coordinates zero.
+    pub fn decode_available(&self, k: usize) -> Vec<Option<Vec<F>>> {
+        let mut out = vec![None; k];
+        for (row, &p) in self.rows.iter().zip(&self.pivots) {
+            if p < k
+                && row[..k]
+                    .iter()
+                    .enumerate()
+                    .all(|(j, c)| j == p || c.is_zero())
+            {
+                out[p] = Some(row[k..].to_vec());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gf256, Gf257};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn insert_reports_innovation_correctly() {
+        let mut s: Subspace<Gf257> = Subspace::new(3);
+        assert!(s.insert(vec![Gf257::new(1), Gf257::new(2), Gf257::new(3)]));
+        assert!(!s.insert(vec![Gf257::new(2), Gf257::new(4), Gf257::new(6)]));
+        assert!(s.insert(vec![Gf257::new(0), Gf257::new(1), Gf257::new(0)]));
+        assert_eq!(s.dim(), 2);
+        assert!(!s.insert(vec![Gf257::new(1), Gf257::new(5), Gf257::new(3)]));
+    }
+
+    #[test]
+    fn zero_vector_is_never_innovative() {
+        let mut s: Subspace<Gf256> = Subspace::new(4);
+        assert!(!s.insert(vec![Gf256::ZERO; 4]));
+        assert_eq!(s.dim(), 0);
+    }
+
+    #[test]
+    fn rref_invariant_maintained() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut s: Subspace<Gf256> = Subspace::new(12);
+        for _ in 0..20 {
+            s.insert(vector::random_vec(12, &mut rng));
+        }
+        // Pivots strictly increasing, pivot entries 1, pivot columns cleared.
+        assert!(s.pivots().windows(2).all(|w| w[0] < w[1]));
+        for (i, (&p, row)) in s.pivots().iter().zip(s.basis()).enumerate() {
+            assert_eq!(row[p], Gf256::ONE);
+            for (j, other) in s.basis().iter().enumerate() {
+                if i != j {
+                    assert!(other[p].is_zero());
+                }
+            }
+            // Entries left of the pivot are zero.
+            assert!(row[..p].iter().all(|c| c.is_zero()));
+        }
+    }
+
+    #[test]
+    fn contains_matches_membership() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let mut s: Subspace<Gf257> = Subspace::new(6);
+        let gens: Vec<Vec<Gf257>> =
+            (0..3).map(|_| vector::random_vec(6, &mut rng)).collect();
+        for g in &gens {
+            s.insert(g.clone());
+        }
+        // Combinations of generators are members.
+        for _ in 0..20 {
+            let c = vector::random_combination(&gens, 6, &mut rng).unwrap();
+            assert!(s.contains(&c));
+        }
+        // A random vector of F^6 is almost surely not in a 3-dim subspace.
+        let mut hits = 0;
+        for _ in 0..50 {
+            if s.contains(&vector::random_vec::<Gf257, _>(6, &mut rng)) {
+                hits += 1;
+            }
+        }
+        assert!(hits <= 2, "3-dim subspace of F_257^6 contains ~2^-24 of space");
+    }
+
+    #[test]
+    fn decode_recovers_indexed_tokens() {
+        let mut rng = StdRng::seed_from_u64(79);
+        let k = 5;
+        let d = 4;
+        let payloads: Vec<Vec<Gf256>> =
+            (0..k).map(|_| vector::random_vec(d, &mut rng)).collect();
+        let sources: Vec<Vec<Gf256>> = (0..k)
+            .map(|i| {
+                let mut v = vector::unit_vec::<Gf256>(k + d, i);
+                v[k..].copy_from_slice(&payloads[i]);
+                v
+            })
+            .collect();
+        // Feed random combinations (as a relay would) until decodable.
+        let mut s: Subspace<Gf256> = Subspace::new(k + d);
+        assert_eq!(s.decode(k), None);
+        for _ in 0..50 {
+            let c = vector::random_combination(&sources, k + d, &mut rng).unwrap();
+            s.insert(c);
+            if s.dim() == k {
+                break;
+            }
+        }
+        assert_eq!(s.decode(k), Some(payloads));
+    }
+
+    #[test]
+    fn decode_available_is_partial() {
+        let k = 3;
+        let d = 2;
+        let mut s: Subspace<Gf257> = Subspace::new(k + d);
+        // Only token 1 present.
+        let mut v = vector::unit_vec::<Gf257>(k + d, 1);
+        v[k] = Gf257::new(9);
+        v[k + 1] = Gf257::new(8);
+        s.insert(v);
+        let avail = s.decode_available(k);
+        assert_eq!(avail[0], None);
+        assert_eq!(avail[1], Some(vec![Gf257::new(9), Gf257::new(8)]));
+        assert_eq!(avail[2], None);
+        assert_eq!(s.decode(k), None);
+    }
+
+    #[test]
+    fn sensing_definition_5_1() {
+        let k = 4;
+        let mut s: Subspace<Gf257> = Subspace::new(k + 1);
+        // Received vector with coefficient part (1, 1, 0, 0).
+        s.insert(vec![
+            Gf257::new(1),
+            Gf257::new(1),
+            Gf257::new(0),
+            Gf257::new(0),
+            Gf257::new(7),
+        ]);
+        // mu = e_0 has dot 1 with the prefix: sensed.
+        assert!(s.senses(&vector::unit_vec::<Gf257>(k, 0)));
+        // mu = (1, 256, 0, 0) has dot 1 + 256 = 0 mod 257: not sensed.
+        assert!(!s.senses(&[
+            Gf257::new(1),
+            Gf257::new(256),
+            Gf257::new(0),
+            Gf257::new(0)
+        ]));
+        // mu = e_2: prefix orthogonal, not sensed.
+        assert!(!s.senses(&vector::unit_vec::<Gf257>(k, 2)));
+    }
+
+    #[test]
+    fn prefix_rank_counts_low_pivots() {
+        let mut s: Subspace<Gf257> = Subspace::new(5);
+        s.insert(vector::unit_vec::<Gf257>(5, 0));
+        s.insert(vector::unit_vec::<Gf257>(5, 4));
+        assert_eq!(s.prefix_rank(3), 1);
+        assert_eq!(s.prefix_rank(5), 2);
+    }
+
+    #[test]
+    fn random_combination_stays_in_span_and_covers_it() {
+        let mut rng = StdRng::seed_from_u64(80);
+        let mut s: Subspace<Gf256> = Subspace::new(8);
+        for _ in 0..3 {
+            s.insert(vector::random_vec(8, &mut rng));
+        }
+        for _ in 0..30 {
+            let c = s.random_combination(&mut rng).unwrap();
+            assert!(s.contains(&c));
+        }
+        let empty: Subspace<Gf256> = Subspace::new(8);
+        assert!(empty.random_combination(&mut rng).is_none());
+    }
+}

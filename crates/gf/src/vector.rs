@@ -1,0 +1,152 @@
+//! Dense vector kernels over any [`Field`]: the axpy/dot/scale primitives
+//! the row-reduction and encoding code is built from.
+
+use crate::field::Field;
+use rand::Rng;
+
+/// `dst += c * src` (the classic axpy kernel).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn scale_add<F: Field>(dst: &mut [F], src: &[F], c: F) {
+    assert_eq!(dst.len(), src.len(), "axpy length mismatch");
+    if c.is_zero() {
+        return;
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = d.add(c.mul(*s));
+    }
+}
+
+/// `dst *= c`.
+pub fn scale<F: Field>(dst: &mut [F], c: F) {
+    for d in dst.iter_mut() {
+        *d = d.mul(c);
+    }
+}
+
+/// The inner product of two vectors.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot<F: Field>(a: &[F], b: &[F]) -> F {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter()
+        .zip(b)
+        .fold(F::ZERO, |acc, (x, y)| acc.add(x.mul(*y)))
+}
+
+/// Index of the first nonzero entry, if any.
+pub fn leading_index<F: Field>(v: &[F]) -> Option<usize> {
+    v.iter().position(|x| !x.is_zero())
+}
+
+/// Is the vector identically zero?
+pub fn is_zero<F: Field>(v: &[F]) -> bool {
+    v.iter().all(|x| x.is_zero())
+}
+
+/// A uniformly random vector of the given length.
+pub fn random_vec<F: Field, R: Rng + ?Sized>(len: usize, rng: &mut R) -> Vec<F> {
+    (0..len).map(|_| F::random(rng)).collect()
+}
+
+/// The `i`-th standard basis vector of the given length.
+///
+/// # Panics
+/// Panics if `i >= len`.
+pub fn unit_vec<F: Field>(len: usize, i: usize) -> Vec<F> {
+    assert!(i < len, "unit vector index {i} out of range {len}");
+    let mut v = vec![F::ZERO; len];
+    v[i] = F::ONE;
+    v
+}
+
+/// A random linear combination `sum_j c_j * rows_j` with uniform
+/// coefficients — the message-generation rule of the paper's coding nodes
+/// (Section 5.1).
+///
+/// Returns `None` when `rows` is empty (a node that has received nothing
+/// stays silent).
+pub fn random_combination<F: Field, R: Rng + ?Sized>(
+    rows: &[Vec<F>],
+    len: usize,
+    rng: &mut R,
+) -> Option<Vec<F>> {
+    if rows.is_empty() {
+        return None;
+    }
+    let mut out = vec![F::ZERO; len];
+    for row in rows {
+        scale_add(&mut out, row, F::random(rng));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gf256, Gf257};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn axpy_basic() {
+        let mut d = vec![Gf257::new(1), Gf257::new(2)];
+        let s = vec![Gf257::new(10), Gf257::new(20)];
+        scale_add(&mut d, &s, Gf257::new(3));
+        assert_eq!(d, vec![Gf257::new(31), Gf257::new(62)]);
+    }
+
+    #[test]
+    fn axpy_zero_coefficient_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut d: Vec<Gf256> = random_vec(16, &mut rng);
+        let before = d.clone();
+        let s: Vec<Gf256> = random_vec(16, &mut rng);
+        scale_add(&mut d, &s, Gf256::ZERO);
+        assert_eq!(d, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_rejects_mismatched_lengths() {
+        let mut d = vec![Gf256::ZERO; 3];
+        scale_add(&mut d, &[Gf256::ONE; 4], Gf256::ONE);
+    }
+
+    #[test]
+    fn dot_with_unit_vector_selects_coordinate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v: Vec<Gf256> = random_vec(8, &mut rng);
+        for i in 0..8 {
+            assert_eq!(dot(&v, &unit_vec(8, i)), v[i]);
+        }
+    }
+
+    #[test]
+    fn leading_index_and_is_zero() {
+        let z = vec![Gf256::ZERO; 4];
+        assert!(is_zero(&z));
+        assert_eq!(leading_index(&z), None);
+        let mut v = z.clone();
+        v[2] = Gf256::ONE;
+        assert!(!is_zero(&v));
+        assert_eq!(leading_index(&v), Some(2));
+    }
+
+    #[test]
+    fn random_combination_lies_in_span() {
+        // Over GF(257), a combination of two fixed rows must keep the third
+        // coordinate (which is zero in both rows) at zero.
+        let rows = vec![
+            vec![Gf257::new(1), Gf257::new(2), Gf257::new(0)],
+            vec![Gf257::new(5), Gf257::new(6), Gf257::new(0)],
+        ];
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..32 {
+            let c = random_combination(&rows, 3, &mut rng).unwrap();
+            assert_eq!(c[2], Gf257::new(0));
+        }
+        assert!(random_combination::<Gf257, _>(&[], 3, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the field and linear-algebra substrate.
+
+use dyncode_gf::{matrix::Matrix, vector, Field, Gf2, Gf256, Gf2Basis, Gf2Vec, Mersenne61, Subspace};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn gf256() -> impl Strategy<Value = Gf256> {
+    any::<u8>().prop_map(|x| Gf256::from_u64(x as u64))
+}
+
+fn m61() -> impl Strategy<Value = Mersenne61> {
+    any::<u64>().prop_map(Mersenne61::from_u64)
+}
+
+proptest! {
+    #[test]
+    fn gf256_axioms(a in gf256(), b in gf256(), c in gf256()) {
+        dyncode_gf::field::assert_field_axioms(a, b, c);
+    }
+
+    #[test]
+    fn mersenne61_axioms(a in m61(), b in m61(), c in m61()) {
+        dyncode_gf::field::assert_field_axioms(a, b, c);
+    }
+
+    #[test]
+    fn gf2_axioms(a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
+        dyncode_gf::field::assert_field_axioms(
+            Gf2::from_bool(a),
+            Gf2::from_bool(b),
+            Gf2::from_bool(c),
+        );
+    }
+
+    #[test]
+    fn subspace_insert_is_monotone_and_idempotent(
+        seed in any::<u64>(),
+        len in 1usize..24,
+        inserts in 1usize..30,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s: Subspace<Gf256> = Subspace::new(len);
+        let mut prev_dim = 0;
+        for _ in 0..inserts {
+            let v = vector::random_vec::<Gf256, _>(len, &mut rng);
+            let was_member = s.contains(&v);
+            let innovative = s.insert(v.clone());
+            // Innovation <=> not previously in the span.
+            prop_assert_eq!(innovative, !was_member);
+            prop_assert!(s.dim() >= prev_dim);
+            prop_assert!(s.dim() <= len);
+            prev_dim = s.dim();
+            // After insertion the vector is always a member.
+            prop_assert!(s.contains(&v));
+            // Re-inserting is never innovative.
+            prop_assert!(!s.insert(v));
+        }
+    }
+
+    #[test]
+    fn packed_and_dense_gf2_agree(
+        seed in any::<u64>(),
+        len in 1usize..80,
+        inserts in 1usize..40,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut packed = Gf2Basis::new(len);
+        let mut dense: Subspace<Gf2> = Subspace::new(len);
+        for _ in 0..inserts {
+            let v = Gf2Vec::random(len, &mut rng);
+            let dv: Vec<Gf2> = (0..len).map(|i| Gf2::from_bool(v.get(i))).collect();
+            prop_assert_eq!(packed.insert(v), dense.insert(dv));
+            prop_assert_eq!(packed.dim(), dense.dim());
+            prop_assert_eq!(packed.pivots(), dense.pivots());
+        }
+    }
+
+    #[test]
+    fn decode_inverts_encode(
+        seed in any::<u64>(),
+        k in 1usize..12,
+        d in 1usize..24,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let payloads: Vec<Gf2Vec> = (0..k).map(|_| Gf2Vec::random(d, &mut rng)).collect();
+        let sources: Vec<Gf2Vec> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Gf2Vec::unit(k, i).concat(p))
+            .collect();
+        let mut basis = Gf2Basis::new(k + d);
+        // Feed random combinations until full coefficient rank; bounded
+        // whp, so a generous cap keeps the test deterministic.
+        let mut guard = 0;
+        while basis.prefix_rank(k) < k {
+            let mut m = Gf2Vec::zeros(k + d);
+            for s in &sources {
+                if rand::RngExt::random(&mut rng) {
+                    m.xor_assign(s);
+                }
+            }
+            basis.insert(m);
+            guard += 1;
+            prop_assert!(guard < 2000, "failed to reach full rank");
+        }
+        prop_assert_eq!(basis.decode(k), Some(payloads));
+    }
+
+    #[test]
+    fn bytes_round_trip(bits in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let v = Gf2Vec::from_bools(&bits);
+        prop_assert_eq!(Gf2Vec::from_bytes(&v.to_bytes(), bits.len()), v);
+    }
+
+    #[test]
+    fn matrix_solve_is_sound(seed in any::<u64>(), n in 1usize..8, m in 1usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Matrix<Gf256> = Matrix::random(n, m, &mut rng);
+        let x = vector::random_vec::<Gf256, _>(m, &mut rng);
+        let b = a.mul_vec(&x);
+        // Solutions exist by construction; any returned solution must
+        // reproduce b exactly.
+        let got = a.solve(&b);
+        prop_assert!(got.is_some());
+        prop_assert_eq!(a.mul_vec(&got.unwrap()), b);
+    }
+
+    #[test]
+    fn rref_rank_never_exceeds_dims(seed in any::<u64>(), n in 1usize..10, m in 1usize..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Matrix<Mersenne61> = Matrix::random(n, m, &mut rng);
+        let r = a.rank();
+        prop_assert!(r <= n.min(m));
+    }
+
+    #[test]
+    fn sensing_respects_orthogonality(
+        seed in any::<u64>(),
+        k in 2usize..16,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // A basis spanning exactly e_0: senses mu iff mu_0 != 0.
+        let mut b = Gf2Basis::new(k);
+        b.insert(Gf2Vec::unit(k, 0));
+        let mu = Gf2Vec::random(k, &mut rng);
+        prop_assert_eq!(b.senses(&mu), mu.get(0));
+    }
+}

@@ -1,0 +1,109 @@
+//! Token blocking: grouping small tokens into larger "meta-tokens".
+//!
+//! Section 7: "they can be grouped into blocks of b/2d tokens, each of
+//! total size b/2, and network coding can be used to disseminate b/2 of
+//! these blocks simultaneously". Blocking is what lets the algorithms pay
+//! one coefficient per *block* instead of per token — the mechanism behind
+//! the quadratic-in-b speedup.
+
+use dyncode_gf::Gf2Vec;
+
+/// Groups `tokens` (each `token_bits` wide) into blocks of `per_block`
+/// tokens, concatenated; the final block is zero-padded.
+///
+/// # Panics
+/// Panics if `per_block == 0`, `tokens` is empty, or some token has the
+/// wrong width.
+pub fn group_tokens(tokens: &[Gf2Vec], token_bits: usize, per_block: usize) -> Vec<Gf2Vec> {
+    assert!(per_block > 0, "blocks must hold at least one token");
+    assert!(!tokens.is_empty(), "no tokens to group");
+    for t in tokens {
+        assert_eq!(t.len(), token_bits, "token width mismatch");
+    }
+    tokens
+        .chunks(per_block)
+        .map(|chunk| {
+            let mut block = Gf2Vec::zeros(per_block * token_bits);
+            for (i, t) in chunk.iter().enumerate() {
+                block.splice(i * token_bits, t);
+            }
+            block
+        })
+        .collect()
+}
+
+/// Splits blocks back into exactly `count` tokens of `token_bits` each
+/// (dropping the final block's padding).
+///
+/// # Panics
+/// Panics if the blocks cannot contain `count` tokens of that width.
+pub fn ungroup_tokens(blocks: &[Gf2Vec], token_bits: usize, count: usize) -> Vec<Gf2Vec> {
+    let per_block = blocks
+        .first()
+        .map(|b| b.len() / token_bits)
+        .expect("no blocks to ungroup");
+    assert!(per_block > 0, "blocks narrower than a token");
+    assert!(
+        blocks.len() * per_block >= count,
+        "blocks hold {} tokens, need {count}",
+        blocks.len() * per_block
+    );
+    (0..count)
+        .map(|i| {
+            let block = &blocks[i / per_block];
+            let off = (i % per_block) * token_bits;
+            block.extract(off, off + token_bits)
+        })
+        .collect()
+}
+
+/// How many tokens of width `token_bits` fit in a block of `block_bits`.
+pub fn tokens_per_block(block_bits: usize, token_bits: usize) -> usize {
+    (block_bits / token_bits).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn group_ungroup_round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for (count, token_bits, per_block) in
+            [(1usize, 8usize, 1usize), (7, 8, 3), (12, 5, 4), (9, 16, 2)]
+        {
+            let tokens: Vec<Gf2Vec> =
+                (0..count).map(|_| Gf2Vec::random(token_bits, &mut rng)).collect();
+            let blocks = group_tokens(&tokens, token_bits, per_block);
+            assert_eq!(blocks.len(), count.div_ceil(per_block));
+            for b in &blocks {
+                assert_eq!(b.len(), per_block * token_bits);
+            }
+            assert_eq!(ungroup_tokens(&blocks, token_bits, count), tokens);
+        }
+    }
+
+    #[test]
+    fn padding_is_zero() {
+        let tokens = vec![Gf2Vec::from_bools(&[true, true])];
+        let blocks = group_tokens(&tokens, 2, 3);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].count_ones(), 2);
+        assert_eq!(blocks[0].len(), 6);
+    }
+
+    #[test]
+    fn tokens_per_block_floors_but_stays_positive() {
+        assert_eq!(tokens_per_block(64, 8), 8);
+        assert_eq!(tokens_per_block(65, 8), 8);
+        assert_eq!(tokens_per_block(4, 8), 1, "degenerate case clamps to 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_rejected() {
+        let tokens = vec![Gf2Vec::zeros(4)];
+        group_tokens(&tokens, 8, 2);
+    }
+}

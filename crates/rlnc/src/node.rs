@@ -1,0 +1,314 @@
+//! Per-node RLNC state: the received-span basis plus the emit/receive/
+//! decode operations of the paper's coding algorithm (Section 5.1).
+//!
+//! "At each round, any node computes a random linear combination of any
+//! vectors received so far (if any) and broadcasts this as a message to
+//! its (unknown) neighbors." The state is *knowledge-based*: everything a
+//! node does depends only on the subspace spanned by what it received.
+
+use crate::packet::{DensePacket, Gf2Packet};
+use dyncode_gf::{vector, Field, Gf2Basis, Gf2Vec, Subspace};
+use rand::Rng;
+
+/// A GF(2) coding node for a fixed generation: `dims` coded indices with
+/// `payload_bits`-bit payloads.
+#[derive(Clone, Debug)]
+pub struct Gf2Node {
+    basis: Gf2Basis,
+    dims: usize,
+    payload_bits: usize,
+}
+
+impl Gf2Node {
+    /// A fresh node that has received nothing.
+    pub fn new(dims: usize, payload_bits: usize) -> Self {
+        Gf2Node { basis: Gf2Basis::new(dims + payload_bits), dims, payload_bits }
+    }
+
+    /// Number of coded dimensions (k in the paper).
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Payload size in bits.
+    pub fn payload_bits(&self) -> usize {
+        self.payload_bits
+    }
+
+    /// The dimension of the received span.
+    pub fn rank(&self) -> usize {
+        self.basis.dim()
+    }
+
+    /// Seeds the node with source index `i` and its payload ("each node
+    /// that initially knows t_i receives this vector before the first
+    /// round").
+    ///
+    /// # Panics
+    /// Panics if the payload width disagrees or `i >= dims`.
+    pub fn seed_source(&mut self, i: usize, payload: &Gf2Vec) {
+        assert!(i < self.dims, "source index out of range");
+        assert_eq!(payload.len(), self.payload_bits, "payload width mismatch");
+        self.basis.insert(Gf2Packet::source(self.dims, i, payload).vec);
+    }
+
+    /// Receives a packet; returns `true` iff it was innovative.
+    ///
+    /// # Panics
+    /// Panics if the packet shape disagrees with this node's generation.
+    pub fn receive(&mut self, packet: &Gf2Packet) -> bool {
+        assert_eq!(packet.dims, self.dims, "generation mismatch");
+        assert_eq!(packet.payload_bits(), self.payload_bits, "payload mismatch");
+        self.basis.insert(packet.vec.clone())
+    }
+
+    /// Emits a uniformly random combination of the received span, or
+    /// `None` if nothing has been received.
+    pub fn emit<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<Gf2Packet> {
+        self.basis
+            .random_combination(rng)
+            .map(|v| Gf2Packet::new(v, self.dims))
+    }
+
+    /// Rank of the coefficient projection (how many of the k dimensions
+    /// are pinned down).
+    pub fn coefficient_rank(&self) -> usize {
+        self.basis.prefix_rank(self.dims)
+    }
+
+    /// Full decode: all `dims` payloads, available iff the coefficient
+    /// projection has full rank.
+    pub fn decode(&self) -> Option<Vec<Gf2Vec>> {
+        self.basis.decode(self.dims)
+    }
+
+    /// Partial decode: the payloads individually pinned down so far.
+    pub fn decode_available(&self) -> Vec<Option<Gf2Vec>> {
+        self.basis.decode_available(self.dims)
+    }
+
+    /// Sensing test (Definition 5.1) against a coefficient-space direction.
+    pub fn senses(&self, mu: &Gf2Vec) -> bool {
+        self.basis.senses(mu)
+    }
+
+    /// Read-only access to the underlying basis.
+    pub fn basis(&self) -> &Gf2Basis {
+        &self.basis
+    }
+}
+
+/// A coding node over an arbitrary field (used by the field-size and
+/// derandomization experiments).
+#[derive(Clone, Debug)]
+pub struct DenseNode<F: Field> {
+    space: Subspace<F>,
+    dims: usize,
+    payload_len: usize,
+}
+
+impl<F: Field> DenseNode<F> {
+    /// A fresh node for `dims` coded indices with `payload_len`-symbol
+    /// payloads.
+    pub fn new(dims: usize, payload_len: usize) -> Self {
+        DenseNode { space: Subspace::new(dims + payload_len), dims, payload_len }
+    }
+
+    /// Number of coded dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Payload length in symbols.
+    pub fn payload_len(&self) -> usize {
+        self.payload_len
+    }
+
+    /// The dimension of the received span.
+    pub fn rank(&self) -> usize {
+        self.space.dim()
+    }
+
+    /// Seeds source `i` with its payload.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn seed_source(&mut self, i: usize, payload: &[F]) {
+        assert_eq!(payload.len(), self.payload_len, "payload width mismatch");
+        self.space
+            .insert(DensePacket::source(self.dims, i, payload).data);
+    }
+
+    /// Receives a packet; returns `true` iff innovative.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn receive(&mut self, packet: &DensePacket<F>) -> bool {
+        assert_eq!(packet.dims, self.dims, "generation mismatch");
+        assert_eq!(packet.payload_len(), self.payload_len, "payload mismatch");
+        self.space.insert(packet.data.clone())
+    }
+
+    /// Emits a random combination with coefficients from `rng`.
+    pub fn emit<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<DensePacket<F>> {
+        self.space
+            .random_combination(rng)
+            .map(|v| DensePacket::new(v, self.dims))
+    }
+
+    /// Emits the combination `sum_j coeffs[j] * basis_j` for externally
+    /// supplied coefficients — the hook used by the *deterministic*
+    /// algorithms of Section 6, where coefficients come from a
+    /// pseudorandom advice schedule instead of fresh coins.
+    ///
+    /// Returns `None` if nothing has been received. Unused trailing
+    /// coefficients are ignored; missing ones default to zero.
+    pub fn emit_with_coefficients(&self, coeffs: &[F]) -> Option<DensePacket<F>> {
+        let basis = self.space.basis();
+        if basis.is_empty() {
+            return None;
+        }
+        let mut out = vec![F::ZERO; self.dims + self.payload_len];
+        for (row, &c) in basis.iter().zip(coeffs) {
+            vector::scale_add(&mut out, row, c);
+        }
+        Some(DensePacket::new(out, self.dims))
+    }
+
+    /// Rank of the coefficient projection.
+    pub fn coefficient_rank(&self) -> usize {
+        self.space.prefix_rank(self.dims)
+    }
+
+    /// Full decode, available iff the coefficient projection has rank
+    /// `dims`.
+    pub fn decode(&self) -> Option<Vec<Vec<F>>> {
+        self.space.decode(self.dims)
+    }
+
+    /// Sensing test against a direction in coefficient space.
+    pub fn senses(&self, mu: &[F]) -> bool {
+        self.space.senses(mu)
+    }
+
+    /// Read-only access to the span.
+    pub fn space(&self) -> &Subspace<F> {
+        &self.space
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyncode_gf::Gf256;
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+    #[test]
+    fn gf2_two_node_relay_decodes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let k = 8;
+        let d = 16;
+        let payloads: Vec<Gf2Vec> = (0..k).map(|_| Gf2Vec::random(d, &mut rng)).collect();
+        let mut src = Gf2Node::new(k, d);
+        for (i, p) in payloads.iter().enumerate() {
+            src.seed_source(i, p);
+        }
+        assert_eq!(src.rank(), k);
+        assert_eq!(src.decode().as_deref(), Some(&payloads[..]));
+
+        // Relay random combinations to a sink until it decodes.
+        let mut sink = Gf2Node::new(k, d);
+        let mut rounds = 0;
+        while sink.decode().is_none() {
+            let pkt = src.emit(&mut rng).unwrap();
+            sink.receive(&pkt);
+            rounds += 1;
+            assert!(rounds < 200, "sink failed to decode");
+        }
+        assert_eq!(sink.decode().unwrap(), payloads);
+        // Over GF(2) each combination is innovative w.p. ~1/2 per missing
+        // dim; decoding in ~2k receptions is the expected regime.
+        assert!(rounds >= k, "cannot decode k dims from fewer than k packets");
+    }
+
+    #[test]
+    fn innovation_reporting_is_exact() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut a = Gf2Node::new(4, 4);
+        a.seed_source(0, &Gf2Vec::random(4, &mut rng));
+        let pkt = a.emit(&mut rng).unwrap();
+        let mut b = Gf2Node::new(4, 4);
+        // Zero combinations are possible over GF(2); only nonzero ones are
+        // innovative for a fresh node.
+        let innovative = b.receive(&pkt);
+        assert_eq!(innovative, !pkt.vec.is_zero());
+        // Receiving the same packet again is never innovative.
+        assert!(!b.receive(&pkt));
+    }
+
+    #[test]
+    fn dense_node_decodes_over_gf256() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (k, m) = (6, 5);
+        let payloads: Vec<Vec<Gf256>> = (0..k)
+            .map(|_| (0..m).map(|_| Gf256::random(&mut rng)).collect())
+            .collect();
+        let mut src: DenseNode<Gf256> = DenseNode::new(k, m);
+        for (i, p) in payloads.iter().enumerate() {
+            src.seed_source(i, p);
+        }
+        let mut sink: DenseNode<Gf256> = DenseNode::new(k, m);
+        let mut receptions = 0;
+        while sink.decode().is_none() {
+            sink.receive(&src.emit(&mut rng).unwrap());
+            receptions += 1;
+            assert!(receptions < 50, "GF(256) should decode in ≈k receptions");
+        }
+        assert_eq!(sink.decode().unwrap(), payloads);
+        // 1 - 1/q innovation probability: k..k+2 receptions typical.
+        assert!(receptions <= k + 3, "took {receptions} receptions");
+    }
+
+    #[test]
+    fn emit_with_coefficients_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut n: DenseNode<Gf256> = DenseNode::new(3, 2);
+        n.seed_source(0, &[Gf256::from_u64(1), Gf256::from_u64(2)]);
+        n.seed_source(1, &[Gf256::from_u64(3), Gf256::from_u64(4)]);
+        let coeffs: Vec<Gf256> = (0..3).map(|_| Gf256::random(&mut rng)).collect();
+        let a = n.emit_with_coefficients(&coeffs).unwrap();
+        let b = n.emit_with_coefficients(&coeffs).unwrap();
+        assert_eq!(a, b, "same coefficients, same packet");
+        let empty: DenseNode<Gf256> = DenseNode::new(3, 2);
+        assert!(empty.emit_with_coefficients(&coeffs).is_none());
+    }
+
+    #[test]
+    fn partial_decode_grows_monotonically() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let k = 6;
+        let mut src = Gf2Node::new(k, 8);
+        let payloads: Vec<Gf2Vec> = (0..k).map(|_| Gf2Vec::random(8, &mut rng)).collect();
+        for (i, p) in payloads.iter().enumerate() {
+            src.seed_source(i, p);
+        }
+        let mut sink = Gf2Node::new(k, 8);
+        let mut prev = 0;
+        for _ in 0..100 {
+            // Mix in occasional direct source packets to create partials.
+            if rng.random_bool(0.3) {
+                let i = rng.random_range(0..k);
+                sink.receive(&Gf2Packet::source(k, i, &payloads[i]));
+            } else {
+                sink.receive(&src.emit(&mut rng).unwrap());
+            }
+            let avail = sink.decode_available().iter().filter(|t| t.is_some()).count();
+            assert!(avail >= prev, "partial decode regressed");
+            prev = avail;
+            if sink.decode().is_some() {
+                break;
+            }
+        }
+        assert_eq!(sink.decode().unwrap(), payloads);
+    }
+}

@@ -1,0 +1,158 @@
+//! Coded packets and their on-the-wire bit accounting.
+//!
+//! A random-linear-network-coding message is `[coefficient header | coded
+//! payload]`. The paper's Section 3 point is that the header — one field
+//! element per coded dimension — is *not* free: with k dimensions over
+//! F_q the header costs k·⌈lg q⌉ bits, which competes with the payload for
+//! the b-bit message budget. Every packet type here computes exactly that
+//! cost, and the simulator enforces it.
+
+use dyncode_gf::{Field, Gf2Vec};
+
+/// A coded packet over GF(2): a single packed bit-vector
+/// `[dims coefficient bits | payload bits]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Gf2Packet {
+    /// The concatenated coefficient + payload vector.
+    pub vec: Gf2Vec,
+    /// The number of leading coordinates that are coefficients.
+    pub dims: usize,
+}
+
+impl Gf2Packet {
+    /// Wraps a vector whose first `dims` coordinates are the coefficient
+    /// header.
+    ///
+    /// # Panics
+    /// Panics if `dims` exceeds the vector length.
+    pub fn new(vec: Gf2Vec, dims: usize) -> Self {
+        assert!(dims <= vec.len(), "header longer than packet");
+        Gf2Packet { vec, dims }
+    }
+
+    /// The source packet for index `i` of `dims`: unit coefficient vector
+    /// e_i followed by the payload.
+    ///
+    /// # Panics
+    /// Panics if `i >= dims`.
+    pub fn source(dims: usize, i: usize, payload: &Gf2Vec) -> Self {
+        Gf2Packet::new(Gf2Vec::unit(dims, i).concat(payload), dims)
+    }
+
+    /// Payload length in bits.
+    pub fn payload_bits(&self) -> usize {
+        self.vec.len() - self.dims
+    }
+
+    /// The coefficient header.
+    pub fn coefficients(&self) -> Gf2Vec {
+        self.vec.extract(0, self.dims)
+    }
+
+    /// The coded payload.
+    pub fn payload(&self) -> Gf2Vec {
+        self.vec.extract(self.dims, self.vec.len())
+    }
+
+    /// On-the-wire size: header bits + payload bits (1 bit/symbol over
+    /// GF(2)).
+    pub fn bit_cost(&self) -> u64 {
+        self.vec.len() as u64
+    }
+}
+
+/// A coded packet over an arbitrary field: `data = [coefficients |
+/// payload]` as field symbols.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DensePacket<F: Field> {
+    /// Concatenated coefficient + payload symbols.
+    pub data: Vec<F>,
+    /// Number of leading coefficient symbols.
+    pub dims: usize,
+}
+
+impl<F: Field> DensePacket<F> {
+    /// Wraps a symbol vector whose first `dims` entries are coefficients.
+    ///
+    /// # Panics
+    /// Panics if `dims` exceeds the data length.
+    pub fn new(data: Vec<F>, dims: usize) -> Self {
+        assert!(dims <= data.len(), "header longer than packet");
+        DensePacket { data, dims }
+    }
+
+    /// The source packet for index `i`: e_i followed by the payload.
+    ///
+    /// # Panics
+    /// Panics if `i >= dims`.
+    pub fn source(dims: usize, i: usize, payload: &[F]) -> Self {
+        assert!(i < dims, "source index out of range");
+        let mut data = vec![F::ZERO; dims];
+        data[i] = F::ONE;
+        data.extend_from_slice(payload);
+        DensePacket { data, dims }
+    }
+
+    /// Payload length in symbols.
+    pub fn payload_len(&self) -> usize {
+        self.data.len() - self.dims
+    }
+
+    /// The coefficient header.
+    pub fn coefficients(&self) -> &[F] {
+        &self.data[..self.dims]
+    }
+
+    /// The coded payload symbols.
+    pub fn payload(&self) -> &[F] {
+        &self.data[self.dims..]
+    }
+
+    /// On-the-wire size: every symbol (header and payload) costs
+    /// ⌈lg q⌉ bits.
+    pub fn bit_cost(&self) -> u64 {
+        self.data.len() as u64 * F::bits_per_symbol() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyncode_gf::{Gf256, Mersenne61};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn gf2_packet_layout() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let payload = Gf2Vec::random(20, &mut rng);
+        let p = Gf2Packet::source(5, 2, &payload);
+        assert_eq!(p.bit_cost(), 25);
+        assert_eq!(p.payload_bits(), 20);
+        assert_eq!(p.payload(), payload);
+        let c = p.coefficients();
+        assert_eq!(c.iter_ones().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn dense_packet_bit_cost_charges_field_width() {
+        let payload = vec![Gf256::from_u64(7); 10];
+        let p = DensePacket::source(4, 0, &payload);
+        assert_eq!(p.bit_cost(), (4 + 10) * 8);
+        let payload61 = vec![Mersenne61::from_u64(7); 10];
+        let p61 = DensePacket::source(4, 0, &payload61);
+        assert_eq!(p61.bit_cost(), (4 + 10) * 61);
+    }
+
+    #[test]
+    fn dense_source_has_unit_header() {
+        let p = DensePacket::source(3, 1, &[Gf256::from_u64(9)]);
+        assert_eq!(p.coefficients(), &[Gf256::ZERO, Gf256::ONE, Gf256::ZERO]);
+        assert_eq!(p.payload(), &[Gf256::from_u64(9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "header longer than packet")]
+    fn oversized_header_rejected() {
+        let _ = Gf2Packet::new(Gf2Vec::zeros(3), 4);
+    }
+}

@@ -1,0 +1,165 @@
+//! The projection ("sensing") analysis of Section 5.3, as measurable
+//! instrumentation.
+//!
+//! Definition 5.1: a node *senses* a coefficient-space direction μ if it
+//! has received a vector whose coefficient part is not orthogonal to μ.
+//! Lemma 5.2: a node that senses μ passes the sense to any recipient of
+//! its random combination with probability ≥ 1 − 1/q. The dissemination
+//! proof tracks, for each μ, how the set of sensing nodes grows; this
+//! module lets experiments watch exactly that process.
+
+use dyncode_gf::{vector, Field, Gf2Vec, Subspace};
+use rand::Rng;
+
+/// Tracks which of a fixed set of GF(2) directions each node senses;
+/// sensing is monotone, so the tracker only ever turns bits on.
+#[derive(Clone, Debug)]
+pub struct SensingTracker {
+    /// `sensed[m][u]`: does node u sense direction m?
+    sensed: Vec<Vec<bool>>,
+    mus: Vec<Gf2Vec>,
+}
+
+impl SensingTracker {
+    /// Tracks `mus` over `n` nodes.
+    pub fn new(n: usize, mus: Vec<Gf2Vec>) -> Self {
+        SensingTracker { sensed: vec![vec![false; n]; mus.len()], mus }
+    }
+
+    /// `count` uniformly random nonzero directions in GF(2)^dims.
+    pub fn random_directions<R: Rng + ?Sized>(
+        n: usize,
+        dims: usize,
+        count: usize,
+        rng: &mut R,
+    ) -> Self {
+        let mus = (0..count)
+            .map(|_| loop {
+                let v = Gf2Vec::random(dims, rng);
+                if !v.is_zero() {
+                    break v;
+                }
+            })
+            .collect();
+        SensingTracker::new(n, mus)
+    }
+
+    /// The tracked directions.
+    pub fn directions(&self) -> &[Gf2Vec] {
+        &self.mus
+    }
+
+    /// Updates node `u` against its current basis via a sensing oracle
+    /// (`senses(mu)`), asserting monotonicity.
+    pub fn observe(&mut self, u: usize, senses: impl Fn(&Gf2Vec) -> bool) {
+        for (row, mu) in self.sensed.iter_mut().zip(&self.mus) {
+            let now = senses(mu);
+            debug_assert!(now || !row[u], "sensing must be monotone");
+            if now {
+                row[u] = true;
+            }
+        }
+    }
+
+    /// How many nodes sense direction `m`?
+    pub fn count(&self, m: usize) -> usize {
+        self.sensed[m].iter().filter(|&&b| b).count()
+    }
+
+    /// The minimum sensing count over all tracked directions — the
+    /// bottleneck the union bound in Lemma 5.3 is about.
+    pub fn min_count(&self) -> usize {
+        (0..self.mus.len()).map(|m| self.count(m)).min().unwrap_or(0)
+    }
+
+    /// Do all nodes sense all tracked directions?
+    pub fn all_sensed(&self) -> bool {
+        self.sensed.iter().all(|row| row.iter().all(|&b| b))
+    }
+}
+
+/// Monte-Carlo estimate of the per-hop sense-transfer probability of
+/// Lemma 5.2 for field `F`: build a random `span_dim`-dimensional subspace
+/// of F^dims that senses a random μ, emit a random combination, and check
+/// whether the recipient senses μ. The lemma asserts the estimate is
+/// ≥ 1 − 1/q (with equality when exactly one basis direction overlaps μ).
+pub fn per_hop_sense_probability<F: Field, R: Rng + ?Sized>(
+    dims: usize,
+    span_dim: usize,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(span_dim >= 1 && span_dim <= dims, "bad span dimension");
+    let mut transfers = 0usize;
+    let mut valid = 0usize;
+    while valid < trials {
+        let mu = loop {
+            let v = vector::random_vec::<F, _>(dims, rng);
+            if !vector::is_zero(&v) {
+                break v;
+            }
+        };
+        let mut space = Subspace::new(dims);
+        while space.dim() < span_dim {
+            space.insert(vector::random_vec::<F, _>(dims, rng));
+        }
+        if !space.senses(&mu) {
+            continue; // precondition of the lemma: the sender senses μ
+        }
+        valid += 1;
+        let msg = space.random_combination(rng).expect("nonempty span");
+        if !vector::dot(&msg[..dims], &mu).is_zero() {
+            transfers += 1;
+        }
+    }
+    transfers as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyncode_gf::{Gf2, Gf256, Gf257};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn lemma_5_2_gf2_probability_at_least_half() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = per_hop_sense_probability::<Gf2, _>(12, 4, 3000, &mut rng);
+        assert!(p >= 0.5 - 0.03, "GF(2) transfer probability {p} < 1 - 1/2");
+    }
+
+    #[test]
+    fn lemma_5_2_gf256_probability_near_one() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = per_hop_sense_probability::<Gf256, _>(12, 4, 2000, &mut rng);
+        assert!(p >= 1.0 - 1.0 / 256.0 - 0.01, "GF(256) transfer probability {p}");
+    }
+
+    #[test]
+    fn lemma_5_2_gf257_probability_near_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = per_hop_sense_probability::<Gf257, _>(10, 3, 2000, &mut rng);
+        assert!(p >= 1.0 - 1.0 / 257.0 - 0.01);
+    }
+
+    #[test]
+    fn tracker_counts_and_monotonicity() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let dims = 8;
+        let mut tracker = SensingTracker::random_directions(3, dims, 10, &mut rng);
+        assert_eq!(tracker.min_count(), 0);
+        // Node 0 gets a full basis: it senses every nonzero direction.
+        let mut basis = dyncode_gf::Gf2Basis::new(dims);
+        for i in 0..dims {
+            basis.insert(Gf2Vec::unit(dims, i));
+        }
+        tracker.observe(0, |mu| basis.senses(mu));
+        for m in 0..10 {
+            assert_eq!(tracker.count(m), 1);
+        }
+        assert!(!tracker.all_sensed());
+        // Observing again does not regress.
+        tracker.observe(0, |mu| basis.senses(mu));
+        assert_eq!(tracker.min_count(), 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! T-stability: how much does a slower-changing network help?
+//!
+//! Theorem 2.1 (tight for knowledge-based forwarding): a factor-T speedup.
+//! Theorem 2.4: network coding extracts a factor-T² via the Section 8
+//! patch algorithm (share-pass-share over Luby-MIS patches of G^D).
+//!
+//! This example sweeps T on one instance and prints forwarding
+//! (pipelined, factor T) next to the patch algorithm's charged rounds
+//! alongside the theory shapes.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example tstable_pipeline
+//! ```
+
+use dyncode::core::protocols::patch::{patch_dissemination, PatchParams};
+use dyncode::prelude::*;
+use dyncode_dynet::adversaries::ShuffledPathAdversary;
+
+fn main() {
+    let params = Params::new(64, 64, 8, 8);
+    let instance = Instance::generate(params, Placement::OneTokenPerNode, 3);
+    println!(
+        "T-stable dissemination, n={} k={} d={} b={}\n",
+        params.n, params.k, params.d, params.b
+    );
+    println!(
+        "{:>4} {:>18} {:>18} {:>14} {:>14}",
+        "T", "forwarding rounds", "patch rounds", "tf bound", "nc bound"
+    );
+
+    for t in [1usize, 2, 4, 8, 16, 32] {
+        // Token forwarding with T-window pipelining.
+        let mut fwd = if t == 1 {
+            TokenForwarding::baseline(&instance)
+        } else {
+            TokenForwarding::pipelined(&instance, t)
+        };
+        let mut adv = TStable::new(ShuffledPathAdversary, t);
+        let rf = run(&mut fwd, &mut adv, &SimConfig::with_max_rounds(5_000_000), 9);
+        assert!(rf.completed && fully_disseminated(&fwd), "forwarding T={t}");
+
+        // The patch algorithm (charged-round meta simulation, §8).
+        let pp = PatchParams::new(params.n, t, params.b);
+        let mut adv2 = ShuffledPathAdversary;
+        let rp = patch_dissemination(&instance, pp, &mut adv2, 9, 50_000_000);
+        assert!(rp.completed, "patch T={t}");
+
+        println!(
+            "{t:>4} {:>18} {:>18} {:>14.0} {:>14.0}",
+            rf.rounds,
+            rp.charged_rounds,
+            theory::tf_bound(params.n, params.k, params.d, params.b, t),
+            theory::nc_tstable_bound(params.n, params.k, params.d, params.b, t),
+        );
+    }
+
+    println!(
+        "\nforwarding improves ≈ linearly in T; the patch algorithm's trend follows\n\
+         the Theorem 2.4 three-term minimum (T² on the nkd term until the\n\
+         additive nT·log²n term takes over — visible as the flattening tail)."
+    );
+}

@@ -1,0 +1,129 @@
+//! Cross-crate integration: every dissemination protocol delivers the
+//! exact token set to every node, against every adversary family, across
+//! seeds and placements.
+
+use dyncode::prelude::*;
+use dyncode_dynet::adversaries::standard_suite;
+
+fn check<P: Protocol>(mut proto: P, adv: &mut dyn Adversary, cap: usize, seed: u64) -> usize {
+    let r = run(&mut proto, adv, &SimConfig::with_max_rounds(cap), seed);
+    assert!(r.completed, "protocol failed under {} (seed {seed})", adv.name());
+    assert!(
+        fully_disseminated(&proto),
+        "incomplete dissemination under {} (seed {seed})",
+        adv.name()
+    );
+    r.rounds
+}
+
+#[test]
+fn all_protocols_all_adversaries_one_token_per_node() {
+    let params = Params::new(14, 14, 6, 12);
+    let inst = Instance::generate(params, Placement::OneTokenPerNode, 5);
+    for seed in [1u64, 2] {
+        for adv in &mut standard_suite() {
+            check(TokenForwarding::baseline(&inst), adv.as_mut(), 100_000, seed);
+            check(GreedyForward::new(&inst), adv.as_mut(), 200_000, seed);
+            check(PriorityForward::new(&inst), adv.as_mut(), 200_000, seed);
+            check(NaiveCoded::new(&inst), adv.as_mut(), 200_000, seed);
+            check(IndexedBroadcast::new(&inst), adv.as_mut(), 50_000, seed);
+            check(Centralized::new(&inst), adv.as_mut(), 50_000, seed);
+        }
+    }
+}
+
+#[test]
+fn skewed_placements_disseminate() {
+    let params = Params::new(12, 12, 6, 12);
+    for placement in [Placement::AllAtNode(5), Placement::Clustered(3)] {
+        let inst = Instance::generate(params, placement, 9);
+        for adv in &mut standard_suite() {
+            check(TokenForwarding::baseline(&inst), adv.as_mut(), 100_000, 3);
+            check(GreedyForward::new(&inst), adv.as_mut(), 200_000, 3);
+            check(PriorityForward::new(&inst), adv.as_mut(), 200_000, 3);
+            check(IndexedBroadcast::new(&inst), adv.as_mut(), 50_000, 3);
+            check(Centralized::new(&inst), adv.as_mut(), 50_000, 3);
+        }
+    }
+}
+
+#[test]
+fn fewer_tokens_than_nodes() {
+    let params = Params::new(16, 5, 6, 12);
+    let inst = Instance::generate(params, Placement::RoundRobin, 4);
+    for adv in &mut standard_suite() {
+        check(TokenForwarding::baseline(&inst), adv.as_mut(), 50_000, 8);
+        check(GreedyForward::new(&inst), adv.as_mut(), 100_000, 8);
+        check(IndexedBroadcast::new(&inst), adv.as_mut(), 20_000, 8);
+    }
+}
+
+#[test]
+fn t_stable_wrapping_preserves_correctness() {
+    let params = Params::new(12, 12, 6, 12);
+    let inst = Instance::generate(params, Placement::OneTokenPerNode, 6);
+    for t in [2usize, 5, 11] {
+        let mut adv = TStable::new(
+            dyncode_dynet::adversaries::ShuffledPathAdversary,
+            t,
+        );
+        check(TokenForwarding::pipelined(&inst, t), &mut adv, 100_000, 2);
+        let mut adv2 = TStable::new(
+            dyncode_dynet::adversaries::ShuffledPathAdversary,
+            t,
+        );
+        check(GreedyForward::new(&inst), &mut adv2, 200_000, 2);
+    }
+}
+
+#[test]
+fn t_interval_connectivity_preserves_correctness() {
+    // The KLO stability notion (stable spanning tree + churn): every
+    // protocol must still disseminate — connectivity is all they assume.
+    let params = Params::new(12, 12, 6, 12);
+    let inst = Instance::generate(params, Placement::OneTokenPerNode, 10);
+    for t in [2usize, 6] {
+        let mut adv = dyncode_dynet::adversaries::TIntervalAdversary::new(t, 3);
+        check(TokenForwarding::baseline(&inst), &mut adv, 100_000, 4);
+        let mut adv2 = dyncode_dynet::adversaries::TIntervalAdversary::new(t, 3);
+        check(GreedyForward::new(&inst), &mut adv2, 200_000, 4);
+        let mut adv3 = dyncode_dynet::adversaries::TIntervalAdversary::new(t, 3);
+        check(IndexedBroadcast::new(&inst), &mut adv3, 50_000, 4);
+    }
+}
+
+#[test]
+fn recorded_history_tracks_monotone_progress() {
+    let params = Params::new(10, 10, 5, 10);
+    let inst = Instance::generate(params, Placement::OneTokenPerNode, 11);
+    let mut proto = IndexedBroadcast::new(&inst);
+    let mut adv = dyncode_dynet::adversaries::ShuffledPathAdversary;
+    let r = run(
+        &mut proto,
+        &mut adv,
+        &SimConfig::with_max_rounds(10_000).recording(),
+        6,
+    );
+    assert!(r.completed);
+    assert_eq!(r.history.len(), r.rounds);
+    for w in r.history.windows(2) {
+        assert!(w[1].min_dim >= w[0].min_dim, "rank must be monotone");
+        assert!(w[1].done >= w[0].done, "done count must be monotone");
+    }
+    assert_eq!(r.history.last().unwrap().done, params.n);
+    let bits: u64 = r.history.iter().map(|h| h.bits).sum();
+    assert_eq!(bits, r.total_bits);
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_runs() {
+    let params = Params::new(10, 10, 5, 10);
+    let inst = Instance::generate(params, Placement::OneTokenPerNode, 7);
+    let rounds: Vec<usize> = (0..2)
+        .map(|_| {
+            let mut adv = dyncode_dynet::adversaries::RandomConnectedAdversary::new(2);
+            check(GreedyForward::new(&inst), &mut adv, 200_000, 77)
+        })
+        .collect();
+    assert_eq!(rounds[0], rounds[1], "same seed must reproduce the run");
+}

@@ -1,0 +1,134 @@
+//! Integration checks of the model's contracts: bit budgets under strict
+//! accounting, adversary validation, and the Lemma 5.3 / Corollary 2.6
+//! shape guarantees at integration scale.
+
+use dyncode::prelude::*;
+use dyncode_dynet::adversaries::{RandomConnectedAdversary, ShuffledPathAdversary};
+use dyncode_dynet::adversary::KnowledgeView;
+use dyncode_dynet::Graph;
+use rand::rngs::StdRng;
+
+#[test]
+fn every_protocol_respects_a_2b_message_budget() {
+    // The paper allows O(b)-bit messages; all our protocols stay within
+    // 2b (coded messages carry header + payload). Strict mode panics on
+    // violation, so completing is the assertion.
+    let params = Params::new(12, 12, 5, 15);
+    let inst = Instance::generate(params, Placement::OneTokenPerNode, 3);
+    let budget = 2 * params.b as u64;
+    macro_rules! strict_run {
+        ($proto:expr, $cap:expr) => {{
+            let mut p = $proto;
+            let mut adv = ShuffledPathAdversary;
+            let r = run(
+                &mut p,
+                &mut adv,
+                &SimConfig::with_max_rounds($cap).strict_bits(budget),
+                5,
+            );
+            assert!(r.completed);
+            assert!(r.max_message_bits <= budget);
+        }};
+    }
+    strict_run!(TokenForwarding::baseline(&inst), 50_000);
+    strict_run!(GreedyForward::new(&inst), 100_000);
+    strict_run!(PriorityForward::new(&inst), 100_000);
+    strict_run!(NaiveCoded::new(&inst), 100_000);
+    strict_run!(Centralized::new(&inst), 20_000);
+    // Indexed broadcast's wire is k + d bits by Lemma 5.3 (its own budget).
+    let mut p = IndexedBroadcast::new(&inst);
+    let wire = p.wire_bits();
+    let mut adv = ShuffledPathAdversary;
+    let r = run(
+        &mut p,
+        &mut adv,
+        &SimConfig::with_max_rounds(20_000).strict_bits(wire),
+        5,
+    );
+    assert!(r.completed);
+}
+
+#[test]
+fn indexed_broadcast_scales_as_n_plus_k() {
+    // Lemma 5.3 shape: rounds/(n + k) bounded across sizes.
+    let mut ratios = Vec::new();
+    for (n, k) in [(8usize, 8usize), (16, 16), (32, 32), (32, 8)] {
+        let params = Params::new(n, k, 6, 64);
+        let inst = Instance::generate(params, Placement::RoundRobin, 2);
+        let mut p = IndexedBroadcast::new(&inst);
+        let mut adv = ShuffledPathAdversary;
+        let r = run(&mut p, &mut adv, &SimConfig::with_max_rounds(50 * (n + k)), 7);
+        assert!(r.completed);
+        ratios.push(r.rounds as f64 / (n + k) as f64);
+    }
+    let max = ratios.iter().cloned().fold(0.0f64, f64::max);
+    assert!(max < 6.0, "rounds/(n+k) ratios {ratios:?} should stay O(1)");
+}
+
+#[test]
+fn centralized_is_linear_while_forwarding_is_quadratic() {
+    // Corollary 2.6 vs Theorem 2.1 at b = d: Θ(n) vs Θ(nk).
+    let mut ratio_growth = Vec::new();
+    for n in [12usize, 24, 48] {
+        let params = Params::new(n, n, 8, 8);
+        let inst = Instance::generate(params, Placement::OneTokenPerNode, 4);
+        let mut c = Centralized::new(&inst);
+        let mut adv = RandomConnectedAdversary::new(1);
+        let rc = run(&mut c, &mut adv, &SimConfig::with_max_rounds(100 * n), 3);
+        assert!(rc.completed);
+        let mut f = TokenForwarding::baseline(&inst);
+        let mut adv2 = RandomConnectedAdversary::new(1);
+        let rf = run(&mut f, &mut adv2, &SimConfig::with_max_rounds(2 * n * n), 3);
+        assert!(rf.completed);
+        ratio_growth.push(rf.rounds as f64 / rc.rounds as f64);
+    }
+    // The forwarding/centralized gap must widen with n (≈ linearly).
+    assert!(
+        ratio_growth[2] > 1.5 * ratio_growth[0],
+        "separation should grow with n: {ratio_growth:?}"
+    );
+}
+
+struct DisconnectedAdversary;
+
+impl Adversary for DisconnectedAdversary {
+    fn name(&self) -> String {
+        "disconnected".into()
+    }
+    fn topology(&mut self, _r: usize, view: &KnowledgeView, _g: &mut StdRng) -> Graph {
+        Graph::empty(view.num_nodes())
+    }
+}
+
+#[test]
+#[should_panic(expected = "disconnected")]
+fn simulator_rejects_disconnected_topologies() {
+    let params = Params::new(6, 6, 4, 8);
+    let inst = Instance::generate(params, Placement::OneTokenPerNode, 1);
+    let mut p = TokenForwarding::baseline(&inst);
+    run(
+        &mut p,
+        &mut DisconnectedAdversary,
+        &SimConfig::with_max_rounds(10),
+        1,
+    );
+}
+
+#[test]
+fn recorded_schedules_replay_across_protocols() {
+    // Record the topologies one protocol saw; replay them for another:
+    // paired comparison on the identical schedule.
+    use dyncode_dynet::trace::{RecordingAdversary, ReplayAdversary};
+    let params = Params::new(10, 10, 5, 10);
+    let inst = Instance::generate(params, Placement::OneTokenPerNode, 8);
+
+    let (mut rec, trace) = RecordingAdversary::new(ShuffledPathAdversary);
+    let mut fwd = TokenForwarding::baseline(&inst);
+    let r1 = run(&mut fwd, &mut rec, &SimConfig::with_max_rounds(50_000), 4);
+    assert!(r1.completed);
+
+    let mut replay = ReplayAdversary::from_shared(&trace);
+    let mut coded = GreedyForward::new(&inst);
+    let r2 = run(&mut coded, &mut replay, &SimConfig::with_max_rounds(200_000), 4);
+    assert!(r2.completed && fully_disseminated(&coded));
+}
