@@ -87,5 +87,10 @@ fn bench_end_to_end_generation(c: &mut Criterion) {
     let _ = StdRng::seed_from_u64(0).random::<u8>();
 }
 
-criterion_group!(benches, bench_basis_insert, bench_full_decode, bench_end_to_end_generation);
+criterion_group!(
+    benches,
+    bench_basis_insert,
+    bench_full_decode,
+    bench_end_to_end_generation
+);
 criterion_main!(benches);

@@ -13,11 +13,7 @@ fn bench_forwarding(c: &mut Criterion) {
     g.sample_size(10);
     for n in [16usize, 32, 64] {
         let d = (usize::BITS - (n - 1).leading_zeros()) as usize + 1;
-        let inst = Instance::generate(
-            Params::new(n, n, d, 2 * d),
-            Placement::OneTokenPerNode,
-            42,
-        );
+        let inst = Instance::generate(Params::new(n, n, d, 2 * d), Placement::OneTokenPerNode, 42);
         g.bench_function(format!("disseminate_n{n}"), |bench| {
             bench.iter(|| {
                 let mut p = TokenForwarding::baseline(&inst);

@@ -14,11 +14,7 @@ fn bench_msgsize(c: &mut Criterion) {
     let d = 7;
     for mult in [1usize, 2, 4, 8] {
         let b = mult * d;
-        let inst = Instance::generate(
-            Params::new(n, n, d, b),
-            Placement::OneTokenPerNode,
-            21,
-        );
+        let inst = Instance::generate(Params::new(n, n, d, b), Placement::OneTokenPerNode, 21);
         g.bench_function(format!("greedy_forward_b{b}"), |bench| {
             bench.iter(|| {
                 let mut p = GreedyForward::new(&inst);

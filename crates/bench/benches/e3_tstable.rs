@@ -12,11 +12,7 @@ fn bench_patch(c: &mut Criterion) {
     let n = 48;
     let d = 7;
     let b = 8;
-    let inst = Instance::generate(
-        Params::new(n, n, d, b),
-        Placement::OneTokenPerNode,
-        31,
-    );
+    let inst = Instance::generate(Params::new(n, n, d, b), Placement::OneTokenPerNode, 31);
     for t in [2usize, 4, 8, 16] {
         g.bench_function(format!("patch_t{t}"), |bench| {
             bench.iter(|| {

@@ -19,11 +19,7 @@ fn bench_indexed(c: &mut Criterion) {
     let mut g = c.benchmark_group("e4_indexed_broadcast");
     g.sample_size(20);
     for n in [32usize, 64, 128] {
-        let inst = Instance::generate(
-            Params::new(n, n, 8, n + 8),
-            Placement::OneTokenPerNode,
-            2,
-        );
+        let inst = Instance::generate(Params::new(n, n, 8, n + 8), Placement::OneTokenPerNode, 2);
         g.bench_function(format!("shuffled_path_n{n}"), |bench| {
             bench.iter(|| once(&inst, &mut ShuffledPathAdversary, 100 * n))
         });

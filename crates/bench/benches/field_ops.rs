@@ -64,5 +64,10 @@ fn bench_mersenne61(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gf2_packed, bench_gf256_axpy, bench_mersenne61);
+criterion_group!(
+    benches,
+    bench_gf2_packed,
+    bench_gf256_axpy,
+    bench_mersenne61
+);
 criterion_main!(benches);

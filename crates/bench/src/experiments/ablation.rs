@@ -22,7 +22,13 @@ pub fn e15(quick: bool) {
     let inst = standard_instance(n, d, 64 * n, 17);
     let mut t = Table::new(
         format!("E15: indexed broadcast by field (n = k = {n}, d = {d})"),
-        &["field q", "mode", "rounds (mean)", "bits/message", "total Mbits (mean)"],
+        &[
+            "field q",
+            "mode",
+            "rounds (mean)",
+            "bits/message",
+            "total Mbits (mean)",
+        ],
     );
 
     let mut record = |name: &str, mode: &str, rounds: f64, wire: u64, total_bits: f64| {
@@ -49,7 +55,13 @@ pub fn e15(quick: bool) {
             total_r += r.rounds as f64;
             total_b += r.total_bits as f64;
         }
-        record("2", "randomized", total_r / seeds.len() as f64, wire, total_b / seeds.len() as f64);
+        record(
+            "2",
+            "randomized",
+            total_r / seeds.len() as f64,
+            wire,
+            total_b / seeds.len() as f64,
+        );
     }
 
     fn field_case<F: dyncode_gf::Field>(
@@ -77,13 +89,27 @@ pub fn e15(quick: bool) {
             total_r += r.rounds as f64;
             total_b += r.total_bits as f64;
         }
-        record(name, mode, total_r / seeds.len() as f64, wire, total_b / seeds.len() as f64);
+        record(
+            name,
+            mode,
+            total_r / seeds.len() as f64,
+            wire,
+            total_b / seeds.len() as f64,
+        );
     }
 
     field_case::<Gf256>("256", "randomized", false, &inst, &seeds, n, &mut record);
     field_case::<Gf257>("257", "randomized", false, &inst, &seeds, n, &mut record);
     field_case::<Mersenne61>("2^61-1", "randomized", false, &inst, &seeds, n, &mut record);
-    field_case::<Mersenne61>("2^61-1", "deterministic", true, &inst, &seeds, n, &mut record);
+    field_case::<Mersenne61>(
+        "2^61-1",
+        "deterministic",
+        true,
+        &inst,
+        &seeds,
+        n,
+        &mut record,
+    );
 
     t.print();
     println!(
@@ -106,18 +132,34 @@ pub fn e16(quick: bool) {
     let inst = standard_instance(n, d, b, 23);
     let mut t = Table::new(
         format!("E16: gather/broadcast multipliers (n = k = {n}, d = {d}, b = {b})"),
-        &["gather_mult", "broadcast_mult", "rounds (mean)", "verify retries (mean)"],
+        &[
+            "gather_mult",
+            "broadcast_mult",
+            "rounds (mean)",
+            "verify retries (mean)",
+        ],
     );
     for gather_mult in [1usize, 2] {
         for broadcast_mult in [1usize, 2, 3] {
             let mut total_rounds = 0.0;
             let mut total_retries = 0.0;
             for &s in &seeds {
-                let cfg = GreedyConfig { gather_mult, broadcast_mult };
+                let cfg = GreedyConfig {
+                    gather_mult,
+                    broadcast_mult,
+                };
                 let mut p = GreedyForward::with_config(&inst, cfg);
                 let mut adv = KnowledgeAdaptiveAdversary;
-                let r = run(&mut p, &mut adv, &SimConfig::with_max_rounds(200 * n * n), s);
-                assert!(r.completed, "config ({gather_mult},{broadcast_mult}) failed");
+                let r = run(
+                    &mut p,
+                    &mut adv,
+                    &SimConfig::with_max_rounds(200 * n * n),
+                    s,
+                );
+                assert!(
+                    r.completed,
+                    "config ({gather_mult},{broadcast_mult}) failed"
+                );
                 assert!((0..n).all(|u| p.view().tokens[u].len() == n));
                 total_rounds += r.rounds as f64;
                 total_retries += p.total_retries() as f64;

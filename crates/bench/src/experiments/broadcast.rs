@@ -25,8 +25,11 @@ pub fn e4(quick: bool) {
     for &n in ns {
         for k in [n / 4, n] {
             let k = k.max(1);
-            let inst =
-                Instance::generate(Params::new(n, k, 8, (k + 8).max(8)), Placement::RoundRobin, 2);
+            let inst = Instance::generate(
+                Params::new(n, k, 8, (k + 8).max(8)),
+                Placement::RoundRobin,
+                2,
+            );
             let m = mean_rounds(
                 &seeds,
                 100 * (n + k),
@@ -44,8 +47,7 @@ pub fn e4(quick: bool) {
 
     // (b) adversary sweep at a fixed size: worst-case-ness.
     let n = if quick { 32 } else { 64 };
-    let inst =
-        Instance::generate(Params::new(n, n, 8, n + 8), Placement::OneTokenPerNode, 3);
+    let inst = Instance::generate(Params::new(n, n, 8, n + 8), Placement::OneTokenPerNode, 3);
     let mut t = Table::new(
         format!("E4b: adversary sweep (n = k = {n})"),
         &["adversary", "rounds (mean)", "rounds/(n+k)"],
@@ -54,7 +56,9 @@ pub fn e4(quick: bool) {
         let name = adv.name();
         let total: usize = seeds
             .iter()
-            .map(|&s| super::run_to_done(IndexedBroadcast::new(&inst), adv.as_mut(), 100 * n, s).rounds)
+            .map(|&s| {
+                super::run_to_done(IndexedBroadcast::new(&inst), adv.as_mut(), 100 * n, s).rounds
+            })
             .sum();
         let m = total as f64 / seeds.len() as f64;
         t.row(vec![name, f(m), f(m / (2 * n) as f64)]);
@@ -68,10 +72,20 @@ pub fn e4(quick: bool) {
 pub fn e10(quick: bool) {
     println!("\n## E10 — Corollary 2.6: centralized coding = Θ(n)");
     let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3] };
-    let ns: &[usize] = if quick { &[16, 32, 64] } else { &[16, 32, 64, 128, 256] };
+    let ns: &[usize] = if quick {
+        &[16, 32, 64]
+    } else {
+        &[16, 32, 64, 128, 256]
+    };
     let mut t = Table::new(
         "E10: n sweep (k = n, d = lg n + 1, b = 2d)",
-        &["n", "centralized rounds", "rounds/n", "forwarding rounds", "fwd / centralized"],
+        &[
+            "n",
+            "centralized rounds",
+            "rounds/n",
+            "forwarding rounds",
+            "fwd / centralized",
+        ],
     );
     let (mut meas, mut pred) = (Vec::new(), Vec::new());
     for &n in ns {

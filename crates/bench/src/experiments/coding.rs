@@ -20,7 +20,14 @@ pub fn e2(quick: bool) {
     let d = d_for(n);
     let mut t = Table::new(
         format!("E2: b sweep (n = k = {n}, d = {d}), greedy-forward vs forwarding"),
-        &["b", "coding rounds", "forwarding rounds", "nkd/b²+nb", "coding/bound", "fwd/coding"],
+        &[
+            "b",
+            "coding rounds",
+            "forwarding rounds",
+            "nkd/b²+nb",
+            "coding/bound",
+            "fwd/coding",
+        ],
     );
     let (mut meas, mut t1s, mut t2s) = (Vec::new(), Vec::new(), Vec::new());
     for mult in [1usize, 2, 4, 8] {
@@ -74,7 +81,13 @@ pub fn e5(quick: bool) {
     let mut rng = StdRng::seed_from_u64(5);
     let mut t = Table::new(
         format!("E5: transmissions until B learns its missing token ({trials} trials)"),
-        &["k", "random forwarding", "GF(2) coding", "GF(256) coding", "k/2 (theory)"],
+        &[
+            "k",
+            "random forwarding",
+            "GF(2) coding",
+            "GF(256) coding",
+            "k/2 (theory)",
+        ],
     );
     for k in [8usize, 16, 32, 64] {
         let d = 16;
@@ -150,10 +163,21 @@ pub fn e5(quick: bool) {
 pub fn e7(quick: bool) {
     println!("\n## E7 — S2.3: the b = d = log n separation");
     let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2] };
-    let ns: &[usize] = if quick { &[32, 64] } else { &[32, 64, 128, 256] };
+    let ns: &[usize] = if quick {
+        &[32, 64]
+    } else {
+        &[32, 64, 128, 256]
+    };
     let mut t = Table::new(
         "E7: b = d = lg n + 1, k = n, knowledge-adaptive adversary",
-        &["n", "lg n", "forwarding", "coding", "fwd/coding", "ratio/lg n"],
+        &[
+            "n",
+            "lg n",
+            "forwarding",
+            "coding",
+            "fwd/coding",
+            "ratio/lg n",
+        ],
     );
     for &n in ns {
         let d = d_for(n);
@@ -196,7 +220,13 @@ pub fn e8(quick: bool) {
     let slack = 12.0; // "linear time" = rounds ≤ slack · n
     let mut t = Table::new(
         format!("E8: min b with rounds ≤ {slack}·n (k = n, d = lg n + 1)"),
-        &["n", "coding min b", "sqrt(n lg n)", "forwarding min b", "n lg n / slack"],
+        &[
+            "n",
+            "coding min b",
+            "sqrt(n lg n)",
+            "forwarding min b",
+            "n lg n / slack",
+        ],
     );
     for &n in ns {
         let d = d_for(n);
@@ -248,7 +278,13 @@ pub fn e13(quick: bool) {
     let b = 8 * d_for(n);
     let mut t = Table::new(
         format!("E13: d sweep at fixed b = {b} (n = k = {n})"),
-        &["d", "naive-coded", "greedy-forward", "forwarding", "naive/greedy"],
+        &[
+            "d",
+            "naive-coded",
+            "greedy-forward",
+            "forwarding",
+            "naive/greedy",
+        ],
     );
     for mult in [1usize, 2, 4, 8] {
         let d = mult * d_for(n);
@@ -288,7 +324,13 @@ pub fn e14(quick: bool) {
     let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2] };
     let mut t = Table::new(
         format!("E14: b sweep (n = k = {n}, d = {d})"),
-        &["b", "greedy (Thm 7.3)", "priority (Thm 7.5)", "greedy bound", "priority bound"],
+        &[
+            "b",
+            "greedy (Thm 7.3)",
+            "priority (Thm 7.5)",
+            "greedy bound",
+            "priority bound",
+        ],
     );
     for mult in [2usize, 4, 8, 16, 32] {
         let b = mult * d;

@@ -29,29 +29,28 @@ pub fn e9(quick: bool) {
     );
     for &n in sizes {
         let cap = 60 * (n + n);
-        let mut run_field = |name: &str, runner: &dyn Fn(u64) -> dyncode_rlnc::StallResult,
-                             lgq: u32| {
-            let results: Vec<_> = seeds.iter().map(|&s| runner(s)).collect();
-            let done = results.iter().filter(|r| r.completed).count();
-            let mean_rounds =
-                results.iter().map(|r| r.rounds as f64).sum::<f64>() / results.len() as f64;
-            let stalled =
-                results.iter().map(|r| r.fully_stalled_rounds).sum::<usize>() / results.len();
-            t.row(vec![
-                n.to_string(),
-                name.into(),
-                format!("{done}/{}", results.len()),
-                f(mean_rounds),
-                f(mean_rounds / (2 * n) as f64),
-                stalled.to_string(),
-                (n as u32 * lgq).to_string(),
-            ]);
-        };
-        run_field(
-            "2",
-            &|s| omniscient_stall_run::<Gf2>(n, n, 2, s, cap),
-            1,
-        );
+        let mut run_field =
+            |name: &str, runner: &dyn Fn(u64) -> dyncode_rlnc::StallResult, lgq: u32| {
+                let results: Vec<_> = seeds.iter().map(|&s| runner(s)).collect();
+                let done = results.iter().filter(|r| r.completed).count();
+                let mean_rounds =
+                    results.iter().map(|r| r.rounds as f64).sum::<f64>() / results.len() as f64;
+                let stalled = results
+                    .iter()
+                    .map(|r| r.fully_stalled_rounds)
+                    .sum::<usize>()
+                    / results.len();
+                t.row(vec![
+                    n.to_string(),
+                    name.into(),
+                    format!("{done}/{}", results.len()),
+                    f(mean_rounds),
+                    f(mean_rounds / (2 * n) as f64),
+                    stalled.to_string(),
+                    (n as u32 * lgq).to_string(),
+                ]);
+            };
+        run_field("2", &|s| omniscient_stall_run::<Gf2>(n, n, 2, s, cap), 1);
         run_field(
             "257",
             &|s| omniscient_stall_run::<Gf257>(n, n, 2, s, cap),

@@ -109,11 +109,21 @@ pub fn e1(quick: bool) {
 /// tokens (or all of them).
 pub fn e6(quick: bool) {
     println!("\n## E6 — Lemma 7.2: random-forward gathers M = sqrt(bk/d)");
-    let seeds: Vec<u64> = if quick { vec![1, 2] } else { vec![1, 2, 3, 4, 5] };
+    let seeds: Vec<u64> = if quick {
+        vec![1, 2]
+    } else {
+        vec![1, 2, 3, 4, 5]
+    };
     let ns: &[usize] = if quick { &[32, 64] } else { &[32, 64, 128] };
     let mut t = Table::new(
         "E6: gathered tokens at the identified node (k = n, d = 8)",
-        &["n", "b", "gathered (min/mean over seeds)", "sqrt(bk/d)", "mean/bound"],
+        &[
+            "n",
+            "b",
+            "gathered (min/mean over seeds)",
+            "sqrt(bk/d)",
+            "mean/bound",
+        ],
     );
     for &n in ns {
         for b in [8usize, 16, 32] {

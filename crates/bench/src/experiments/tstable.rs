@@ -2,9 +2,7 @@
 
 use super::{d_for, mean_rounds, standard_instance};
 use crate::table::{f, print_fit, Table};
-use dyncode_core::protocols::patch::{
-    patch_dissemination, patch_indexed_broadcast, PatchParams,
-};
+use dyncode_core::protocols::patch::{patch_dissemination, patch_indexed_broadcast, PatchParams};
 use dyncode_core::protocols::TokenForwarding;
 use dyncode_core::theory;
 use dyncode_dynet::adversaries::ShuffledPathAdversary;
@@ -96,7 +94,14 @@ pub fn e12(quick: bool) {
     let ts: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8] };
     let mut t = Table::new(
         format!("E12: (n, T) sweep at b = {b}, all blocks seeded at node 0"),
-        &["n", "T", "blocks (bT)", "charged rounds", "(n + bT²)·lg n", "ratio"],
+        &[
+            "n",
+            "T",
+            "blocks (bT)",
+            "charged rounds",
+            "(n + bT²)·lg n",
+            "ratio",
+        ],
     );
     let (mut meas, mut pred) = (Vec::new(), Vec::new());
     let mut rng = StdRng::seed_from_u64(12);

@@ -20,25 +20,96 @@
 pub mod experiments;
 pub mod table;
 
+/// One registry row: experiment id, headline claim, runner (takes `quick`).
+pub type Experiment = (&'static str, &'static str, fn(bool));
+
 /// The registry of experiments: id, headline claim, runner.
-pub fn registry() -> Vec<(&'static str, &'static str, fn(bool))> {
+pub fn registry() -> Vec<Experiment> {
     vec![
-        ("e1", "Thm 2.1: token forwarding = Θ(nkd/(bT) + n)", experiments::e1 as fn(bool)),
-        ("e2", "Thm 2.3: coding gains quadratically in b", experiments::e2),
-        ("e3", "Thm 2.4: T-stability helps coding T^2 vs forwarding T", experiments::e3),
-        ("e4", "Lem 5.3: indexed broadcast = O(n+k), any adversary", experiments::e4),
-        ("e5", "S5.2: the last-missing-token example", experiments::e5),
-        ("e6", "Lem 7.2: random-forward gathers sqrt(bk/d)", experiments::e6),
-        ("e7", "S2.3: b=d=log n separation = Θ(log n)", experiments::e7),
-        ("e8", "S2.3: message size needed for linear time", experiments::e8),
-        ("e9", "Thm 6.1: omniscient adversary vs field size", experiments::e9),
-        ("e10", "Cor 2.6: centralized coding = Θ(n)", experiments::e10),
-        ("e11", "Lem 5.2: per-hop sensing probability = 1 - 1/q", experiments::e11),
-        ("e12", "Lem 8.1: patched broadcast = O((n + bT^2) log n)", experiments::e12),
-        ("e13", "Cor 7.1 ablation: why gathering is needed", experiments::e13),
-        ("e14", "Thm 7.3 vs 7.5: the large-b crossover", experiments::e14),
-        ("e15", "Ablation: coding field vs rounds and bits", experiments::e15),
-        ("e16", "Ablation: greedy-forward phase constants", experiments::e16),
-        ("e17", "S5.2: progress curves and end-phase waste", experiments::e17),
+        (
+            "e1",
+            "Thm 2.1: token forwarding = Θ(nkd/(bT) + n)",
+            experiments::e1 as fn(bool),
+        ),
+        (
+            "e2",
+            "Thm 2.3: coding gains quadratically in b",
+            experiments::e2,
+        ),
+        (
+            "e3",
+            "Thm 2.4: T-stability helps coding T^2 vs forwarding T",
+            experiments::e3,
+        ),
+        (
+            "e4",
+            "Lem 5.3: indexed broadcast = O(n+k), any adversary",
+            experiments::e4,
+        ),
+        (
+            "e5",
+            "S5.2: the last-missing-token example",
+            experiments::e5,
+        ),
+        (
+            "e6",
+            "Lem 7.2: random-forward gathers sqrt(bk/d)",
+            experiments::e6,
+        ),
+        (
+            "e7",
+            "S2.3: b=d=log n separation = Θ(log n)",
+            experiments::e7,
+        ),
+        (
+            "e8",
+            "S2.3: message size needed for linear time",
+            experiments::e8,
+        ),
+        (
+            "e9",
+            "Thm 6.1: omniscient adversary vs field size",
+            experiments::e9,
+        ),
+        (
+            "e10",
+            "Cor 2.6: centralized coding = Θ(n)",
+            experiments::e10,
+        ),
+        (
+            "e11",
+            "Lem 5.2: per-hop sensing probability = 1 - 1/q",
+            experiments::e11,
+        ),
+        (
+            "e12",
+            "Lem 8.1: patched broadcast = O((n + bT^2) log n)",
+            experiments::e12,
+        ),
+        (
+            "e13",
+            "Cor 7.1 ablation: why gathering is needed",
+            experiments::e13,
+        ),
+        (
+            "e14",
+            "Thm 7.3 vs 7.5: the large-b crossover",
+            experiments::e14,
+        ),
+        (
+            "e15",
+            "Ablation: coding field vs rounds and bits",
+            experiments::e15,
+        ),
+        (
+            "e16",
+            "Ablation: greedy-forward phase constants",
+            experiments::e16,
+        ),
+        (
+            "e17",
+            "S5.2: progress curves and end-phase waste",
+            experiments::e17,
+        ),
     ]
 }

@@ -16,7 +16,7 @@ fn main() {
 
     let reg = registry();
     if wanted.is_empty() || wanted.iter().any(|w| w.as_str() == "help") {
-        eprintln!("usage: experiments <all | e1 .. e14>... [--quick]\n");
+        eprintln!("usage: experiments <all | e1 .. e17>... [--quick]\n");
         eprintln!("experiments:");
         for (id, desc, _) in &reg {
             eprintln!("  {id:<5} {desc}");
@@ -28,7 +28,10 @@ fn main() {
     let mut ran = 0;
     for (id, desc, f) in &reg {
         if run_all || wanted.iter().any(|w| w.as_str() == *id) {
-            eprintln!("[running {id}: {desc}{}]", if quick { " (quick)" } else { "" });
+            eprintln!(
+                "[running {id}: {desc}{}]",
+                if quick { " (quick)" } else { "" }
+            );
             f(quick);
             ran += 1;
         }

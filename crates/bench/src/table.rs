@@ -75,7 +75,11 @@ pub fn f(x: f64) -> String {
 /// Prints the standard shape-fit footer: fitted constant and ratio spread.
 pub fn print_fit(label: &str, measured: &[f64], predicted: &[f64]) {
     let (c, spread) = dyncode_core::theory::fit_constant(measured, predicted);
-    println!("\nshape fit [{label}]: fitted constant = {}, ratio spread = {}", f(c), f(spread));
+    println!(
+        "\nshape fit [{label}]: fitted constant = {}, ratio spread = {}",
+        f(c),
+        f(spread)
+    );
     println!(
         "(spread close to 1.0 means measured rounds track the predicted formula across the sweep)"
     );

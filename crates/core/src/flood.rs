@@ -92,8 +92,7 @@ mod tests {
             let g = generators::random_tree(n, &mut rng);
             let msgs: Vec<(u64, u64)> = (0..n).map(|u| f.message(u)).collect();
             for u in 0..n {
-                let inbox: Vec<(u64, u64)> =
-                    g.neighbors(u).iter().map(|&v| msgs[v]).collect();
+                let inbox: Vec<(u64, u64)> = g.neighbors(u).iter().map(|&v| msgs[v]).collect();
                 f.absorb(u, &inbox);
             }
         }

@@ -29,7 +29,10 @@ impl TokenKnowledge {
                 known[u].insert(i);
             }
         }
-        TokenKnowledge { known, k: inst.params.k }
+        TokenKnowledge {
+            known,
+            k: inst.params.k,
+        }
     }
 
     /// Number of tokens k.
@@ -95,11 +98,7 @@ mod tests {
     use crate::params::{Params, Placement};
 
     fn small() -> TokenKnowledge {
-        let inst = Instance::generate(
-            Params::new(4, 4, 8, 16),
-            Placement::OneTokenPerNode,
-            1,
-        );
+        let inst = Instance::generate(Params::new(4, 4, 8, 16), Placement::OneTokenPerNode, 1);
         TokenKnowledge::from_instance(&inst)
     }
 

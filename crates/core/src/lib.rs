@@ -56,6 +56,6 @@ pub mod theory;
 
 pub use params::{Instance, Params, Placement};
 pub use protocols::{
-    Centralized, GreedyForward, IndexedBroadcast, NaiveCoded, PriorityForward,
-    RandomForward, TokenForwarding,
+    Centralized, GreedyForward, IndexedBroadcast, NaiveCoded, PriorityForward, RandomForward,
+    TokenForwarding,
 };

@@ -134,10 +134,7 @@ impl Instance {
         let holders: Vec<Vec<usize>> = (0..params.k)
             .map(|i| match placement {
                 Placement::OneTokenPerNode => {
-                    assert!(
-                        params.k <= params.n,
-                        "OneTokenPerNode needs k <= n"
-                    );
+                    assert!(params.k <= params.n, "OneTokenPerNode needs k <= n");
                     vec![i]
                 }
                 Placement::RoundRobin => vec![i % params.n],
@@ -152,7 +149,11 @@ impl Instance {
             })
             .collect();
 
-        Instance { params, tokens, holders }
+        Instance {
+            params,
+            tokens,
+            holders,
+        }
     }
 
     /// The tokens initially held by `node`, as sorted indices.
@@ -164,9 +165,7 @@ impl Instance {
 
     /// Looks up a token's index by value.
     pub fn index_of(&self, value: &Gf2Vec) -> Option<usize> {
-        self.tokens
-            .binary_search_by(|t| token_cmp(t, value))
-            .ok()
+        self.tokens.binary_search_by(|t| token_cmp(t, value)).ok()
     }
 }
 
@@ -221,8 +220,7 @@ mod tests {
         let cl = Instance::generate(p, Placement::Clustered(2), 1);
         assert_eq!(cl.initial_tokens_of(0), vec![0, 2, 4, 6]);
         assert_eq!(cl.initial_tokens_of(1), vec![1, 3, 5, 7]);
-        let rr =
-            Instance::generate(Params::new(3, 8, 8, 16), Placement::RoundRobin, 1);
+        let rr = Instance::generate(Params::new(3, 8, 8, 16), Placement::RoundRobin, 1);
         assert_eq!(rr.initial_tokens_of(0), vec![0, 3, 6]);
     }
 

@@ -58,8 +58,7 @@ impl Centralized {
             .map(|_| Gf2Node::new(num_blocks, block_bits))
             .collect();
         for (j, (tokens, &u)) in block_tokens.iter().zip(&owner_of).enumerate() {
-            let values: Vec<_> =
-                tokens.iter().map(|&i| inst.tokens[i].clone()).collect();
+            let values: Vec<_> = tokens.iter().map(|&i| inst.tokens[i].clone()).collect();
             let blocks = group_tokens(&values, params.d, g);
             debug_assert_eq!(blocks.len(), 1);
             coders[u].seed_source(j, &blocks[0]);
@@ -86,11 +85,7 @@ impl Centralized {
     /// Refreshes the token-knowledge mirror of `node` from its decodable
     /// blocks.
     fn sync_knowledge(&mut self, node: usize) {
-        for (j, avail) in self.coders[node]
-            .decode_available()
-            .iter()
-            .enumerate()
-        {
+        for (j, avail) in self.coders[node].decode_available().iter().enumerate() {
             if avail.is_some() {
                 for idx in self.block_tokens[j].clone() {
                     self.knowledge.learn(node, idx);
@@ -162,7 +157,6 @@ mod tests {
                 adv.name(),
                 r.rounds
             );
-            let mut proto = proto;
             for u in 0..p.n {
                 proto.sync_knowledge(u);
             }

@@ -72,8 +72,11 @@ impl<F: Field> FieldBroadcast<F> {
 
     fn build(inst: &Instance, schedule: Option<CoefficientSchedule>) -> Self {
         let p = inst.params;
-        let payloads: Vec<Vec<F>> =
-            inst.tokens.iter().map(|t| token_to_symbols::<F>(t)).collect();
+        let payloads: Vec<Vec<F>> = inst
+            .tokens
+            .iter()
+            .map(|t| token_to_symbols::<F>(t))
+            .collect();
         let payload_len = payloads.iter().map(Vec::len).max().unwrap_or(1);
         let payloads: Vec<Vec<F>> = payloads
             .into_iter()
@@ -89,7 +92,13 @@ impl<F: Field> FieldBroadcast<F> {
                 nodes[u].seed_source(i, &payloads[i]);
             }
         }
-        FieldBroadcast { n: p.n, k: p.k, nodes, payloads, schedule }
+        FieldBroadcast {
+            n: p.n,
+            k: p.k,
+            nodes,
+            payloads,
+            schedule,
+        }
     }
 
     /// Wire size of one message: k·⌈lg q⌉ header + payload symbols.
@@ -175,7 +184,7 @@ mod tests {
     use crate::params::{Params, Placement};
     use dyncode_dynet::adversaries::{RandomConnectedAdversary, ShuffledPathAdversary};
     use dyncode_dynet::simulator::{run, SimConfig};
-    use dyncode_gf::{Gf2Vec, Gf256, Mersenne61};
+    use dyncode_gf::{Gf256, Gf2Vec, Mersenne61};
 
     #[test]
     fn token_symbol_packing_is_injective() {
@@ -215,8 +224,7 @@ mod tests {
         let inst = Instance::generate(p, Placement::OneTokenPerNode, 2);
         let rounds: Vec<usize> = (0..2)
             .map(|_| {
-                let mut proto: FieldBroadcast<Mersenne61> =
-                    FieldBroadcast::deterministic(&inst, 0);
+                let mut proto: FieldBroadcast<Mersenne61> = FieldBroadcast::deterministic(&inst, 0);
                 let mut adv = RandomConnectedAdversary::new(1);
                 let r = run(&mut proto, &mut adv, &SimConfig::with_max_rounds(5000), 9);
                 assert!(r.completed);

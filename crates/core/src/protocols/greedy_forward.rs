@@ -73,7 +73,10 @@ impl Default for GreedyConfig {
         // Lemma 7.2 analyzes exactly n gather rounds; the broadcast gets
         // 2(n + #blocks), with the Las-Vegas verify loop absorbing the
         // rare shortfall.
-        GreedyConfig { gather_mult: 1, broadcast_mult: 2 }
+        GreedyConfig {
+            gather_mult: 1,
+            broadcast_mult: 2,
+        }
     }
 }
 
@@ -116,7 +119,9 @@ impl GreedyForward {
             knowledge: TokenKnowledge::from_instance(inst),
             tokens: inst.tokens.clone(),
             completed: BitSet::new(params.k),
-            stage: Stage::Gather { rounds_left: cfg.gather_mult * params.n },
+            stage: Stage::Gather {
+                rounds_left: cfg.gather_mult * params.n,
+            },
             flood: MaxFlood::new(vec![(0, 0); params.n]),
             verify: AndFlood::new(vec![true; params.n]),
             identified: (0, 0),
@@ -178,8 +183,11 @@ impl GreedyForward {
         // The identified node is the unique source: it indexes its
         // gathered tokens by value order and seeds the blocks.
         let z = uid as usize;
-        let chosen: Vec<usize> =
-            self.incomplete_known(z).into_iter().take(self.take_count).collect();
+        let chosen: Vec<usize> = self
+            .incomplete_known(z)
+            .into_iter()
+            .take(self.take_count)
+            .collect();
         debug_assert_eq!(chosen.len(), self.take_count, "flooded count was truthful");
         let values: Vec<Gf2Vec> = chosen.iter().map(|&i| self.tokens[i].clone()).collect();
         let blocks = group_tokens(&values, self.params.d, self.block_tokens());
@@ -243,9 +251,7 @@ impl Protocol for GreedyForward {
                 Some(GfMessage::Tokens(sample_distinct(&pool, m, rng)))
             }
             Stage::FloodMax { .. } => Some(GfMessage::Flood(self.flood.message(node))),
-            Stage::Broadcast { .. } => {
-                self.coders[node].emit(rng).map(GfMessage::Coded)
-            }
+            Stage::Broadcast { .. } => self.coders[node].emit(rng).map(GfMessage::Coded),
             Stage::Verify { .. } => Some(GfMessage::Verify(self.verify.message(node))),
             Stage::Done => None,
         }
@@ -299,7 +305,9 @@ impl Protocol for GreedyForward {
                             .map(|u| (self.incomplete_known(u).len() as u64, u as u64))
                             .collect(),
                     );
-                    self.stage = Stage::FloodMax { rounds_left: self.params.n };
+                    self.stage = Stage::FloodMax {
+                        rounds_left: self.params.n,
+                    };
                 }
             }
             Stage::FloodMax { rounds_left } => {
@@ -328,7 +336,9 @@ impl Protocol for GreedyForward {
                             .map(|u| self.coders[u].coefficient_rank() == nb)
                             .collect(),
                     );
-                    self.stage = Stage::Verify { rounds_left: self.params.n };
+                    self.stage = Stage::Verify {
+                        rounds_left: self.params.n,
+                    };
                 }
             }
             Stage::Verify { rounds_left } => {
@@ -434,7 +444,12 @@ mod tests {
 
         let mut greedy = GreedyForward::new(&inst);
         let mut adv = KnowledgeAdaptiveAdversary;
-        let rg = run(&mut greedy, &mut adv, &SimConfig::with_max_rounds(100_000), 2);
+        let rg = run(
+            &mut greedy,
+            &mut adv,
+            &SimConfig::with_max_rounds(100_000),
+            2,
+        );
         assert!(rg.completed && greedy.knowledge().all_full());
 
         let mut fwd = crate::protocols::token_forwarding::TokenForwarding::baseline(&inst);

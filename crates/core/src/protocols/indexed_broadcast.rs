@@ -32,14 +32,18 @@ impl IndexedBroadcast {
     /// holder listed in the instance.
     pub fn new(inst: &Instance) -> Self {
         let p = inst.params;
-        let mut nodes: Vec<Gf2Node> =
-            (0..p.n).map(|_| Gf2Node::new(p.k, p.d)).collect();
+        let mut nodes: Vec<Gf2Node> = (0..p.n).map(|_| Gf2Node::new(p.k, p.d)).collect();
         for (i, holders) in inst.holders.iter().enumerate() {
             for &u in holders {
                 nodes[u].seed_source(i, &inst.tokens[i]);
             }
         }
-        IndexedBroadcast { n: p.n, k: p.k, d: p.d, nodes }
+        IndexedBroadcast {
+            n: p.n,
+            k: p.k,
+            d: p.d,
+            nodes,
+        }
     }
 
     /// The wire size of one coded message: k coefficient bits + d payload

@@ -100,7 +100,9 @@ impl NaiveCoded {
             heard,
             completed: BTreeSet::new(),
             selected: Vec::new(),
-            stage: Stage::FloodIds { rounds_left: params.n },
+            stage: Stage::FloodIds {
+                rounds_left: params.n,
+            },
             verify: AndFlood::new(vec![true; params.n]),
             coders: Vec::new(),
             broadcast_mult: 3,
@@ -162,8 +164,7 @@ impl NaiveCoded {
 
     fn apply_decode(&mut self) {
         let payloads = self.coders[0].decode().expect("verified");
-        let indices: Vec<usize> =
-            self.selected.iter().map(|id| self.index_of[id]).collect();
+        let indices: Vec<usize> = self.selected.iter().map(|id| self.index_of[id]).collect();
         for (j, &idx) in indices.iter().enumerate() {
             debug_assert_eq!(payloads[j], self.tokens[idx], "decode corrupted a token");
         }
@@ -262,7 +263,9 @@ impl Protocol for NaiveCoded {
                             .map(|u| self.coders[u].coefficient_rank() == s)
                             .collect(),
                     );
-                    self.stage = Stage::Verify { rounds_left: self.params.n };
+                    self.stage = Stage::Verify {
+                        rounds_left: self.params.n,
+                    };
                 }
             }
             Stage::Verify { rounds_left } => {
@@ -270,7 +273,9 @@ impl Protocol for NaiveCoded {
                 if *rounds_left == 0 {
                     if self.verify.value(0) {
                         self.apply_decode();
-                        self.stage = Stage::FloodIds { rounds_left: self.params.n };
+                        self.stage = Stage::FloodIds {
+                            rounds_left: self.params.n,
+                        };
                     } else {
                         self.total_retries += 1;
                         self.stage = Stage::Broadcast {

@@ -54,7 +54,12 @@ impl PatchParams {
     /// Panics if any parameter is zero.
     pub fn new(n: usize, t: usize, b: usize) -> Self {
         assert!(n > 0 && t > 0 && b > 0, "parameters must be positive");
-        PatchParams { n, t, b, deterministic_mis: false }
+        PatchParams {
+            n,
+            t,
+            b,
+            deterministic_mis: false,
+        }
     }
 
     /// ⌈log₂ n⌉ (≥ 1).
@@ -110,7 +115,9 @@ impl PatchEngine {
     }
 
     fn all_decoded(&self) -> bool {
-        self.bases.iter().all(|b| b.prefix_rank(self.dims) == self.dims)
+        self.bases
+            .iter()
+            .all(|b| b.prefix_rank(self.dims) == self.dims)
     }
 
     /// Chunks per vector on the wire.
@@ -145,7 +152,11 @@ impl PatchEngine {
         let patching = patch_decomposition(
             g,
             d,
-            if self.pp.deterministic_mis { None } else { Some(rng) },
+            if self.pp.deterministic_mis {
+                None
+            } else {
+                Some(rng)
+            },
         );
         let depth = patching.max_depth().max(1);
         let chunks = self.chunks();
@@ -162,8 +173,9 @@ impl PatchEngine {
         let share1 = 2 * (chunks + depth);
 
         // pass: neighbors exchange their patches' agreed vectors.
-        let snapshot: Vec<Option<Gf2Vec>> =
-            (0..self.pp.n).map(|u| patch_vec[patching.patch_of[u]].clone()).collect();
+        let snapshot: Vec<Option<Gf2Vec>> = (0..self.pp.n)
+            .map(|u| patch_vec[patching.patch_of[u]].clone())
+            .collect();
         for u in 0..self.pp.n {
             for &v in g.neighbors(u) {
                 if let Some(vec) = &snapshot[v] {
@@ -261,7 +273,11 @@ pub fn patch_indexed_broadcast(
         d0
     });
     (
-        PatchResult { charged_rounds: charged, windows, completed },
+        PatchResult {
+            charged_rounds: charged,
+            windows,
+            completed,
+        },
         decoded,
     )
 }
@@ -299,14 +315,18 @@ pub fn patch_dissemination(
     let patching = patch_decomposition(
         &g0,
         pp.patch_d(),
-        if pp.deterministic_mis { None } else { Some(&mut rng) },
+        if pp.deterministic_mis {
+            None
+        } else {
+            Some(&mut rng)
+        },
     );
     windows += 1;
     charged += pp.patching_cost();
 
     // Gather: leader of each patch collects its members' tokens.
     let mut gather_cost = 0usize;
-    let mut leader_tokens: Vec<Vec<usize>> = vec![Vec::new(); patching.num_patches()];
+    let mut leader_tokens: Vec<Vec<usize>> = Vec::with_capacity(patching.num_patches());
     for p in 0..patching.num_patches() {
         let mut toks = BitSet::new(inst.params.k);
         for u in patching.members(p) {
@@ -314,11 +334,12 @@ pub fn patch_dissemination(
                 toks.insert(i);
             }
         }
-        leader_tokens[p] = toks.iter().collect();
+        let toks: Vec<usize> = toks.iter().collect();
         // Pipelined convergecast: all member token bits stream up the tree.
-        let bits = leader_tokens[p].len() * d;
+        let bits = toks.len() * d;
         let cost = patching.max_depth().max(1) + bits.div_ceil(pp.b);
         gather_cost = gather_cost.max(cost);
+        leader_tokens.push(toks);
     }
     charged += gather_cost;
 
@@ -332,7 +353,10 @@ pub fn patch_dissemination(
     let mut blocks: Vec<Block> = Vec::new();
     for (p, toks) in leader_tokens.iter().enumerate() {
         for chunk in toks.chunks(per_block) {
-            blocks.push(Block { leader: patching.leaders[p], tokens: chunk.to_vec() });
+            blocks.push(Block {
+                leader: patching.leaders[p],
+                tokens: chunk.to_vec(),
+            });
         }
     }
     // Indexing flood: leader block counts, pipelined, O(n) charged.
@@ -350,8 +374,7 @@ pub fn patch_dissemination(
             .map(|(j, blk)| {
                 let values: Vec<Gf2Vec> =
                     blk.tokens.iter().map(|&i| inst.tokens[i].clone()).collect();
-                let grouped =
-                    dyncode_rlnc::block::group_tokens(&values, d, per_block);
+                let grouped = dyncode_rlnc::block::group_tokens(&values, d, per_block);
                 debug_assert_eq!(grouped.len(), 1);
                 (blk.leader, j, grouped[0].clone())
             })
@@ -374,11 +397,8 @@ pub fn patch_dissemination(
         // Verify the decoded payloads reproduce the batch's tokens.
         let decoded = decoded.expect("completed");
         for (j, blk) in batch.iter().enumerate() {
-            let toks = dyncode_rlnc::block::ungroup_tokens(
-                &[decoded[j].clone()],
-                d,
-                blk.tokens.len(),
-            );
+            let toks =
+                dyncode_rlnc::block::ungroup_tokens(&[decoded[j].clone()], d, blk.tokens.len());
             for (t, &idx) in toks.iter().zip(&blk.tokens) {
                 if t != &inst.tokens[idx] {
                     all_ok = false;
@@ -389,7 +409,11 @@ pub fn patch_dissemination(
     }
     let completed = all_ok && batch_start >= blocks.len();
 
-    PatchResult { charged_rounds: charged, windows, completed }
+    PatchResult {
+        charged_rounds: charged,
+        windows,
+        completed,
+    }
 }
 
 #[cfg(test)]
@@ -416,11 +440,14 @@ mod tests {
         let (nb, bits) = (8usize, 16usize);
         let payloads: Vec<Gf2Vec> = (0..nb).map(|_| Gf2Vec::random(bits, &mut rng)).collect();
         // All blocks at node 0: the information-theoretic worst case.
-        let sources: Vec<(usize, usize, Gf2Vec)> =
-            payloads.iter().cloned().enumerate().map(|(i, p)| (0, i, p)).collect();
+        let sources: Vec<(usize, usize, Gf2Vec)> = payloads
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, p)| (0, i, p))
+            .collect();
         let mut adv = ShuffledPathAdversary;
-        let (res, decoded) =
-            patch_indexed_broadcast(pp, nb, bits, &sources, &mut adv, 3, 200_000);
+        let (res, decoded) = patch_indexed_broadcast(pp, nb, bits, &sources, &mut adv, 3, 200_000);
         assert!(res.completed, "did not complete: {res:?}");
         assert_eq!(decoded.unwrap(), payloads);
         assert!(res.windows > 0);
@@ -435,8 +462,7 @@ mod tests {
             .map(|i| (rng.random_range(0..16), i, Gf2Vec::random(bits, &mut rng)))
             .collect();
         let mut adv = RandomConnectedAdversary::new(2);
-        let (res, decoded) =
-            patch_indexed_broadcast(pp, nb, bits, &sources, &mut adv, 7, 200_000);
+        let (res, decoded) = patch_indexed_broadcast(pp, nb, bits, &sources, &mut adv, 7, 200_000);
         assert!(res.completed);
         assert!(decoded.is_some());
     }
@@ -449,8 +475,7 @@ mod tests {
         let payload = Gf2Vec::random(8, &mut rng);
         let sources = vec![(0usize, 0usize, payload.clone())];
         let mut adv = ShuffledPathAdversary;
-        let (res, decoded) =
-            patch_indexed_broadcast(pp, 1, 8, &sources, &mut adv, 11, 100_000);
+        let (res, decoded) = patch_indexed_broadcast(pp, 1, 8, &sources, &mut adv, 11, 100_000);
         assert!(res.completed);
         assert_eq!(decoded.unwrap(), vec![payload]);
     }
@@ -466,7 +491,10 @@ mod tests {
         let (res, decoded) = patch_indexed_broadcast(pp, 1, 8, &sources, &mut adv, 5, 3);
         assert!(!res.completed);
         assert!(decoded.is_none());
-        assert!(res.charged_rounds >= 3, "stops only after exceeding the cap");
+        assert!(
+            res.charged_rounds >= 3,
+            "stops only after exceeding the cap"
+        );
     }
 
     #[test]

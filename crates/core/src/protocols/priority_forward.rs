@@ -77,7 +77,10 @@ pub struct PriorityConfig {
 
 impl Default for PriorityConfig {
     fn default() -> Self {
-        PriorityConfig { warmup_mult: 2, broadcast_mult: 3 }
+        PriorityConfig {
+            warmup_mult: 2,
+            broadcast_mult: 3,
+        }
     }
 }
 
@@ -114,7 +117,9 @@ impl PriorityForward {
             knowledge: TokenKnowledge::from_instance(inst),
             tokens: inst.tokens.clone(),
             completed: BitSet::new(params.k),
-            stage: Stage::Warmup { rounds_left: cfg.warmup_mult * params.n },
+            stage: Stage::Warmup {
+                rounds_left: cfg.warmup_mult * params.n,
+            },
             heard: vec![BTreeSet::new(); params.n],
             chunks: vec![Vec::new(); params.n],
             selected: Vec::new(),
@@ -142,8 +147,7 @@ impl PriorityForward {
     /// number (≤ k blocks per node) + block token count — all O(log n).
     pub fn entry_bits(&self) -> usize {
         let seq_bits = (usize::BITS - self.params.k.leading_zeros()) as usize;
-        let cnt_bits =
-            (usize::BITS - self.block_tokens().leading_zeros()) as usize;
+        let cnt_bits = (usize::BITS - self.block_tokens().leading_zeros()) as usize;
         self.priority_bits() + self.params.uid_bits() + seq_bits + cnt_bits
     }
 
@@ -191,7 +195,9 @@ impl PriorityForward {
                 })
                 .collect();
         }
-        self.stage = Stage::PriorityFlood { rounds_left: self.params.n };
+        self.stage = Stage::PriorityFlood {
+            rounds_left: self.params.n,
+        };
     }
 
     /// After the flood: fix the agreed selection and set up the coded
@@ -213,8 +219,7 @@ impl PriorityForward {
         for (j, &(_, uid, seq, _)) in self.selected.iter().enumerate() {
             let owner = uid as usize;
             let chunk = &self.chunks[owner][seq as usize];
-            let values: Vec<Gf2Vec> =
-                chunk.iter().map(|&i| self.tokens[i].clone()).collect();
+            let values: Vec<Gf2Vec> = chunk.iter().map(|&i| self.tokens[i].clone()).collect();
             let blocks = group_tokens(&values, self.params.d, self.block_tokens());
             debug_assert_eq!(blocks.len(), 1, "a chunk is one block");
             self.coders[owner].seed_source(j, &blocks[0]);
@@ -275,8 +280,7 @@ impl Protocol for PriorityForward {
             }
             Stage::PriorityFlood { .. } => {
                 let s = self.selection_size();
-                let smallest: Vec<Entry> =
-                    self.heard[node].iter().take(s).cloned().collect();
+                let smallest: Vec<Entry> = self.heard[node].iter().take(s).cloned().collect();
                 if smallest.is_empty() {
                     None
                 } else {
@@ -357,7 +361,9 @@ impl Protocol for PriorityForward {
                             .map(|u| self.coders[u].coefficient_rank() == nb)
                             .collect(),
                     );
-                    self.stage = Stage::Verify { rounds_left: self.params.n };
+                    self.stage = Stage::Verify {
+                        rounds_left: self.params.n,
+                    };
                 }
             }
             Stage::Verify { rounds_left } => {
@@ -408,10 +414,7 @@ mod tests {
         assert_eq!(proto.block_tokens(), 16);
         // priority (uid+8) + uid + seq (bits of k) + count bits: all O(log n).
         assert_eq!(proto.entry_bits(), (4 + 8) + 4 + 5 + 5);
-        assert_eq!(
-            proto.selection_size(),
-            (80 / proto.entry_bits()).max(1)
-        );
+        assert_eq!(proto.selection_size(), (80 / proto.entry_bits()).max(1));
     }
 
     #[test]

@@ -243,7 +243,12 @@ mod tests {
         let mut adv = ShuffledPathAdversary;
         let expected = proto.config().schedule_rounds(p.k);
         assert_eq!(expected, (16 / 2) * 16);
-        let r = run(&mut proto, &mut adv, &SimConfig::with_max_rounds(2 * expected), 1);
+        let r = run(
+            &mut proto,
+            &mut adv,
+            &SimConfig::with_max_rounds(2 * expected),
+            1,
+        );
         assert!(r.completed);
         assert_eq!(r.rounds, expected, "deterministic schedule length");
     }
@@ -275,13 +280,23 @@ mod tests {
         let mut base = TokenForwarding::baseline(&inst);
         let base_cap = base.config().schedule_rounds(p.k) + 1;
         let mut adv1 = TStable::new(ShuffledPathAdversary, t);
-        let rb = run(&mut base, &mut adv1, &SimConfig::with_max_rounds(base_cap), 4);
+        let rb = run(
+            &mut base,
+            &mut adv1,
+            &SimConfig::with_max_rounds(base_cap),
+            4,
+        );
         assert!(rb.completed);
 
         let mut pipe = TokenForwarding::pipelined(&inst, t);
         let pipe_cap = pipe.config().schedule_rounds(p.k) + 1;
         let mut adv2 = TStable::new(ShuffledPathAdversary, t);
-        let rp = run(&mut pipe, &mut adv2, &SimConfig::with_max_rounds(pipe_cap), 4);
+        let rp = run(
+            &mut pipe,
+            &mut adv2,
+            &SimConfig::with_max_rounds(pipe_cap),
+            4,
+        );
         assert!(rp.completed, "pipelined failed: {} rounds", rp.rounds);
         assert!(pipe.knowledge().all_full());
         assert!(

@@ -74,7 +74,12 @@ where
         .map(|&seed| {
             let mut p = build();
             let mut a = adv();
-            let r = run(&mut p, a.as_mut(), &SimConfig::with_max_rounds(max_rounds), seed);
+            let r = run(
+                &mut p,
+                a.as_mut(),
+                &SimConfig::with_max_rounds(max_rounds),
+                seed,
+            );
             if r.completed {
                 assert!(
                     fully_disseminated(&p),

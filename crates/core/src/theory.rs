@@ -112,8 +112,7 @@ pub fn fit_constant(measured: &[f64], predicted: &[f64]) -> (f64, f64) {
             m / p
         })
         .collect();
-    let log_mean =
-        ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64;
+    let log_mean = ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64;
     let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = ratios.iter().cloned().fold(0.0f64, f64::max);
     (log_mean.exp(), max / min)
@@ -199,7 +198,10 @@ mod tests {
         assert!(tf_bound(n, k, d, b, 1) > 0.0);
         // With b = d = log n the coding bound beats forwarding by ~log n.
         let ratio = tf_bound(n, k, d, b, 1) / nc_bound(n, k, d, b);
-        assert!(ratio > 2.0, "coding should win at b=d=log n (ratio {ratio})");
+        assert!(
+            ratio > 2.0,
+            "coding should win at b=d=log n (ratio {ratio})"
+        );
     }
 
     #[test]
@@ -213,10 +215,8 @@ mod tests {
 
     #[test]
     fn greedy_bound_scales_quadratically_in_b() {
-        let dom1 = greedy_forward_bound(1_000_000, 1_000_000, 8, 8)
-            - 1_000_000.0 * 8.0;
-        let dom2 = greedy_forward_bound(1_000_000, 1_000_000, 8, 16)
-            - 1_000_000.0 * 16.0;
+        let dom1 = greedy_forward_bound(1_000_000, 1_000_000, 8, 8) - 1_000_000.0 * 8.0;
+        let dom2 = greedy_forward_bound(1_000_000, 1_000_000, 8, 16) - 1_000_000.0 * 16.0;
         assert!((dom1 / dom2 - 4.0).abs() < 1e-6, "quadratic in b");
     }
 
@@ -312,5 +312,86 @@ mod tests {
         assert_eq!(gather_bound(16, 8, 1024), 16.0);
         let m = gather_bound(1024, 8, 8);
         assert!((m - 32.0).abs() < 1e-9);
+    }
+
+    // ---- Closed-form spot checks against hand-computed values at small
+    // (n, k, d, b): the formulas themselves, not just their shapes. Each
+    // expected value below is worked out in the comment beside it.
+
+    #[test]
+    fn tf_bound_matches_hand_computed_values() {
+        // Theorem 2.1: nkd/(bT) + n.
+        // 4·3·2/(2·1) + 4 = 12 + 4 = 16.
+        assert_eq!(tf_bound(4, 3, 2, 2, 1), 16.0);
+        // 6·4·3/(2·2) + 6 = 72/4 + 6 = 18 + 6 = 24.
+        assert_eq!(tf_bound(6, 4, 3, 2, 2), 24.0);
+        // One token, one bit per message, path of 5: 5·1·1/(1·1) + 5 = 10.
+        assert_eq!(tf_bound(5, 1, 1, 1, 1), 10.0);
+    }
+
+    #[test]
+    fn greedy_forward_bound_matches_hand_computed_values() {
+        // Theorem 7.3: nkd/b² + nb.
+        // 4·3·2/2² + 4·2 = 24/4 + 8 = 6 + 8 = 14.
+        assert_eq!(greedy_forward_bound(4, 3, 2, 2), 14.0);
+        // 8·5·4/2² + 8·2 = 160/4 + 16 = 40 + 16 = 56.
+        assert_eq!(greedy_forward_bound(8, 5, 4, 2), 56.0);
+        // b = 1 degenerates to nkd + n: 3·2·2/1 + 3 = 15.
+        assert_eq!(greedy_forward_bound(3, 2, 2, 1), 15.0);
+    }
+
+    #[test]
+    fn priority_forward_paper_bound_matches_hand_computed_values() {
+        // Theorem 7.5 (paper form): lg n·nkd/b² + n·lg n, with lg 4 = 2.
+        // 2·4·2·3/2² + 4·2 = 48/4 + 8 = 12 + 8 = 20.
+        assert_eq!(priority_forward_paper_bound(4, 2, 3, 2), 20.0);
+        // The implemented variant pays one more log: lg²n·nkd/b² + n·lg²n
+        // = 4·4·2·3/4 + 4·4 = 24 + 16 = 40.
+        assert_eq!(priority_forward_bound(4, 2, 3, 2), 40.0);
+    }
+
+    #[test]
+    fn nc_bound_takes_the_smaller_branch() {
+        // Theorem 2.3 is min{greedy, priority-paper}. At (4,2,3,2) the
+        // greedy branch (4·2·3/4 + 8 = 14) beats priority (20).
+        assert_eq!(nc_bound(4, 2, 3, 2), 14.0);
+        // At large b with k small the nb term dominates greedy and the
+        // priority branch wins: greedy(4,1,1,64) = 4/4096 + 256 ≈ 256;
+        // priority-paper = 2·4/4096 + 4·2 ≈ 8.002.
+        assert!((nc_bound(4, 1, 1, 64) - priority_forward_paper_bound(4, 1, 1, 64)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simple_bounds_match_hand_computed_values() {
+        // Lemma 5.3: n + k.
+        assert_eq!(indexed_broadcast_bound(5, 3), 8.0);
+        // Corollary 2.6: n.
+        assert_eq!(centralized_bound(7), 7.0);
+        // Lemma 7.2: √(bk/d) = √(4·9/4) = 3.
+        assert_eq!(gather_bound(9, 4, 4), 3.0);
+        // Lemma 8.1: (n + bT²)·lg n = (4 + 2·1)·2 = 12.
+        assert_eq!(patch_broadcast_bound(4, 2, 1), 12.0);
+        // Corollary 7.1: nk·lg n/b = 4·2·2/4 = 4.
+        assert_eq!(naive_coded_bound(4, 2, 4), 4.0);
+        // Theorem 2.5: n·min{k, n/T}/√(bT) + n = 8·2/√4 + 8 = 16.
+        assert_eq!(det_tstable_bound(8, 2, 4, 1), 16.0);
+    }
+
+    #[test]
+    fn nc_tstable_bound_matches_hand_computed_minimum() {
+        // Theorem 2.4 at n=4, k=2, d=3, b=2, T=1 (lg n = 2, base = nkd/b = 12):
+        //   a = 2/(2·1)·12 + 4·2·1·2      = 12 + 16 = 28
+        //   b = 4/(2·1)·12 + 4·1·4        = 24 + 16 = 40
+        //   c = 4/(2·1)·16 + 4·2          = 32 +  8 = 40
+        // min = 28.
+        assert_eq!(nc_tstable_bound(4, 2, 3, 2, 1), 28.0);
+    }
+
+    #[test]
+    fn lg_is_clamped_below_at_one() {
+        assert_eq!(lg(0), 1.0);
+        assert_eq!(lg(1), 1.0);
+        assert_eq!(lg(2), 1.0);
+        assert_eq!(lg(8), 3.0);
     }
 }

@@ -36,7 +36,10 @@ impl StaticAdversary {
     /// Panics if `graph` is disconnected.
     pub fn new(graph: Graph, name: impl Into<String>) -> Self {
         assert!(graph.is_connected(), "static topology must be connected");
-        StaticAdversary { graph, name: name.into() }
+        StaticAdversary {
+            graph,
+            name: name.into(),
+        }
     }
 
     /// A static path.
@@ -56,7 +59,11 @@ impl Adversary for StaticAdversary {
     }
 
     fn topology(&mut self, _round: usize, view: &KnowledgeView, _rng: &mut StdRng) -> Graph {
-        assert_eq!(self.graph.num_nodes(), view.num_nodes(), "graph size mismatch");
+        assert_eq!(
+            self.graph.num_nodes(),
+            view.num_nodes(),
+            "graph size mismatch"
+        );
         self.graph.clone()
     }
 }
@@ -191,7 +198,11 @@ impl TIntervalAdversary {
     /// Panics if `t == 0`.
     pub fn new(t: usize, churn: usize) -> Self {
         assert!(t >= 1, "window must be positive");
-        TIntervalAdversary { t, churn, tree: None }
+        TIntervalAdversary {
+            t,
+            churn,
+            tree: None,
+        }
     }
 }
 
@@ -244,7 +255,11 @@ mod tests {
         for round in 0..30 {
             let g = adv.topology(round, &view, &mut rng);
             assert_eq!(g.num_nodes(), n, "{}: wrong size", adv.name());
-            assert!(g.is_connected(), "{}: disconnected at round {round}", adv.name());
+            assert!(
+                g.is_connected(),
+                "{}: disconnected at round {round}",
+                adv.name()
+            );
         }
     }
 
@@ -329,7 +344,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let a = adv.topology(0, &view, &mut rng);
         let b = adv.topology(1, &view, &mut rng);
-        assert_ne!(a.edges(), b.edges(), "churn edges should differ within a window");
+        assert_ne!(
+            a.edges(),
+            b.edges(),
+            "churn edges should differ within a window"
+        );
     }
 
     #[test]

@@ -79,7 +79,11 @@ impl<A: Adversary> TStable<A> {
     /// Panics if `t == 0`.
     pub fn new(inner: A, t: usize) -> Self {
         assert!(t >= 1, "stability period must be at least 1");
-        TStable { inner, t, current: None }
+        TStable {
+            inner,
+            t,
+            current: None,
+        }
     }
 
     /// The stability period.
@@ -137,7 +141,10 @@ mod tests {
             }
             prev = Some(g);
         }
-        assert!(changes >= 2, "the topology should actually change across periods");
+        assert!(
+            changes >= 2,
+            "the topology should actually change across periods"
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ impl core::fmt::Debug for BitSet {
 impl BitSet {
     /// An empty set over the universe `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        BitSet { words: vec![0; capacity.div_ceil(64)], capacity }
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
     }
 
     /// The universe size.
@@ -30,7 +33,11 @@ impl BitSet {
     /// # Panics
     /// Panics if `i >= capacity`.
     pub fn insert(&mut self, i: usize) -> bool {
-        assert!(i < self.capacity, "element {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "element {i} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (i / 64, i % 64);
         let was = self.words[w] >> b & 1;
         self.words[w] |= 1 << b;
@@ -42,7 +49,11 @@ impl BitSet {
     /// # Panics
     /// Panics if `i >= capacity`.
     pub fn remove(&mut self, i: usize) -> bool {
-        assert!(i < self.capacity, "element {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "element {i} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (i / 64, i % 64);
         let was = self.words[w] >> b & 1;
         self.words[w] &= !(1 << b);
@@ -54,7 +65,11 @@ impl BitSet {
     /// # Panics
     /// Panics if `i >= capacity`.
     pub fn contains(&self, i: usize) -> bool {
-        assert!(i < self.capacity, "element {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "element {i} out of capacity {}",
+            self.capacity
+        );
         self.words[i / 64] >> (i % 64) & 1 == 1
     }
 
@@ -112,7 +127,10 @@ impl BitSet {
     /// Panics on capacity mismatch.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         assert_eq!(self.capacity, other.capacity, "capacity mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// A 64-bit content signature: equal sets always collide, unequal

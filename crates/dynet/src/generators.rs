@@ -110,7 +110,10 @@ pub fn dumbbell(n: usize, bridge_a: NodeId, bridge_b: NodeId) -> Graph {
     assert!(n >= 2, "dumbbell needs n >= 2");
     let half = n.div_ceil(2);
     assert!(bridge_a < half, "bridge_a must lie in the first clique");
-    assert!((half..n).contains(&bridge_b), "bridge_b must lie in the second clique");
+    assert!(
+        (half..n).contains(&bridge_b),
+        "bridge_b must lie in the second clique"
+    );
     let mut g = Graph::empty(n);
     for u in 0..half {
         for v in u + 1..half {

@@ -24,7 +24,10 @@ impl core::fmt::Debug for Graph {
 impl Graph {
     /// The empty graph on `n` nodes.
     pub fn empty(n: usize) -> Self {
-        Graph { adj: vec![Vec::new(); n], num_edges: 0 }
+        Graph {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
     }
 
     /// Builds a graph from an edge list.
@@ -238,7 +241,7 @@ mod tests {
         assert!(g2.has_edge(0, 1));
         assert!(!g2.has_edge(0, 3));
         assert_eq!(g2.diameter(), 3); // path of 6 nodes, stride-2 hops
-        // G^(n) of a connected graph is complete.
+                                      // G^(n) of a connected graph is complete.
         let gn = g.power(5);
         assert_eq!(gn.num_edges(), 6 * 5 / 2);
     }

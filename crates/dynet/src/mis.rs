@@ -171,12 +171,18 @@ pub fn patch_decomposition(g: &Graph, d: usize, rng: Option<&mut StdRng>) -> Pat
     }
 
     let mut children = vec![Vec::new(); n];
-    for v in 0..n {
-        if let Some(p) = parent[v] {
+    for (v, p) in parent.iter().enumerate() {
+        if let Some(p) = *p {
             children[p].push(v);
         }
     }
-    Patching { patch_of, leaders, parent, depth: dist, children }
+    Patching {
+        patch_of,
+        leaders,
+        parent,
+        depth: dist,
+        children,
+    }
 }
 
 #[cfg(test)]
@@ -246,7 +252,11 @@ mod tests {
         for (i, &a) in p.leaders.iter().enumerate() {
             let dist = g.bfs_distances(a);
             for &b in &p.leaders[i + 1..] {
-                assert!(dist[b] > d, "leaders {a},{b} at distance {} <= D={d}", dist[b]);
+                assert!(
+                    dist[b] > d,
+                    "leaders {a},{b} at distance {} <= D={d}",
+                    dist[b]
+                );
             }
         }
     }

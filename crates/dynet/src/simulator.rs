@@ -46,8 +46,7 @@ pub trait Protocol {
     fn num_tokens(&self) -> usize;
 
     /// Node `node` chooses its broadcast for `round`; `None` means silence.
-    fn compose(&mut self, node: NodeId, round: usize, rng: &mut StdRng)
-        -> Option<Self::Message>;
+    fn compose(&mut self, node: NodeId, round: usize, rng: &mut StdRng) -> Option<Self::Message>;
 
     /// The size of `msg` on the wire, in bits.
     fn message_bits(&self, msg: &Self::Message) -> u64;
@@ -80,7 +79,11 @@ pub struct SimConfig {
 impl SimConfig {
     /// A config with the given round cap, permissive bits, no history.
     pub fn with_max_rounds(max_rounds: usize) -> Self {
-        SimConfig { max_rounds, bit_limit: None, record_history: false }
+        SimConfig {
+            max_rounds,
+            bit_limit: None,
+            record_history: false,
+        }
     }
 
     /// Enables the strict per-message bit limit.

@@ -26,7 +26,13 @@ impl<A: Adversary> RecordingAdversary<A> {
     /// recorded.
     pub fn new(inner: A) -> (Self, SharedTrace) {
         let trace: SharedTrace = Rc::new(RefCell::new(Vec::new()));
-        (RecordingAdversary { inner, trace: trace.clone() }, trace)
+        (
+            RecordingAdversary {
+                inner,
+                trace: trace.clone(),
+            },
+            trace,
+        )
     }
 }
 
@@ -98,8 +104,7 @@ mod tests {
         let (mut rec, trace) = RecordingAdversary::new(ShuffledPathAdversary);
         let view = KnowledgeView::blank(10, 2);
         let mut rng = StdRng::seed_from_u64(3);
-        let originals: Vec<Graph> =
-            (0..6).map(|r| rec.topology(r, &view, &mut rng)).collect();
+        let originals: Vec<Graph> = (0..6).map(|r| rec.topology(r, &view, &mut rng)).collect();
         assert_eq!(trace.borrow().len(), 6);
 
         let mut replay = ReplayAdversary::from_shared(&trace);

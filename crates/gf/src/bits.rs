@@ -39,7 +39,10 @@ fn words_for(len: usize) -> usize {
 impl Gf2Vec {
     /// The zero vector of the given length.
     pub fn zeros(len: usize) -> Self {
-        Gf2Vec { words: vec![0; words_for(len)], len }
+        Gf2Vec {
+            words: vec![0; words_for(len)],
+            len,
+        }
     }
 
     /// The standard basis vector e_i.
@@ -269,7 +272,11 @@ pub struct Gf2Basis {
 impl Gf2Basis {
     /// The zero subspace of GF(2)^len.
     pub fn new(len: usize) -> Self {
-        Gf2Basis { rows: Vec::new(), pivots: Vec::new(), len }
+        Gf2Basis {
+            rows: Vec::new(),
+            pivots: Vec::new(),
+            len,
+        }
     }
 
     /// Ambient vector length.
@@ -518,8 +525,7 @@ mod tests {
     fn basis_decode_matches_dense_semantics() {
         let mut rng = StdRng::seed_from_u64(6);
         let (k, d) = (10, 16);
-        let payloads: Vec<Gf2Vec> =
-            (0..k).map(|_| Gf2Vec::random(d, &mut rng)).collect();
+        let payloads: Vec<Gf2Vec> = (0..k).map(|_| Gf2Vec::random(d, &mut rng)).collect();
         let sources: Vec<Gf2Vec> = payloads
             .iter()
             .enumerate()

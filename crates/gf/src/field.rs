@@ -97,7 +97,11 @@ pub fn assert_field_axioms<F: Field>(a: F, b: F, c: F) {
     assert_eq!(a.add(b), b.add(a), "addition must commute");
     assert_eq!(a.mul(b), b.mul(a), "multiplication must commute");
     assert_eq!(a.add(b).add(c), a.add(b.add(c)), "addition must associate");
-    assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)), "multiplication must associate");
+    assert_eq!(
+        a.mul(b).mul(c),
+        a.mul(b.mul(c)),
+        "multiplication must associate"
+    );
     assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)), "distributivity");
     assert_eq!(a.add(F::ZERO), a, "zero is the additive identity");
     assert_eq!(a.mul(F::ONE), a, "one is the multiplicative identity");
@@ -132,7 +136,11 @@ mod tests {
             }
         } else {
             for _ in 0..samples {
-                assert_field_axioms(F::random(&mut rng), F::random(&mut rng), F::random(&mut rng));
+                assert_field_axioms(
+                    F::random(&mut rng),
+                    F::random(&mut rng),
+                    F::random(&mut rng),
+                );
             }
         }
     }

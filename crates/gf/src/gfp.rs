@@ -107,14 +107,8 @@ mod tests {
         type F5 = GfP<5>;
         for a in 0..5u64 {
             for b in 0..5u64 {
-                assert_eq!(
-                    F5::from_u64(a).add(F5::from_u64(b)).value(),
-                    (a + b) % 5
-                );
-                assert_eq!(
-                    F5::from_u64(a).mul(F5::from_u64(b)).value(),
-                    (a * b) % 5
-                );
+                assert_eq!(F5::from_u64(a).add(F5::from_u64(b)).value(), (a + b) % 5);
+                assert_eq!(F5::from_u64(a).mul(F5::from_u64(b)).value(), (a * b) % 5);
                 assert_eq!(
                     F5::from_u64(a).sub(F5::from_u64(b)).value(),
                     (a + 5 - b) % 5

@@ -27,7 +27,10 @@ impl<F: Field> core::fmt::Debug for Matrix<F> {
 impl<F: Field> Matrix<F> {
     /// An empty matrix with the given number of columns.
     pub fn new(ncols: usize) -> Self {
-        Matrix { rows: Vec::new(), ncols }
+        Matrix {
+            rows: Vec::new(),
+            ncols,
+        }
     }
 
     /// Builds a matrix from rows.
@@ -280,7 +283,10 @@ mod tests {
                 found += 1;
             }
         }
-        assert!(found > 10, "random GF(256) matrices should usually be invertible");
+        assert!(
+            found > 10,
+            "random GF(256) matrices should usually be invertible"
+        );
     }
 
     #[test]

@@ -30,7 +30,11 @@ pub struct Subspace<F: Field> {
 impl<F: Field> Subspace<F> {
     /// The zero subspace of F^len.
     pub fn new(len: usize) -> Self {
-        Subspace { rows: Vec::new(), pivots: Vec::new(), len }
+        Subspace {
+            rows: Vec::new(),
+            pivots: Vec::new(),
+            len,
+        }
     }
 
     /// Ambient dimension (vector length).
@@ -206,8 +210,7 @@ mod tests {
     fn contains_matches_membership() {
         let mut rng = StdRng::seed_from_u64(78);
         let mut s: Subspace<Gf257> = Subspace::new(6);
-        let gens: Vec<Vec<Gf257>> =
-            (0..3).map(|_| vector::random_vec(6, &mut rng)).collect();
+        let gens: Vec<Vec<Gf257>> = (0..3).map(|_| vector::random_vec(6, &mut rng)).collect();
         for g in &gens {
             s.insert(g.clone());
         }
@@ -223,7 +226,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits <= 2, "3-dim subspace of F_257^6 contains ~2^-24 of space");
+        assert!(
+            hits <= 2,
+            "3-dim subspace of F_257^6 contains ~2^-24 of space"
+        );
     }
 
     #[test]
@@ -231,8 +237,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(79);
         let k = 5;
         let d = 4;
-        let payloads: Vec<Vec<Gf256>> =
-            (0..k).map(|_| vector::random_vec(d, &mut rng)).collect();
+        let payloads: Vec<Vec<Gf256>> = (0..k).map(|_| vector::random_vec(d, &mut rng)).collect();
         let sources: Vec<Vec<Gf256>> = (0..k)
             .map(|i| {
                 let mut v = vector::unit_vec::<Gf256>(k + d, i);
@@ -285,12 +290,7 @@ mod tests {
         // mu = e_0 has dot 1 with the prefix: sensed.
         assert!(s.senses(&vector::unit_vec::<Gf257>(k, 0)));
         // mu = (1, 256, 0, 0) has dot 1 + 256 = 0 mod 257: not sensed.
-        assert!(!s.senses(&[
-            Gf257::new(1),
-            Gf257::new(256),
-            Gf257::new(0),
-            Gf257::new(0)
-        ]));
+        assert!(!s.senses(&[Gf257::new(1), Gf257::new(256), Gf257::new(0), Gf257::new(0)]));
         // mu = e_2: prefix orthogonal, not sensed.
         assert!(!s.senses(&vector::unit_vec::<Gf257>(k, 2)));
     }

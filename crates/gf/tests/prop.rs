@@ -1,6 +1,8 @@
 //! Property-based tests for the field and linear-algebra substrate.
 
-use dyncode_gf::{matrix::Matrix, vector, Field, Gf2, Gf256, Gf2Basis, Gf2Vec, Mersenne61, Subspace};
+use dyncode_gf::{
+    matrix::Matrix, vector, Field, Gf2, Gf256, Gf2Basis, Gf2Vec, Mersenne61, Subspace,
+};
 use proptest::prelude::*;
 use rand::{rngs::StdRng, SeedableRng};
 

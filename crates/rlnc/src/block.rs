@@ -73,8 +73,9 @@ mod tests {
         for (count, token_bits, per_block) in
             [(1usize, 8usize, 1usize), (7, 8, 3), (12, 5, 4), (9, 16, 2)]
         {
-            let tokens: Vec<Gf2Vec> =
-                (0..count).map(|_| Gf2Vec::random(token_bits, &mut rng)).collect();
+            let tokens: Vec<Gf2Vec> = (0..count)
+                .map(|_| Gf2Vec::random(token_bits, &mut rng))
+                .collect();
             let blocks = group_tokens(&tokens, token_bits, per_block);
             assert_eq!(blocks.len(), count.div_ceil(per_block));
             for b in &blocks {

@@ -116,8 +116,7 @@ pub fn omniscient_stall_run<F: Field>(
 
     let mut innovative_deliveries = 0usize;
     let mut fully_stalled_rounds = 0usize;
-    let all_done =
-        |nodes: &[DenseNode<F>]| nodes.iter().all(|nd| nd.coefficient_rank() == k);
+    let all_done = |nodes: &[DenseNode<F>]| nodes.iter().all(|nd| nd.coefficient_rank() == k);
 
     for round in 0..max_rounds {
         if all_done(&nodes) {
@@ -153,7 +152,7 @@ pub fn omniscient_stall_run<F: Field>(
 
         // Safe subgraph and its components (union-find).
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        fn find(parent: &mut [usize], x: usize) -> usize {
             let mut r = x;
             while parent[r] != r {
                 r = parent[r];
@@ -182,8 +181,7 @@ pub fn omniscient_stall_run<F: Field>(
         // Bridge remaining components with minimum-harm edges.
         let mut stalled = true;
         loop {
-            let roots: Vec<usize> =
-                (0..n).filter(|&u| find(&mut parent, u) == u).collect();
+            let roots: Vec<usize> = (0..n).filter(|&u| find(&mut parent, u) == u).collect();
             if roots.len() <= 1 {
                 break;
             }

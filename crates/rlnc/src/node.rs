@@ -22,7 +22,11 @@ pub struct Gf2Node {
 impl Gf2Node {
     /// A fresh node that has received nothing.
     pub fn new(dims: usize, payload_bits: usize) -> Self {
-        Gf2Node { basis: Gf2Basis::new(dims + payload_bits), dims, payload_bits }
+        Gf2Node {
+            basis: Gf2Basis::new(dims + payload_bits),
+            dims,
+            payload_bits,
+        }
     }
 
     /// Number of coded dimensions (k in the paper).
@@ -49,7 +53,8 @@ impl Gf2Node {
     pub fn seed_source(&mut self, i: usize, payload: &Gf2Vec) {
         assert!(i < self.dims, "source index out of range");
         assert_eq!(payload.len(), self.payload_bits, "payload width mismatch");
-        self.basis.insert(Gf2Packet::source(self.dims, i, payload).vec);
+        self.basis
+            .insert(Gf2Packet::source(self.dims, i, payload).vec);
     }
 
     /// Receives a packet; returns `true` iff it was innovative.
@@ -111,7 +116,11 @@ impl<F: Field> DenseNode<F> {
     /// A fresh node for `dims` coded indices with `payload_len`-symbol
     /// payloads.
     pub fn new(dims: usize, payload_len: usize) -> Self {
-        DenseNode { space: Subspace::new(dims + payload_len), dims, payload_len }
+        DenseNode {
+            space: Subspace::new(dims + payload_len),
+            dims,
+            payload_len,
+        }
     }
 
     /// Number of coded dimensions.
@@ -228,7 +237,10 @@ mod tests {
         assert_eq!(sink.decode().unwrap(), payloads);
         // Over GF(2) each combination is innovative w.p. ~1/2 per missing
         // dim; decoding in ~2k receptions is the expected regime.
-        assert!(rounds >= k, "cannot decode k dims from fewer than k packets");
+        assert!(
+            rounds >= k,
+            "cannot decode k dims from fewer than k packets"
+        );
     }
 
     #[test]
@@ -302,7 +314,11 @@ mod tests {
             } else {
                 sink.receive(&src.emit(&mut rng).unwrap());
             }
-            let avail = sink.decode_available().iter().filter(|t| t.is_some()).count();
+            let avail = sink
+                .decode_available()
+                .iter()
+                .filter(|t| t.is_some())
+                .count();
             assert!(avail >= prev, "partial decode regressed");
             prev = avail;
             if sink.decode().is_some() {

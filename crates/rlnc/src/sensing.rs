@@ -23,7 +23,10 @@ pub struct SensingTracker {
 impl SensingTracker {
     /// Tracks `mus` over `n` nodes.
     pub fn new(n: usize, mus: Vec<Gf2Vec>) -> Self {
-        SensingTracker { sensed: vec![vec![false; n]; mus.len()], mus }
+        SensingTracker {
+            sensed: vec![vec![false; n]; mus.len()],
+            mus,
+        }
     }
 
     /// `count` uniformly random nonzero directions in GF(2)^dims.
@@ -69,7 +72,10 @@ impl SensingTracker {
     /// The minimum sensing count over all tracked directions — the
     /// bottleneck the union bound in Lemma 5.3 is about.
     pub fn min_count(&self) -> usize {
-        (0..self.mus.len()).map(|m| self.count(m)).min().unwrap_or(0)
+        (0..self.mus.len())
+            .map(|m| self.count(m))
+            .min()
+            .unwrap_or(0)
     }
 
     /// Do all nodes sense all tracked directions?
@@ -132,7 +138,10 @@ mod tests {
     fn lemma_5_2_gf256_probability_near_one() {
         let mut rng = StdRng::seed_from_u64(2);
         let p = per_hop_sense_probability::<Gf256, _>(12, 4, 2000, &mut rng);
-        assert!(p >= 1.0 - 1.0 / 256.0 - 0.01, "GF(256) transfer probability {p}");
+        assert!(
+            p >= 1.0 - 1.0 / 256.0 - 0.01,
+            "GF(256) transfer probability {p}"
+        );
     }
 
     #[test]

@@ -44,7 +44,8 @@ fn main() {
     }
     println!();
 
-    let protocols: Vec<(&str, Box<dyn Fn(&mut dyn Adversary) -> (usize, bool)>)> = vec![
+    type ProtocolRunner<'a> = Box<dyn Fn(&mut dyn Adversary) -> (usize, bool) + 'a>;
+    let protocols: Vec<(&str, ProtocolRunner)> = vec![
         (
             "token-forwarding",
             Box::new(|adv: &mut dyn Adversary| {

@@ -41,7 +41,11 @@ fn count_with_guess(true_n: usize, guess: usize, seed: u64) -> (usize, usize) {
     );
     assert!(r.completed, "dissemination is Las Vegas: it must finish");
     let view = proto.view();
-    let counts: Vec<usize> = view.tokens.iter().map(dyncode::dynet::BitSet::len).collect();
+    let counts: Vec<usize> = view
+        .tokens
+        .iter()
+        .map(dyncode::dynet::BitSet::len)
+        .collect();
     assert!(
         counts.iter().all(|&c| c == counts[0]),
         "all nodes must agree on the count"

@@ -28,8 +28,7 @@ fn main() {
     let mut proto = IndexedBroadcast::new(&inst);
     let mut adv = adversaries::ShuffledPathAdversary;
     let mut rng = StdRng::seed_from_u64(99);
-    let mut tracker =
-        SensingTracker::random_directions(params.n, params.k, 64, &mut rng);
+    let mut tracker = SensingTracker::random_directions(params.n, params.k, 64, &mut rng);
 
     println!(
         "tracking {} random directions mu in GF(2)^{} over {} nodes\n",
@@ -47,7 +46,12 @@ fn main() {
     loop {
         // One simulated round: reuse the library runner with a 1-round cap
         // on a fresh continuation (the protocol object carries all state).
-        let r = run(&mut proto, &mut adv, &SimConfig::with_max_rounds(1), round as u64);
+        let r = run(
+            &mut proto,
+            &mut adv,
+            &SimConfig::with_max_rounds(1),
+            round as u64,
+        );
         round += 1;
         for u in 0..params.n {
             let node = proto.node(u);

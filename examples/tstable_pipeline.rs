@@ -37,7 +37,12 @@ fn main() {
             TokenForwarding::pipelined(&instance, t)
         };
         let mut adv = TStable::new(ShuffledPathAdversary, t);
-        let rf = run(&mut fwd, &mut adv, &SimConfig::with_max_rounds(5_000_000), 9);
+        let rf = run(
+            &mut fwd,
+            &mut adv,
+            &SimConfig::with_max_rounds(5_000_000),
+            9,
+        );
         assert!(rf.completed && fully_disseminated(&fwd), "forwarding T={t}");
 
         // The patch algorithm (charged-round meta simulation, §8).

@@ -39,8 +39,8 @@ pub use dyncode_rlnc as rlnc;
 pub mod prelude {
     pub use dyncode_core::params::{Instance, Params, Placement};
     pub use dyncode_core::protocols::{
-        Centralized, GreedyForward, IndexedBroadcast, NaiveCoded, PriorityForward,
-        RandomForward, TokenForwarding,
+        Centralized, GreedyForward, IndexedBroadcast, NaiveCoded, PriorityForward, RandomForward,
+        TokenForwarding,
     };
     pub use dyncode_core::runner::{fully_disseminated, summarize, sweep_seeds};
     pub use dyncode_core::theory;

@@ -7,7 +7,11 @@ use dyncode_dynet::adversaries::standard_suite;
 
 fn check<P: Protocol>(mut proto: P, adv: &mut dyn Adversary, cap: usize, seed: u64) -> usize {
     let r = run(&mut proto, adv, &SimConfig::with_max_rounds(cap), seed);
-    assert!(r.completed, "protocol failed under {} (seed {seed})", adv.name());
+    assert!(
+        r.completed,
+        "protocol failed under {} (seed {seed})",
+        adv.name()
+    );
     assert!(
         fully_disseminated(&proto),
         "incomplete dissemination under {} (seed {seed})",
@@ -22,7 +26,12 @@ fn all_protocols_all_adversaries_one_token_per_node() {
     let inst = Instance::generate(params, Placement::OneTokenPerNode, 5);
     for seed in [1u64, 2] {
         for adv in &mut standard_suite() {
-            check(TokenForwarding::baseline(&inst), adv.as_mut(), 100_000, seed);
+            check(
+                TokenForwarding::baseline(&inst),
+                adv.as_mut(),
+                100_000,
+                seed,
+            );
             check(GreedyForward::new(&inst), adv.as_mut(), 200_000, seed);
             check(PriorityForward::new(&inst), adv.as_mut(), 200_000, seed);
             check(NaiveCoded::new(&inst), adv.as_mut(), 200_000, seed);
@@ -63,15 +72,9 @@ fn t_stable_wrapping_preserves_correctness() {
     let params = Params::new(12, 12, 6, 12);
     let inst = Instance::generate(params, Placement::OneTokenPerNode, 6);
     for t in [2usize, 5, 11] {
-        let mut adv = TStable::new(
-            dyncode_dynet::adversaries::ShuffledPathAdversary,
-            t,
-        );
+        let mut adv = TStable::new(dyncode_dynet::adversaries::ShuffledPathAdversary, t);
         check(TokenForwarding::pipelined(&inst, t), &mut adv, 100_000, 2);
-        let mut adv2 = TStable::new(
-            dyncode_dynet::adversaries::ShuffledPathAdversary,
-            t,
-        );
+        let mut adv2 = TStable::new(dyncode_dynet::adversaries::ShuffledPathAdversary, t);
         check(GreedyForward::new(&inst), &mut adv2, 200_000, 2);
     }
 }

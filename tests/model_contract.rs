@@ -57,7 +57,12 @@ fn indexed_broadcast_scales_as_n_plus_k() {
         let inst = Instance::generate(params, Placement::RoundRobin, 2);
         let mut p = IndexedBroadcast::new(&inst);
         let mut adv = ShuffledPathAdversary;
-        let r = run(&mut p, &mut adv, &SimConfig::with_max_rounds(50 * (n + k)), 7);
+        let r = run(
+            &mut p,
+            &mut adv,
+            &SimConfig::with_max_rounds(50 * (n + k)),
+            7,
+        );
         assert!(r.completed);
         ratios.push(r.rounds as f64 / (n + k) as f64);
     }
@@ -115,6 +120,76 @@ fn simulator_rejects_disconnected_topologies() {
 }
 
 #[test]
+#[should_panic(expected = "exceeded the message budget")]
+fn strict_accounting_rejects_over_budget_forwarding_messages() {
+    // Error path of the O(b) accounting: token forwarding speaks d-bit
+    // messages, so a (d-1)-bit budget must abort the run immediately.
+    let params = Params::new(8, 8, 6, 12);
+    let inst = Instance::generate(params, Placement::OneTokenPerNode, 2);
+    let mut p = TokenForwarding::baseline(&inst);
+    let mut adv = ShuffledPathAdversary;
+    run(
+        &mut p,
+        &mut adv,
+        &SimConfig::with_max_rounds(1_000).strict_bits(params.d as u64 - 1),
+        9,
+    );
+}
+
+#[test]
+#[should_panic(expected = "exceeded the message budget")]
+fn strict_accounting_rejects_indexed_broadcast_one_bit_short() {
+    // The tightest possible violation: indexed broadcast's wire format is
+    // exactly `wire_bits()` on every round, so a budget one bit below it
+    // must be rejected (and, per the test above this one in the ok-path
+    // suite, exactly `wire_bits()` is accepted).
+    let params = Params::new(10, 10, 5, 15);
+    let inst = Instance::generate(params, Placement::RoundRobin, 4);
+    let mut p = IndexedBroadcast::new(&inst);
+    let wire = p.wire_bits();
+    let mut adv = RandomConnectedAdversary::new(1);
+    run(
+        &mut p,
+        &mut adv,
+        &SimConfig::with_max_rounds(10_000).strict_bits(wire - 1),
+        4,
+    );
+}
+
+#[test]
+fn strict_accounting_charges_the_compose_step_not_delivery() {
+    // The budget applies to what a node *broadcasts*; silence is free. A
+    // run under a generous budget must report max_message_bits equal to
+    // the largest composed message, and that maximum must be reached
+    // (the accounting is tight, not an over-approximation).
+    let params = Params::new(8, 8, 5, 10);
+    let inst = Instance::generate(params, Placement::OneTokenPerNode, 6);
+    let mut p = TokenForwarding::baseline(&inst);
+    let mut adv = ShuffledPathAdversary;
+    let r = run(
+        &mut p,
+        &mut adv,
+        &SimConfig::with_max_rounds(50_000).strict_bits(10_000),
+        6,
+    );
+    assert!(r.completed);
+    assert!(r.max_message_bits > 0, "someone must have spoken");
+    assert!(r.total_bits >= r.max_message_bits);
+    // Re-running with the observed maximum as the budget must succeed:
+    // the reported max is exactly the strictest passing budget.
+    let mut p2 = TokenForwarding::baseline(&inst);
+    let mut adv2 = ShuffledPathAdversary;
+    let r2 = run(
+        &mut p2,
+        &mut adv2,
+        &SimConfig::with_max_rounds(50_000).strict_bits(r.max_message_bits),
+        6,
+    );
+    assert!(r2.completed);
+    assert_eq!(r2.max_message_bits, r.max_message_bits);
+}
+
+#[test]
 fn recorded_schedules_replay_across_protocols() {
     // Record the topologies one protocol saw; replay them for another:
     // paired comparison on the identical schedule.
@@ -129,6 +204,11 @@ fn recorded_schedules_replay_across_protocols() {
 
     let mut replay = ReplayAdversary::from_shared(&trace);
     let mut coded = GreedyForward::new(&inst);
-    let r2 = run(&mut coded, &mut replay, &SimConfig::with_max_rounds(200_000), 4);
+    let r2 = run(
+        &mut coded,
+        &mut replay,
+        &SimConfig::with_max_rounds(200_000),
+        4,
+    );
     assert!(r2.completed && fully_disseminated(&coded));
 }

@@ -1,0 +1,430 @@
+//! Offline-vendored, API-compatible subset of the `proptest` crate.
+//!
+//! The build container has no access to a crate registry, so the workspace
+//! ships this minimal property-testing engine covering exactly the surface
+//! the repo's test suites use:
+//!
+//! * [`Strategy`] with `prop_map` / `prop_flat_map` / `boxed`, implemented
+//!   for integer/bool `any`, ranges, tuples, and [`Just`];
+//! * [`collection::vec`] for variable-length vectors;
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//!   [`prop_assert!`], [`prop_assert_eq!`], and [`prop_oneof!`].
+//!
+//! Semantics: each test runs `ProptestConfig::cases` times on values drawn
+//! from a deterministic RNG seeded from the test's name, so failures
+//! reproduce exactly. There is no shrinking — a failing case panics with
+//! the normal assertion message (the generating seed is deterministic, so
+//! a debugger can replay it).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Random, RngExt, SampleRange};
+
+/// A generator of values of an associated type.
+///
+/// The real proptest couples generation with shrinking; this subset only
+/// generates.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform every generated value with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` derives from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Object-safe generation, used by [`BoxedStrategy`].
+trait ErasedStrategy {
+    type Value;
+    fn erased_generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy> ErasedStrategy for S {
+    type Value = S::Value;
+    fn erased_generate(&self, rng: &mut StdRng) -> Self::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased [`Strategy`].
+pub struct BoxedStrategy<V>(Box<dyn ErasedStrategy<Value = V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        self.0.erased_generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut StdRng) -> T::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of its value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The `any::<T>()` strategy: uniform over `T`'s whole domain.
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// Uniformly sample any value of type `T`.
+pub fn any<T: Random>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: Random> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random()
+    }
+}
+
+impl<T: Copy> Strategy for core::ops::Range<T>
+where
+    core::ops::Range<T>: SampleRange<T>,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+impl<T: Copy> Strategy for core::ops::RangeInclusive<T>
+where
+    core::ops::RangeInclusive<T>: SampleRange<T>,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_for_tuple!(A.0);
+impl_strategy_for_tuple!(A.0, B.1);
+impl_strategy_for_tuple!(A.0, B.1, C.2);
+impl_strategy_for_tuple!(A.0, B.1, C.2, D.3);
+impl_strategy_for_tuple!(A.0, B.1, C.2, D.3, E.4);
+impl_strategy_for_tuple!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// A uniform choice among type-erased alternatives; built by [`prop_oneof!`].
+pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+impl<V> Union<V> {
+    /// A strategy choosing uniformly among `options` each draw.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union(options)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let i = rng.random_range(0..self.0.len());
+        self.0[i].generate(rng)
+    }
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// An inclusive range of collection sizes.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    /// Smallest permitted size.
+    pub min: usize,
+    /// Largest permitted size.
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Per-test configuration, set via `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; sized down because several suites here
+        // run whole protocol simulations per case.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Support machinery used by the [`proptest!`] expansion.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A deterministic RNG derived from the test's name (FNV-1a), so every
+    /// test draws a stable, independent stream.
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+/// Define property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases` times on generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::rng_for(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for _case in 0..config.cases {
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a property test; panics (no shrinking in this subset).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Choose uniformly among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// The glob-import surface matching `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Strategy;
+
+    #[test]
+    fn strategies_compose() {
+        let mut rng = crate::test_runner::rng_for("strategies_compose");
+        let s = (1usize..5, Just(10usize)).prop_map(|(a, b)| a + b);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((11..15).contains(&v));
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_values() {
+        let mut rng = crate::test_runner::rng_for("flat_map_threads_values");
+        let s = (2usize..6).prop_flat_map(|n| (Just(n), 0..n));
+        for _ in 0..200 {
+            let (n, i) = s.generate(&mut rng);
+            assert!(i < n);
+        }
+    }
+
+    #[test]
+    fn oneof_picks_every_branch() {
+        let mut rng = crate::test_runner::rng_for("oneof_picks_every_branch");
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_in_range(x in 3usize..9, flag in any::<bool>()) {
+            prop_assert!((3..9).contains(&x));
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in crate::collection::vec(any::<u8>(), 1..7)) {
+            prop_assert!((1..7).contains(&v.len()));
+        }
+    }
+}
