@@ -3,6 +3,7 @@
 //! constants of `greedy-forward`.
 
 use super::standard_instance;
+use crate::ctx::ExpCtx;
 use crate::table::{f, Table};
 use dyncode_core::protocols::{FieldBroadcast, GreedyConfig, GreedyForward, IndexedBroadcast};
 use dyncode_dynet::adversaries::{KnowledgeAdaptiveAdversary, ShuffledPathAdversary};
@@ -12,10 +13,10 @@ use dyncode_gf::{Gf256, Gf257, Mersenne61};
 /// E15 — the field-size trade-off at protocol level (Section 3's point
 /// that the header competes with the payload): larger q buys per-delivery
 /// innovation 1 − 1/q but costs k·lg q header bits on every message.
-pub fn e15(quick: bool) {
+pub fn e15(ctx: &mut ExpCtx) {
     println!("\n## E15 — ablation: coding field vs rounds and bits");
-    let n = if quick { 24 } else { 48 };
-    let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3] };
+    let n = if ctx.quick { 24 } else { 48 };
+    let seeds: Vec<u64> = if ctx.quick { vec![1] } else { vec![1, 2, 3] };
     let d = 8;
     // A permissive b so every field's header fits; the *measured bits*
     // column shows what each field actually pays.
@@ -31,48 +32,12 @@ pub fn e15(quick: bool) {
         ],
     );
 
-    let mut record = |name: &str, mode: &str, rounds: f64, wire: u64, total_bits: f64| {
-        t.row(vec![
-            name.into(),
-            mode.into(),
-            f(rounds),
-            wire.to_string(),
-            f(total_bits / 1e6),
-        ]);
-    };
-
-    // q = 2 (the packed-GF(2) protocol).
-    {
-        let mut total_r = 0.0;
-        let mut total_b = 0.0;
-        let mut wire = 0;
-        for &s in &seeds {
-            let mut p = IndexedBroadcast::new(&inst);
-            wire = p.wire_bits();
-            let mut adv = ShuffledPathAdversary;
-            let r = run(&mut p, &mut adv, &SimConfig::with_max_rounds(100 * n), s);
-            assert!(r.completed);
-            total_r += r.rounds as f64;
-            total_b += r.total_bits as f64;
-        }
-        record(
-            "2",
-            "randomized",
-            total_r / seeds.len() as f64,
-            wire,
-            total_b / seeds.len() as f64,
-        );
-    }
-
     fn field_case<F: dyncode_gf::Field>(
-        name: &str,
-        mode: &str,
         deterministic: bool,
         inst: &dyncode_core::params::Instance,
         seeds: &[u64],
         n: usize,
-        record: &mut impl FnMut(&str, &str, f64, u64, f64),
-    ) {
+    ) -> (f64, u64, f64) {
         let mut total_r = 0.0;
         let mut total_b = 0.0;
         let mut wire = 0;
@@ -85,33 +50,70 @@ pub fn e15(quick: bool) {
             wire = p.wire_bits();
             let mut adv = ShuffledPathAdversary;
             let r = run(&mut p, &mut adv, &SimConfig::with_max_rounds(100 * n), s);
-            assert!(r.completed, "{name} failed");
+            assert!(r.completed, "field case failed");
             total_r += r.rounds as f64;
             total_b += r.total_bits as f64;
         }
-        record(
-            name,
-            mode,
+        (
             total_r / seeds.len() as f64,
             wire,
             total_b / seeds.len() as f64,
-        );
+        )
     }
 
-    field_case::<Gf256>("256", "randomized", false, &inst, &seeds, n, &mut record);
-    field_case::<Gf257>("257", "randomized", false, &inst, &seeds, n, &mut record);
-    field_case::<Mersenne61>("2^61-1", "randomized", false, &inst, &seeds, n, &mut record);
-    field_case::<Mersenne61>(
-        "2^61-1",
-        "deterministic",
-        true,
-        &inst,
-        &seeds,
-        n,
-        &mut record,
+    // One engine cell per field/mode variant.
+    let variants: &[(&str, &str)] = &[
+        ("2", "randomized"),
+        ("256", "randomized"),
+        ("257", "randomized"),
+        ("2^61-1", "randomized"),
+        ("2^61-1", "deterministic"),
+    ];
+    let (inst_ref, seeds_ref) = (&inst, &seeds);
+    let rows = ctx.map(
+        (0..variants.len())
+            .map(|vi| {
+                move || match vi {
+                    0 => {
+                        // q = 2 (the packed-GF(2) protocol).
+                        let mut total_r = 0.0;
+                        let mut total_b = 0.0;
+                        let mut wire = 0;
+                        for &s in seeds_ref {
+                            let mut p = IndexedBroadcast::new(inst_ref);
+                            wire = p.wire_bits();
+                            let mut adv = ShuffledPathAdversary;
+                            let r = run(&mut p, &mut adv, &SimConfig::with_max_rounds(100 * n), s);
+                            assert!(r.completed);
+                            total_r += r.rounds as f64;
+                            total_b += r.total_bits as f64;
+                        }
+                        (
+                            total_r / seeds_ref.len() as f64,
+                            wire,
+                            total_b / seeds_ref.len() as f64,
+                        )
+                    }
+                    1 => field_case::<Gf256>(false, inst_ref, seeds_ref, n),
+                    2 => field_case::<Gf257>(false, inst_ref, seeds_ref, n),
+                    3 => field_case::<Mersenne61>(false, inst_ref, seeds_ref, n),
+                    _ => field_case::<Mersenne61>(true, inst_ref, seeds_ref, n),
+                }
+            })
+            .collect(),
     );
-
-    t.print();
+    for (&(name, mode), &(rounds, wire, total_bits)) in variants.iter().zip(&rows) {
+        t.row(vec![
+            name.into(),
+            mode.into(),
+            f(rounds),
+            wire.to_string(),
+            f(total_bits / 1e6),
+        ]);
+        ctx.scalar(format!("E15 rounds q={name} {mode}"), rounds);
+        ctx.scalar(format!("E15 bits/message q={name} {mode}"), wire as f64);
+    }
+    ctx.table(&t);
     println!(
         "rounds shrink as 1/(1−1/q) saturates (GF(2) pays ≈2× deliveries) while\n\
          bits/message grow as k·lg q: the Section 3 header/payload tension that\n\
@@ -123,12 +125,12 @@ pub fn e15(quick: bool) {
 /// E16 — ablation of greedy-forward's phase constants: the gather length
 /// (Lemma 7.2 analyzes exactly n rounds) and the coded-broadcast length
 /// (short phases rely on the Las-Vegas verify loop to mop up failures).
-pub fn e16(quick: bool) {
+pub fn e16(ctx: &mut ExpCtx) {
     println!("\n## E16 — ablation: greedy-forward phase constants");
-    let n = if quick { 32 } else { 64 };
+    let n = if ctx.quick { 32 } else { 64 };
     let d = super::d_for(n);
     let b = 2 * d;
-    let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3] };
+    let seeds: Vec<u64> = if ctx.quick { vec![1] } else { vec![1, 2, 3] };
     let inst = standard_instance(n, d, b, 23);
     let mut t = Table::new(
         format!("E16: gather/broadcast multipliers (n = k = {n}, d = {d}, b = {b})"),
@@ -139,40 +141,53 @@ pub fn e16(quick: bool) {
             "verify retries (mean)",
         ],
     );
-    for gather_mult in [1usize, 2] {
-        for broadcast_mult in [1usize, 2, 3] {
-            let mut total_rounds = 0.0;
-            let mut total_retries = 0.0;
-            for &s in &seeds {
-                let cfg = GreedyConfig {
-                    gather_mult,
-                    broadcast_mult,
-                };
-                let mut p = GreedyForward::with_config(&inst, cfg);
-                let mut adv = KnowledgeAdaptiveAdversary;
-                let r = run(
-                    &mut p,
-                    &mut adv,
-                    &SimConfig::with_max_rounds(200 * n * n),
-                    s,
-                );
-                assert!(
-                    r.completed,
-                    "config ({gather_mult},{broadcast_mult}) failed"
-                );
-                assert!((0..n).all(|u| p.view().tokens[u].len() == n));
-                total_rounds += r.rounds as f64;
-                total_retries += p.total_retries() as f64;
-            }
-            t.row(vec![
-                gather_mult.to_string(),
-                broadcast_mult.to_string(),
-                f(total_rounds / seeds.len() as f64),
-                f(total_retries / seeds.len() as f64),
-            ]);
-        }
+    // One engine cell per configuration.
+    let configs: Vec<(usize, usize)> = [1usize, 2]
+        .iter()
+        .flat_map(|&g| [1usize, 2, 3].into_iter().map(move |bm| (g, bm)))
+        .collect();
+    let (inst_ref, seeds_ref) = (&inst, &seeds);
+    let rows = ctx.map(
+        configs
+            .iter()
+            .map(|&(gather_mult, broadcast_mult)| {
+                move || {
+                    let mut total_rounds = 0.0;
+                    let mut total_retries = 0.0;
+                    for &s in seeds_ref {
+                        let cfg = GreedyConfig {
+                            gather_mult,
+                            broadcast_mult,
+                        };
+                        let mut p = GreedyForward::with_config(inst_ref, cfg);
+                        let mut adv = KnowledgeAdaptiveAdversary;
+                        let r = run(
+                            &mut p,
+                            &mut adv,
+                            &SimConfig::with_max_rounds(200 * n * n),
+                            s,
+                        );
+                        assert!(
+                            r.completed,
+                            "config ({gather_mult},{broadcast_mult}) failed"
+                        );
+                        assert!((0..n).all(|u| p.view().tokens[u].len() == n));
+                        total_rounds += r.rounds as f64;
+                        total_retries += p.total_retries() as f64;
+                    }
+                    (
+                        total_rounds / seeds_ref.len() as f64,
+                        total_retries / seeds_ref.len() as f64,
+                    )
+                }
+            })
+            .collect(),
+    );
+    for (&(g, bm), &(rounds, retries)) in configs.iter().zip(&rows) {
+        t.row(vec![g.to_string(), bm.to_string(), f(rounds), f(retries)]);
+        ctx.scalar(format!("E16 rounds gather={g} broadcast={bm}"), rounds);
     }
-    t.print();
+    ctx.table(&t);
     println!(
         "short broadcasts fail whp-decode and lean on the Las-Vegas verify loop\n\
          (retries fall to 0 by broadcast_mult = 3); net rounds are minimized around\n\

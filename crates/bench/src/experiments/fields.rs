@@ -1,6 +1,7 @@
 //! E9 (Theorem 6.1 / Corollary 6.2) and E11 (Lemma 5.2): field-size
 //! effects and derandomization.
 
+use crate::ctx::ExpCtx;
 use crate::table::{f, Table};
 use dyncode_gf::{Field, Gf2, Gf256, Gf257, Mersenne61};
 use dyncode_rlnc::determinize::omniscient_stall_run;
@@ -11,10 +12,10 @@ use rand::SeedableRng;
 /// E9 — Theorem 6.1: an omniscient adversary (knows all coefficients in
 /// advance) stalls GF(2) but cannot stall a large field; deterministic
 /// advice-schedule coding works at q = 2^61 − 1.
-pub fn e9(quick: bool) {
+pub fn e9(ctx: &mut ExpCtx) {
     println!("\n## E9 — Theorem 6.1: omniscient adversary vs field size");
-    let sizes: &[usize] = if quick { &[8] } else { &[8, 12, 16] };
-    let seeds: &[u64] = if quick { &[1, 2] } else { &[1, 2, 3] };
+    let sizes: &[usize] = if ctx.quick { &[8] } else { &[8, 12, 16] };
+    let seeds: &[u64] = if ctx.quick { &[1, 2] } else { &[1, 2, 3] };
     let mut t = Table::new(
         "E9: deterministic advice coding vs the omniscient staller (k = n)",
         &[
@@ -27,42 +28,55 @@ pub fn e9(quick: bool) {
             "header bits (k·lg q)",
         ],
     );
-    for &n in sizes {
-        let cap = 60 * (n + n);
-        let mut run_field =
-            |name: &str, runner: &dyn Fn(u64) -> dyncode_rlnc::StallResult, lgq: u32| {
-                let results: Vec<_> = seeds.iter().map(|&s| runner(s)).collect();
-                let done = results.iter().filter(|r| r.completed).count();
-                let mean_rounds =
-                    results.iter().map(|r| r.rounds as f64).sum::<f64>() / results.len() as f64;
-                let stalled = results
-                    .iter()
-                    .map(|r| r.fully_stalled_rounds)
-                    .sum::<usize>()
-                    / results.len();
-                t.row(vec![
-                    n.to_string(),
-                    name.into(),
-                    format!("{done}/{}", results.len()),
-                    f(mean_rounds),
-                    f(mean_rounds / (2 * n) as f64),
-                    stalled.to_string(),
-                    (n as u32 * lgq).to_string(),
-                ]);
-            };
-        run_field("2", &|s| omniscient_stall_run::<Gf2>(n, n, 2, s, cap), 1);
-        run_field(
-            "257",
-            &|s| omniscient_stall_run::<Gf257>(n, n, 2, s, cap),
-            9,
-        );
-        run_field(
-            "2^61-1",
-            &|s| omniscient_stall_run::<Mersenne61>(n, n, 2, s, cap),
-            61,
-        );
+    // One engine cell per (n, field): the omniscient search loop is the
+    // hot part, so the grid parallelizes across both axes.
+    let fields: &[(&str, u32)] = &[("2", 1), ("257", 9), ("2^61-1", 61)];
+    let cases: Vec<(usize, usize)> = sizes
+        .iter()
+        .flat_map(|&n| (0..fields.len()).map(move |fi| (n, fi)))
+        .collect();
+    let rows = ctx.map(
+        cases
+            .iter()
+            .map(|&(n, fi)| {
+                move || {
+                    let cap = 60 * (n + n);
+                    let results: Vec<dyncode_rlnc::StallResult> = seeds
+                        .iter()
+                        .map(|&s| match fi {
+                            0 => omniscient_stall_run::<Gf2>(n, n, 2, s, cap),
+                            1 => omniscient_stall_run::<Gf257>(n, n, 2, s, cap),
+                            _ => omniscient_stall_run::<Mersenne61>(n, n, 2, s, cap),
+                        })
+                        .collect();
+                    let done = results.iter().filter(|r| r.completed).count();
+                    let mean_rounds =
+                        results.iter().map(|r| r.rounds as f64).sum::<f64>() / results.len() as f64;
+                    let stalled = results
+                        .iter()
+                        .map(|r| r.fully_stalled_rounds)
+                        .sum::<usize>()
+                        / results.len();
+                    (done, mean_rounds, stalled)
+                }
+            })
+            .collect(),
+    );
+    for (&(n, fi), &(done, mean_rounds, stalled)) in cases.iter().zip(&rows) {
+        let (name, lgq) = fields[fi];
+        t.row(vec![
+            n.to_string(),
+            name.into(),
+            format!("{done}/{}", seeds.len()),
+            f(mean_rounds),
+            f(mean_rounds / (2 * n) as f64),
+            stalled.to_string(),
+            (n as u32 * lgq).to_string(),
+        ]);
+        ctx.scalar(format!("E9 mean rounds n={n} q={name}"), mean_rounds);
+        ctx.scalar(format!("E9 stalled rounds n={n} q={name}"), stalled as f64);
     }
-    t.print();
+    ctx.table(&t);
     println!(
         "GF(2) gets fully stalled round after round (the adversary always finds\n\
          non-innovative pairings); at q = 2^61−1 no stalling coincidence ever\n\
@@ -73,44 +87,42 @@ pub fn e9(quick: bool) {
 }
 
 /// E11 — Lemma 5.2: the per-hop sense-transfer probability is ≥ 1 − 1/q.
-pub fn e11(quick: bool) {
+pub fn e11(ctx: &mut ExpCtx) {
     println!("\n## E11 — Lemma 5.2: per-hop sensing probability = 1 - 1/q");
-    let trials = if quick { 2_000 } else { 20_000 };
-    let mut rng = StdRng::seed_from_u64(11);
+    let trials = if ctx.quick { 2_000 } else { 20_000 };
     let mut t = Table::new(
         format!("E11: Monte-Carlo sense transfer ({trials} trials, dims = 12, span = 4)"),
         &["field q", "measured", "1 - 1/q", "measured - bound"],
     );
-    let mut row = |name: &str, measured: f64, q: f64| {
-        let bound = 1.0 - 1.0 / q;
+    // One engine cell per field, each with its own derived rng seed.
+    let qs: [f64; 4] = [2.0, 256.0, 257.0, Mersenne61::order() as f64];
+    let names = ["2", "256", "257", "2^61-1"];
+    let rows = ctx.map(
+        (0..4usize)
+            .map(|fi| {
+                move || {
+                    let mut rng = StdRng::seed_from_u64(1100 + fi as u64);
+                    match fi {
+                        0 => per_hop_sense_probability::<Gf2, _>(12, 4, trials, &mut rng),
+                        1 => per_hop_sense_probability::<Gf256, _>(12, 4, trials, &mut rng),
+                        2 => per_hop_sense_probability::<Gf257, _>(12, 4, trials, &mut rng),
+                        _ => per_hop_sense_probability::<Mersenne61, _>(12, 4, trials, &mut rng),
+                    }
+                }
+            })
+            .collect(),
+    );
+    for (fi, &measured) in rows.iter().enumerate() {
+        let bound = 1.0 - 1.0 / qs[fi];
         t.row(vec![
-            name.into(),
+            names[fi].into(),
             format!("{measured:.4}"),
             format!("{bound:.4}"),
             format!("{:+.4}", measured - bound),
         ]);
-    };
-    row(
-        "2",
-        per_hop_sense_probability::<Gf2, _>(12, 4, trials, &mut rng),
-        2.0,
-    );
-    row(
-        "256",
-        per_hop_sense_probability::<Gf256, _>(12, 4, trials, &mut rng),
-        256.0,
-    );
-    row(
-        "257",
-        per_hop_sense_probability::<Gf257, _>(12, 4, trials, &mut rng),
-        257.0,
-    );
-    row(
-        "2^61-1",
-        per_hop_sense_probability::<Mersenne61, _>(12, 4, trials, &mut rng),
-        Mersenne61::order() as f64,
-    );
-    t.print();
+        ctx.scalar(format!("E11 sense probability q={}", names[fi]), measured);
+    }
+    ctx.table(&t);
     println!(
         "(measured ≥ 1 − 1/q for every field: the single inequality the whole\n\
          projection analysis of Section 5.3 rests on)"

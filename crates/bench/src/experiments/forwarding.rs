@@ -1,8 +1,9 @@
 //! E1 (Theorem 2.1) and E6 (Lemma 7.2): the token-forwarding baseline and
 //! the random-forward gathering primitive.
 
-use super::{d_for, mean_rounds, standard_instance};
-use crate::table::{f, print_fit, Table};
+use super::{d_for, meta_nkdb, standard_instance};
+use crate::ctx::ExpCtx;
+use crate::table::{f, Table};
 use dyncode_core::protocols::{RandomForward, TokenForwarding};
 use dyncode_core::theory;
 use dyncode_dynet::adversaries::ShuffledPathAdversary;
@@ -11,12 +12,16 @@ use dyncode_dynet::simulator::{run, SimConfig};
 
 /// E1 — Theorem 2.1: token forwarding takes Θ(nkd/(bT) + n) rounds:
 /// sweeps n (k = n), then b at fixed n, then T at fixed n and b.
-pub fn e1(quick: bool) {
+pub fn e1(ctx: &mut ExpCtx) {
     println!("\n## E1 — Theorem 2.1: token forwarding = Θ(nkd/(bT) + n)");
-    let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2, 3] };
+    let seeds: Vec<u64> = if ctx.quick { vec![1] } else { vec![1, 2, 3] };
 
     // (a) n sweep at b = 2d.
-    let ns: &[usize] = if quick { &[16, 32] } else { &[16, 32, 64, 128] };
+    let ns: &[usize] = if ctx.quick {
+        &[16, 32]
+    } else {
+        &[16, 32, 64, 128]
+    };
     let mut t = Table::new(
         "E1a: n sweep (k = n, d = lg n + 1, b = 2d)",
         &["n", "rounds (mean)", "nkd/b + n", "ratio"],
@@ -25,7 +30,9 @@ pub fn e1(quick: bool) {
     for &n in ns {
         let d = d_for(n);
         let inst = standard_instance(n, d, 2 * d, 42);
-        let m = mean_rounds(
+        let m = ctx.mean_rounds(
+            &format!("E1a n={n}"),
+            &meta_nkdb(&inst.params),
             &seeds,
             10 * n * n,
             || TokenForwarding::baseline(&inst),
@@ -36,11 +43,11 @@ pub fn e1(quick: bool) {
         meas.push(m);
         pred.push(p);
     }
-    t.print();
-    print_fit("E1a", &meas, &pred);
+    ctx.table(&t);
+    ctx.fit("E1a", &meas, &pred);
 
     // (b) b sweep at fixed n: rounds scale as 1/b (linear, not quadratic).
-    let n = if quick { 32 } else { 64 };
+    let n = if ctx.quick { 32 } else { 64 };
     let d = d_for(n);
     let mut t = Table::new(
         format!("E1b: b sweep (n = k = {n}, d = {d}) — forwarding is linear in b"),
@@ -50,7 +57,9 @@ pub fn e1(quick: bool) {
     for mult in [1usize, 2, 4, 8] {
         let b = mult * d;
         let inst = standard_instance(n, d, b, 43);
-        let m = mean_rounds(
+        let m = ctx.mean_rounds(
+            &format!("E1b b={b}"),
+            &meta_nkdb(&inst.params),
             &seeds,
             10 * n * n,
             || TokenForwarding::baseline(&inst),
@@ -61,13 +70,15 @@ pub fn e1(quick: bool) {
         meas.push(m);
         pred.push(p);
     }
-    t.print();
-    print_fit("E1b", &meas, &pred);
+    ctx.table(&t);
+    ctx.fit("E1b", &meas, &pred);
     let bs: Vec<f64> = [1.0, 2.0, 4.0, 8.0].iter().map(|m| m * d as f64).collect();
+    let slope = theory::loglog_slope(&bs, &meas);
     println!(
         "measured log-log slope of rounds vs b: {} (Theorem 2.1 predicts -1)",
-        f(theory::loglog_slope(&bs, &meas))
+        f(slope)
     );
+    ctx.scalar("E1b loglog slope rounds vs b", slope);
 
     // (c) T sweep with the pipelined variant on T-stable networks.
     let mut t = Table::new(
@@ -77,7 +88,11 @@ pub fn e1(quick: bool) {
     let mut base = 0.0;
     for tt in [1usize, 4, 8, 16] {
         let inst = standard_instance(n, d, d, 44);
-        let m = mean_rounds(
+        let mut meta = meta_nkdb(&inst.params);
+        meta.push(("t", tt.to_string()));
+        let m = ctx.mean_rounds(
+            &format!("E1c T={tt}"),
+            &meta,
             &seeds,
             10 * n * n,
             || {
@@ -99,7 +114,7 @@ pub fn e1(quick: bool) {
             f(base / m),
         ]);
     }
-    t.print();
+    ctx.table(&t);
     println!(
         "(the knowledge-based lower bound says forwarding cannot beat factor T; E3 shows coding reaching T²)"
     );
@@ -107,14 +122,14 @@ pub fn e1(quick: bool) {
 
 /// E6 — Lemma 7.2: after random-forward the max node holds ≥ √(bk/d)
 /// tokens (or all of them).
-pub fn e6(quick: bool) {
+pub fn e6(ctx: &mut ExpCtx) {
     println!("\n## E6 — Lemma 7.2: random-forward gathers M = sqrt(bk/d)");
-    let seeds: Vec<u64> = if quick {
+    let seeds: Vec<u64> = if ctx.quick {
         vec![1, 2]
     } else {
         vec![1, 2, 3, 4, 5]
     };
-    let ns: &[usize] = if quick { &[32, 64] } else { &[32, 64, 128] };
+    let ns: &[usize] = if ctx.quick { &[32, 64] } else { &[32, 64, 128] };
     let mut t = Table::new(
         "E6: gathered tokens at the identified node (k = n, d = 8)",
         &[
@@ -125,30 +140,48 @@ pub fn e6(quick: bool) {
             "mean/bound",
         ],
     );
-    for &n in ns {
-        for b in [8usize, 16, 32] {
-            let d = 8;
-            let inst = standard_instance(n, d, b, 7);
-            let mut counts = Vec::new();
-            for &s in &seeds {
-                let mut proto = RandomForward::new(&inst, 2 * n);
-                let cap = proto.schedule_rounds();
-                let mut adv = ShuffledPathAdversary;
-                run(&mut proto, &mut adv, &SimConfig::with_max_rounds(cap), s);
-                counts.push(proto.identified(0).0 as f64);
-            }
-            let min = counts.iter().cloned().fold(f64::INFINITY, f64::min);
-            let mean = counts.iter().sum::<f64>() / counts.len() as f64;
-            let bound = theory::gather_bound(n, d, b);
-            t.row(vec![
-                n.to_string(),
-                b.to_string(),
-                format!("{} / {}", f(min), f(mean)),
-                f(bound),
-                f(mean / bound),
-            ]);
-        }
+    // One engine cell per (n, b) point; each cell sweeps its seeds.
+    let cases: Vec<(usize, usize)> = ns
+        .iter()
+        .flat_map(|&n| [8usize, 16, 32].into_iter().map(move |b| (n, b)))
+        .collect();
+    let seeds_ref = &seeds;
+    let rows = ctx.map(
+        cases
+            .iter()
+            .map(|&(n, b)| {
+                move || {
+                    let d = 8;
+                    let inst = standard_instance(n, d, b, 7);
+                    let counts: Vec<f64> = seeds_ref
+                        .iter()
+                        .map(|&s| {
+                            let mut proto = RandomForward::new(&inst, 2 * n);
+                            let cap = proto.schedule_rounds();
+                            let mut adv = ShuffledPathAdversary;
+                            run(&mut proto, &mut adv, &SimConfig::with_max_rounds(cap), s);
+                            proto.identified(0).0 as f64
+                        })
+                        .collect();
+                    let min = counts.iter().cloned().fold(f64::INFINITY, f64::min);
+                    let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+                    (min, mean)
+                }
+            })
+            .collect(),
+    );
+    for (&(n, b), &(min, mean)) in cases.iter().zip(&rows) {
+        let bound = theory::gather_bound(n, 8, b);
+        t.row(vec![
+            n.to_string(),
+            b.to_string(),
+            format!("{} / {}", f(min), f(mean)),
+            f(bound),
+            f(mean / bound),
+        ]);
+        ctx.scalar(format!("E6 gathered mean n={n} b={b}"), mean);
+        ctx.scalar(format!("E6 mean/bound n={n} b={b}"), mean / bound);
     }
-    t.print();
+    ctx.table(&t);
     println!("(mean/bound ≥ 1 everywhere: the Lemma 7.2 guarantee holds with slack)");
 }

@@ -1,8 +1,12 @@
 //! The experiments, one per theorem/claim (index in DESIGN.md §4).
 //!
-//! Every experiment takes a `quick: bool`: quick mode shrinks sweeps to
-//! smoke-test sizes (used by CI-style runs); full mode produces the
-//! tables recorded in EXPERIMENTS.md.
+//! Every experiment takes the shared [`ExpCtx`](crate::ctx::ExpCtx):
+//! `ctx.quick` shrinks sweeps to smoke-test sizes (used by CI-style
+//! runs), and every seed/config sweep routes through the context into the
+//! `dyncode-engine` executor — parallel across `--threads N` workers,
+//! recorded into the experiment's `BENCH_<id>.json` artifact, and
+//! byte-identical regardless of thread count (each cell carries its own
+//! seed; results return in submission order).
 
 mod ablation;
 mod broadcast;
@@ -36,7 +40,8 @@ pub(crate) fn d_for(n: usize) -> usize {
 }
 
 /// Runs one protocol instance to completion and returns the result,
-/// asserting success.
+/// asserting success. (Used inside engine cells for bespoke sweeps; plain
+/// seed sweeps go through `ExpCtx::mean_rounds`.)
 pub(crate) fn run_to_done<P: Protocol>(
     mut proto: P,
     adv: &mut dyn Adversary,
@@ -52,21 +57,17 @@ pub(crate) fn run_to_done<P: Protocol>(
     r
 }
 
-/// Mean rounds over seeds for a freshly built protocol/adversary pair.
-pub(crate) fn mean_rounds<P, FB, FA>(seeds: &[u64], cap: usize, mut build: FB, mut adv: FA) -> f64
-where
-    P: Protocol,
-    FB: FnMut() -> P,
-    FA: FnMut() -> Box<dyn Adversary>,
-{
-    let total: usize = seeds
-        .iter()
-        .map(|&s| run_to_done(build(), adv().as_mut(), cap, s).rounds)
-        .sum();
-    total as f64 / seeds.len() as f64
-}
-
 /// The standard one-token-per-node instance at size n.
 pub(crate) fn standard_instance(n: usize, d: usize, b: usize, seed: u64) -> Instance {
     Instance::generate(Params::new(n, n, d, b), Placement::OneTokenPerNode, seed)
+}
+
+/// Standard metadata pairs for a `(n, k, d, b)` cell.
+pub(crate) fn meta_nkdb(p: &Params) -> Vec<(&'static str, String)> {
+    vec![
+        ("n", p.n.to_string()),
+        ("k", p.k.to_string()),
+        ("d", p.d.to_string()),
+        ("b", p.b.to_string()),
+    ]
 }

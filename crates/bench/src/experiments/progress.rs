@@ -9,6 +9,7 @@
 //! quantified "end-phase waste".
 
 use super::standard_instance;
+use crate::ctx::ExpCtx;
 use crate::table::{f, Table};
 use dyncode_core::protocols::{GreedyForward, TokenForwarding};
 use dyncode_dynet::adversaries::KnowledgeAdaptiveAdversary;
@@ -47,29 +48,42 @@ fn bits_per_token(history: &[RoundRecord], nk: usize, lo: f64, hi: f64) -> f64 {
 }
 
 /// E17 — progress curves and end-phase waste.
-pub fn e17(quick: bool) {
+pub fn e17(ctx: &mut ExpCtx) {
     println!("\n## E17 — S5.2: progress curves and end-phase waste");
-    let n = if quick { 32 } else { 64 };
+    let n = if ctx.quick { 32 } else { 64 };
     let d = super::d_for(n);
     let inst = standard_instance(n, d, d, 29);
     let nk = n * n;
     let cap = 50 * n * n;
 
-    let fwd = record(TokenForwarding::baseline(&inst), cap, 3);
-    let nc = record(GreedyForward::new(&inst), cap, 3);
+    // The two recorded runs are independent engine cells.
+    let inst_ref = &inst;
+    let mut histories = ctx.map(vec![
+        Box::new(move || record(TokenForwarding::baseline(inst_ref), cap, 3))
+            as Box<dyn FnOnce() -> Vec<RoundRecord> + Send>,
+        Box::new(move || record(GreedyForward::new(inst_ref), cap, 3)),
+    ]);
+    let nc = histories.pop().unwrap();
+    let fwd = histories.pop().unwrap();
 
     let mut t = Table::new(
         format!("E17a: rounds to reach a knowledge fraction (n = k = {n}, b = d = {d})"),
         &["fraction", "forwarding rounds", "coding rounds"],
     );
     for frac in [0.25, 0.5, 0.75, 0.9, 1.0] {
+        let (tf, tc) = (time_to(&fwd, nk, frac), time_to(&nc, nk, frac));
         t.row(vec![
             format!("{:.0}%", frac * 100.0),
-            time_to(&fwd, nk, frac).to_string(),
-            time_to(&nc, nk, frac).to_string(),
+            tf.to_string(),
+            tc.to_string(),
         ]);
+        ctx.scalar(format!("E17 fwd rounds to {:.0}%", frac * 100.0), tf as f64);
+        ctx.scalar(
+            format!("E17 coding rounds to {:.0}%", frac * 100.0),
+            tc as f64,
+        );
     }
-    t.print();
+    ctx.table(&t);
 
     let mut t = Table::new(
         "E17b: broadcast bits per newly learned token, by phase",
@@ -92,7 +106,8 @@ pub fn e17(quick: bool) {
             },
         ]);
     }
-    t.print();
+    ctx.scalar("E17 fwd waste growth", fwd_costs[1] / fwd_costs[0]);
+    ctx.table(&t);
     println!(
         "E17a: the random-forward start phase is extremely efficient — exactly the\n\
          Lemma 7.2 discussion (\"At first, the protocol is extremely efficient\") —\n\

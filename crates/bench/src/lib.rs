@@ -7,21 +7,30 @@
 //! ```sh
 //! cargo run -p dyncode-bench --release -- all      # everything
 //! cargo run -p dyncode-bench --release -- e2       # one experiment
-//! cargo run -p dyncode-bench --release -- e2 --quick
+//! cargo run -p dyncode-bench --release -- e2 --quick --threads 8
+//! cargo run -p dyncode-bench --release -- e1 e4 --json --out artifacts
+//! cargo run -p dyncode-bench --release -- compare base.json cand.json
+//! cargo run -p dyncode-bench --release -- bench-engine
 //! ```
 //!
 //! Each experiment prints a markdown table of measured rounds next to the
 //! paper's predicted bound, the fitted leading constant, and the ratio
-//! spread (flat ratios = the claimed shape holds).
+//! spread (flat ratios = the claimed shape holds). Every sweep routes
+//! through the `dyncode-engine` campaign engine ([`ctx::ExpCtx`]), which
+//! shards cells across `--threads N` workers and — with `--json` — emits a
+//! machine-readable `BENCH_<id>.json` artifact per experiment that the
+//! `compare` subcommand gates regressions on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ctx;
 pub mod experiments;
 pub mod table;
 
-/// One registry row: experiment id, headline claim, runner (takes `quick`).
-pub type Experiment = (&'static str, &'static str, fn(bool));
+/// One registry row: experiment id, headline claim, runner (takes the
+/// shared experiment context).
+pub type Experiment = (&'static str, &'static str, fn(&mut ctx::ExpCtx));
 
 /// The registry of experiments: id, headline claim, runner.
 pub fn registry() -> Vec<Experiment> {
@@ -29,7 +38,7 @@ pub fn registry() -> Vec<Experiment> {
         (
             "e1",
             "Thm 2.1: token forwarding = Θ(nkd/(bT) + n)",
-            experiments::e1 as fn(bool),
+            experiments::e1 as fn(&mut ctx::ExpCtx),
         ),
         (
             "e2",

@@ -1,43 +1,326 @@
 //! The experiments binary: regenerates every theorem/claim of the paper
-//! as a measured markdown table.
+//! as a measured markdown table, running every sweep through the
+//! `dyncode-engine` campaign engine.
 //!
 //! ```sh
 //! cargo run -p dyncode-bench --release -- all
-//! cargo run -p dyncode-bench --release -- e2 e7
-//! cargo run -p dyncode-bench --release -- all --quick
+//! cargo run -p dyncode-bench --release -- e2 e7 --threads 8
+//! cargo run -p dyncode-bench --release -- e1 e4 --quick --json --out artifacts
+//! cargo run -p dyncode-bench --release -- compare baselines/BENCH_seed.json artifacts/BENCH_e1.json
+//! cargo run -p dyncode-bench --release -- schema artifacts/BENCH_e1.json
+//! cargo run -p dyncode-bench --release -- bench-engine
 //! ```
+//!
+//! Exit codes: 0 success, 1 failed experiment or regression, 2 usage
+//! error (including unknown experiment ids, which print the registry).
 
+use dyncode_bench::ctx::ExpCtx;
 use dyncode_bench::registry;
+use dyncode_engine::{
+    compare, run_campaign, AdversaryKind, Artifact, Campaign, CompareConfig, Engine, ProtocolKind,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::time::Instant;
 
 fn main() {
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    match args.first().map(String::as_str) {
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("schema") => cmd_schema(&args[1..]),
+        Some("bench-engine") => cmd_bench_engine(&args[1..]),
+        _ => cmd_experiments(&args),
+    }
+}
+
+/// Parsed common flags; leftover positional arguments are returned.
+/// `out`/`tol` stay `None` unless explicitly passed so each subcommand
+/// can reject flags it would otherwise silently ignore.
+struct Flags {
+    quick: bool,
+    json: bool,
+    threads: usize,
+    out: Option<PathBuf>,
+    tol: Option<f64>,
+    positional: Vec<String>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        quick: false,
+        json: false,
+        threads: Engine::with_default_parallelism().threads(),
+        out: None,
+        tol: None,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let mut value_of = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--quick" => flags.quick = true,
+            "--json" => flags.json = true,
+            "--threads" => {
+                let v = value_of("--threads")?;
+                flags.threads = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --threads value {v:?}"))?
+                    .max(1);
+            }
+            "--out" => flags.out = Some(PathBuf::from(value_of("--out")?)),
+            "--tol" => {
+                let v = value_of("--tol")?;
+                flags.tol = Some(
+                    v.parse::<f64>()
+                        .map_err(|_| format!("bad --tol value {v:?}"))?,
+                );
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}"));
+            }
+            other => flags.positional.push(other.to_string()),
+        }
+    }
+    Ok(flags)
+}
+
+fn print_usage_and_registry() {
+    eprintln!(
+        "usage: experiments <all | e1 .. e17>... [--quick] [--threads N] [--json] [--out DIR]"
+    );
+    eprintln!("       experiments compare <BASE.json> <CANDIDATE.json> [--tol F]");
+    eprintln!("       experiments schema <FILE.json>...");
+    eprintln!("       experiments bench-engine [--quick] [--threads N]\n");
+    eprintln!("experiments:");
+    for (id, desc, _) in &registry() {
+        eprintln!("  {id:<5} {desc}");
+    }
+}
+
+fn cmd_experiments(args: &[String]) -> i32 {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            print_usage_and_registry();
+            return 2;
+        }
+    };
+    let wanted = &flags.positional;
 
     let reg = registry();
-    if wanted.is_empty() || wanted.iter().any(|w| w.as_str() == "help") {
-        eprintln!("usage: experiments <all | e1 .. e17>... [--quick]\n");
-        eprintln!("experiments:");
-        for (id, desc, _) in &reg {
-            eprintln!("  {id:<5} {desc}");
-        }
-        std::process::exit(if wanted.is_empty() { 2 } else { 0 });
+    if wanted.is_empty() || wanted.iter().any(|w| w == "help") {
+        print_usage_and_registry();
+        return if wanted.is_empty() { 2 } else { 0 };
     }
 
-    let run_all = wanted.iter().any(|w| w.as_str() == "all");
-    let mut ran = 0;
+    // Unknown ids are hard errors: exit nonzero and print the registry
+    // (a typo must never silently run nothing — or everything but the
+    // typo'd experiment).
+    let unknown: Vec<&String> = wanted
+        .iter()
+        .filter(|w| w.as_str() != "all" && !reg.iter().any(|(id, _, _)| *id == w.as_str()))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!("error: unknown experiment id(s) {unknown:?}\n");
+        print_usage_and_registry();
+        return 2;
+    }
+
+    if flags.tol.is_some() {
+        eprintln!("error: --tol is only valid with the compare subcommand");
+        return 2;
+    }
+
+    let run_all = wanted.iter().any(|w| w == "all");
+    // `--out DIR` implies `--json` — asking for an output directory and
+    // getting no artifacts would be a silent no-op.
+    let emit = flags.json || flags.out.is_some();
+    let out_dir = emit.then(|| flags.out.clone().unwrap_or_else(|| PathBuf::from(".")));
+    let mut ctx = ExpCtx::new(flags.quick, flags.threads, out_dir);
+    eprintln!(
+        "[engine: {} thread{}{}]",
+        ctx.threads(),
+        if ctx.threads() == 1 { "" } else { "s" },
+        if emit { ", emitting artifacts" } else { "" }
+    );
+    let mut failed = 0;
     for (id, desc, f) in &reg {
-        if run_all || wanted.iter().any(|w| w.as_str() == *id) {
+        if run_all || wanted.iter().any(|w| w == *id) {
             eprintln!(
                 "[running {id}: {desc}{}]",
-                if quick { " (quick)" } else { "" }
+                if flags.quick { " (quick)" } else { "" }
             );
-            f(quick);
-            ran += 1;
+            ctx.begin(id, desc);
+            // Contain a failing experiment: record it, keep the partial
+            // artifact (which includes any per-cell errors the executor
+            // contained), and carry on with the remaining experiments.
+            let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+            match ctx.finish() {
+                Ok(Some(path)) => eprintln!("[wrote {}]", path.display()),
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!("[experiment {id} FAILED: cannot write artifact: {e}]");
+                    failed += 1;
+                }
+            }
+            if let Err(payload) = outcome {
+                let msg = dyncode_engine::CellError::from_panic(payload).message;
+                eprintln!("[experiment {id} FAILED: {msg}]");
+                failed += 1;
+            }
         }
     }
-    if ran == 0 {
-        eprintln!("no experiment matched {wanted:?}; try `help`");
-        std::process::exit(2);
+    if failed > 0 {
+        eprintln!("{failed} experiment(s) failed");
+        return 1;
     }
+    0
+}
+
+fn cmd_compare(args: &[String]) -> i32 {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    if flags.out.is_some() {
+        eprintln!("error: --out is not valid for compare");
+        return 2;
+    }
+    let [base_path, cand_path] = flags.positional.as_slice() else {
+        eprintln!("usage: experiments compare <BASE.json> <CANDIDATE.json> [--tol F]");
+        return 2;
+    };
+    let load = |path: &String| -> Result<Artifact, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Artifact::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (base, cand) = match (load(base_path), load(cand_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let tol = flags.tol.unwrap_or(CompareConfig::default().tol);
+    let report = compare(&base, &cand, &CompareConfig { tol });
+    print!("{}", report.render());
+    if report.ok() {
+        0
+    } else {
+        1
+    }
+}
+
+fn cmd_schema(args: &[String]) -> i32 {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    if flags.out.is_some() || flags.tol.is_some() {
+        eprintln!("error: --out/--tol are not valid for schema");
+        return 2;
+    }
+    if flags.positional.is_empty() {
+        eprintln!("usage: experiments schema <FILE.json>...");
+        return 2;
+    }
+    let mut bad = 0;
+    for path in &flags.positional {
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Artifact::parse(&text))
+        {
+            Ok(a) => println!(
+                "{path}: OK (id {:?}, {} cells, {} fits, {} scalars, {} tables)",
+                a.id,
+                a.cells.len(),
+                a.fits.len(),
+                a.scalars.len(),
+                a.tables.len()
+            ),
+            Err(e) => {
+                println!("{path}: INVALID: {e}");
+                bad += 1;
+            }
+        }
+    }
+    if bad > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+/// The wall-clock speedup smoke check: one medium sweep, serial vs
+/// `--threads N`, asserting the artifacts are byte-identical — the perf
+/// trajectory's first datapoint.
+fn cmd_bench_engine(args: &[String]) -> i32 {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    if flags.out.is_some() || flags.tol.is_some() {
+        eprintln!("error: --out/--tol are not valid for bench-engine");
+        return 2;
+    }
+    let campaign = Campaign::builder("bench-engine", "wall-clock speedup smoke check")
+        .protocol(ProtocolKind::TokenForwarding)
+        .adversaries(vec![AdversaryKind::ShuffledPath, AdversaryKind::Bottleneck])
+        .ns(&[32, 48])
+        .seeds(&[1, 2, 3, 4])
+        .quick_ns(&[16, 24])
+        .quick_seeds(&[1, 2])
+        .build()
+        .expect("static campaign is valid");
+    let campaign = if flags.quick {
+        campaign.quick()
+    } else {
+        campaign
+    };
+    let cells = campaign.cells().len();
+    let runs = cells * campaign.seeds.len();
+    eprintln!(
+        "bench-engine: {cells} cells x {} seeds = {runs} runs per pass",
+        campaign.seeds.len()
+    );
+
+    let t0 = Instant::now();
+    let serial = run_campaign(&Engine::new(1), &campaign);
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let threads = flags.threads;
+    let t1 = Instant::now();
+    let parallel = run_campaign(&Engine::new(threads), &campaign);
+    let parallel_s = t1.elapsed().as_secs_f64();
+
+    if serial.to_json_string() != parallel.to_json_string() {
+        eprintln!("FAIL: parallel artifact differs from serial artifact");
+        return 1;
+    }
+    println!("\n### bench-engine: serial vs parallel wall clock\n");
+    println!("| pass | threads | elapsed (s) | speedup |");
+    println!("| ---- | ------- | ----------- | ------- |");
+    println!("| serial | 1 | {serial_s:.3} | 1.00 |");
+    println!(
+        "| parallel | {threads} | {parallel_s:.3} | {:.2} |",
+        serial_s / parallel_s
+    );
+    println!("\nartifacts byte-identical across thread counts: OK ({runs} runs)");
+    0
 }

@@ -26,6 +26,21 @@ impl Table {
         self.rows.push(cells);
     }
 
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The rows so far.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Prints the table as markdown.
     pub fn print(&self) {
         println!("\n### {}\n", self.title);
@@ -70,19 +85,6 @@ pub fn f(x: f64) -> String {
     } else {
         format!("{x:.2}")
     }
-}
-
-/// Prints the standard shape-fit footer: fitted constant and ratio spread.
-pub fn print_fit(label: &str, measured: &[f64], predicted: &[f64]) {
-    let (c, spread) = dyncode_core::theory::fit_constant(measured, predicted);
-    println!(
-        "\nshape fit [{label}]: fitted constant = {}, ratio spread = {}",
-        f(c),
-        f(spread)
-    );
-    println!(
-        "(spread close to 1.0 means measured rounds track the predicted formula across the sweep)"
-    );
 }
 
 #[cfg(test)]

@@ -1,0 +1,143 @@
+//! Integration tests for the `experiments` CLI: argument hardening (an
+//! unknown id must exit nonzero and print the registry), the artifact
+//! pipeline (`--json`/`--out`, `schema`), the `compare` regression gate,
+//! and thread-count independence of emitted artifacts.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn experiments(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(args)
+        .output()
+        .expect("spawn experiments binary")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dyncode_cli_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn no_arguments_prints_usage_and_exits_2() {
+    let out = experiments(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("usage:"), "{err}");
+    assert!(err.contains("e17"), "registry must be listed:\n{err}");
+}
+
+#[test]
+fn unknown_experiment_id_exits_nonzero_with_registry() {
+    for bad in [&["e99"][..], &["e1", "e99"][..], &["exx", "--quick"][..]] {
+        let out = experiments(bad);
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+        let err = stderr(&out);
+        assert!(err.contains("unknown experiment id"), "{err}");
+        // The full e1–e17 registry is printed so the user can pick.
+        for id in ["e1", "e9", "e17"] {
+            assert!(err.contains(id), "missing {id} in:\n{err}");
+        }
+    }
+    // And nothing must have run.
+    let out = experiments(&["e99"]);
+    assert!(!stderr(&out).contains("[running"));
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = experiments(&["help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stderr(&out).contains("experiments:"));
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = experiments(&["e1", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown flag"));
+}
+
+#[test]
+fn json_artifacts_are_emitted_schema_valid_and_thread_independent() {
+    let dir1 = temp_dir("t1");
+    let dir8 = temp_dir("t8");
+    let out = experiments(&[
+        "e1",
+        "--quick",
+        "--json",
+        "--threads",
+        "1",
+        "--out",
+        dir1.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let out = experiments(&[
+        "e1",
+        "--quick",
+        "--json",
+        "--threads",
+        "8",
+        "--out",
+        dir8.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+
+    let a1 = std::fs::read_to_string(dir1.join("BENCH_e1.json")).expect("artifact written");
+    let a8 = std::fs::read_to_string(dir8.join("BENCH_e1.json")).expect("artifact written");
+    assert_eq!(a1, a8, "--threads must not change artifact bytes");
+
+    // The schema subcommand accepts it...
+    let artifact_path = dir1.join("BENCH_e1.json");
+    let out = experiments(&["schema", artifact_path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).contains("OK"));
+
+    // ...and rejects garbage.
+    let bad = dir1.join("bad.json");
+    std::fs::write(&bad, "{\"schema\": \"other/v1\"}").unwrap();
+    let out = experiments(&["schema", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout(&out).contains("INVALID"));
+
+    // compare: identical artifacts pass...
+    let p = artifact_path.to_str().unwrap();
+    let out = experiments(&["compare", p, p]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).contains("OK"));
+
+    // ...and an injected regression fails the gate with exit 1.
+    let worse_path = dir1.join("BENCH_e1_worse.json");
+    let worse = regress_first_mean_rounds(&a1);
+    std::fs::write(&worse_path, worse).unwrap();
+    let out = experiments(&["compare", p, worse_path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    assert!(stdout(&out).contains("REGRESSION"), "{}", stdout(&out));
+
+    // Missing file is a usage error (2), distinct from a regression (1).
+    let out = experiments(&["compare", p, "/nonexistent/artifact.json"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&dir1).ok();
+    std::fs::remove_dir_all(&dir8).ok();
+}
+
+/// Multiplies the first `"mean_rounds": <x>` in the artifact text by 10 —
+/// an injected regression well past any tolerance.
+fn regress_first_mean_rounds(text: &str) -> String {
+    let key = "\"mean_rounds\": ";
+    let at = text.find(key).expect("artifact has mean_rounds") + key.len();
+    let end = at + text[at..].find([',', '\n']).expect("number terminates");
+    let value: f64 = text[at..end].trim().parse().expect("numeric mean_rounds");
+    format!("{}{}{}", &text[..at], value * 10.0, &text[end..])
+}

@@ -53,41 +53,53 @@ pub fn summarize(results: &[RunResult]) -> Summary {
     }
 }
 
+/// Runs one freshly built `(protocol, adversary)` cell under `config` from
+/// `seed`, asserting dissemination correctness on completion.
+///
+/// This is the single-cell primitive every sweep goes through: the serial
+/// [`sweep_seeds`] below and the parallel `dyncode-engine` executor both
+/// delegate here, which is what makes `--threads N` output identical to
+/// serial output — a cell's result depends only on `(build, adv, config,
+/// seed)`, never on which thread or in which order it ran.
+pub fn run_one<P, FB, FA>(build: &FB, adv: &FA, config: &SimConfig, seed: u64) -> RunResult
+where
+    P: Protocol,
+    FB: Fn() -> P,
+    FA: Fn() -> Box<dyn Adversary>,
+{
+    let mut p = build();
+    let mut a = adv();
+    let r = run(&mut p, a.as_mut(), config, seed);
+    if r.completed {
+        assert!(
+            fully_disseminated(&p),
+            "completed run left a node without some token (seed {seed})"
+        );
+    }
+    r
+}
+
 /// Runs a freshly built protocol once per seed against freshly built
 /// adversaries, asserting dissemination correctness on completion.
 ///
 /// `build` constructs the protocol, `adv` the adversary (both per seed, so
-/// runs are independent).
+/// runs are independent). Delegates to [`run_one`] per cell; use
+/// `dyncode-engine` for the parallel equivalent.
 pub fn sweep_seeds<P, FB, FA>(
     seeds: &[u64],
     max_rounds: usize,
-    mut build: FB,
-    mut adv: FA,
+    build: FB,
+    adv: FA,
 ) -> Vec<RunResult>
 where
     P: Protocol,
-    FB: FnMut() -> P,
-    FA: FnMut() -> Box<dyn Adversary>,
+    FB: Fn() -> P,
+    FA: Fn() -> Box<dyn Adversary>,
 {
+    let config = SimConfig::with_max_rounds(max_rounds);
     seeds
         .iter()
-        .map(|&seed| {
-            let mut p = build();
-            let mut a = adv();
-            let r = run(
-                &mut p,
-                a.as_mut(),
-                &SimConfig::with_max_rounds(max_rounds),
-                seed,
-            );
-            if r.completed {
-                assert!(
-                    fully_disseminated(&p),
-                    "completed run left a node without some token (seed {seed})"
-                );
-            }
-            r
-        })
+        .map(|&seed| run_one(&build, &adv, &config, seed))
         .collect()
 }
 
@@ -136,5 +148,30 @@ mod tests {
     #[should_panic(expected = "no results")]
     fn empty_summary_rejected() {
         summarize(&[]);
+    }
+
+    #[test]
+    fn run_one_honors_config_and_records_history() {
+        let p = Params::new(8, 8, 4, 8);
+        let inst = Instance::generate(p, Placement::OneTokenPerNode, 1);
+        let cfg = SimConfig::with_max_rounds(10_000).recording();
+        let r = run_one(
+            &|| TokenForwarding::baseline(&inst),
+            &|| Box::new(ShuffledPathAdversary) as Box<dyn Adversary>,
+            &cfg,
+            1,
+        );
+        assert!(r.completed);
+        assert_eq!(r.history.len(), r.rounds);
+        // Same cell, same seed ⇒ same result (the engine's determinism
+        // contract rests on this).
+        let r2 = run_one(
+            &|| TokenForwarding::baseline(&inst),
+            &|| Box::new(ShuffledPathAdversary) as Box<dyn Adversary>,
+            &cfg,
+            1,
+        );
+        assert_eq!(r.rounds, r2.rounds);
+        assert_eq!(r.total_bits, r2.total_bits);
     }
 }

@@ -1,0 +1,678 @@
+//! The machine-readable result artifact (`BENCH_<id>.json`): schema,
+//! serialization, parsing and validation.
+//!
+//! An artifact is the complete machine-readable record of one experiment
+//! or campaign: per-cell statistics and per-seed raw [`RunResult`]s
+//! (including the per-round history when recorded), fitted constants, free
+//! scalar metrics, and the rendered report tables. Everything in it is a
+//! pure function of the campaign spec — no timestamps, no wall-clock, no
+//! thread counts — so two runs of the same spec produce **byte-identical**
+//! files regardless of `--threads` (the determinism contract that
+//! `tests/engine_determinism.rs` locks and `compare` relies on).
+
+use crate::aggregate::SeedStats;
+use crate::json::Json;
+use dyncode_dynet::simulator::{RoundRecord, RunResult};
+use std::path::{Path, PathBuf};
+
+/// The artifact schema identifier; bump on any incompatible change.
+pub const SCHEMA: &str = "dyncode-artifact/v1";
+
+/// One raw run inside a cell: a [`RunResult`] plus the seed it came from.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRecord {
+    /// The simulator seed of this run.
+    pub seed: u64,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Whether every node terminated within the cap.
+    pub completed: bool,
+    /// Total broadcast bits.
+    pub total_bits: u64,
+    /// Largest single message, in bits.
+    pub max_message_bits: u64,
+    /// Per-round history (empty unless the campaign recorded it).
+    pub history: Vec<HistoryRow>,
+}
+
+/// One row of a recorded per-round history (mirrors
+/// [`dyncode_dynet::simulator::RoundRecord`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistoryRow {
+    /// Round index.
+    pub round: usize,
+    /// Edges in the round topology.
+    pub edges: usize,
+    /// Bits broadcast this round.
+    pub bits: u64,
+    /// Minimum per-node knowledge scalar.
+    pub min_dim: usize,
+    /// Maximum per-node knowledge scalar.
+    pub max_dim: usize,
+    /// Total decodable tokens over nodes.
+    pub total_tokens: usize,
+    /// Locally terminated nodes.
+    pub done: usize,
+}
+
+impl RunRecord {
+    /// Captures a [`RunResult`] under its seed.
+    pub fn from_run(seed: u64, r: &RunResult) -> RunRecord {
+        RunRecord {
+            seed,
+            rounds: r.rounds,
+            completed: r.completed,
+            total_bits: r.total_bits,
+            max_message_bits: r.max_message_bits,
+            history: r
+                .history
+                .iter()
+                .map(|h: &RoundRecord| HistoryRow {
+                    round: h.round,
+                    edges: h.edges,
+                    bits: h.bits,
+                    min_dim: h.min_dim,
+                    max_dim: h.max_dim,
+                    total_tokens: h.total_tokens,
+                    done: h.done,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A contained per-seed failure inside a cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunError {
+    /// The seed whose run panicked.
+    pub seed: u64,
+    /// The contained panic message.
+    pub message: String,
+}
+
+/// One cell of an artifact: a labelled sweep point with its aggregate
+/// statistics, raw runs and contained errors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellRecord {
+    /// Unique-within-artifact label (`compare` matches cells by it).
+    pub label: String,
+    /// Free-form metadata (`n`, `k`, `adversary`, …) as ordered pairs.
+    pub meta: Vec<(String, String)>,
+    /// Aggregate statistics over the cell's seeds.
+    pub stats: SeedStats,
+    /// The raw per-seed runs.
+    pub runs: Vec<RunRecord>,
+    /// Contained panics, one per errored seed.
+    pub errors: Vec<RunError>,
+}
+
+/// A fitted leading constant (`measured ≈ c · predicted`) with its ratio
+/// spread across the sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fit {
+    /// Label (`compare` matches fits by it).
+    pub label: String,
+    /// The fitted constant (geometric mean of measured/predicted).
+    pub constant: f64,
+    /// max/min ratio across the sweep (1.0 = perfect shape).
+    pub spread: f64,
+}
+
+/// A named scalar metric (log-log slopes, two-term fit coefficients, …).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scalar {
+    /// Metric name.
+    pub name: String,
+    /// Metric value.
+    pub value: f64,
+}
+
+/// A rendered report table, kept in the artifact so the human-readable
+/// view survives alongside the machine-readable cells.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableData {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells, each matching the header arity.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// A complete result artifact for one experiment or campaign.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Artifact {
+    /// Experiment/campaign id (`e1`, `tf-sweep`, …); names the file.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Sweep cells.
+    pub cells: Vec<CellRecord>,
+    /// Fitted constants.
+    pub fits: Vec<Fit>,
+    /// Free scalar metrics.
+    pub scalars: Vec<Scalar>,
+    /// Rendered tables.
+    pub tables: Vec<TableData>,
+}
+
+impl Artifact {
+    /// An empty artifact for `id`.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Artifact {
+        Artifact {
+            id: id.into(),
+            title: title.into(),
+            cells: Vec::new(),
+            fits: Vec::new(),
+            scalars: Vec::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// The canonical file name, `BENCH_<id>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.id)
+    }
+
+    /// Serializes to the canonical byte-stable JSON text.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Writes `BENCH_<id>.json` under `dir` (created if missing); returns
+    /// the path.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.to_json_string())?;
+        Ok(path)
+    }
+
+    /// The JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::Str(SCHEMA.into())),
+            ("id", Json::Str(self.id.clone())),
+            ("title", Json::Str(self.title.clone())),
+            (
+                "cells",
+                Json::Arr(self.cells.iter().map(cell_to_json).collect()),
+            ),
+            (
+                "fits",
+                Json::Arr(
+                    self.fits
+                        .iter()
+                        .map(|f| {
+                            Json::obj(vec![
+                                ("label", Json::Str(f.label.clone())),
+                                ("constant", Json::Num(f.constant)),
+                                ("spread", Json::Num(f.spread)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "scalars",
+                Json::Arr(
+                    self.scalars
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("name", Json::Str(s.name.clone())),
+                                ("value", Json::Num(s.value)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "tables",
+                Json::Arr(
+                    self.tables
+                        .iter()
+                        .map(|t| {
+                            Json::obj(vec![
+                                ("title", Json::Str(t.title.clone())),
+                                (
+                                    "headers",
+                                    Json::Arr(
+                                        t.headers.iter().map(|h| Json::Str(h.clone())).collect(),
+                                    ),
+                                ),
+                                (
+                                    "rows",
+                                    Json::Arr(
+                                        t.rows
+                                            .iter()
+                                            .map(|r| {
+                                                Json::Arr(
+                                                    r.iter()
+                                                        .map(|c| Json::Str(c.clone()))
+                                                        .collect(),
+                                                )
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses and schema-validates an artifact from JSON text.
+    pub fn parse(text: &str) -> Result<Artifact, String> {
+        let json = Json::parse(text)?;
+        Artifact::from_json(&json)
+    }
+
+    /// Decodes from a parsed JSON value, validating the schema as it goes
+    /// (missing/mistyped fields are errors naming the field).
+    pub fn from_json(json: &Json) -> Result<Artifact, String> {
+        let schema = req_str(json, "schema")?;
+        if schema != SCHEMA {
+            return Err(format!(
+                "unsupported schema {schema:?}, expected {SCHEMA:?}"
+            ));
+        }
+        let cells = req_arr(json, "cells")?
+            .iter()
+            .enumerate()
+            .map(|(i, c)| cell_from_json(c).map_err(|e| format!("cells[{i}]: {e}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let fits = req_arr(json, "fits")?
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                Ok(Fit {
+                    label: req_str(f, "label").map_err(|e| format!("fits[{i}]: {e}"))?,
+                    constant: req_f64(f, "constant").map_err(|e| format!("fits[{i}]: {e}"))?,
+                    spread: req_f64(f, "spread").map_err(|e| format!("fits[{i}]: {e}"))?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let scalars = req_arr(json, "scalars")?
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                Ok(Scalar {
+                    name: req_str(s, "name").map_err(|e| format!("scalars[{i}]: {e}"))?,
+                    value: req_f64(s, "value").map_err(|e| format!("scalars[{i}]: {e}"))?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let tables = req_arr(json, "tables")?
+            .iter()
+            .enumerate()
+            .map(|(i, t)| table_from_json(t).map_err(|e| format!("tables[{i}]: {e}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Artifact {
+            id: req_str(json, "id")?,
+            title: req_str(json, "title")?,
+            cells,
+            fits,
+            scalars,
+            tables,
+        })
+    }
+}
+
+fn cell_to_json(c: &CellRecord) -> Json {
+    Json::obj(vec![
+        ("label", Json::Str(c.label.clone())),
+        (
+            "meta",
+            Json::Obj(
+                c.meta
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect(),
+            ),
+        ),
+        (
+            "stats",
+            Json::obj(vec![
+                ("runs", Json::Num(c.stats.runs as f64)),
+                ("failures", Json::Num(c.stats.failures as f64)),
+                ("errors", Json::Num(c.stats.errors as f64)),
+                ("mean_rounds", Json::Num(c.stats.mean_rounds)),
+                ("min_rounds", Json::Num(c.stats.min_rounds as f64)),
+                ("max_rounds", Json::Num(c.stats.max_rounds as f64)),
+                ("std_rounds", Json::Num(c.stats.std_rounds)),
+                ("ci95_rounds", Json::Num(c.stats.ci95_rounds)),
+                ("mean_bits", Json::Num(c.stats.mean_bits)),
+            ]),
+        ),
+        (
+            "runs",
+            Json::Arr(
+                c.runs
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("seed", Json::Num(r.seed as f64)),
+                            ("rounds", Json::Num(r.rounds as f64)),
+                            ("completed", Json::Bool(r.completed)),
+                            ("total_bits", Json::Num(r.total_bits as f64)),
+                            ("max_message_bits", Json::Num(r.max_message_bits as f64)),
+                            (
+                                "history",
+                                Json::Arr(
+                                    r.history
+                                        .iter()
+                                        .map(|h| {
+                                            Json::Arr(vec![
+                                                Json::Num(h.round as f64),
+                                                Json::Num(h.edges as f64),
+                                                Json::Num(h.bits as f64),
+                                                Json::Num(h.min_dim as f64),
+                                                Json::Num(h.max_dim as f64),
+                                                Json::Num(h.total_tokens as f64),
+                                                Json::Num(h.done as f64),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "errors",
+            Json::Arr(
+                c.errors
+                    .iter()
+                    .map(|e| {
+                        Json::obj(vec![
+                            ("seed", Json::Num(e.seed as f64)),
+                            ("message", Json::Str(e.message.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn cell_from_json(json: &Json) -> Result<CellRecord, String> {
+    let stats_json = json.get("stats").ok_or("missing field \"stats\"")?;
+    let stats = SeedStats {
+        runs: req_usize(stats_json, "runs")?,
+        failures: req_usize(stats_json, "failures")?,
+        errors: req_usize(stats_json, "errors")?,
+        mean_rounds: req_f64(stats_json, "mean_rounds")?,
+        min_rounds: req_usize(stats_json, "min_rounds")?,
+        max_rounds: req_usize(stats_json, "max_rounds")?,
+        std_rounds: req_f64(stats_json, "std_rounds")?,
+        ci95_rounds: req_f64(stats_json, "ci95_rounds")?,
+        mean_bits: req_f64(stats_json, "mean_bits")?,
+    };
+    let meta = match json.get("meta") {
+        Some(Json::Obj(fields)) => fields
+            .iter()
+            .map(|(k, v)| {
+                v.as_str()
+                    .map(|s| (k.clone(), s.to_string()))
+                    .ok_or(format!("meta.{k} is not a string"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        Some(_) => return Err("field \"meta\" is not an object".into()),
+        None => return Err("missing field \"meta\"".into()),
+    };
+    let runs = req_arr(json, "runs")?
+        .iter()
+        .enumerate()
+        .map(|(i, r)| run_from_json(r).map_err(|e| format!("runs[{i}]: {e}")))
+        .collect::<Result<Vec<_>, _>>()?;
+    let errors = req_arr(json, "errors")?
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            Ok(RunError {
+                seed: req_u64(e, "seed").map_err(|err| format!("errors[{i}]: {err}"))?,
+                message: req_str(e, "message").map_err(|err| format!("errors[{i}]: {err}"))?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(CellRecord {
+        label: req_str(json, "label")?,
+        meta,
+        stats,
+        runs,
+        errors,
+    })
+}
+
+fn run_from_json(json: &Json) -> Result<RunRecord, String> {
+    let history = req_arr(json, "history")?
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let cols = row
+                .as_arr()
+                .filter(|a| a.len() == 7)
+                .ok_or(format!("history[{i}] is not a 7-column row"))?;
+            let col = |j: usize| -> Result<usize, String> {
+                cols[j]
+                    .as_usize()
+                    .ok_or(format!("history[{i}][{j}] is not an integer"))
+            };
+            Ok(HistoryRow {
+                round: col(0)?,
+                edges: col(1)?,
+                bits: cols[2].as_u64().ok_or(format!("history[{i}][2] bad"))?,
+                min_dim: col(3)?,
+                max_dim: col(4)?,
+                total_tokens: col(5)?,
+                done: col(6)?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(RunRecord {
+        seed: req_u64(json, "seed")?,
+        rounds: req_usize(json, "rounds")?,
+        completed: json
+            .get("completed")
+            .and_then(Json::as_bool)
+            .ok_or("missing/mistyped field \"completed\"")?,
+        total_bits: req_u64(json, "total_bits")?,
+        max_message_bits: req_u64(json, "max_message_bits")?,
+        history,
+    })
+}
+
+fn table_from_json(json: &Json) -> Result<TableData, String> {
+    let headers = req_arr(json, "headers")?
+        .iter()
+        .map(|h| h.as_str().map(String::from).ok_or("non-string header"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let rows = req_arr(json, "rows")?
+        .iter()
+        .map(|r| {
+            r.as_arr()
+                .ok_or("non-array row")?
+                .iter()
+                .map(|c| c.as_str().map(String::from).ok_or("non-string table cell"))
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    for (i, r) in rows.iter().enumerate() {
+        if r.len() != headers.len() {
+            return Err(format!(
+                "rows[{i}] arity {} != headers {}",
+                r.len(),
+                headers.len()
+            ));
+        }
+    }
+    Ok(TableData {
+        title: req_str(json, "title")?,
+        headers,
+        rows,
+    })
+}
+
+fn req_str(json: &Json, key: &str) -> Result<String, String> {
+    json.get(key)
+        .and_then(Json::as_str)
+        .map(String::from)
+        .ok_or(format!("missing/mistyped field {key:?}"))
+}
+
+fn req_f64(json: &Json, key: &str) -> Result<f64, String> {
+    json.get(key)
+        .and_then(Json::as_f64)
+        .ok_or(format!("missing/mistyped field {key:?}"))
+}
+
+fn req_u64(json: &Json, key: &str) -> Result<u64, String> {
+    json.get(key)
+        .and_then(Json::as_u64)
+        .ok_or(format!("missing/mistyped field {key:?}"))
+}
+
+fn req_usize(json: &Json, key: &str) -> Result<usize, String> {
+    json.get(key)
+        .and_then(Json::as_usize)
+        .ok_or(format!("missing/mistyped field {key:?}"))
+}
+
+fn req_arr<'a>(json: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    json.get(key)
+        .and_then(Json::as_arr)
+        .ok_or(format!("missing/mistyped field {key:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Artifact {
+        let mut a = Artifact::new("e1", "Theorem 2.1 sweep");
+        a.cells.push(CellRecord {
+            label: "n=16 adv=shuffled-path".into(),
+            meta: vec![
+                ("n".into(), "16".into()),
+                ("adversary".into(), "shuffled-path".into()),
+            ],
+            stats: SeedStats {
+                runs: 3,
+                failures: 0,
+                errors: 1,
+                mean_rounds: 120.5,
+                min_rounds: 110,
+                max_rounds: 131,
+                std_rounds: 10.5,
+                ci95_rounds: 11.88,
+                mean_bits: 1234.0,
+            },
+            runs: vec![RunRecord {
+                seed: 1,
+                rounds: 110,
+                completed: true,
+                total_bits: 1200,
+                max_message_bits: 16,
+                history: vec![HistoryRow {
+                    round: 0,
+                    edges: 15,
+                    bits: 160,
+                    min_dim: 0,
+                    max_dim: 1,
+                    total_tokens: 16,
+                    done: 0,
+                }],
+            }],
+            errors: vec![RunError {
+                seed: 3,
+                message: "run failed to complete".into(),
+            }],
+        });
+        a.fits.push(Fit {
+            label: "E1a".into(),
+            constant: 0.92,
+            spread: 1.07,
+        });
+        a.scalars.push(Scalar {
+            name: "E1b loglog slope".into(),
+            value: -1.02,
+        });
+        a.tables.push(TableData {
+            title: "E1a: n sweep".into(),
+            headers: vec!["n".into(), "rounds".into()],
+            rows: vec![vec!["16".into(), "120.5".into()]],
+        });
+        a
+    }
+
+    #[test]
+    fn artifact_round_trips_byte_identically() {
+        let a = sample();
+        let text = a.to_json_string();
+        let back = Artifact::parse(&text).expect("parse");
+        assert_eq!(back, a);
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn nan_stats_survive_round_trip() {
+        let mut a = Artifact::new("x", "all failed");
+        a.cells.push(CellRecord {
+            label: "c".into(),
+            meta: vec![],
+            stats: SeedStats::from_runs(
+                &[RunResult {
+                    rounds: 9,
+                    completed: false,
+                    total_bits: 0,
+                    max_message_bits: 0,
+                    adversary: "a".into(),
+                    history: vec![],
+                }],
+                0,
+            ),
+            runs: vec![],
+            errors: vec![],
+        });
+        let back = Artifact::parse(&a.to_json_string()).unwrap();
+        assert!(back.cells[0].stats.mean_rounds.is_nan());
+        assert_eq!(back.cells[0].stats.failures, 1);
+    }
+
+    #[test]
+    fn schema_violations_are_named() {
+        let bad = r#"{"schema": "other/v9", "id": "x"}"#;
+        let err = Artifact::parse(bad).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+
+        let mut json = sample().to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields.retain(|(k, _)| k != "cells");
+        }
+        let err = Artifact::from_json(&json).unwrap_err();
+        assert!(err.contains("cells"), "{err}");
+
+        let err = Artifact::parse("{not json").unwrap_err();
+        assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn file_name_follows_id() {
+        assert_eq!(sample().file_name(), "BENCH_e1.json");
+    }
+
+    #[test]
+    fn write_to_creates_dir_and_file() {
+        let dir = std::env::temp_dir().join("dyncode_artifact_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = sample().write_to(&dir).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(Artifact::parse(&text).unwrap(), sample());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

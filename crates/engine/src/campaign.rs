@@ -1,0 +1,882 @@
+//! The declarative campaign spec: sweep grids over `(n, k, d, b, T)` ×
+//! adversary suite × seeds, with a builder API and a small text parser so
+//! scenarios are data, not code.
+//!
+//! A [`Campaign`] expands into independent [`CellSpec`]s (one per grid
+//! point per adversary); [`run_campaign`] shards `cells × seeds` across
+//! the executor and aggregates the results into an [`Artifact`]. Every
+//! cell carries its own seeds, so the parallel artifact is byte-identical
+//! to the serial one.
+
+use crate::aggregate::SeedStats;
+use crate::artifact::{Artifact, CellRecord, RunError, RunRecord};
+use crate::executor::Engine;
+use dyncode_core::params::{Instance, Params, Placement};
+use dyncode_core::protocols::{
+    Centralized, GreedyForward, IndexedBroadcast, NaiveCoded, PriorityForward, TokenForwarding,
+};
+use dyncode_core::runner::run_one;
+use dyncode_dynet::adversaries::{
+    BottleneckAdversary, KnowledgeAdaptiveAdversary, RandomConnectedAdversary,
+    ShuffledPathAdversary, ShuffledStarAdversary,
+};
+use dyncode_dynet::adversary::{Adversary, TStable};
+use dyncode_dynet::simulator::{RunResult, SimConfig};
+
+/// Which protocol a campaign runs. The declarative counterpart of the
+/// concrete types in `dyncode_core::protocols`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// `TokenForwarding::baseline` (Theorem 2.1 baseline).
+    TokenForwarding,
+    /// `TokenForwarding::pipelined(T)` when the cell's T > 1, baseline
+    /// otherwise.
+    PipelinedForwarding,
+    /// `GreedyForward` (Theorem 7.3).
+    GreedyForward,
+    /// `PriorityForward` (Theorem 7.5).
+    PriorityForward,
+    /// `NaiveCoded` (Corollary 7.1).
+    NaiveCoded,
+    /// `IndexedBroadcast` (Lemma 5.3).
+    IndexedBroadcast,
+    /// `Centralized` (Corollary 2.6).
+    Centralized,
+}
+
+impl ProtocolKind {
+    /// The spec-file name of this protocol.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolKind::TokenForwarding => "token-forwarding",
+            ProtocolKind::PipelinedForwarding => "pipelined-forwarding",
+            ProtocolKind::GreedyForward => "greedy-forward",
+            ProtocolKind::PriorityForward => "priority-forward",
+            ProtocolKind::NaiveCoded => "naive-coded",
+            ProtocolKind::IndexedBroadcast => "indexed-broadcast",
+            ProtocolKind::Centralized => "centralized",
+        }
+    }
+
+    /// Parses a spec-file protocol name.
+    pub fn parse(s: &str) -> Result<ProtocolKind, String> {
+        match s {
+            "token-forwarding" => Ok(ProtocolKind::TokenForwarding),
+            "pipelined-forwarding" => Ok(ProtocolKind::PipelinedForwarding),
+            "greedy-forward" => Ok(ProtocolKind::GreedyForward),
+            "priority-forward" => Ok(ProtocolKind::PriorityForward),
+            "naive-coded" => Ok(ProtocolKind::NaiveCoded),
+            "indexed-broadcast" => Ok(ProtocolKind::IndexedBroadcast),
+            "centralized" => Ok(ProtocolKind::Centralized),
+            other => Err(format!("unknown protocol {other:?}")),
+        }
+    }
+}
+
+/// Which adversary family a cell runs against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdversaryKind {
+    /// A fresh random path order every round.
+    ShuffledPath,
+    /// A fresh random star center every round.
+    ShuffledStar,
+    /// Two cliques joined by one bridge.
+    Bottleneck,
+    /// Adaptive: isolates the most knowledgeable nodes.
+    KnowledgeAdaptive,
+    /// A random connected graph with two extra edges.
+    RandomConnected,
+}
+
+impl AdversaryKind {
+    /// The spec-file name of this adversary family.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdversaryKind::ShuffledPath => "shuffled-path",
+            AdversaryKind::ShuffledStar => "shuffled-star",
+            AdversaryKind::Bottleneck => "bottleneck",
+            AdversaryKind::KnowledgeAdaptive => "knowledge-adaptive",
+            AdversaryKind::RandomConnected => "random-connected",
+        }
+    }
+
+    /// Parses a spec-file adversary name.
+    pub fn parse(s: &str) -> Result<AdversaryKind, String> {
+        match s {
+            "shuffled-path" => Ok(AdversaryKind::ShuffledPath),
+            "shuffled-star" => Ok(AdversaryKind::ShuffledStar),
+            "bottleneck" => Ok(AdversaryKind::Bottleneck),
+            "knowledge-adaptive" => Ok(AdversaryKind::KnowledgeAdaptive),
+            "random-connected" => Ok(AdversaryKind::RandomConnected),
+            other => Err(format!("unknown adversary {other:?}")),
+        }
+    }
+
+    /// Builds a fresh adversary, wrapped [`TStable`] when `t > 1`.
+    pub fn build(&self, t: usize) -> Box<dyn Adversary> {
+        let inner: Box<dyn Adversary> = match self {
+            AdversaryKind::ShuffledPath => Box::new(ShuffledPathAdversary),
+            AdversaryKind::ShuffledStar => Box::new(ShuffledStarAdversary),
+            AdversaryKind::Bottleneck => Box::new(BottleneckAdversary),
+            AdversaryKind::KnowledgeAdaptive => Box::new(KnowledgeAdaptiveAdversary),
+            AdversaryKind::RandomConnected => Box::new(RandomConnectedAdversary::new(2)),
+        };
+        if t > 1 {
+            Box::new(TStable::new(inner, t))
+        } else {
+            inner
+        }
+    }
+}
+
+/// A grid dimension: either a constant or a small expression over the
+/// cell's `n` (and, for `b`, its `d`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dim {
+    /// A fixed value.
+    Const(usize),
+    /// Equal to `n` (the canonical `k = n` sweeps).
+    N,
+    /// `⌈log₂ n⌉ + 1` (the paper's Θ(log n) token-size regime).
+    LgN1,
+    /// A multiple of the cell's `d` (only meaningful for `b`).
+    MulD(usize),
+}
+
+impl Dim {
+    /// Evaluates at `n` with the already-evaluated `d` (pass 0 when
+    /// evaluating `d` itself; [`Dim::MulD`] then panics by construction).
+    pub fn eval(&self, n: usize, d: usize) -> usize {
+        match self {
+            Dim::Const(x) => *x,
+            Dim::N => n,
+            Dim::LgN1 => ((usize::BITS - (n.max(2) - 1).leading_zeros()) as usize).max(1) + 1,
+            Dim::MulD(m) => {
+                assert!(d > 0, "MulD used where no d is in scope");
+                m * d
+            }
+        }
+    }
+
+    /// Parses `"n"`, `"lgn+1"`, `"<int>"`, or `"<int>d"`.
+    pub fn parse(s: &str) -> Result<Dim, String> {
+        match s {
+            "n" => Ok(Dim::N),
+            "lgn+1" => Ok(Dim::LgN1),
+            _ => {
+                if let Some(mult) = s.strip_suffix('d') {
+                    mult.parse::<usize>()
+                        .map(Dim::MulD)
+                        .map_err(|_| format!("bad dimension {s:?}"))
+                } else {
+                    s.parse::<usize>()
+                        .map(Dim::Const)
+                        .map_err(|_| format!("bad dimension {s:?}"))
+                }
+            }
+        }
+    }
+}
+
+/// The per-cell round cap, as a rule over `(n, k)` so one campaign can
+/// sweep sizes without a hand-tuned cap per point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CapRule {
+    /// `c·n²` — forwarding-style caps.
+    MulNN(usize),
+    /// `c·n` — linear-time protocols (centralized coding).
+    MulN(usize),
+    /// `c·(n+k)` — indexed-broadcast-style caps.
+    MulNPlusK(usize),
+}
+
+impl CapRule {
+    /// Evaluates the cap at `(n, k)`.
+    pub fn eval(&self, n: usize, k: usize) -> usize {
+        match self {
+            CapRule::MulNN(c) => c * n * n,
+            CapRule::MulN(c) => c * n,
+            CapRule::MulNPlusK(c) => c * (n + k),
+        }
+    }
+
+    /// Parses `"<int>nn"`, `"<int>n"`, or `"<int>(n+k)"`.
+    pub fn parse(s: &str) -> Result<CapRule, String> {
+        let rule = |prefix: &str| -> Result<usize, String> {
+            prefix
+                .parse::<usize>()
+                .map_err(|_| format!("bad cap rule {s:?}"))
+        };
+        if let Some(p) = s.strip_suffix("(n+k)") {
+            Ok(CapRule::MulNPlusK(rule(p)?))
+        } else if let Some(p) = s.strip_suffix("nn") {
+            Ok(CapRule::MulNN(rule(p)?))
+        } else if let Some(p) = s.strip_suffix('n') {
+            Ok(CapRule::MulN(rule(p)?))
+        } else {
+            Err(format!("bad cap rule {s:?}"))
+        }
+    }
+}
+
+/// A declarative sweep: the full cross product of `n × T × adversary`
+/// (with `k`, `d`, `b` derived per point) run over a common seed list.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Campaign {
+    /// Campaign id; names the artifact (`BENCH_<id>.json`).
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Adversary families to sweep.
+    pub adversaries: Vec<AdversaryKind>,
+    /// Initial token placement.
+    pub placement: Placement,
+    /// Node counts to sweep.
+    pub ns: Vec<usize>,
+    /// Token count per point.
+    pub k: Dim,
+    /// Token size per point.
+    pub d: Dim,
+    /// Message budget per point.
+    pub b: Dim,
+    /// Stability intervals to sweep (1 = fully dynamic).
+    pub ts: Vec<usize>,
+    /// Simulator seeds per cell.
+    pub seeds: Vec<u64>,
+    /// Seed for token generation/placement (shared by all cells).
+    pub instance_seed: u64,
+    /// Round-cap rule.
+    pub cap: CapRule,
+    /// Record per-round histories into the artifact.
+    pub record_history: bool,
+    /// Quick-profile node counts (`None` = first two of `ns`).
+    pub quick_ns: Option<Vec<usize>>,
+    /// Quick-profile seeds (`None` = first of `seeds`).
+    pub quick_seeds: Option<Vec<u64>>,
+}
+
+impl Campaign {
+    /// Starts a builder with required id/title and library defaults
+    /// (shuffled-path adversary, one-token-per-node, `k = n`,
+    /// `d = lgn+1`, `b = 2d`, `T = 1`, seeds 1–3, cap `10n²`).
+    pub fn builder(id: impl Into<String>, title: impl Into<String>) -> CampaignBuilder {
+        CampaignBuilder {
+            campaign: Campaign {
+                id: id.into(),
+                title: title.into(),
+                protocol: ProtocolKind::TokenForwarding,
+                adversaries: vec![AdversaryKind::ShuffledPath],
+                placement: Placement::OneTokenPerNode,
+                ns: vec![16, 32],
+                k: Dim::N,
+                d: Dim::LgN1,
+                b: Dim::MulD(2),
+                ts: vec![1],
+                seeds: vec![1, 2, 3],
+                instance_seed: 42,
+                cap: CapRule::MulNN(10),
+                record_history: false,
+                quick_ns: None,
+                quick_seeds: None,
+            },
+        }
+    }
+
+    /// The quick profile: fewer sizes and seeds for CI-style smoke runs.
+    /// Uses the explicit `quick_*` overrides when present, else the first
+    /// two sizes and the first seed.
+    pub fn quick(&self) -> Campaign {
+        let mut c = self.clone();
+        c.ns = self
+            .quick_ns
+            .clone()
+            .unwrap_or_else(|| self.ns.iter().copied().take(2).collect());
+        c.seeds = self
+            .quick_seeds
+            .clone()
+            .unwrap_or_else(|| self.seeds.iter().copied().take(1).collect());
+        c
+    }
+
+    /// Expands the grid into cells: `n × T × adversary`, in that
+    /// (deterministic) nesting order.
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut out = Vec::new();
+        for &n in &self.ns {
+            let d = self.d.eval(n, 0);
+            let k = self.k.eval(n, d);
+            let b = self.b.eval(n, d);
+            for &t in &self.ts {
+                for &adv in &self.adversaries {
+                    out.push(CellSpec {
+                        params: Params::new(n, k, d, b),
+                        t,
+                        adversary: adv,
+                        placement: self.placement,
+                        protocol: self.protocol,
+                        cap: self.cap.eval(n, k),
+                        instance_seed: self.instance_seed,
+                        record_history: self.record_history,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a campaign from the `key = value` spec text format:
+    ///
+    /// ```text
+    /// # scenarios are data, not code
+    /// id = tf-nsweep
+    /// title = Token forwarding n sweep
+    /// protocol = token-forwarding
+    /// adversaries = shuffled-path, bottleneck
+    /// placement = one-token-per-node
+    /// n = 16, 32, 64
+    /// k = n
+    /// d = lgn+1
+    /// b = 2d
+    /// t = 1
+    /// seeds = 1, 2, 3
+    /// cap = 10nn
+    /// ```
+    ///
+    /// Unknown keys are errors; everything except `id` has a default.
+    pub fn parse(text: &str) -> Result<Campaign, String> {
+        let mut b = Campaign::builder("", "");
+        let mut saw_id = false;
+        let mut saw_title = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or(format!("line {}: expected `key = value`", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let list = || -> Vec<&str> {
+                value
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            };
+            let usizes = |items: Vec<&str>| -> Result<Vec<usize>, String> {
+                items
+                    .iter()
+                    .map(|s| s.parse::<usize>().map_err(|_| format!("bad number {s:?}")))
+                    .collect()
+            };
+            let u64s = |items: Vec<&str>| -> Result<Vec<u64>, String> {
+                items
+                    .iter()
+                    .map(|s| s.parse::<u64>().map_err(|_| format!("bad seed {s:?}")))
+                    .collect()
+            };
+            let err = |e: String| format!("line {}: {e}", lineno + 1);
+            match key {
+                "id" => {
+                    b.campaign.id = value.to_string();
+                    saw_id = true;
+                }
+                "title" => {
+                    b.campaign.title = value.to_string();
+                    saw_title = true;
+                }
+                "protocol" => b.campaign.protocol = ProtocolKind::parse(value).map_err(err)?,
+                "adversaries" => {
+                    b.campaign.adversaries = list()
+                        .iter()
+                        .map(|s| AdversaryKind::parse(s))
+                        .collect::<Result<_, _>>()
+                        .map_err(err)?;
+                }
+                "placement" => b.campaign.placement = parse_placement(value).map_err(err)?,
+                "n" => b.campaign.ns = usizes(list()).map_err(err)?,
+                "k" => b.campaign.k = Dim::parse(value).map_err(err)?,
+                "d" => b.campaign.d = Dim::parse(value).map_err(err)?,
+                "b" => b.campaign.b = Dim::parse(value).map_err(err)?,
+                "t" => b.campaign.ts = usizes(list()).map_err(err)?,
+                "seeds" => b.campaign.seeds = u64s(list()).map_err(err)?,
+                "instance_seed" => {
+                    b.campaign.instance_seed = value
+                        .parse::<u64>()
+                        .map_err(|_| err(format!("bad seed {value:?}")))?;
+                }
+                "cap" => b.campaign.cap = CapRule::parse(value).map_err(err)?,
+                "record_history" => {
+                    b.campaign.record_history = match value {
+                        "true" => true,
+                        "false" => false,
+                        _ => return Err(err(format!("bad bool {value:?}"))),
+                    };
+                }
+                "quick_n" => b.campaign.quick_ns = Some(usizes(list()).map_err(err)?),
+                "quick_seeds" => b.campaign.quick_seeds = Some(u64s(list()).map_err(err)?),
+                other => return Err(err(format!("unknown key {other:?}"))),
+            }
+        }
+        if !saw_id {
+            return Err("campaign spec is missing `id`".into());
+        }
+        if !saw_title {
+            b.campaign.title = b.campaign.id.clone();
+        }
+        b.build()
+    }
+}
+
+fn parse_placement(s: &str) -> Result<Placement, String> {
+    if s == "one-token-per-node" {
+        return Ok(Placement::OneTokenPerNode);
+    }
+    if s == "round-robin" {
+        return Ok(Placement::RoundRobin);
+    }
+    if let Some(node) = s.strip_prefix("all-at-node:") {
+        return node
+            .parse::<usize>()
+            .map(Placement::AllAtNode)
+            .map_err(|_| format!("bad placement {s:?}"));
+    }
+    if let Some(m) = s.strip_prefix("clustered:") {
+        return m
+            .parse::<usize>()
+            .map(Placement::Clustered)
+            .map_err(|_| format!("bad placement {s:?}"));
+    }
+    Err(format!("unknown placement {s:?}"))
+}
+
+/// Builder for [`Campaign`] (see [`Campaign::builder`] for the defaults).
+#[derive(Clone, Debug)]
+pub struct CampaignBuilder {
+    campaign: Campaign,
+}
+
+impl CampaignBuilder {
+    /// Sets the protocol under test.
+    pub fn protocol(mut self, p: ProtocolKind) -> Self {
+        self.campaign.protocol = p;
+        self
+    }
+
+    /// Sets the adversary families.
+    pub fn adversaries(mut self, a: Vec<AdversaryKind>) -> Self {
+        self.campaign.adversaries = a;
+        self
+    }
+
+    /// Sets the token placement.
+    pub fn placement(mut self, p: Placement) -> Self {
+        self.campaign.placement = p;
+        self
+    }
+
+    /// Sets the node counts to sweep.
+    pub fn ns(mut self, ns: &[usize]) -> Self {
+        self.campaign.ns = ns.to_vec();
+        self
+    }
+
+    /// Sets the token-count rule.
+    pub fn k(mut self, k: Dim) -> Self {
+        self.campaign.k = k;
+        self
+    }
+
+    /// Sets the token-size rule.
+    pub fn d(mut self, d: Dim) -> Self {
+        self.campaign.d = d;
+        self
+    }
+
+    /// Sets the message-budget rule.
+    pub fn b(mut self, b: Dim) -> Self {
+        self.campaign.b = b;
+        self
+    }
+
+    /// Sets the stability intervals to sweep.
+    pub fn ts(mut self, ts: &[usize]) -> Self {
+        self.campaign.ts = ts.to_vec();
+        self
+    }
+
+    /// Sets the simulator seeds per cell.
+    pub fn seeds(mut self, seeds: &[u64]) -> Self {
+        self.campaign.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Sets the instance-generation seed.
+    pub fn instance_seed(mut self, seed: u64) -> Self {
+        self.campaign.instance_seed = seed;
+        self
+    }
+
+    /// Sets the round-cap rule.
+    pub fn cap(mut self, cap: CapRule) -> Self {
+        self.campaign.cap = cap;
+        self
+    }
+
+    /// Enables per-round history recording into the artifact.
+    pub fn record_history(mut self, on: bool) -> Self {
+        self.campaign.record_history = on;
+        self
+    }
+
+    /// Sets the quick-profile node counts.
+    pub fn quick_ns(mut self, ns: &[usize]) -> Self {
+        self.campaign.quick_ns = Some(ns.to_vec());
+        self
+    }
+
+    /// Sets the quick-profile seeds.
+    pub fn quick_seeds(mut self, seeds: &[u64]) -> Self {
+        self.campaign.quick_seeds = Some(seeds.to_vec());
+        self
+    }
+
+    /// Validates and returns the campaign.
+    pub fn build(self) -> Result<Campaign, String> {
+        let c = self.campaign;
+        if c.id.is_empty() {
+            return Err("campaign id must be nonempty".into());
+        }
+        if c.ns.is_empty() {
+            return Err("campaign needs at least one n".into());
+        }
+        if c.seeds.is_empty() {
+            return Err("campaign needs at least one seed".into());
+        }
+        if c.adversaries.is_empty() {
+            return Err("campaign needs at least one adversary".into());
+        }
+        if c.ts.is_empty() || c.ts.contains(&0) {
+            return Err("stability intervals must be nonempty and ≥ 1".into());
+        }
+        Ok(c)
+    }
+}
+
+/// One expanded grid point: everything needed to run its seeds, with no
+/// shared mutable state — the unit the executor shards.
+#[derive(Clone, Debug)]
+pub struct CellSpec {
+    /// The dissemination parameters at this point.
+    pub params: Params,
+    /// Stability interval (1 = fully dynamic).
+    pub t: usize,
+    /// Adversary family.
+    pub adversary: AdversaryKind,
+    /// Token placement.
+    pub placement: Placement,
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Round cap.
+    pub cap: usize,
+    /// Instance-generation seed.
+    pub instance_seed: u64,
+    /// Record per-round history.
+    pub record_history: bool,
+}
+
+impl CellSpec {
+    /// The cell's artifact label (unique within a campaign).
+    pub fn label(&self) -> String {
+        let p = &self.params;
+        format!(
+            "n={} k={} d={} b={} t={} adv={}",
+            p.n,
+            p.k,
+            p.d,
+            p.b,
+            self.t,
+            self.adversary.name()
+        )
+    }
+
+    /// The cell's artifact metadata pairs.
+    pub fn meta(&self) -> Vec<(String, String)> {
+        let p = &self.params;
+        vec![
+            ("protocol".into(), self.protocol.name().into()),
+            ("adversary".into(), self.adversary.name().into()),
+            ("n".into(), p.n.to_string()),
+            ("k".into(), p.k.to_string()),
+            ("d".into(), p.d.to_string()),
+            ("b".into(), p.b.to_string()),
+            ("t".into(), self.t.to_string()),
+            ("cap".into(), self.cap.to_string()),
+            ("instance_seed".into(), self.instance_seed.to_string()),
+        ]
+    }
+
+    /// Generates this cell's problem instance (shared by all its seeds —
+    /// the adversary places tokens once, before round one).
+    pub fn instance(&self) -> Instance {
+        Instance::generate(self.params, self.placement, self.instance_seed)
+    }
+
+    /// Runs this cell once from `seed`. Deterministic in `(self, seed)`;
+    /// completion is asserted for dissemination exactness via
+    /// `dyncode_core::runner::run_one`.
+    pub fn run(&self, seed: u64) -> RunResult {
+        self.run_on(&self.instance(), seed)
+    }
+
+    /// [`CellSpec::run`] against a pre-generated instance (which must be
+    /// [`CellSpec::instance`] — callers sweeping many seeds generate it
+    /// once instead of per seed).
+    pub fn run_on(&self, inst: &Instance, seed: u64) -> RunResult {
+        let mut config = SimConfig::with_max_rounds(self.cap);
+        config.record_history = self.record_history;
+        let adv = || self.adversary.build(self.t);
+        match self.protocol {
+            ProtocolKind::TokenForwarding => {
+                run_one(&|| TokenForwarding::baseline(inst), &adv, &config, seed)
+            }
+            ProtocolKind::PipelinedForwarding => run_one(
+                &|| {
+                    if self.t > 1 {
+                        TokenForwarding::pipelined(inst, self.t)
+                    } else {
+                        TokenForwarding::baseline(inst)
+                    }
+                },
+                &adv,
+                &config,
+                seed,
+            ),
+            ProtocolKind::GreedyForward => {
+                run_one(&|| GreedyForward::new(inst), &adv, &config, seed)
+            }
+            ProtocolKind::PriorityForward => {
+                run_one(&|| PriorityForward::new(inst), &adv, &config, seed)
+            }
+            ProtocolKind::NaiveCoded => run_one(&|| NaiveCoded::new(inst), &adv, &config, seed),
+            ProtocolKind::IndexedBroadcast => {
+                run_one(&|| IndexedBroadcast::new(inst), &adv, &config, seed)
+            }
+            ProtocolKind::Centralized => run_one(&|| Centralized::new(inst), &adv, &config, seed),
+        }
+    }
+}
+
+/// Runs a campaign on the engine: shards `cells × seeds` across the
+/// workers, aggregates per cell, and returns the artifact.
+///
+/// A panicking cell-seed run is contained: it becomes a [`RunError`] in
+/// that cell's `errors` list (and counts in `stats.errors`) while every
+/// other run completes normally.
+pub fn run_campaign(engine: &Engine, campaign: &Campaign) -> Artifact {
+    let cells = campaign.cells();
+    // One instance per cell, generated up front and shared by the cell's
+    // seeds (instance generation is a function of the cell spec alone).
+    let instances: Vec<Instance> = cells.iter().map(CellSpec::instance).collect();
+    let jobs: Vec<_> = cells
+        .iter()
+        .zip(&instances)
+        .flat_map(|(cell, inst)| {
+            campaign
+                .seeds
+                .iter()
+                .map(move |&seed| move || cell.run_on(inst, seed))
+        })
+        .collect();
+    let outcomes = engine.map(jobs);
+
+    let mut artifact = Artifact::new(campaign.id.clone(), campaign.title.clone());
+    // Jobs were emitted cell-major, so the outcomes chunk per cell.
+    for (cell, cell_outcomes) in cells.iter().zip(outcomes.chunks(campaign.seeds.len())) {
+        let mut runs = Vec::new();
+        let mut raw = Vec::new();
+        let mut errors = Vec::new();
+        for (&seed, outcome) in campaign.seeds.iter().zip(cell_outcomes) {
+            match outcome {
+                Ok(r) => {
+                    runs.push(RunRecord::from_run(seed, r));
+                    raw.push(r.clone());
+                }
+                Err(e) => errors.push(RunError {
+                    seed,
+                    message: e.message.clone(),
+                }),
+            }
+        }
+        artifact.cells.push(CellRecord {
+            label: cell.label(),
+            meta: cell.meta(),
+            stats: SeedStats::from_runs(&raw, errors.len()),
+            runs,
+            errors,
+        });
+    }
+    artifact
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Campaign {
+        Campaign::builder("tiny", "tiny token-forwarding sweep")
+            .ns(&[8, 16])
+            .seeds(&[1, 2])
+            .adversaries(vec![AdversaryKind::ShuffledPath, AdversaryKind::Bottleneck])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn grid_expansion_order_and_labels() {
+        let c = tiny();
+        let cells = c.cells();
+        // 2 sizes × 1 T × 2 adversaries.
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].label(), "n=8 k=8 d=4 b=8 t=1 adv=shuffled-path");
+        assert_eq!(cells[1].label(), "n=8 k=8 d=4 b=8 t=1 adv=bottleneck");
+        assert_eq!(cells[2].params.n, 16);
+        assert_eq!(cells[2].params.d, 5); // lg 16 + 1
+        assert_eq!(cells[2].params.b, 10); // 2d
+        assert_eq!(cells[0].cap, 10 * 8 * 8);
+    }
+
+    #[test]
+    fn campaign_runs_and_aggregates() {
+        let c = tiny();
+        let a = run_campaign(&Engine::new(2), &c);
+        assert_eq!(a.id, "tiny");
+        assert_eq!(a.cells.len(), 4);
+        for cell in &a.cells {
+            assert_eq!(cell.stats.runs, 2);
+            assert!(cell.stats.all_completed(), "{}", cell.label);
+            assert_eq!(cell.runs.len(), 2);
+            assert!(cell.errors.is_empty());
+            assert!(cell.stats.mean_rounds > 0.0);
+            assert!(cell.stats.min_rounds <= cell.stats.max_rounds);
+        }
+    }
+
+    #[test]
+    fn quick_profile_shrinks() {
+        let c = tiny();
+        let q = c.quick();
+        assert_eq!(q.ns, vec![8, 16]);
+        assert_eq!(q.seeds, vec![1]);
+        let explicit = Campaign::builder("x", "x")
+            .ns(&[8, 16, 32])
+            .quick_ns(&[8])
+            .quick_seeds(&[7])
+            .build()
+            .unwrap()
+            .quick();
+        assert_eq!(explicit.ns, vec![8]);
+        assert_eq!(explicit.seeds, vec![7]);
+    }
+
+    #[test]
+    fn spec_text_round_trip() {
+        let text = "
+            # comment
+            id = tf-nsweep
+            title = Token forwarding n sweep  # trailing comment
+            protocol = token-forwarding
+            adversaries = shuffled-path, bottleneck
+            placement = round-robin
+            n = 8, 16
+            k = n
+            d = lgn+1
+            b = 4d
+            t = 1, 2
+            seeds = 1, 2, 3
+            instance_seed = 9
+            cap = 20nn
+            record_history = true
+            quick_n = 8
+            quick_seeds = 1
+        ";
+        let c = Campaign::parse(text).expect("parse");
+        assert_eq!(c.id, "tf-nsweep");
+        assert_eq!(c.title, "Token forwarding n sweep");
+        assert_eq!(c.adversaries.len(), 2);
+        assert_eq!(c.placement, Placement::RoundRobin);
+        assert_eq!(c.b, Dim::MulD(4));
+        assert_eq!(c.ts, vec![1, 2]);
+        assert_eq!(c.instance_seed, 9);
+        assert_eq!(c.cap, CapRule::MulNN(20));
+        assert!(c.record_history);
+        assert_eq!(c.cells().len(), 2 * 2 * 2);
+    }
+
+    #[test]
+    fn spec_defaults_and_errors() {
+        let minimal = Campaign::parse("id = x").unwrap();
+        assert_eq!(minimal.title, "x");
+        assert_eq!(minimal.k, Dim::N);
+
+        assert!(Campaign::parse("").unwrap_err().contains("missing `id`"));
+        assert!(Campaign::parse("id = x\nbogus = 1")
+            .unwrap_err()
+            .contains("unknown key"));
+        assert!(Campaign::parse("id = x\nprotocol = nope")
+            .unwrap_err()
+            .contains("unknown protocol"));
+        assert!(Campaign::parse("id = x\nn = ")
+            .unwrap_err()
+            .contains("at least one n"));
+        assert!(Campaign::parse("id = x\nt = 0").is_err());
+        assert!(Campaign::parse("id = x\ncap = fast").is_err());
+        assert!(Campaign::parse("id = x\nno_equals_here").is_err());
+    }
+
+    #[test]
+    fn parse_placement_forms() {
+        assert_eq!(
+            parse_placement("all-at-node:3").unwrap(),
+            Placement::AllAtNode(3)
+        );
+        assert_eq!(
+            parse_placement("clustered:4").unwrap(),
+            Placement::Clustered(4)
+        );
+        assert!(parse_placement("scattered").is_err());
+    }
+
+    #[test]
+    fn dim_and_cap_parsing() {
+        assert_eq!(Dim::parse("n").unwrap(), Dim::N);
+        assert_eq!(Dim::parse("lgn+1").unwrap(), Dim::LgN1);
+        assert_eq!(Dim::parse("12").unwrap(), Dim::Const(12));
+        assert_eq!(Dim::parse("8d").unwrap(), Dim::MulD(8));
+        assert!(Dim::parse("d8").is_err());
+        assert_eq!(Dim::LgN1.eval(16, 0), 5);
+        assert_eq!(Dim::MulD(3).eval(16, 7), 21);
+
+        assert_eq!(CapRule::parse("10nn").unwrap(), CapRule::MulNN(10));
+        assert_eq!(CapRule::parse("100n").unwrap(), CapRule::MulN(100));
+        assert_eq!(CapRule::parse("50(n+k)").unwrap(), CapRule::MulNPlusK(50));
+        assert_eq!(CapRule::MulNPlusK(50).eval(16, 8), 50 * 24);
+        assert!(CapRule::parse("nn10").is_err());
+    }
+
+    #[test]
+    fn tstable_and_pipelined_cells_run() {
+        let c = Campaign::builder("t", "t-stable pipelined")
+            .protocol(ProtocolKind::PipelinedForwarding)
+            .ns(&[8])
+            .ts(&[1, 4])
+            .seeds(&[1])
+            .build()
+            .unwrap();
+        let a = run_campaign(&Engine::new(2), &c);
+        assert_eq!(a.cells.len(), 2);
+        assert!(a.cells.iter().all(|c| c.stats.all_completed()));
+    }
+}

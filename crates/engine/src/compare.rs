@@ -1,0 +1,305 @@
+//! Regression gating: diff two artifacts and fail on rounds/fit
+//! regressions beyond a tolerance.
+//!
+//! `compare(base, candidate)` walks the baseline's cells (matched by
+//! label) and fits, and reports a **regression** when the candidate got
+//! slower/looser beyond the relative tolerance, lost a cell, or picked up
+//! failures/contained errors the baseline didn't have. Improvements and
+//! benign differences are reported as notes. The CLI exits nonzero iff
+//! any regression is found, which is what CI gates on.
+
+use crate::artifact::Artifact;
+
+/// Comparison configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CompareConfig {
+    /// Relative tolerance on mean rounds, mean bits and fitted constants:
+    /// `candidate > base · (1 + tol)` is a regression.
+    pub tol: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig { tol: 0.15 }
+    }
+}
+
+/// The outcome of a comparison.
+#[derive(Clone, Debug, Default)]
+pub struct CompareReport {
+    /// Gate-failing findings.
+    pub regressions: Vec<String>,
+    /// Informational findings (improvements, new cells, id differences).
+    pub notes: Vec<String>,
+}
+
+impl CompareReport {
+    /// True when the candidate passes the gate.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Renders the report as human-readable lines.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.regressions {
+            out.push_str(&format!("REGRESSION: {r}\n"));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        if self.ok() {
+            out.push_str(&format!(
+                "OK: no regressions ({} note{})\n",
+                self.notes.len(),
+                if self.notes.len() == 1 { "" } else { "s" }
+            ));
+        }
+        out
+    }
+}
+
+/// Compares `candidate` against the `base`line under `config`.
+pub fn compare(base: &Artifact, candidate: &Artifact, config: &CompareConfig) -> CompareReport {
+    let mut report = CompareReport::default();
+    let tol = config.tol;
+    if base.id != candidate.id {
+        report.notes.push(format!(
+            "comparing artifacts with different ids: base {:?} vs candidate {:?}",
+            base.id, candidate.id
+        ));
+    }
+
+    for bc in &base.cells {
+        let Some(cc) = candidate.cells.iter().find(|c| c.label == bc.label) else {
+            report
+                .regressions
+                .push(format!("cell {:?} missing from candidate", bc.label));
+            continue;
+        };
+        if cc.stats.failures > bc.stats.failures {
+            report.regressions.push(format!(
+                "cell {:?}: failures rose {} -> {}",
+                bc.label, bc.stats.failures, cc.stats.failures
+            ));
+        }
+        if cc.stats.errors > bc.stats.errors {
+            report.regressions.push(format!(
+                "cell {:?}: contained errors rose {} -> {}",
+                bc.label, bc.stats.errors, cc.stats.errors
+            ));
+        }
+        check_metric(
+            &mut report,
+            &format!("cell {:?}: mean rounds", bc.label),
+            bc.stats.mean_rounds,
+            cc.stats.mean_rounds,
+            tol,
+        );
+        check_metric(
+            &mut report,
+            &format!("cell {:?}: mean bits", bc.label),
+            bc.stats.mean_bits,
+            cc.stats.mean_bits,
+            tol,
+        );
+    }
+    for cc in &candidate.cells {
+        if !base.cells.iter().any(|c| c.label == cc.label) {
+            report
+                .notes
+                .push(format!("candidate adds cell {:?}", cc.label));
+        }
+    }
+
+    for bf in &base.fits {
+        let Some(cf) = candidate.fits.iter().find(|f| f.label == bf.label) else {
+            report
+                .regressions
+                .push(format!("fit {:?} missing from candidate", bf.label));
+            continue;
+        };
+        check_metric(
+            &mut report,
+            &format!("fit {:?}: constant", bf.label),
+            bf.constant,
+            cf.constant,
+            tol,
+        );
+        check_metric(
+            &mut report,
+            &format!("fit {:?}: ratio spread", bf.label),
+            bf.spread,
+            cf.spread,
+            tol,
+        );
+    }
+    report
+}
+
+/// Higher-is-worse metric check with relative tolerance; NaN baselines
+/// (cells that never completed) only regress if the candidate *also*
+/// produces a number where the baseline had none going the wrong way —
+/// i.e. NaN→NaN is equal, NaN→finite is an improvement note, finite→NaN
+/// is a regression.
+fn check_metric(report: &mut CompareReport, what: &str, base: f64, cand: f64, tol: f64) {
+    match (base.is_nan(), cand.is_nan()) {
+        (true, true) => {}
+        (true, false) => report.notes.push(format!(
+            "{what}: baseline had no completions, candidate has {cand}"
+        )),
+        (false, true) => report.regressions.push(format!(
+            "{what}: candidate has no completions (baseline {base})"
+        )),
+        (false, false) => {
+            if base <= 0.0 {
+                if cand > base {
+                    report.notes.push(format!(
+                        "{what}: {base} -> {cand} (zero baseline, not gated)"
+                    ));
+                }
+                return;
+            }
+            let rel = (cand - base) / base;
+            if rel > tol {
+                report.regressions.push(format!(
+                    "{what}: {base} -> {cand} (+{:.1}% > {:.1}% tolerance)",
+                    rel * 100.0,
+                    tol * 100.0
+                ));
+            } else if rel < -tol {
+                report.notes.push(format!(
+                    "{what}: improved {base} -> {cand} ({:.1}%)",
+                    rel * 100.0
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::SeedStats;
+    use crate::artifact::{CellRecord, Fit};
+
+    fn cell(label: &str, mean_rounds: f64, failures: usize) -> CellRecord {
+        CellRecord {
+            label: label.into(),
+            meta: vec![],
+            stats: SeedStats {
+                runs: 3,
+                failures,
+                errors: 0,
+                mean_rounds,
+                min_rounds: mean_rounds as usize,
+                max_rounds: mean_rounds as usize,
+                std_rounds: 0.0,
+                ci95_rounds: 0.0,
+                mean_bits: 1000.0,
+            },
+            runs: vec![],
+            errors: vec![],
+        }
+    }
+
+    fn artifact(cells: Vec<CellRecord>, fits: Vec<Fit>) -> Artifact {
+        let mut a = Artifact::new("e1", "t");
+        a.cells = cells;
+        a.fits = fits;
+        a
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let a = artifact(
+            vec![cell("n=16", 100.0, 0)],
+            vec![Fit {
+                label: "E1a".into(),
+                constant: 0.9,
+                spread: 1.1,
+            }],
+        );
+        let r = compare(&a, &a.clone(), &CompareConfig::default());
+        assert!(r.ok(), "{}", r.render());
+        assert!(r.notes.is_empty());
+    }
+
+    #[test]
+    fn injected_rounds_regression_fails_the_gate() {
+        let base = artifact(vec![cell("n=16", 100.0, 0)], vec![]);
+        let worse = artifact(vec![cell("n=16", 130.0, 0)], vec![]);
+        let r = compare(&base, &worse, &CompareConfig { tol: 0.15 });
+        assert!(!r.ok());
+        assert!(
+            r.regressions[0].contains("mean rounds"),
+            "{:?}",
+            r.regressions
+        );
+        // Within tolerance passes.
+        let slightly = artifact(vec![cell("n=16", 110.0, 0)], vec![]);
+        assert!(compare(&base, &slightly, &CompareConfig { tol: 0.15 }).ok());
+        // Improvement is a note, not a regression.
+        let better = artifact(vec![cell("n=16", 50.0, 0)], vec![]);
+        let r = compare(&base, &better, &CompareConfig { tol: 0.15 });
+        assert!(r.ok());
+        assert!(r.notes.iter().any(|n| n.contains("improved")));
+    }
+
+    #[test]
+    fn missing_cell_and_new_failures_fail() {
+        let base = artifact(vec![cell("n=16", 100.0, 0), cell("n=32", 210.0, 0)], vec![]);
+        let missing = artifact(vec![cell("n=16", 100.0, 0)], vec![]);
+        assert!(!compare(&base, &missing, &CompareConfig::default()).ok());
+
+        let failing = artifact(vec![cell("n=16", 100.0, 1), cell("n=32", 210.0, 0)], vec![]);
+        let r = compare(&base, &failing, &CompareConfig::default());
+        assert!(r.regressions.iter().any(|x| x.contains("failures rose")));
+    }
+
+    #[test]
+    fn fit_constant_regression_fails() {
+        let base = artifact(
+            vec![],
+            vec![Fit {
+                label: "E1a".into(),
+                constant: 1.0,
+                spread: 1.05,
+            }],
+        );
+        let worse = artifact(
+            vec![],
+            vec![Fit {
+                label: "E1a".into(),
+                constant: 1.5,
+                spread: 1.05,
+            }],
+        );
+        let r = compare(&base, &worse, &CompareConfig { tol: 0.2 });
+        assert!(!r.ok());
+        assert!(r.regressions[0].contains("constant"));
+    }
+
+    #[test]
+    fn nan_transitions() {
+        let base = artifact(vec![cell("c", f64::NAN, 3)], vec![]);
+        let now_fine = artifact(vec![cell("c", 80.0, 0)], vec![]);
+        let r = compare(&base, &now_fine, &CompareConfig::default());
+        assert!(r.ok(), "{}", r.render());
+
+        let r = compare(&now_fine, &base, &CompareConfig::default());
+        assert!(!r.ok());
+        assert!(r
+            .regressions
+            .iter()
+            .any(|x| x.contains("no completions") || x.contains("failures rose")));
+    }
+
+    #[test]
+    fn render_mentions_outcome() {
+        let a = artifact(vec![], vec![]);
+        assert!(compare(&a, &a.clone(), &CompareConfig::default())
+            .render()
+            .contains("OK"));
+    }
+}

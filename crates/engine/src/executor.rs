@@ -1,0 +1,277 @@
+//! The work-stealing executor: shards independent cells across worker
+//! threads with deterministic result ordering and per-cell panic
+//! containment.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism** — a campaign's cells are mutually independent and
+//!    each carries its own seed, so the only way parallelism could change
+//!    results is via result *ordering*. The executor indexes every job at
+//!    submission and returns outcomes in submission order, making
+//!    `threads = 1` and `threads = N` byte-identical downstream.
+//! 2. **No unsafe, no deps** — plain [`std::thread::scope`] workers over
+//!    per-worker deques with sibling stealing, results funneled through an
+//!    [`mpsc`] channel. Scoped threads let jobs borrow the caller's data
+//!    (instances, closures) without `'static` gymnastics.
+//! 3. **Panic containment** — a panicking cell must fail *that cell*, not
+//!    the campaign: each job runs under [`catch_unwind`] and a panic
+//!    becomes a [`CellError`] carried in the result slot.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Mutex};
+use std::thread;
+
+/// A contained per-cell failure: the payload of a panic that occurred
+/// while the cell ran.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellError {
+    /// The panic message (or a placeholder for non-string payloads).
+    pub message: String,
+}
+
+impl CellError {
+    /// Extracts a message from a caught panic payload (the standard
+    /// `&str`/`String` payloads; anything else gets a placeholder).
+    pub fn from_panic(payload: Box<dyn std::any::Any + Send>) -> CellError {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "cell panicked with a non-string payload".to_string()
+        };
+        CellError { message }
+    }
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell failed: {}", self.message)
+    }
+}
+
+/// The executor handle: a thread count. Stateless between calls — every
+/// [`map`](Engine::map) spins up a fresh scoped worker set, so an `Engine`
+/// is freely shareable and costs nothing while idle.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    threads: usize,
+}
+
+impl Engine {
+    /// An engine with `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Engine {
+        Engine {
+            threads: threads.max(1),
+        }
+    }
+
+    /// An engine sized to the machine (`std::thread::available_parallelism`).
+    pub fn with_default_parallelism() -> Engine {
+        Engine::new(
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every job, in parallel across the workers, and returns the
+    /// outcomes **in submission order** regardless of completion order.
+    ///
+    /// Jobs are sharded round-robin onto per-worker deques; an idle worker
+    /// pops from its own deque front and steals from siblings' backs. A
+    /// job that panics yields `Err(CellError)` in its slot; all other jobs
+    /// run to completion and the workers shut down cleanly.
+    pub fn map<'env, T, F>(&self, jobs: Vec<F>) -> Vec<Result<T, CellError>>
+    where
+        T: Send + 'env,
+        F: FnOnce() -> T + Send + 'env,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(n);
+        if workers == 1 {
+            // Serial fast path: same containment semantics, no threads.
+            return jobs
+                .into_iter()
+                .map(|f| catch_unwind(AssertUnwindSafe(f)).map_err(CellError::from_panic))
+                .collect();
+        }
+
+        let mut local: Vec<VecDeque<(usize, F)>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, job) in jobs.into_iter().enumerate() {
+            local[i % workers].push_back((i, job));
+        }
+        let shards: Vec<Mutex<VecDeque<(usize, F)>>> = local.into_iter().map(Mutex::new).collect();
+        let (tx, rx) = mpsc::channel::<(usize, Result<T, CellError>)>();
+
+        thread::scope(|scope| {
+            for w in 0..workers {
+                let tx = tx.clone();
+                let shards = &shards;
+                scope.spawn(move || loop {
+                    let job = next_job(shards, w);
+                    let Some((i, f)) = job else { break };
+                    let outcome = catch_unwind(AssertUnwindSafe(f)).map_err(CellError::from_panic);
+                    if tx.send((i, outcome)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let mut out: Vec<Option<Result<T, CellError>>> = (0..n).map(|_| None).collect();
+            for (i, outcome) in rx {
+                out[i] = Some(outcome);
+            }
+            out.into_iter()
+                .map(|slot| slot.expect("executor lost a job"))
+                .collect()
+        })
+    }
+
+    /// Like [`map`](Engine::map) but panics (after all jobs have run) if
+    /// any cell failed, re-raising the first contained error. The strict
+    /// mode used by sweeps whose cells must all succeed.
+    pub fn map_strict<'env, T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'env,
+        F: FnOnce() -> T + Send + 'env,
+    {
+        let outcomes = self.map(jobs);
+        let failed: Vec<&CellError> = outcomes.iter().filter_map(|o| o.as_ref().err()).collect();
+        assert!(
+            failed.is_empty(),
+            "{} of {} cells failed; first: {}",
+            failed.len(),
+            outcomes.len(),
+            failed[0]
+        );
+        outcomes.into_iter().map(|o| o.unwrap()).collect()
+    }
+}
+
+/// Pops the next job for worker `w`: own deque front first, then steal
+/// from siblings' backs (classic work-stealing order — owners and thieves
+/// touch opposite ends to minimize contention).
+fn next_job<F>(shards: &[Mutex<VecDeque<(usize, F)>>], w: usize) -> Option<(usize, F)> {
+    // Locks are held only for the pop itself (never across user code), so
+    // a poisoned mutex is impossible; unwrap is fine.
+    if let Some(job) = shards[w].lock().unwrap().pop_front() {
+        return Some(job);
+    }
+    for offset in 1..shards.len() {
+        let victim = (w + offset) % shards.len();
+        if let Some(job) = shards[victim].lock().unwrap().pop_back() {
+            return Some(job);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_arrive_in_submission_order() {
+        for threads in [1, 2, 8] {
+            let engine = Engine::new(threads);
+            let jobs: Vec<_> = (0..50usize).map(|i| move || i * i).collect();
+            let got = engine.map_strict(jobs);
+            let want: Vec<usize> = (0..50).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn jobs_may_borrow_caller_data() {
+        let data: Vec<usize> = (0..100).collect();
+        let engine = Engine::new(4);
+        let jobs: Vec<_> = data
+            .chunks(10)
+            .map(|chunk| move || chunk.iter().sum::<usize>())
+            .collect();
+        let sums = engine.map_strict(jobs);
+        assert_eq!(sums.iter().sum::<usize>(), data.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn panicking_cell_is_contained_and_siblings_complete() {
+        let engine = Engine::new(4);
+        let completed = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..20usize)
+            .map(|i| {
+                let completed = &completed;
+                let job: Box<dyn FnOnce() -> usize + Send> = Box::new(move || {
+                    if i == 7 {
+                        panic!("cell 7 exploded");
+                    }
+                    completed.fetch_add(1, Ordering::SeqCst);
+                    i
+                });
+                job
+            })
+            .collect();
+        let outcomes = engine.map(jobs);
+        assert_eq!(outcomes.len(), 20);
+        for (i, o) in outcomes.iter().enumerate() {
+            if i == 7 {
+                let err = o.as_ref().unwrap_err();
+                assert!(err.message.contains("cell 7 exploded"), "{err}");
+            } else {
+                assert_eq!(*o.as_ref().unwrap(), i);
+            }
+        }
+        // Every non-panicking sibling ran to completion: clean shutdown,
+        // no poisoning.
+        assert_eq!(completed.load(Ordering::SeqCst), 19);
+    }
+
+    #[test]
+    fn panic_in_serial_fast_path_is_contained_too() {
+        let engine = Engine::new(1);
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("{}", format!("formatted {}", 42))),
+            Box::new(|| 3),
+        ];
+        let outcomes = engine.map(jobs);
+        assert_eq!(*outcomes[0].as_ref().unwrap(), 1);
+        assert!(outcomes[1]
+            .as_ref()
+            .unwrap_err()
+            .message
+            .contains("formatted 42"));
+        assert_eq!(*outcomes[2].as_ref().unwrap(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "first: cell failed")]
+    fn strict_mode_reraises_after_draining() {
+        let engine = Engine::new(2);
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            vec![Box::new(|| 1), Box::new(|| panic!("boom"))];
+        engine.map_strict(jobs);
+    }
+
+    #[test]
+    fn empty_and_oversubscribed_inputs() {
+        let engine = Engine::new(8);
+        let none: Vec<fn() -> u8> = Vec::new();
+        assert!(engine.map(none).is_empty());
+        // More workers than jobs: clamped, still correct.
+        let got = engine.map_strict(vec![|| 5u8]);
+        assert_eq!(got, vec![5]);
+        assert_eq!(Engine::new(0).threads(), 1);
+        assert!(Engine::with_default_parallelism().threads() >= 1);
+    }
+}

@@ -1,0 +1,486 @@
+//! A minimal, dependency-free JSON value with a deterministic writer and a
+//! strict recursive-descent parser.
+//!
+//! The artifact pipeline needs exactly three things from JSON: (1) a
+//! writer whose output is **byte-stable** — same value in, same bytes out,
+//! independent of thread count or platform (objects are ordered
+//! `Vec<(String, Json)>`, never a hash map); (2) a parser good enough to
+//! read back what the writer emits (plus anything a human edits by hand);
+//! (3) lossless `f64`/`u64` round-trips via Rust's shortest-round-trip
+//! float formatting. Non-finite floats serialize as `null` and parse back
+//! as NaN, so failed sweeps (mean over zero completions) survive a
+//! round-trip.
+
+/// A JSON value. Object keys keep insertion order — determinism of the
+/// emitted artifact bytes depends on it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null` (also the encoding of non-finite floats).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; written without a fractional part when integral.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an f64 (`Null` reads as NaN, the writer's encoding of
+    /// non-finite numbers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            Json::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The value as a u64 if it is an integral number in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if x.fract() == 0.0 && *x >= 0.0 && *x <= 2f64.powi(53) => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a usize if it is an integral number in range.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().map(|x| x as usize)
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints with two-space indentation. The output is a pure
+    /// function of the value: artifacts compared byte-for-byte rely on
+    /// this.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_num(out, *x),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    write_str(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document (one value, optionally surrounded by
+    /// whitespace).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+fn write_num(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+    } else if x.fract() == 0.0 && x.abs() <= 2f64.powi(53) {
+        // Integral values print without the ".0" Display would omit
+        // anyway, but via i64/u64 to dodge exponent notation entirely.
+        if x < 0.0 {
+            out.push_str(&(x as i64).to_string());
+        } else {
+            out.push_str(&(x as u64).to_string());
+        }
+    } else {
+        // Rust's shortest-round-trip Display: deterministic and lossless.
+        out.push_str(&x.to_string());
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {text:?} at byte {start}: {e}"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or("truncated \\u escape")?;
+        let code = u32::from_str_radix(std::str::from_utf8(hex).map_err(|e| e.to_string())?, 16)
+            .map_err(|e| e.to_string())?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            // Find the next escape or closing quote; bytes in between are
+            // verbatim UTF-8 (the input is a &str, so always valid).
+            let start = self.pos;
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            if (0xD800..=0xDBFF).contains(&code) {
+                                // High surrogate: a low surrogate escape
+                                // must follow (standard JSON encodes
+                                // non-BMP characters as a pair).
+                                if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                    return Err("high surrogate without low surrogate".into());
+                                }
+                                self.pos += 2;
+                                let low = self.hex4()?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err("invalid low surrogate".into());
+                                }
+                                let cp = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                s.push(char::from_u32(cp).ok_or("bad surrogate pair")?);
+                            } else {
+                                s.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            }
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                _ => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Json) {
+        let text = v.pretty();
+        let back = Json::parse(&text).expect("parse back");
+        assert_eq!(&back, v, "round trip through:\n{text}");
+        // Writing again is byte-identical: the writer is a pure function.
+        assert_eq!(back.pretty(), text);
+    }
+
+    #[test]
+    fn scalar_round_trips() {
+        round_trip(&Json::Null);
+        round_trip(&Json::Bool(true));
+        round_trip(&Json::Num(0.0));
+        round_trip(&Json::Num(-17.0));
+        round_trip(&Json::Num(std::f64::consts::PI));
+        round_trip(&Json::Num(1e300));
+        round_trip(&Json::Str("he said \"hi\"\n\ttab\\done".into()));
+        round_trip(&Json::Str("unicode: ∞ ≈ ½".into()));
+    }
+
+    #[test]
+    fn structures_round_trip() {
+        round_trip(&Json::Arr(vec![]));
+        round_trip(&Json::Obj(vec![]));
+        round_trip(&Json::obj(vec![
+            ("id", Json::Str("e1".into())),
+            (
+                "cells",
+                Json::Arr(vec![Json::obj(vec![
+                    ("label", Json::Str("n=16".into())),
+                    ("mean", Json::Num(42.5)),
+                    ("seeds", Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+                ])]),
+            ),
+        ]));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::Num(f64::NAN).pretty(), "null\n");
+        assert_eq!(Json::Num(f64::INFINITY).pretty(), "null\n");
+        let parsed = Json::parse("null").unwrap();
+        assert!(parsed.as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(Json::Num(7.0).pretty(), "7\n");
+        assert_eq!(Json::Num(-7.0).pretty(), "-7\n");
+        assert_eq!(Json::Num((1u64 << 40) as f64).pretty(), "1099511627776\n");
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_parse() {
+        let v = Json::parse(r#""😀 ok""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600} ok"));
+        // Unpaired or malformed surrogates are errors, not panics.
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+        assert!(Json::parse(r#""\ud83dA""#).is_err());
+        assert!(Json::parse(r#""\ude00""#).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1, 2,]").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn object_lookup_helpers() {
+        let v = Json::obj(vec![
+            ("a", Json::Num(1.0)),
+            ("b", Json::Str("x".into())),
+            ("c", Json::Bool(false)),
+        ]);
+        assert_eq!(v.get("a").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("b").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("c").and_then(Json::as_bool), Some(false));
+        assert!(v.get("missing").is_none());
+        assert!(Json::Null.get("a").is_none());
+    }
+}

@@ -18,6 +18,10 @@
 //! * [`rlnc`] (`dyncode-rlnc`) — coded packets, coding node state, the
 //!   Definition 5.1 sensing instrumentation, and the Section 6
 //!   derandomization machinery (omniscient adversary included).
+//! * [`engine`] (`dyncode-engine`) — the parallel campaign engine:
+//!   declarative sweep specs, a work-stealing executor with per-cell
+//!   panic containment, `BENCH_<id>.json` artifacts and the `compare`
+//!   regression gate.
 //! * [`core`] (`dyncode-core`) — the protocols: token forwarding
 //!   (Theorem 2.1), indexed broadcast (Lemma 5.3), `greedy-forward`
 //!   (Theorem 7.3), `priority-forward` (Theorem 7.5), T-stable patch
@@ -32,6 +36,7 @@
 
 pub use dyncode_core as core;
 pub use dyncode_dynet as dynet;
+pub use dyncode_engine as engine;
 pub use dyncode_gf as gf;
 pub use dyncode_rlnc as rlnc;
 
@@ -42,10 +47,11 @@ pub mod prelude {
         Centralized, GreedyForward, IndexedBroadcast, NaiveCoded, PriorityForward, RandomForward,
         TokenForwarding,
     };
-    pub use dyncode_core::runner::{fully_disseminated, summarize, sweep_seeds};
+    pub use dyncode_core::runner::{fully_disseminated, run_one, summarize, sweep_seeds};
     pub use dyncode_core::theory;
     pub use dyncode_dynet::adversaries;
     pub use dyncode_dynet::adversary::{Adversary, KnowledgeView, TStable};
     pub use dyncode_dynet::simulator::{run, Protocol, RunResult, SimConfig};
+    pub use dyncode_engine::{run_campaign, Campaign, Engine};
     pub use dyncode_gf::{Field, Gf2Vec};
 }

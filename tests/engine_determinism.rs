@@ -1,0 +1,91 @@
+//! The campaign engine's determinism contract: a campaign run with 1
+//! thread and with 8 threads produces **byte-identical** JSON artifacts —
+//! same seeds, same `RunResult`s, per-round history included.
+//!
+//! This is what makes `--threads N` safe to use everywhere: parallelism
+//! can change only wall-clock, never results. The contract holds because
+//! (a) every `(cell, seed)` run re-derives all randomness from its own
+//! seed (`dyncode_core::runner::run_one`), and (b) the executor returns
+//! outcomes in submission order regardless of completion order.
+
+use dyncode::engine::{run_campaign, AdversaryKind, Campaign, CapRule, Dim, Engine, ProtocolKind};
+
+fn demo_campaign() -> Campaign {
+    Campaign::builder("determinism", "engine determinism check")
+        .protocol(ProtocolKind::TokenForwarding)
+        .adversaries(vec![
+            AdversaryKind::ShuffledPath,
+            AdversaryKind::Bottleneck,
+            AdversaryKind::KnowledgeAdaptive,
+        ])
+        .ns(&[8, 16])
+        .k(Dim::N)
+        .d(Dim::LgN1)
+        .b(Dim::MulD(2))
+        .seeds(&[1, 2, 3])
+        .cap(CapRule::MulNN(10))
+        .record_history(true)
+        .build()
+        .expect("valid campaign")
+}
+
+#[test]
+fn threads_1_and_8_produce_byte_identical_artifacts() {
+    let campaign = demo_campaign();
+    let serial = run_campaign(&Engine::new(1), &campaign);
+    let parallel = run_campaign(&Engine::new(8), &campaign);
+
+    // The strong form: identical artifact bytes.
+    assert_eq!(
+        serial.to_json_string(),
+        parallel.to_json_string(),
+        "parallel artifact differs from serial artifact"
+    );
+
+    // And the pieces, so a failure localizes: same cells, same per-seed
+    // RunResults, per-round history included.
+    assert_eq!(serial.cells.len(), 2 * 3);
+    for (cs, cp) in serial.cells.iter().zip(&parallel.cells) {
+        assert_eq!(cs.label, cp.label);
+        assert_eq!(cs.stats, cp.stats);
+        assert_eq!(cs.runs.len(), 3, "{}", cs.label);
+        for (rs, rp) in cs.runs.iter().zip(&cp.runs) {
+            assert_eq!(rs.seed, rp.seed);
+            assert_eq!(rs.rounds, rp.rounds);
+            assert_eq!(rs.total_bits, rp.total_bits);
+            assert!(!rs.history.is_empty(), "history was requested");
+            assert_eq!(rs.history, rp.history);
+        }
+        assert!(cs.stats.all_completed(), "{}", cs.label);
+    }
+}
+
+#[test]
+fn parsed_spec_campaigns_are_deterministic_too() {
+    let text = "
+        id = parsed-determinism
+        protocol = greedy-forward
+        adversaries = shuffled-path
+        n = 8, 12
+        k = n
+        d = lgn+1
+        b = 2d
+        seeds = 4, 5
+        cap = 100nn
+    ";
+    let campaign = Campaign::parse(text).expect("spec parses");
+    let a = run_campaign(&Engine::new(2), &campaign);
+    let b = run_campaign(&Engine::new(5), &campaign);
+    assert_eq!(a.to_json_string(), b.to_json_string());
+    assert!(a.cells.iter().all(|c| c.stats.all_completed()));
+}
+
+#[test]
+fn artifact_bytes_round_trip_through_the_parser() {
+    let campaign = demo_campaign();
+    let artifact = run_campaign(&Engine::new(4), &campaign);
+    let text = artifact.to_json_string();
+    let back = dyncode::engine::Artifact::parse(&text).expect("parse back");
+    assert_eq!(back, artifact);
+    assert_eq!(back.to_json_string(), text);
+}
