@@ -14,6 +14,7 @@ mod coding;
 mod fields;
 mod forwarding;
 mod progress;
+mod scenarios;
 mod tstable;
 
 pub use ablation::{e15, e16};
@@ -22,6 +23,7 @@ pub use coding::{e13, e14, e2, e5, e7, e8};
 pub use fields::{e11, e9};
 pub use forwarding::{e1, e6};
 pub use progress::e17;
+pub use scenarios::{e18, e19, e20};
 pub use tstable::{e12, e3};
 
 use dyncode_core::params::{Instance, Params, Placement};
@@ -29,13 +31,14 @@ use dyncode_dynet::adversary::Adversary;
 use dyncode_dynet::simulator::{run, Protocol, RunResult, SimConfig};
 
 /// ⌈log₂ n⌉.
-pub(crate) fn lgn(n: usize) -> usize {
+pub fn lgn(n: usize) -> usize {
     ((usize::BITS - (n.max(2) - 1).leading_zeros()) as usize).max(1)
 }
 
 /// The standard token size for size-n sweeps: d = ⌈log₂ n⌉ + 1 (big
-/// enough for distinct values, the paper's Θ(log n) regime).
-pub(crate) fn d_for(n: usize) -> usize {
+/// enough for distinct values, the paper's Θ(log n) regime). Public so
+/// the `trace replay` CLI parameterizes runs identically to e1–e20.
+pub fn d_for(n: usize) -> usize {
     lgn(n) + 1
 }
 

@@ -32,8 +32,20 @@ pub mod table;
 /// shared experiment context).
 pub type Experiment = (&'static str, &'static str, fn(&mut ctx::ExpCtx));
 
-/// The registry of experiments: id, headline claim, runner.
+/// The registry of experiments: id, headline claim, runner — sorted by
+/// **numeric** id (`e2` before `e10`), which is also the order `--list`
+/// and the usage/registry printouts follow.
 pub fn registry() -> Vec<Experiment> {
+    let mut reg = registry_unsorted();
+    reg.sort_by_key(|(id, _, _)| {
+        id.trim_start_matches('e')
+            .parse::<usize>()
+            .unwrap_or(usize::MAX)
+    });
+    reg
+}
+
+fn registry_unsorted() -> Vec<Experiment> {
     vec![
         (
             "e1",
@@ -120,5 +132,36 @@ pub fn registry() -> Vec<Experiment> {
             "S5.2: progress curves and end-phase waste",
             experiments::e17,
         ),
+        (
+            "e18",
+            "Workload: coding vs forwarding under node churn",
+            experiments::e18,
+        ),
+        (
+            "e19",
+            "Workload: coding vs forwarding under waypoint mobility",
+            experiments::e19,
+        ),
+        (
+            "e20",
+            "Workload: paired protocols on replayed .dct traces",
+            experiments::e20,
+        ),
     ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::registry;
+
+    #[test]
+    fn registry_is_sorted_numerically_and_complete() {
+        let reg = registry();
+        assert_eq!(reg.len(), 20);
+        let ids: Vec<usize> = reg
+            .iter()
+            .map(|(id, _, _)| id.trim_start_matches('e').parse::<usize>().unwrap())
+            .collect();
+        assert_eq!(ids, (1..=20).collect::<Vec<_>>(), "numeric order, e2 < e10");
+    }
 }

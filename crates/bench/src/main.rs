@@ -16,9 +16,12 @@
 
 use dyncode_bench::ctx::ExpCtx;
 use dyncode_bench::registry;
+use dyncode_core::params::{Params, Placement};
 use dyncode_engine::{
-    compare, run_campaign, AdversaryKind, Artifact, Campaign, CompareConfig, Engine, ProtocolKind,
+    compare, run_campaign, AdversaryKind, Artifact, Campaign, CellSpec, CompareConfig, Engine,
+    ProtocolKind,
 };
+use dyncode_scenarios::{record_scenario_to_file, DctReader, ScenarioKind};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -33,6 +36,7 @@ fn real_main() -> i32 {
         Some("compare") => cmd_compare(&args[1..]),
         Some("schema") => cmd_schema(&args[1..]),
         Some("bench-engine") => cmd_bench_engine(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         _ => cmd_experiments(&args),
     }
 }
@@ -43,6 +47,7 @@ fn real_main() -> i32 {
 struct Flags {
     quick: bool,
     json: bool,
+    list: bool,
     threads: usize,
     out: Option<PathBuf>,
     tol: Option<f64>,
@@ -53,6 +58,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut flags = Flags {
         quick: false,
         json: false,
+        list: false,
         threads: Engine::with_default_parallelism().threads(),
         out: None,
         tol: None,
@@ -66,6 +72,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         match a.as_str() {
             "--quick" => flags.quick = true,
             "--json" => flags.json = true,
+            "--list" => flags.list = true,
             "--threads" => {
                 let v = value_of("--threads")?;
                 flags.threads = v
@@ -92,11 +99,15 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
 
 fn print_usage_and_registry() {
     eprintln!(
-        "usage: experiments <all | e1 .. e17>... [--quick] [--threads N] [--json] [--out DIR]"
+        "usage: experiments <all | e1 .. e20>... [--quick] [--threads N] [--json] [--out DIR]"
     );
+    eprintln!("       experiments --list");
     eprintln!("       experiments compare <BASE.json> <CANDIDATE.json> [--tol F]");
     eprintln!("       experiments schema <FILE.json>...");
-    eprintln!("       experiments bench-engine [--quick] [--threads N]\n");
+    eprintln!("       experiments bench-engine [--quick] [--threads N]");
+    eprintln!("       experiments trace record <PATH.dct> <SCENARIO> <N> <ROUNDS> [SEED]");
+    eprintln!("       experiments trace info <PATH.dct>");
+    eprintln!("       experiments trace replay <PATH.dct> [PROTOCOL] [SEED]\n");
     eprintln!("experiments:");
     for (id, desc, _) in &registry() {
         eprintln!("  {id:<5} {desc}");
@@ -115,6 +126,13 @@ fn cmd_experiments(args: &[String]) -> i32 {
     let wanted = &flags.positional;
 
     let reg = registry();
+    if flags.list {
+        // The machine-friendlier registry listing, on stdout.
+        for (id, desc, _) in &reg {
+            println!("{id:<5} {desc}");
+        }
+        return 0;
+    }
     if wanted.is_empty() || wanted.iter().any(|w| w == "help") {
         print_usage_and_registry();
         return if wanted.is_empty() { 2 } else { 0 };
@@ -261,6 +279,199 @@ fn cmd_schema(args: &[String]) -> i32 {
         1
     } else {
         0
+    }
+}
+
+/// The `.dct` toolbox: produce and inspect topology traces without
+/// writing code.
+///
+/// * `trace record <PATH> <SCENARIO> <N> <ROUNDS> [SEED]` — drive a
+///   scenario model for `ROUNDS` rounds and stream the schedule to disk.
+/// * `trace info <PATH>` — header + streaming stats (flips, edge counts).
+/// * `trace replay <PATH> [PROTOCOL] [SEED]` — run a protocol against
+///   the recorded schedule and report the `RunResult`.
+fn cmd_trace(args: &[String]) -> i32 {
+    let usage = || -> i32 {
+        eprintln!("usage: experiments trace record <PATH.dct> <SCENARIO> <N> <ROUNDS> [SEED]");
+        eprintln!("       experiments trace info <PATH.dct>");
+        eprintln!("       experiments trace replay <PATH.dct> [PROTOCOL] [SEED]");
+        eprintln!("\nscenarios: edge-markov(p_up,p_down) | waypoint(radius,speed)");
+        eprintln!("           | churn(rate,base) | shuffled-path | … | random-connected");
+        2
+    };
+    match args.first().map(String::as_str) {
+        Some("record") => {
+            let (Some(path), Some(spec), Some(n_raw), Some(rounds_raw)) =
+                (args.get(1), args.get(2), args.get(3), args.get(4))
+            else {
+                return usage();
+            };
+            let scenario = match ScenarioKind::parse(spec) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 2;
+                }
+            };
+            let (Ok(n), Ok(rounds)) = (n_raw.parse::<usize>(), rounds_raw.parse::<usize>()) else {
+                eprintln!("error: N and ROUNDS must be integers");
+                return 2;
+            };
+            if n == 0 || rounds == 0 {
+                eprintln!("error: N and ROUNDS must be positive");
+                return 2;
+            }
+            let seed = match args.get(5).map(|s| s.parse::<u64>()) {
+                None => 1,
+                Some(Ok(s)) => s,
+                Some(Err(_)) => {
+                    eprintln!("error: bad SEED");
+                    return 2;
+                }
+            };
+            match record_scenario_to_file(&scenario, n, rounds, seed, path) {
+                Ok(header) => {
+                    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                    println!(
+                        "wrote {path}: {} on n={} for {} rounds (seed {}), {bytes} bytes \
+                         ({:.2} bytes/round)",
+                        scenario.name(),
+                        header.n,
+                        header.rounds,
+                        header.seed,
+                        (bytes.saturating_sub(24)) as f64 / rounds as f64
+                    );
+                    0
+                }
+                Err(e) => {
+                    eprintln!("error: cannot record {path}: {e}");
+                    1
+                }
+            }
+        }
+        Some("info") => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let file = match std::fs::File::open(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("error: cannot open {path}: {e}");
+                    return 1;
+                }
+            };
+            let mut reader = match DctReader::new(std::io::BufReader::new(file)) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {path} is not a valid .dct trace: {e}");
+                    return 1;
+                }
+            };
+            let header = *reader.header();
+            // Stream the frames; the reader maintains the live edge set.
+            let (mut total_flips, mut edge_sum, mut min_e, mut max_e) =
+                (0u64, 0u64, u64::MAX, 0u64);
+            loop {
+                match reader.next_flips() {
+                    Ok(None) => break,
+                    Ok(Some(flips)) => {
+                        total_flips += flips.len() as u64;
+                        let e = reader.num_edges() as u64;
+                        edge_sum += e;
+                        min_e = min_e.min(e);
+                        max_e = max_e.max(e);
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "error: {path} is corrupt at round {}: {e}",
+                            reader.consumed()
+                        );
+                        return 1;
+                    }
+                }
+            }
+            let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            println!("{path}: dyncode .dct trace");
+            println!("  n           {}", header.n);
+            println!("  rounds      {}", header.rounds);
+            println!("  seed        {}", header.seed);
+            println!(
+                "  bytes       {bytes} ({:.2}/round)",
+                (bytes.saturating_sub(24)) as f64 / header.rounds.max(1) as f64
+            );
+            println!("  edge flips  {total_flips} total");
+            if header.rounds > 0 {
+                println!(
+                    "  edges       min {min_e}, mean {:.1}, max {max_e}",
+                    edge_sum as f64 / header.rounds as f64
+                );
+            }
+            0
+        }
+        Some("replay") => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let protocol = match args.get(2).map(String::as_str) {
+                None => ProtocolKind::TokenForwarding,
+                Some(p) => match ProtocolKind::parse(p) {
+                    Ok(k) => k,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return 2;
+                    }
+                },
+            };
+            let seed = match args.get(3).map(|s| s.parse::<u64>()) {
+                None => 1,
+                Some(Ok(s)) => s,
+                Some(Err(_)) => {
+                    eprintln!("error: bad SEED");
+                    return 2;
+                }
+            };
+            // Validate the header up front (build() inside the cell only
+            // panics, which would be an ugly way to report a typo).
+            let header = match std::fs::File::open(path)
+                .map_err(|e| e.to_string())
+                .and_then(|f| DctReader::new(std::io::BufReader::new(f)).map_err(|e| e.to_string()))
+            {
+                Ok(r) => *r.header(),
+                Err(e) => {
+                    eprintln!("error: cannot replay {path}: {e}");
+                    return 1;
+                }
+            };
+            let n = header.n;
+            let d = dyncode_bench::experiments::d_for(n);
+            let cell = CellSpec {
+                params: Params::new(n, n, d, 2 * d),
+                t: 1,
+                adversary: AdversaryKind::Scenario(ScenarioKind::Trace { path: path.clone() }),
+                placement: Placement::OneTokenPerNode,
+                protocol,
+                cap: 60 * n * n,
+                instance_seed: 42,
+                record_history: false,
+            };
+            let r = cell.run(seed);
+            println!(
+                "replayed {path} (n={n}, {} recorded rounds, cycling) with {} from seed {seed}:",
+                header.rounds,
+                protocol.name()
+            );
+            println!(
+                "  rounds {}, completed {}, total bits {}, max message {} bits",
+                r.rounds, r.completed, r.total_bits, r.max_message_bits
+            );
+            if r.completed {
+                0
+            } else {
+                eprintln!("run did NOT complete within the {} round cap", cell.cap);
+                1
+            }
+        }
+        _ => usage(),
     }
 }
 

@@ -35,6 +35,8 @@ fn no_arguments_prints_usage_and_exits_2() {
     let err = stderr(&out);
     assert!(err.contains("usage:"), "{err}");
     assert!(err.contains("e17"), "registry must be listed:\n{err}");
+    assert!(err.contains("e20"), "registry must include e18–e20:\n{err}");
+    assert!(err.contains("trace record"), "trace usage listed:\n{err}");
 }
 
 #[test]
@@ -44,14 +46,79 @@ fn unknown_experiment_id_exits_nonzero_with_registry() {
         assert_eq!(out.status.code(), Some(2), "args {bad:?}");
         let err = stderr(&out);
         assert!(err.contains("unknown experiment id"), "{err}");
-        // The full e1–e17 registry is printed so the user can pick.
-        for id in ["e1", "e9", "e17"] {
+        // The full e1–e20 registry is printed so the user can pick.
+        for id in ["e1", "e9", "e18", "e19", "e20"] {
             assert!(err.contains(id), "missing {id} in:\n{err}");
         }
+        // Sorted numerically: e2 must come before e10, e9 before e18.
+        let pos = |id: &str| err.find(&format!("\n  {id} ")).expect(id);
+        assert!(pos("e2") < pos("e10"), "lexicographic sort leaked:\n{err}");
+        assert!(pos("e9") < pos("e18"), "lexicographic sort leaked:\n{err}");
     }
     // And nothing must have run.
     let out = experiments(&["e99"]);
     assert!(!stderr(&out).contains("[running"));
+}
+
+#[test]
+fn list_flag_prints_sorted_registry_on_stdout() {
+    let out = experiments(&["--list"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    let ids: Vec<&str> = text
+        .lines()
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    let expected: Vec<String> = (1..=20).map(|i| format!("e{i}")).collect();
+    assert_eq!(ids, expected, "--list must print e1..e20 in numeric order");
+}
+
+#[test]
+fn trace_record_info_replay_round_trip() {
+    let dir = temp_dir("trace");
+    let path = dir.join("t.dct");
+    let p = path.to_str().unwrap();
+
+    let out = experiments(&[
+        "trace",
+        "record",
+        p,
+        "edge-markov(0.1,0.3)",
+        "12",
+        "60",
+        "5",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("60 rounds"), "{}", stdout(&out));
+
+    let out = experiments(&["trace", "info", p]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let info = stdout(&out);
+    assert!(info.contains("n           12"), "{info}");
+    assert!(info.contains("rounds      60"), "{info}");
+    assert!(info.contains("seed        5"), "{info}");
+
+    let out = experiments(&["trace", "replay", p, "token-forwarding", "2"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("completed true"), "{}", stdout(&out));
+
+    // Usage errors: missing args exit 2, bad scenario exits 2, a missing
+    // file is a runtime failure (1), distinct from usage.
+    assert_eq!(experiments(&["trace"]).status.code(), Some(2));
+    assert_eq!(
+        experiments(&["trace", "record", p, "mystery(1)", "8", "5"])
+            .status
+            .code(),
+        Some(2)
+    );
+    assert_eq!(
+        experiments(&["trace", "info", "/nonexistent/trace.dct"])
+            .status
+            .code(),
+        Some(1)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

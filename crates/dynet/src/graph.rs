@@ -54,24 +54,31 @@ impl Graph {
 
     /// Adds the undirected edge `{u, v}`.
     ///
+    /// Adjacency lists are kept **sorted**, so the graph is a canonical
+    /// function of its edge set: equality, neighbor iteration (and hence
+    /// simulator delivery order) never depend on insertion order — which
+    /// is what lets a delta-decoded replay reproduce a run exactly.
+    ///
     /// # Panics
     /// Panics on out-of-range endpoints, self-loops, or duplicate edges.
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
         let n = self.num_nodes();
         assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
         assert_ne!(u, v, "self-loop at {u}");
-        assert!(!self.has_edge(u, v), "duplicate edge ({u},{v})");
-        self.adj[u].push(v);
-        self.adj[v].push(u);
+        let iu = self.adj[u].binary_search(&v).err();
+        assert!(iu.is_some(), "duplicate edge ({u},{v})");
+        let iv = self.adj[v].binary_search(&u).err();
+        self.adj[u].insert(iu.expect("just checked"), v);
+        self.adj[v].insert(iv.expect("mirror of checked edge"), u);
         self.num_edges += 1;
     }
 
     /// Is `{u, v}` an edge?
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
-        self.adj[u].contains(&v)
+        self.adj[u].binary_search(&v).is_ok()
     }
 
-    /// The neighbors of `u`.
+    /// The neighbors of `u`, in increasing id order.
     pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
         &self.adj[u]
     }

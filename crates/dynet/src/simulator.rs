@@ -136,8 +136,28 @@ pub struct RunResult {
     pub history: Vec<RoundRecord>,
 }
 
+/// Domain-separation constant for the adversary's private RNG stream
+/// (an arbitrary odd 64-bit constant, splitmix64's increment).
+const ADVERSARY_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The adversary's private RNG for `seed` — the exact stream [`run`]
+/// hands to [`Adversary::topology`], exposed so offline trace recorders
+/// (`dyncode-scenarios`) can reproduce the schedule a live run from the
+/// same seed would see.
+pub fn adversary_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ ADVERSARY_STREAM)
+}
+
 /// Runs `protocol` against `adversary` from `seed` until every node is
 /// done or `config.max_rounds` elapse.
+///
+/// The adversary draws from its **own** RNG stream (derived from `seed`
+/// but domain-separated from the protocol's): topologies and protocol
+/// coins are independent functions of the seed. This is what makes
+/// recorded schedules exactly replayable — substituting a replay
+/// adversary (which draws nothing) for the original stochastic one leaves
+/// the protocol's random stream untouched, so the whole `RunResult` is
+/// reproduced bit-for-bit.
 ///
 /// # Panics
 /// Panics if the adversary produces a disconnected or wrongly-sized graph,
@@ -150,6 +170,7 @@ pub fn run<P: Protocol>(
 ) -> RunResult {
     let n = protocol.num_nodes();
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut adv_rng = adversary_rng(seed);
     let mut total_bits = 0u64;
     let mut max_message_bits = 0u64;
     let mut history = Vec::new();
@@ -161,7 +182,7 @@ pub fn run<P: Protocol>(
     while !completed && round < config.max_rounds {
         // 1. Adversary commits a topology from the current state.
         let view = protocol.view();
-        let graph = adversary.topology(round, &view, &mut rng);
+        let graph = adversary.topology(round, &view, &mut adv_rng);
         assert_eq!(
             graph.num_nodes(),
             n,

@@ -22,6 +22,7 @@ use dyncode_dynet::adversaries::{
 };
 use dyncode_dynet::adversary::{Adversary, TStable};
 use dyncode_dynet::simulator::{RunResult, SimConfig};
+use dyncode_scenarios::{split_top_level, ScenarioKind};
 
 /// Which protocol a campaign runs. The declarative counterpart of the
 /// concrete types in `dyncode_core::protocols`.
@@ -73,8 +74,10 @@ impl ProtocolKind {
     }
 }
 
-/// Which adversary family a cell runs against.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Which adversary family a cell runs against: one of the classic
+/// worst-case families, or a `dyncode-scenarios` workload model (the
+/// `scenario = …` spec key).
+#[derive(Clone, Debug, PartialEq)]
 pub enum AdversaryKind {
     /// A fresh random path order every round.
     ShuffledPath,
@@ -86,21 +89,26 @@ pub enum AdversaryKind {
     KnowledgeAdaptive,
     /// A random connected graph with two extra edges.
     RandomConnected,
+    /// A workload scenario (edge-Markov, waypoint, churn, trace replay).
+    Scenario(ScenarioKind),
 }
 
 impl AdversaryKind {
     /// The spec-file name of this adversary family.
-    pub fn name(&self) -> &'static str {
+    pub fn name(&self) -> String {
         match self {
-            AdversaryKind::ShuffledPath => "shuffled-path",
-            AdversaryKind::ShuffledStar => "shuffled-star",
-            AdversaryKind::Bottleneck => "bottleneck",
-            AdversaryKind::KnowledgeAdaptive => "knowledge-adaptive",
-            AdversaryKind::RandomConnected => "random-connected",
+            AdversaryKind::ShuffledPath => "shuffled-path".into(),
+            AdversaryKind::ShuffledStar => "shuffled-star".into(),
+            AdversaryKind::Bottleneck => "bottleneck".into(),
+            AdversaryKind::KnowledgeAdaptive => "knowledge-adaptive".into(),
+            AdversaryKind::RandomConnected => "random-connected".into(),
+            AdversaryKind::Scenario(s) => s.name(),
         }
     }
 
-    /// Parses a spec-file adversary name.
+    /// Parses a spec-file adversary name: the classic family names, or
+    /// any scenario spec (`edge-markov(p_up,p_down)`,
+    /// `waypoint(radius,speed)`, `churn(rate,base)`, `trace(path)`).
     pub fn parse(s: &str) -> Result<AdversaryKind, String> {
         match s {
             "shuffled-path" => Ok(AdversaryKind::ShuffledPath),
@@ -108,7 +116,9 @@ impl AdversaryKind {
             "bottleneck" => Ok(AdversaryKind::Bottleneck),
             "knowledge-adaptive" => Ok(AdversaryKind::KnowledgeAdaptive),
             "random-connected" => Ok(AdversaryKind::RandomConnected),
-            other => Err(format!("unknown adversary {other:?}")),
+            other => ScenarioKind::parse(other)
+                .map(AdversaryKind::Scenario)
+                .map_err(|e| format!("unknown adversary {other:?} ({e})")),
         }
     }
 
@@ -120,6 +130,7 @@ impl AdversaryKind {
             AdversaryKind::Bottleneck => Box::new(BottleneckAdversary),
             AdversaryKind::KnowledgeAdaptive => Box::new(KnowledgeAdaptiveAdversary),
             AdversaryKind::RandomConnected => Box::new(RandomConnectedAdversary::new(2)),
+            AdversaryKind::Scenario(s) => s.build(),
         };
         if t > 1 {
             Box::new(TStable::new(inner, t))
@@ -309,11 +320,11 @@ impl Campaign {
             let k = self.k.eval(n, d);
             let b = self.b.eval(n, d);
             for &t in &self.ts {
-                for &adv in &self.adversaries {
+                for adv in &self.adversaries {
                     out.push(CellSpec {
                         params: Params::new(n, k, d, b),
                         t,
-                        adversary: adv,
+                        adversary: adv.clone(),
                         placement: self.placement,
                         protocol: self.protocol,
                         cap: self.cap.eval(n, k),
@@ -334,6 +345,7 @@ impl Campaign {
     /// title = Token forwarding n sweep
     /// protocol = token-forwarding
     /// adversaries = shuffled-path, bottleneck
+    /// scenario = edge-markov(0.05,0.2), churn(0.1,random-connected)
     /// placement = one-token-per-node
     /// n = 16, 32, 64
     /// k = n
@@ -344,11 +356,20 @@ impl Campaign {
     /// cap = 10nn
     /// ```
     ///
+    /// `adversaries` names classic worst-case families; `scenario` adds
+    /// `dyncode-scenarios` workload models (`edge-markov(p_up,p_down)`,
+    /// `waypoint(radius,speed)`, `churn(rate,base)`, `trace(path)`;
+    /// commas inside parentheses do not split the list). The first of
+    /// either key replaces the default suite; the two keys then
+    /// accumulate, so a campaign can sweep worst-case and stochastic
+    /// dynamics side by side.
+    ///
     /// Unknown keys are errors; everything except `id` has a default.
     pub fn parse(text: &str) -> Result<Campaign, String> {
         let mut b = Campaign::builder("", "");
         let mut saw_id = false;
         let mut saw_title = false;
+        let mut saw_adversaries = false;
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
@@ -388,12 +409,18 @@ impl Campaign {
                     saw_title = true;
                 }
                 "protocol" => b.campaign.protocol = ProtocolKind::parse(value).map_err(err)?,
-                "adversaries" => {
-                    b.campaign.adversaries = list()
+                "adversaries" | "scenario" => {
+                    let parsed: Vec<AdversaryKind> = split_top_level(value)
                         .iter()
                         .map(|s| AdversaryKind::parse(s))
                         .collect::<Result<_, _>>()
                         .map_err(err)?;
+                    if !saw_adversaries {
+                        b.campaign.adversaries = parsed;
+                        saw_adversaries = true;
+                    } else {
+                        b.campaign.adversaries.extend(parsed);
+                    }
                 }
                 "placement" => b.campaign.placement = parse_placement(value).map_err(err)?,
                 "n" => b.campaign.ns = usizes(list()).map_err(err)?,
@@ -607,7 +634,7 @@ impl CellSpec {
         let p = &self.params;
         vec![
             ("protocol".into(), self.protocol.name().into()),
-            ("adversary".into(), self.adversary.name().into()),
+            ("adversary".into(), self.adversary.name()),
             ("n".into(), p.n.to_string()),
             ("k".into(), p.k.to_string()),
             ("d".into(), p.d.to_string()),
@@ -864,6 +891,52 @@ mod tests {
         assert_eq!(CapRule::parse("50(n+k)").unwrap(), CapRule::MulNPlusK(50));
         assert_eq!(CapRule::MulNPlusK(50).eval(16, 8), 50 * 24);
         assert!(CapRule::parse("nn10").is_err());
+    }
+
+    #[test]
+    fn scenario_key_parses_and_composes_with_adversaries() {
+        let text = "
+            id = workloads
+            protocol = token-forwarding
+            adversaries = shuffled-path
+            scenario = edge-markov(0.05,0.2), churn(0.1,random-connected)
+            n = 8
+            seeds = 1
+        ";
+        let c = Campaign::parse(text).expect("parse");
+        assert_eq!(c.adversaries.len(), 3, "classic + two scenarios");
+        assert_eq!(c.adversaries[0].name(), "shuffled-path");
+        assert_eq!(c.adversaries[1].name(), "edge-markov(0.05,0.2)");
+        assert_eq!(c.adversaries[2].name(), "churn(0.1,random-connected)");
+
+        // Without `adversaries`, `scenario` replaces the default suite.
+        let only = Campaign::parse("id = x\nscenario = waypoint(0.4,0.1)").unwrap();
+        assert_eq!(only.adversaries.len(), 1);
+        assert_eq!(only.adversaries[0].name(), "waypoint(0.4,0.1)");
+
+        // Bad scenario specs are line-anchored errors.
+        let err = Campaign::parse("id = x\nscenario = edge-markov(2,0.1)").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn scenario_campaign_runs_and_aggregates() {
+        let c = Campaign::parse(
+            "
+            id = stochastic
+            protocol = token-forwarding
+            scenario = edge-markov(0.1,0.3), churn(0.15,random-connected)
+            n = 8
+            seeds = 1, 2
+            cap = 50nn
+        ",
+        )
+        .unwrap();
+        let a = run_campaign(&Engine::new(2), &c);
+        assert_eq!(a.cells.len(), 2);
+        for cell in &a.cells {
+            assert!(cell.stats.all_completed(), "{}", cell.label);
+        }
     }
 
     #[test]

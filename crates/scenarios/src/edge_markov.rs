@@ -1,0 +1,155 @@
+//! The edge-Markov evolving-graph model: every potential edge is an
+//! independent two-state Markov chain (absent → present with probability
+//! `p_up`, present → absent with probability `p_down`), the standard
+//! stochastic model of dynamic networks (Clementi et al.'s
+//! edge-Markovian dynamic graphs). A connectivity-repair overlay
+//! ([`crate::repair`]) keeps every emitted round connected, as the KLO
+//! model requires.
+
+use crate::repair;
+use dyncode_dynet::adversary::{Adversary, KnowledgeView};
+use dyncode_dynet::graph::Graph;
+use dyncode_dynet::trace::{graph_from_ids, id_to_edge};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// The edge-Markov adversary. Oblivious: ignores node knowledge.
+pub struct EdgeMarkovAdversary {
+    p_up: f64,
+    p_down: f64,
+    /// Sorted edge ids of the chain state (repair edges excluded).
+    state: Vec<u64>,
+    /// Node count the state was built for (0 = uninitialized).
+    n: usize,
+}
+
+impl EdgeMarkovAdversary {
+    /// Creates the model with birth probability `p_up` and death
+    /// probability `p_down` per edge per round.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p_up ≤ 1` and `0 ≤ p_down ≤ 1`.
+    pub fn new(p_up: f64, p_down: f64) -> Self {
+        assert!(p_up > 0.0 && p_up <= 1.0, "p_up must be in (0, 1]");
+        assert!((0.0..=1.0).contains(&p_down), "p_down must be in [0, 1]");
+        EdgeMarkovAdversary {
+            p_up,
+            p_down,
+            state: Vec::new(),
+            n: 0,
+        }
+    }
+
+    /// The stationary per-edge presence probability
+    /// `p_up / (p_up + p_down)`, used to seed round 0 so the chain starts
+    /// in (approximate) equilibrium instead of from the empty graph.
+    pub fn stationary_p(&self) -> f64 {
+        self.p_up / (self.p_up + self.p_down)
+    }
+
+    fn max_id(n: usize) -> u64 {
+        (n as u64) * (n as u64 - 1) / 2
+    }
+
+    fn init(&mut self, n: usize, rng: &mut StdRng) {
+        let p = self.stationary_p();
+        self.state = (0..Self::max_id(n))
+            .filter(|_| rng.random_bool(p))
+            .collect();
+        self.n = n;
+    }
+
+    fn evolve(&mut self, rng: &mut StdRng) {
+        let mut next = Vec::with_capacity(self.state.len());
+        let mut present = self.state.iter().peekable();
+        for id in 0..Self::max_id(self.n) {
+            let is_present = present.next_if(|&&p| p == id).is_some();
+            let survives = if is_present {
+                !rng.random_bool(self.p_down)
+            } else {
+                rng.random_bool(self.p_up)
+            };
+            if survives {
+                next.push(id);
+            }
+        }
+        self.state = next;
+    }
+}
+
+impl Adversary for EdgeMarkovAdversary {
+    fn name(&self) -> String {
+        format!("edge-markov({},{})", self.p_up, self.p_down)
+    }
+
+    fn topology(&mut self, _round: usize, view: &KnowledgeView, rng: &mut StdRng) -> Graph {
+        let n = view.num_nodes();
+        if self.n != n {
+            self.init(n, rng);
+        } else {
+            self.evolve(rng);
+        }
+        let mut g = graph_from_ids(n, &self.state);
+        repair::connect_components(&mut g, rng);
+        debug_assert!(self.state.iter().all(|&id| {
+            let (u, v) = id_to_edge(id);
+            g.has_edge(u, v)
+        }));
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn always_connected_and_right_sized() {
+        let mut adv = EdgeMarkovAdversary::new(0.05, 0.3);
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 5, 20] {
+            let view = KnowledgeView::blank(n, 3);
+            for round in 0..25 {
+                let g = adv.topology(round, &view, &mut rng);
+                assert_eq!(g.num_nodes(), n);
+                assert!(g.is_connected(), "n={n} round={round}");
+            }
+        }
+    }
+
+    #[test]
+    fn edges_persist_more_than_they_churn() {
+        // With p_down small, consecutive rounds share most edges — the
+        // whole point of the delta-encoded trace format.
+        let mut adv = EdgeMarkovAdversary::new(0.02, 0.05);
+        let view = KnowledgeView::blank(24, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = adv.topology(0, &view, &mut rng);
+        let b = adv.topology(1, &view, &mut rng);
+        let shared = a.edges().iter().filter(|&&(u, v)| b.has_edge(u, v)).count();
+        assert!(
+            shared * 2 > a.num_edges(),
+            "most edges should survive one step: {shared}/{}",
+            a.num_edges()
+        );
+        assert_ne!(a.edges(), b.edges(), "but some churn must happen");
+    }
+
+    #[test]
+    fn stationary_density_is_tracked() {
+        let mut adv = EdgeMarkovAdversary::new(0.1, 0.1); // stationary 1/2
+        let view = KnowledgeView::blank(30, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = adv.topology(0, &view, &mut rng);
+        let pairs = 30 * 29 / 2;
+        let density = g.num_edges() as f64 / pairs as f64;
+        assert!((0.35..0.65).contains(&density), "density {density}");
+    }
+
+    #[test]
+    #[should_panic(expected = "p_up must be in (0, 1]")]
+    fn zero_p_up_rejected() {
+        let _ = EdgeMarkovAdversary::new(0.0, 0.5);
+    }
+}

@@ -1,0 +1,348 @@
+//! # dyncode-scenarios
+//!
+//! The workload subsystem: *realistic* dynamic-network scenarios to set
+//! against the worst-case adversaries the paper's bounds are proved
+//! over. The paper's claims (Thm 2.1/2.4, Lem 7.2, Thm 7.3/7.5) hold
+//! "against any adversary"; this crate measures how coding vs forwarding
+//! behave on the stochastic dynamics real systems see — where protocol
+//! rankings can flip (cf. Czumaj–Davies on spontaneous transmissions).
+//!
+//! Three layers:
+//!
+//! * **Evolving-graph models** implementing
+//!   [`Adversary`](dyncode_dynet::adversary::Adversary):
+//!   [`edge_markov`] (per-edge birth/death chains), [`waypoint`] (random
+//!   waypoint mobility on the unit square with a communication radius),
+//!   and [`churn`] (activity flapping over any base adversary, token
+//!   ownership preserved). Each upholds the KLO per-round connectivity
+//!   invariant via a [`repair`] pass.
+//! * **The `.dct` trace format** ([`dct`]): delta-encoded edge flips per
+//!   round, varint-coded, with an n/rounds/seed header — recorded and
+//!   replayed *streaming* ([`replay`]), so million-round traces never
+//!   materialize in memory.
+//! * **The factory** ([`ScenarioKind`]): one parse/build enum behind the
+//!   campaign engine's `scenario = …` spec key.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod dct;
+pub mod edge_markov;
+pub mod repair;
+pub mod replay;
+pub mod waypoint;
+
+pub use churn::ChurnAdversary;
+pub use dct::{DctHeader, DctReader, DctWriter};
+pub use edge_markov::EdgeMarkovAdversary;
+pub use replay::{record_scenario, record_scenario_to_file, DctReplay, DctReplayAdversary};
+pub use waypoint::WaypointAdversary;
+
+use dyncode_dynet::adversaries::{
+    BottleneckAdversary, KnowledgeAdaptiveAdversary, RandomConnectedAdversary,
+    ShuffledPathAdversary, ShuffledStarAdversary,
+};
+use dyncode_dynet::adversary::Adversary;
+
+/// The scenario factory: every workload model as data, with a textual
+/// form used by campaign specs (`scenario = edge-markov(0.05,0.2)`) and
+/// the bench CLI's `trace record`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScenarioKind {
+    /// Per-edge birth/death Markov chains: `edge-markov(p_up,p_down)`.
+    EdgeMarkov {
+        /// Per-round birth probability of an absent edge.
+        p_up: f64,
+        /// Per-round death probability of a present edge.
+        p_down: f64,
+    },
+    /// Random-waypoint mobility: `waypoint(radius,speed)`.
+    Waypoint {
+        /// Communication radius in unit-square lengths.
+        radius: f64,
+        /// Per-round movement in unit-square lengths.
+        speed: f64,
+    },
+    /// Activity flapping over a base model: `churn(rate,base)`.
+    Churn {
+        /// Per-node per-round activity flip probability.
+        rate: f64,
+        /// The model wiring the active subset (any [`ScenarioKind`]).
+        base: Box<ScenarioKind>,
+    },
+    /// Replay of a recorded `.dct` file: `trace(path)`.
+    Trace {
+        /// Path to the `.dct` file.
+        path: String,
+    },
+    /// One of the classic worst-case families from
+    /// `dyncode_dynet::adversaries`, usable as a churn base (and parsed
+    /// by plain name).
+    Classic(ClassicKind),
+}
+
+/// The classic worst-case adversary families, as scenario-spec names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClassicKind {
+    /// A fresh random path order every round.
+    ShuffledPath,
+    /// A fresh random star center every round.
+    ShuffledStar,
+    /// Two cliques joined by one moving bridge.
+    Bottleneck,
+    /// Adaptive: clusters nodes by knowledge similarity.
+    KnowledgeAdaptive,
+    /// A random connected graph with two extra edges.
+    RandomConnected,
+}
+
+impl ClassicKind {
+    /// The spec name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClassicKind::ShuffledPath => "shuffled-path",
+            ClassicKind::ShuffledStar => "shuffled-star",
+            ClassicKind::Bottleneck => "bottleneck",
+            ClassicKind::KnowledgeAdaptive => "knowledge-adaptive",
+            ClassicKind::RandomConnected => "random-connected",
+        }
+    }
+
+    /// Parses a spec name.
+    pub fn parse(s: &str) -> Option<ClassicKind> {
+        Some(match s {
+            "shuffled-path" => ClassicKind::ShuffledPath,
+            "shuffled-star" => ClassicKind::ShuffledStar,
+            "bottleneck" => ClassicKind::Bottleneck,
+            "knowledge-adaptive" => ClassicKind::KnowledgeAdaptive,
+            "random-connected" => ClassicKind::RandomConnected,
+            _ => return None,
+        })
+    }
+
+    /// Builds a fresh adversary of this family.
+    pub fn build(&self) -> Box<dyn Adversary> {
+        match self {
+            ClassicKind::ShuffledPath => Box::new(ShuffledPathAdversary),
+            ClassicKind::ShuffledStar => Box::new(ShuffledStarAdversary),
+            ClassicKind::Bottleneck => Box::new(BottleneckAdversary),
+            ClassicKind::KnowledgeAdaptive => Box::new(KnowledgeAdaptiveAdversary),
+            ClassicKind::RandomConnected => Box::new(RandomConnectedAdversary::new(2)),
+        }
+    }
+}
+
+/// Splits `s` on commas at parenthesis depth 0 (so nested scenario
+/// arguments like `churn(0.1,edge-markov(0.05,0.2))` survive list
+/// contexts). Empty pieces are dropped.
+pub fn split_top_level(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(s[start..].trim());
+    out.retain(|p| !p.is_empty());
+    out
+}
+
+impl ScenarioKind {
+    /// The spec-text name (parses back via [`ScenarioKind::parse`]).
+    pub fn name(&self) -> String {
+        match self {
+            ScenarioKind::EdgeMarkov { p_up, p_down } => format!("edge-markov({p_up},{p_down})"),
+            ScenarioKind::Waypoint { radius, speed } => format!("waypoint({radius},{speed})"),
+            ScenarioKind::Churn { rate, base } => format!("churn({rate},{})", base.name()),
+            ScenarioKind::Trace { path } => format!("trace({path})"),
+            ScenarioKind::Classic(c) => c.name().to_string(),
+        }
+    }
+
+    /// Parses a scenario spec:
+    ///
+    /// ```text
+    /// edge-markov(0.05,0.2)          per-edge birth/death probabilities
+    /// waypoint(0.35,0.05)            radius, speed on the unit square
+    /// churn(0.1,random-connected)    rate, base model (nesting allowed)
+    /// trace(path/to.dct)             replay a recorded trace
+    /// shuffled-path | … | bottleneck classic families, by name
+    /// ```
+    pub fn parse(s: &str) -> Result<ScenarioKind, String> {
+        let s = s.trim();
+        if let Some(c) = ClassicKind::parse(s) {
+            return Ok(ScenarioKind::Classic(c));
+        }
+        let open = s
+            .find('(')
+            .ok_or(format!("unknown scenario {s:?} (expected name(args))"))?;
+        if !s.ends_with(')') {
+            return Err(format!("scenario {s:?} is missing its closing paren"));
+        }
+        let head = s[..open].trim();
+        let args = split_top_level(&s[open + 1..s.len() - 1]);
+        let prob = |i: usize, what: &str| -> Result<f64, String> {
+            let raw = *args
+                .get(i)
+                .ok_or(format!("{head} is missing its {what} argument"))?;
+            raw.parse::<f64>()
+                .map_err(|_| format!("bad {what} {raw:?} in {s:?}"))
+        };
+        let arity = |want: usize| -> Result<(), String> {
+            if args.len() == want {
+                Ok(())
+            } else {
+                Err(format!("{head} takes {want} arguments, got {}", args.len()))
+            }
+        };
+        match head {
+            "edge-markov" => {
+                arity(2)?;
+                let (p_up, p_down) = (prob(0, "p_up")?, prob(1, "p_down")?);
+                if !(p_up > 0.0 && p_up <= 1.0) {
+                    return Err(format!("p_up must be in (0, 1], got {p_up}"));
+                }
+                if !(0.0..=1.0).contains(&p_down) {
+                    return Err(format!("p_down must be in [0, 1], got {p_down}"));
+                }
+                Ok(ScenarioKind::EdgeMarkov { p_up, p_down })
+            }
+            "waypoint" => {
+                arity(2)?;
+                let (radius, speed) = (prob(0, "radius")?, prob(1, "speed")?);
+                let positive = |x: f64| x.is_finite() && x > 0.0;
+                if !positive(radius) || !positive(speed) {
+                    return Err(format!(
+                        "waypoint radius and speed must be positive, got ({radius},{speed})"
+                    ));
+                }
+                Ok(ScenarioKind::Waypoint { radius, speed })
+            }
+            "churn" => {
+                arity(2)?;
+                let rate = prob(0, "rate")?;
+                if !(0.0..1.0).contains(&rate) {
+                    return Err(format!("churn rate must be in [0, 1), got {rate}"));
+                }
+                let base = Box::new(ScenarioKind::parse(args[1])?);
+                if matches!(*base, ScenarioKind::Trace { .. }) {
+                    return Err("churn over a trace is not supported (the trace already \
+                                fixes the full topology)"
+                        .into());
+                }
+                Ok(ScenarioKind::Churn { rate, base })
+            }
+            "trace" => {
+                arity(1)?;
+                Ok(ScenarioKind::Trace {
+                    path: args[0].to_string(),
+                })
+            }
+            other => Err(format!("unknown scenario {other:?}")),
+        }
+    }
+
+    /// Builds a fresh adversary for this scenario.
+    ///
+    /// # Panics
+    /// [`ScenarioKind::Trace`] panics if the file cannot be opened or is
+    /// not a valid trace (inside an engine cell this is contained as a
+    /// recorded `CellError`).
+    pub fn build(&self) -> Box<dyn Adversary> {
+        match self {
+            ScenarioKind::EdgeMarkov { p_up, p_down } => {
+                Box::new(EdgeMarkovAdversary::new(*p_up, *p_down))
+            }
+            ScenarioKind::Waypoint { radius, speed } => {
+                Box::new(WaypointAdversary::new(*radius, *speed))
+            }
+            ScenarioKind::Churn { rate, base } => {
+                Box::new(ChurnAdversary::new(base.build(), *rate))
+            }
+            ScenarioKind::Trace { path } => Box::new(
+                DctReplayAdversary::open(path)
+                    .unwrap_or_else(|e| panic!("cannot open trace {path:?}: {e}")),
+            ),
+            ScenarioKind::Classic(c) => c.build(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyncode_dynet::adversary::KnowledgeView;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn parse_round_trips_through_name() {
+        for spec in [
+            "edge-markov(0.05,0.2)",
+            "waypoint(0.35,0.05)",
+            "churn(0.1,random-connected)",
+            "churn(0.25,edge-markov(0.02,0.1))",
+            "trace(foo/bar.dct)",
+            "shuffled-path",
+        ] {
+            let k = ScenarioKind::parse(spec).expect(spec);
+            assert_eq!(ScenarioKind::parse(&k.name()).unwrap(), k, "{spec}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "edge-markov(0.05)",        // arity
+            "edge-markov(0,0.1)",       // p_up = 0
+            "edge-markov(a,b)",         // not numbers
+            "waypoint(0.3,-1)",         // negative speed
+            "waypoint(nan,0.1)",        // NaN must not slip past validation
+            "waypoint(inf,0.1)",        // nor infinity
+            "churn(1.0,shuffled-path)", // rate = 1
+            "churn(0.1,trace(x.dct))",  // churn over trace
+            "mystery(1,2)",             // unknown head
+            "waypoint(0.3,0.1",         // unbalanced paren
+            "plainname",                // unknown bare name
+        ] {
+            assert!(ScenarioKind::parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn split_top_level_respects_parens() {
+        assert_eq!(
+            split_top_level("edge-markov(0.05,0.2), churn(0.1,waypoint(0.3,0.1))"),
+            vec!["edge-markov(0.05,0.2)", "churn(0.1,waypoint(0.3,0.1))"]
+        );
+        assert_eq!(split_top_level("a, ,b"), vec!["a", "b"]);
+        assert_eq!(split_top_level(""), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn built_scenarios_emit_connected_topologies() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for spec in [
+            "edge-markov(0.05,0.2)",
+            "waypoint(0.3,0.05)",
+            "churn(0.2,random-connected)",
+            "churn(0.15,edge-markov(0.05,0.2))",
+        ] {
+            let mut adv = ScenarioKind::parse(spec).unwrap().build();
+            let view = KnowledgeView::blank(13, 2);
+            for round in 0..20 {
+                let g = adv.topology(round, &view, &mut rng);
+                assert_eq!(g.num_nodes(), 13, "{spec}");
+                assert!(g.is_connected(), "{spec} round {round}");
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Connectivity repair: the pass that upholds the KLO model's standing
+//! requirement (every per-round communication graph is connected) on top
+//! of stochastic evolving-graph models, which have no reason to be
+//! connected on their own.
+//!
+//! The rule: compute connected components, order them by their smallest
+//! node id, and chain consecutive components with one edge between
+//! uniformly random endpoints. A graph with `C` components gains exactly
+//! `C − 1` edges — the minimum possible — so the stochastic model's edge
+//! statistics are perturbed as little as connectivity allows. Repair
+//! edges are *ephemeral*: models that carry edge state across rounds
+//! (edge-Markov) do **not** fold them back into their chain state, so the
+//! underlying process stays the pure model and the repair is a per-round
+//! overlay.
+
+use dyncode_dynet::graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// The connected components of `g`, each sorted ascending, ordered by
+/// smallest member.
+pub fn components(g: &Graph) -> Vec<Vec<NodeId>> {
+    let n = g.num_nodes();
+    let mut seen = vec![false; n];
+    let mut out = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut queue = std::collections::VecDeque::from([start]);
+        seen[start] = true;
+        while let Some(u) = queue.pop_front() {
+            comp.push(u);
+            for &v in g.neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        comp.sort_unstable();
+        out.push(comp);
+    }
+    out
+}
+
+/// Makes `g` connected by chaining its components with uniformly random
+/// endpoint pairs; returns the number of edges added (`components − 1`).
+pub fn connect_components(g: &mut Graph, rng: &mut StdRng) -> usize {
+    let comps = components(g);
+    for pair in comps.windows(2) {
+        let u = pair[0][rng.random_range(0..pair[0].len())];
+        let v = pair[1][rng.random_range(0..pair[1].len())];
+        g.add_edge(u, v);
+    }
+    comps.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn repair_adds_minimum_edges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // 3 islands: {0,1}, {2}, {3,4,5}.
+        let mut g = Graph::from_edges(6, &[(0, 1), (3, 4), (4, 5)]);
+        assert_eq!(components(&g).len(), 3);
+        let added = connect_components(&mut g, &mut rng);
+        assert_eq!(added, 2);
+        assert!(g.is_connected());
+        assert_eq!(g.num_edges(), 5);
+    }
+
+    #[test]
+    fn empty_graph_repairs_to_a_chain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = Graph::empty(7);
+        let added = connect_components(&mut g, &mut rng);
+        assert_eq!(added, 6);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn connected_graph_is_untouched() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(connect_components(&mut g, &mut rng), 0);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut g0 = Graph::empty(0);
+        assert_eq!(connect_components(&mut g0, &mut rng), 0);
+        let mut g1 = Graph::empty(1);
+        assert_eq!(connect_components(&mut g1, &mut rng), 0);
+        assert!(g1.is_connected());
+    }
+}

@@ -27,6 +27,10 @@
 //!   (Theorem 7.3), `priority-forward` (Theorem 7.5), T-stable patch
 //!   algorithms (Section 8), centralized coding (Corollary 2.6), plus
 //!   theory-bound formulas and run helpers.
+//! * [`scenarios`] (`dyncode-scenarios`) — the workload subsystem:
+//!   stochastic evolving-graph adversaries (edge-Markov, random
+//!   waypoint, churn) and the streaming `.dct` binary trace format for
+//!   exact record/replay.
 //!
 //! See `examples/quickstart.rs` for a first run and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment index.
@@ -39,6 +43,7 @@ pub use dyncode_dynet as dynet;
 pub use dyncode_engine as engine;
 pub use dyncode_gf as gf;
 pub use dyncode_rlnc as rlnc;
+pub use dyncode_scenarios as scenarios;
 
 /// Commonly used items in one import.
 pub mod prelude {

@@ -89,3 +89,117 @@ fn artifact_bytes_round_trip_through_the_parser() {
     assert_eq!(back, artifact);
     assert_eq!(back.to_json_string(), text);
 }
+
+/// The e18-style scenario campaign honors the same determinism contract
+/// as the classic suites: stochastic workload adversaries (edge-Markov,
+/// waypoint, churn) re-derive all randomness from each cell's seed, so
+/// `--threads 1` and `--threads 8` artifacts are byte-identical.
+#[test]
+fn scenario_campaign_is_thread_count_independent() {
+    let text = "
+        id = scenario-determinism
+        protocol = token-forwarding
+        scenario = edge-markov(0.1,0.3), waypoint(0.3,0.08), churn(0.2,random-connected)
+        n = 8, 12
+        k = n
+        d = lgn+1
+        b = 2d
+        seeds = 1, 2
+        cap = 60nn
+        record_history = true
+    ";
+    let campaign = Campaign::parse(text).expect("spec parses");
+    let serial = run_campaign(&Engine::new(1), &campaign);
+    let parallel = run_campaign(&Engine::new(8), &campaign);
+    assert_eq!(
+        serial.to_json_string(),
+        parallel.to_json_string(),
+        "scenario artifact differs between 1 and 8 threads"
+    );
+    assert_eq!(serial.cells.len(), 2 * 3);
+    for cell in &serial.cells {
+        assert!(cell.stats.all_completed(), "{}", cell.label);
+        for run in &cell.runs {
+            assert!(!run.history.is_empty(), "{}", cell.label);
+        }
+    }
+}
+
+/// The record/replay acceptance check: a `.dct` trace recorded from a
+/// stochastic scenario, replayed through the streaming replay adversary
+/// *and* through `dynet`'s in-memory `ReplayAdversary`, reproduces the
+/// original `RunResult` **exactly** — rounds, bits, and per-round
+/// history. This works because the simulator feeds adversaries a private
+/// RNG stream: swapping the live model for a replay leaves the
+/// protocol's coins untouched.
+#[test]
+fn recorded_trace_replay_reproduces_the_run_exactly() {
+    use dyncode::dynet::simulator::{run, SimConfig};
+    use dyncode::dynet::trace::ReplayAdversary;
+    use dyncode::prelude::*;
+    use dyncode::scenarios::dct::decode_trace;
+    use dyncode::scenarios::{record_scenario, DctReplay, ScenarioKind};
+    use std::io::Cursor;
+
+    let (n, seed) = (14, 9u64);
+    let kind = ScenarioKind::parse("churn(0.15,edge-markov(0.1,0.3))").unwrap();
+    let params = Params::new(n, n, 5, 10);
+    let inst = Instance::generate(params, Placement::OneTokenPerNode, 3);
+    let cfg = SimConfig::with_max_rounds(60 * n * n).recording();
+
+    // The live run against the stochastic model.
+    let mut live_adv = kind.build();
+    let mut p1 = TokenForwarding::baseline(&inst);
+    let live = run(&mut p1, live_adv.as_mut(), &cfg, seed);
+    assert!(live.completed);
+
+    // Record the schedule offline from the same seed (same private
+    // adversary stream ⇒ same topologies), long enough to cover the run.
+    let mut sink = Cursor::new(Vec::new());
+    record_scenario(&kind, n, live.rounds + 5, seed, &mut sink).expect("record");
+    let bytes = sink.into_inner();
+
+    let fingerprint = |r: &RunResult| {
+        (
+            r.rounds,
+            r.completed,
+            r.total_bits,
+            r.max_message_bits,
+            r.history
+                .iter()
+                .map(|h| {
+                    (
+                        h.round,
+                        h.edges,
+                        h.bits,
+                        h.min_dim,
+                        h.max_dim,
+                        h.total_tokens,
+                        h.done,
+                    )
+                })
+                .collect::<Vec<_>>(),
+        )
+    };
+
+    // Streaming replay (.dct reader straight off the bytes).
+    let mut replay = DctReplay::new(Cursor::new(bytes.clone())).expect("valid trace");
+    let mut p2 = TokenForwarding::baseline(&inst);
+    let replayed = run(&mut p2, &mut replay, &cfg, seed);
+    assert_eq!(
+        fingerprint(&live),
+        fingerprint(&replayed),
+        "streaming .dct replay must reproduce the RunResult exactly"
+    );
+
+    // In-memory replay through dynet's ReplayAdversary (decoded trace).
+    let (_, trace) = decode_trace(&bytes).expect("decode");
+    let mut replay2 = ReplayAdversary::new(trace);
+    let mut p3 = TokenForwarding::baseline(&inst);
+    let replayed2 = run(&mut p3, &mut replay2, &cfg, seed);
+    assert_eq!(
+        fingerprint(&live),
+        fingerprint(&replayed2),
+        "in-memory replay must reproduce the RunResult exactly"
+    );
+}

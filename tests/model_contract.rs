@@ -202,7 +202,8 @@ fn recorded_schedules_replay_across_protocols() {
     let r1 = run(&mut fwd, &mut rec, &SimConfig::with_max_rounds(50_000), 4);
     assert!(r1.completed);
 
-    let mut replay = ReplayAdversary::from_shared(&trace);
+    drop(rec); // last recorder handle: from_shared takes the trace without copying
+    let mut replay = ReplayAdversary::from_shared(trace);
     let mut coded = GreedyForward::new(&inst);
     let r2 = run(
         &mut coded,
