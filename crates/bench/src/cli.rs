@@ -1,0 +1,191 @@
+//! Argument handling for the `experiments` binary: the shared flag
+//! parser, usage text, and registry printouts — extracted from `main.rs`
+//! so flag parsing is unit-testable and every subcommand shares one
+//! grammar.
+//!
+//! Exit-code convention (enforced by `main.rs`): 0 success, 1 failed
+//! experiment or regression, 2 usage error. Parse errors from this module
+//! are printed verbatim on the exit-2 path, so they carry everything the
+//! user needs (offending flag/value, and — for campaign/protocol specs —
+//! the enumerated valid names from the registry parsers).
+
+use crate::registry;
+use dyncode_core::spec;
+use dyncode_engine::Engine;
+use std::path::PathBuf;
+
+/// Parsed common flags; leftover positional arguments are returned.
+/// `out`/`tol` stay `None` unless explicitly passed so each subcommand
+/// can reject flags it would otherwise silently ignore.
+#[derive(Debug)]
+pub struct Flags {
+    /// Quick-profile sweeps (CI-sized).
+    pub quick: bool,
+    /// Emit `BENCH_<id>.json` artifacts.
+    pub json: bool,
+    /// Print the registry listing instead of running.
+    pub list: bool,
+    /// Engine worker count.
+    pub threads: usize,
+    /// Artifact output directory (implies `json`).
+    pub out: Option<PathBuf>,
+    /// Relative tolerance for `compare`.
+    pub tol: Option<f64>,
+    /// Non-flag arguments, in order.
+    pub positional: Vec<String>,
+}
+
+/// Parses the shared flag grammar. Unknown `--flags` and missing/bad
+/// values are errors; positional arguments pass through untouched.
+pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        quick: false,
+        json: false,
+        list: false,
+        threads: Engine::with_default_parallelism().threads(),
+        out: None,
+        tol: None,
+        positional: Vec::new(),
+    };
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let mut value_of = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} requires a value"))
+        };
+        match a.as_str() {
+            "--quick" => flags.quick = true,
+            "--json" => flags.json = true,
+            "--list" => flags.list = true,
+            "--threads" => {
+                let v = value_of("--threads")?;
+                flags.threads = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad --threads value {v:?}"))?
+                    .max(1);
+            }
+            "--out" => flags.out = Some(PathBuf::from(value_of("--out")?)),
+            "--tol" => {
+                let v = value_of("--tol")?;
+                flags.tol = Some(
+                    v.parse::<f64>()
+                        .map_err(|_| format!("bad --tol value {v:?}"))?,
+                );
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?}"));
+            }
+            other => flags.positional.push(other.to_string()),
+        }
+    }
+    Ok(flags)
+}
+
+/// The usage text plus the experiment registry (with each experiment's
+/// protocol column), on stderr.
+pub fn print_usage_and_registry() {
+    eprintln!(
+        "usage: experiments <all | e1 .. e21>... [--quick] [--threads N] [--json] [--out DIR]"
+    );
+    eprintln!("       experiments --list");
+    eprintln!("       experiments protocols");
+    eprintln!("       experiments compare <BASE.json> <CANDIDATE.json> [--tol F]");
+    eprintln!("       experiments schema <FILE.json>...");
+    eprintln!("       experiments bench-engine [--quick] [--threads N]");
+    eprintln!("       experiments trace record <PATH.dct> <SCENARIO> <N> <ROUNDS> [SEED]");
+    eprintln!("       experiments trace info <PATH.dct>");
+    eprintln!("       experiments trace replay <PATH.dct> [PROTOCOL] [SEED]\n");
+    eprintln!("experiments:");
+    for (id, desc, protocols, _) in &registry() {
+        eprintln!("  {id:<5} {desc}");
+        eprintln!("        protocols: {protocols}");
+    }
+    eprintln!("\nprotocol spec strings are listed by `experiments protocols`.");
+}
+
+/// The machine-friendlier registry listing on stdout (`--list`): one line
+/// per experiment with its protocol column.
+pub fn print_registry_listing() {
+    for (id, desc, protocols, _) in &registry() {
+        println!("{id:<5} {desc}  [{protocols}]");
+    }
+}
+
+/// The `protocols` subcommand: the protocol registry — spec grammar,
+/// parameters, defaults — on stdout.
+pub fn print_protocol_registry() {
+    println!("protocol registry ({} entries)\n", spec::registry().len());
+    println!("campaign usage:  protocol = <spec>[, <spec>...]   (grid axis, cross product)");
+    println!("CLI usage:       experiments trace replay <PATH.dct> <spec> [SEED]\n");
+    for info in spec::registry() {
+        println!("{}", info.grammar);
+        println!("    {}", info.summary);
+        println!("    parameters: {}", info.params);
+    }
+    println!("\nconfigured variants round-trip: a spec's canonical string parses back");
+    println!("to the same protocol (e.g. greedy-forward(gather=2,bcast=3)).");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_and_positionals() {
+        let f = parse_flags(&strings(&["e1", "e21"])).unwrap();
+        assert!(!f.quick && !f.json && !f.list);
+        assert!(f.threads >= 1);
+        assert!(f.out.is_none() && f.tol.is_none());
+        assert_eq!(f.positional, vec!["e1", "e21"]);
+    }
+
+    #[test]
+    fn flags_parse_in_any_position() {
+        let f = parse_flags(&strings(&[
+            "--quick",
+            "e1",
+            "--threads",
+            "4",
+            "--json",
+            "e2",
+            "--out",
+            "dir",
+            "--tol",
+            "0.5",
+        ]))
+        .unwrap();
+        assert!(f.quick && f.json);
+        assert_eq!(f.threads, 4);
+        assert_eq!(f.out.as_deref(), Some(std::path::Path::new("dir")));
+        assert_eq!(f.tol, Some(0.5));
+        assert_eq!(f.positional, vec!["e1", "e2"]);
+    }
+
+    #[test]
+    fn threads_are_clamped_to_one() {
+        let f = parse_flags(&strings(&["--threads", "0"])).unwrap();
+        assert_eq!(f.threads, 1);
+    }
+
+    #[test]
+    fn bad_values_and_unknown_flags_are_errors() {
+        for (args, needle) in [
+            (&["--threads", "x"][..], "bad --threads"),
+            (&["--threads"][..], "requires a value"),
+            (&["--out"][..], "requires a value"),
+            (&["--tol", "fast"][..], "bad --tol"),
+            (&["--frobnicate"][..], "unknown flag"),
+        ] {
+            let err = parse_flags(&strings(args)).unwrap_err();
+            assert!(err.contains(needle), "{args:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn list_flag_is_recognized() {
+        assert!(parse_flags(&strings(&["--list"])).unwrap().list);
+    }
+}

@@ -12,12 +12,15 @@
 //! count (locked by `tests/engine_determinism.rs`).
 
 use crate::table::{f, Table};
-use dyncode_core::runner::run_one;
+use dyncode_core::params::Instance;
+use dyncode_core::runner::{run_one, run_spec};
+use dyncode_core::spec::ProtocolSpec;
 use dyncode_core::theory;
 use dyncode_dynet::adversary::Adversary;
-use dyncode_dynet::simulator::{Protocol, SimConfig};
+use dyncode_dynet::simulator::{Protocol, RunResult, SimConfig};
 use dyncode_engine::{
-    Artifact, CellRecord, Engine, Fit, RunError, RunRecord, Scalar, SeedStats, TableData,
+    run_campaign, Artifact, Campaign, CellRecord, Engine, Fit, RunError, RunRecord, Scalar,
+    SeedStats, TableData,
 };
 use std::path::PathBuf;
 
@@ -113,7 +116,49 @@ impl ExpCtx {
             .map(|&s| move || run_one(build, adv, config, s))
             .collect();
         let outcomes = self.engine.map(jobs);
+        self.record_cell(label, meta, seeds, outcomes)
+    }
 
+    /// [`ExpCtx::sweep`] for a registry spec: the protocol is named by a
+    /// [`ProtocolSpec`] string instead of a build closure, and each seed's
+    /// cell runs through the erased dispatch path
+    /// (`dyncode_core::runner::run_spec`) — bit-identical to the
+    /// monomorphized path by the registry's equivalence contract.
+    ///
+    /// Cells run at stability interval T = 1; protocols with a T of
+    /// their own take it as a spec parameter (`pipelined-forwarding(8)`).
+    #[allow(clippy::too_many_arguments)] // mirrors `sweep` plus the spec pair
+    pub fn sweep_spec<FA>(
+        &mut self,
+        label: &str,
+        meta: &[(&str, String)],
+        seeds: &[u64],
+        cap: usize,
+        spec: &ProtocolSpec,
+        inst: &Instance,
+        adv: FA,
+    ) -> SeedStats
+    where
+        FA: Fn() -> Box<dyn Adversary> + Sync,
+    {
+        let config = SimConfig::with_max_rounds(cap);
+        let (adv, config) = (&adv, &config);
+        let jobs: Vec<_> = seeds
+            .iter()
+            .map(|&s| move || run_spec(spec, inst, 1, adv, config, s))
+            .collect();
+        let outcomes = self.engine.map(jobs);
+        self.record_cell(label, meta, seeds, outcomes)
+    }
+
+    /// Folds one labelled sweep's outcomes into the artifact as a cell.
+    fn record_cell(
+        &mut self,
+        label: &str,
+        meta: &[(&str, String)],
+        seeds: &[u64],
+        outcomes: Vec<Result<RunResult, dyncode_engine::CellError>>,
+    ) -> SeedStats {
         let mut runs = Vec::new();
         let mut raw = Vec::new();
         let mut errors = Vec::new();
@@ -141,6 +186,43 @@ impl ExpCtx {
             errors,
         });
         stats
+    }
+
+    /// [`ExpCtx::sweep_spec`] for sweeps that must fully complete:
+    /// asserts no failures or contained errors and returns the mean
+    /// rounds.
+    #[allow(clippy::too_many_arguments)] // mirrors `sweep_spec`
+    pub fn mean_rounds_spec<FA>(
+        &mut self,
+        label: &str,
+        meta: &[(&str, String)],
+        seeds: &[u64],
+        cap: usize,
+        spec: &ProtocolSpec,
+        inst: &Instance,
+        adv: FA,
+    ) -> f64
+    where
+        FA: Fn() -> Box<dyn Adversary> + Sync,
+    {
+        let stats = self.sweep_spec(label, meta, seeds, cap, spec, inst, adv);
+        assert!(
+            stats.all_completed(),
+            "sweep {label:?}: {} of {} runs did not complete within {cap} rounds",
+            stats.failures + stats.errors,
+            stats.runs
+        );
+        stats.mean_rounds
+    }
+
+    /// Runs a whole declarative [`Campaign`] on the context's engine and
+    /// folds its cells into the current experiment's artifact (labels are
+    /// the campaign's `proto=… n=… adv=…` cell labels). Returns the
+    /// appended cell records for table building.
+    pub fn campaign(&mut self, campaign: &Campaign) -> Vec<CellRecord> {
+        let a = run_campaign(&self.engine, campaign);
+        self.artifact.cells.extend(a.cells.iter().cloned());
+        a.cells
     }
 
     /// [`ExpCtx::sweep`] for sweeps that must fully complete: asserts no
@@ -245,6 +327,65 @@ mod tests {
         assert_eq!(a1, a8, "artifact bytes must not depend on threads");
         assert!(s1.all_completed());
         assert_eq!(s1.runs, 3);
+    }
+
+    #[test]
+    fn sweep_spec_matches_closure_sweep_bit_for_bit() {
+        let p = Params::new(8, 8, 4, 8);
+        let inst = Instance::generate(p, Placement::OneTokenPerNode, 1);
+        let spec = ProtocolSpec::parse("token-forwarding").unwrap();
+
+        let mut c1 = ctx(2);
+        c1.begin("t", "test");
+        let s1 = c1.sweep(
+            "cell",
+            &[("n", "8".into())],
+            &[1, 2, 3],
+            10_000,
+            || TokenForwarding::baseline(&inst),
+            || Box::new(ShuffledPathAdversary),
+        );
+
+        let mut c2 = ctx(2);
+        c2.begin("t", "test");
+        let s2 = c2.sweep_spec(
+            "cell",
+            &[("n", "8".into())],
+            &[1, 2, 3],
+            10_000,
+            &spec,
+            &inst,
+            || Box::new(ShuffledPathAdversary) as Box<dyn Adversary>,
+        );
+        assert_eq!(s1, s2, "spec sweep must equal the closure sweep");
+        assert_eq!(
+            c1.artifact().to_json_string(),
+            c2.artifact().to_json_string(),
+            "artifact bytes must be identical across the two dispatch paths"
+        );
+    }
+
+    #[test]
+    fn campaign_cells_fold_into_the_experiment_artifact() {
+        let campaign = Campaign::parse(
+            "
+            id = fold
+            protocol = token-forwarding, indexed-broadcast
+            adversaries = shuffled-path
+            n = 8
+            seeds = 1
+            cap = 100nn
+        ",
+        )
+        .unwrap();
+        let mut c = ctx(2);
+        c.begin("t", "test");
+        let cells = c.campaign(&campaign);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(c.artifact().cells.len(), 2);
+        assert!(c.artifact().cells[0]
+            .label
+            .starts_with("proto=token-forwarding"));
     }
 
     #[test]

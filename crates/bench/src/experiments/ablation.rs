@@ -1,14 +1,16 @@
 //! E15/E16 — ablations of the design choices DESIGN.md calls out: the
 //! coding field (header width vs innovation probability) and the phase
-//! constants of `greedy-forward`.
+//! constants of `greedy-forward` — both swept as protocol registry specs
+//! (`field-broadcast(gf256)`, `greedy-forward(gather=2,bcast=3)`), the
+//! same strings a campaign's `protocol =` key takes.
 
 use super::standard_instance;
 use crate::ctx::ExpCtx;
 use crate::table::{f, Table};
-use dyncode_core::protocols::{FieldBroadcast, GreedyConfig, GreedyForward, IndexedBroadcast};
+use dyncode_core::protocols::GreedyForward;
+use dyncode_core::spec::ProtocolSpec;
 use dyncode_dynet::adversaries::{KnowledgeAdaptiveAdversary, ShuffledPathAdversary};
-use dyncode_dynet::simulator::{run, Protocol, SimConfig};
-use dyncode_gf::{Gf256, Gf257, Mersenne61};
+use dyncode_dynet::simulator::{run_erased, Erased, SimConfig};
 
 /// E15 — the field-size trade-off at protocol level (Section 3's point
 /// that the header competes with the payload): larger q buys per-delivery
@@ -32,77 +34,37 @@ pub fn e15(ctx: &mut ExpCtx) {
         ],
     );
 
-    fn field_case<F: dyncode_gf::Field>(
-        deterministic: bool,
-        inst: &dyncode_core::params::Instance,
-        seeds: &[u64],
-        n: usize,
-    ) -> (f64, u64, f64) {
-        let mut total_r = 0.0;
-        let mut total_b = 0.0;
-        let mut wire = 0;
-        for &s in seeds {
-            let mut p: FieldBroadcast<F> = if deterministic {
-                FieldBroadcast::deterministic(inst, 0)
-            } else {
-                FieldBroadcast::new(inst)
-            };
-            wire = p.wire_bits();
-            let mut adv = ShuffledPathAdversary;
-            let r = run(&mut p, &mut adv, &SimConfig::with_max_rounds(100 * n), s);
-            assert!(r.completed, "field case failed");
-            total_r += r.rounds as f64;
-            total_b += r.total_bits as f64;
-        }
-        (
-            total_r / seeds.len() as f64,
-            wire,
-            total_b / seeds.len() as f64,
-        )
-    }
-
-    // One engine cell per field/mode variant.
-    let variants: &[(&str, &str)] = &[
-        ("2", "randomized"),
-        ("256", "randomized"),
-        ("257", "randomized"),
-        ("2^61-1", "randomized"),
-        ("2^61-1", "deterministic"),
+    // One registry spec per field/mode variant: the q = 2 row is the
+    // packed-GF(2) protocol, the rest go through `field-broadcast(…)`.
+    let variants: &[(&str, &str, &str)] = &[
+        ("2", "randomized", "indexed-broadcast"),
+        ("256", "randomized", "field-broadcast(gf256)"),
+        ("257", "randomized", "field-broadcast(gf257)"),
+        ("2^61-1", "randomized", "field-broadcast(m61)"),
+        ("2^61-1", "deterministic", "field-broadcast(m61,det=0)"),
     ];
-    let (inst_ref, seeds_ref) = (&inst, &seeds);
-    let rows = ctx.map(
-        (0..variants.len())
-            .map(|vi| {
-                move || match vi {
-                    0 => {
-                        // q = 2 (the packed-GF(2) protocol).
-                        let mut total_r = 0.0;
-                        let mut total_b = 0.0;
-                        let mut wire = 0;
-                        for &s in seeds_ref {
-                            let mut p = IndexedBroadcast::new(inst_ref);
-                            wire = p.wire_bits();
-                            let mut adv = ShuffledPathAdversary;
-                            let r = run(&mut p, &mut adv, &SimConfig::with_max_rounds(100 * n), s);
-                            assert!(r.completed);
-                            total_r += r.rounds as f64;
-                            total_b += r.total_bits as f64;
-                        }
-                        (
-                            total_r / seeds_ref.len() as f64,
-                            wire,
-                            total_b / seeds_ref.len() as f64,
-                        )
-                    }
-                    1 => field_case::<Gf256>(false, inst_ref, seeds_ref, n),
-                    2 => field_case::<Gf257>(false, inst_ref, seeds_ref, n),
-                    3 => field_case::<Mersenne61>(false, inst_ref, seeds_ref, n),
-                    _ => field_case::<Mersenne61>(true, inst_ref, seeds_ref, n),
-                }
-            })
-            .collect(),
-    );
-    for (&(name, mode), &(rounds, wire, total_bits)) in variants.iter().zip(&rows) {
+    for &(name, mode, spec_text) in variants {
+        let spec = ProtocolSpec::parse(spec_text).expect("static spec is valid");
+        let meta = [
+            ("n", n.to_string()),
+            ("k", n.to_string()),
+            ("d", d.to_string()),
+            ("protocol", spec.name()),
+        ];
+        let rounds = ctx.mean_rounds_spec(
+            &format!("E15 q={name} {mode}"),
+            &meta,
+            &seeds,
+            100 * n,
+            &spec,
+            &inst,
+            || Box::new(ShuffledPathAdversary),
+        );
+        // Every message of these protocols is full wire width, so the
+        // recorded per-run maximum *is* the bits/message of the variant.
+        let cell = ctx.artifact().cells.last().expect("sweep recorded a cell");
+        let wire = cell.runs.first().map_or(0, |r| r.max_message_bits);
+        let total_bits = cell.stats.mean_bits;
         t.row(vec![
             name.into(),
             mode.into(),
@@ -125,6 +87,8 @@ pub fn e15(ctx: &mut ExpCtx) {
 /// E16 — ablation of greedy-forward's phase constants: the gather length
 /// (Lemma 7.2 analyzes exactly n rounds) and the coded-broadcast length
 /// (short phases rely on the Las-Vegas verify loop to mop up failures).
+/// Each configuration is a registry spec (`greedy-forward(gather=G,bcast=B)`);
+/// the retry counter is read back through `as_any` introspection.
 pub fn e16(ctx: &mut ExpCtx) {
     println!("\n## E16 — ablation: greedy-forward phase constants");
     let n = if ctx.quick { 32 } else { 64 };
@@ -141,7 +105,7 @@ pub fn e16(ctx: &mut ExpCtx) {
             "verify retries (mean)",
         ],
     );
-    // One engine cell per configuration.
+    // One engine cell per configured spec.
     let configs: Vec<(usize, usize)> = [1usize, 2]
         .iter()
         .flat_map(|&g| [1usize, 2, 3].into_iter().map(move |bm| (g, bm)))
@@ -152,16 +116,16 @@ pub fn e16(ctx: &mut ExpCtx) {
             .iter()
             .map(|&(gather_mult, broadcast_mult)| {
                 move || {
+                    let spec = ProtocolSpec::parse(&format!(
+                        "greedy-forward(gather={gather_mult},bcast={broadcast_mult})"
+                    ))
+                    .expect("static spec is valid");
                     let mut total_rounds = 0.0;
                     let mut total_retries = 0.0;
                     for &s in seeds_ref {
-                        let cfg = GreedyConfig {
-                            gather_mult,
-                            broadcast_mult,
-                        };
-                        let mut p = GreedyForward::with_config(inst_ref, cfg);
+                        let mut p = spec.build(inst_ref, 1);
                         let mut adv = KnowledgeAdaptiveAdversary;
-                        let r = run(
+                        let r = run_erased(
                             &mut p,
                             &mut adv,
                             &SimConfig::with_max_rounds(200 * n * n),
@@ -172,8 +136,12 @@ pub fn e16(ctx: &mut ExpCtx) {
                             "config ({gather_mult},{broadcast_mult}) failed"
                         );
                         assert!((0..n).all(|u| p.view().tokens[u].len() == n));
+                        let greedy = p
+                            .as_any()
+                            .downcast_ref::<Erased<GreedyForward>>()
+                            .expect("greedy-forward spec builds GreedyForward");
                         total_rounds += r.rounds as f64;
-                        total_retries += p.total_retries() as f64;
+                        total_retries += greedy.0.total_retries() as f64;
                     }
                     (
                         total_rounds / seeds_ref.len() as f64,

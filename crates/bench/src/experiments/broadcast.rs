@@ -5,7 +5,7 @@ use super::{d_for, meta_nkdb, standard_instance};
 use crate::ctx::ExpCtx;
 use crate::table::{f, Table};
 use dyncode_core::params::{Instance, Params, Placement};
-use dyncode_core::protocols::{Centralized, IndexedBroadcast, TokenForwarding};
+use dyncode_core::spec::ProtocolSpec;
 use dyncode_core::theory;
 use dyncode_dynet::adversaries::standard_suite;
 use dyncode_dynet::adversaries::ShuffledPathAdversary;
@@ -35,12 +35,13 @@ pub fn e4(ctx: &mut ExpCtx) {
                 Placement::RoundRobin,
                 2,
             );
-            let m = ctx.mean_rounds(
+            let m = ctx.mean_rounds_spec(
                 &format!("E4a n={n} k={k}"),
                 &meta_nkdb(&inst.params),
                 &seeds,
                 100 * (n + k),
-                || IndexedBroadcast::new(&inst),
+                &ProtocolSpec::IndexedBroadcast,
+                &inst,
                 || Box::new(ShuffledPathAdversary),
             );
             let p = theory::indexed_broadcast_bound(n, k);
@@ -73,7 +74,7 @@ pub fn e4(ctx: &mut ExpCtx) {
                         .iter()
                         .map(|&s| {
                             super::run_to_done(
-                                IndexedBroadcast::new(inst_ref),
+                                ProtocolSpec::IndexedBroadcast.build(inst_ref, 1),
                                 adv.as_mut(),
                                 100 * n,
                                 s,
@@ -118,20 +119,22 @@ pub fn e10(ctx: &mut ExpCtx) {
     for &n in ns {
         let d = d_for(n);
         let inst = standard_instance(n, d, 2 * d, 9);
-        let mc = ctx.mean_rounds(
+        let mc = ctx.mean_rounds_spec(
             &format!("E10 centralized n={n}"),
             &meta_nkdb(&inst.params),
             &seeds,
             100 * n,
-            || Centralized::new(&inst),
+            &ProtocolSpec::Centralized,
+            &inst,
             || Box::new(ShuffledPathAdversary),
         );
-        let mf = ctx.mean_rounds(
+        let mf = ctx.mean_rounds_spec(
             &format!("E10 fwd n={n}"),
             &meta_nkdb(&inst.params),
             &seeds,
             10 * n * n,
-            || TokenForwarding::baseline(&inst),
+            &ProtocolSpec::TokenForwarding,
+            &inst,
             || Box::new(ShuffledPathAdversary),
         );
         t.row(vec![

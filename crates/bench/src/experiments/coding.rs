@@ -4,7 +4,7 @@
 use super::{d_for, lgn, meta_nkdb, standard_instance};
 use crate::ctx::ExpCtx;
 use crate::table::{f, Table};
-use dyncode_core::protocols::{GreedyForward, NaiveCoded, PriorityForward, TokenForwarding};
+use dyncode_core::spec::ProtocolSpec;
 use dyncode_core::theory;
 use dyncode_dynet::adversaries::{KnowledgeAdaptiveAdversary, ShuffledPathAdversary};
 use dyncode_gf::{Field, Gf2Vec};
@@ -19,6 +19,10 @@ pub fn e2(ctx: &mut ExpCtx) {
     let seeds: Vec<u64> = if ctx.quick { vec![1] } else { vec![1, 2, 3] };
     let n = if ctx.quick { 48 } else { 96 };
     let d = d_for(n);
+    let (greedy, tf) = (
+        ProtocolSpec::parse("greedy-forward").unwrap(),
+        ProtocolSpec::TokenForwarding,
+    );
     let mut t = Table::new(
         format!("E2: b sweep (n = k = {n}, d = {d}), greedy-forward vs forwarding"),
         &[
@@ -34,20 +38,22 @@ pub fn e2(ctx: &mut ExpCtx) {
     for mult in [1usize, 2, 4, 8] {
         let b = mult * d;
         let inst = standard_instance(n, d, b, 21);
-        let mc = ctx.mean_rounds(
+        let mc = ctx.mean_rounds_spec(
             &format!("E2 coding b={b}"),
             &meta_nkdb(&inst.params),
             &seeds,
             50 * n * n,
-            || GreedyForward::new(&inst),
+            &greedy,
+            &inst,
             || Box::new(ShuffledPathAdversary),
         );
-        let mf = ctx.mean_rounds(
+        let mf = ctx.mean_rounds_spec(
             &format!("E2 fwd b={b}"),
             &meta_nkdb(&inst.params),
             &seeds,
             10 * n * n,
-            || TokenForwarding::baseline(&inst),
+            &tf,
+            &inst,
             || Box::new(ShuffledPathAdversary),
         );
         let p = theory::greedy_forward_bound(n, n, d, b);
@@ -211,20 +217,22 @@ pub fn e7(ctx: &mut ExpCtx) {
     for &n in ns {
         let d = d_for(n);
         let inst = standard_instance(n, d, d, 3);
-        let mf = ctx.mean_rounds(
+        let mf = ctx.mean_rounds_spec(
             &format!("E7 fwd n={n}"),
             &meta_nkdb(&inst.params),
             &seeds,
             10 * n * n,
-            || TokenForwarding::baseline(&inst),
+            &ProtocolSpec::TokenForwarding,
+            &inst,
             || Box::new(KnowledgeAdaptiveAdversary),
         );
-        let mc = ctx.mean_rounds(
+        let mc = ctx.mean_rounds_spec(
             &format!("E7 coding n={n}"),
             &meta_nkdb(&inst.params),
             &seeds,
             50 * n * n,
-            || GreedyForward::new(&inst),
+            &ProtocolSpec::parse("greedy-forward").unwrap(),
+            &inst,
             || Box::new(KnowledgeAdaptiveAdversary),
         );
         let ratio = mf / mc;
@@ -273,9 +281,11 @@ pub fn e8(ctx: &mut ExpCtx) {
                     let mut b = d;
                     while coding_b.is_none() && b <= 4 * n * lgn(n) {
                         let inst = standard_instance(n, d, b, 8);
-                        let mut p = GreedyForward::new(&inst);
+                        let mut p = ProtocolSpec::parse("greedy-forward")
+                            .unwrap()
+                            .build(&inst, 1);
                         let mut adv = ShuffledPathAdversary;
-                        let r = dyncode_dynet::simulator::run(
+                        let r = dyncode_dynet::simulator::run_erased(
                             &mut p,
                             &mut adv,
                             &dyncode_dynet::SimConfig::with_max_rounds(budget + 1),
@@ -340,28 +350,31 @@ pub fn e13(ctx: &mut ExpCtx) {
     for mult in [1usize, 2, 4, 8] {
         let d = mult * d_for(n);
         let inst = standard_instance(n, d, b, 4);
-        let mn = ctx.mean_rounds(
+        let mn = ctx.mean_rounds_spec(
             &format!("E13 naive d={d}"),
             &meta_nkdb(&inst.params),
             &seeds,
             100 * n * n,
-            || NaiveCoded::new(&inst),
+            &ProtocolSpec::NaiveCoded,
+            &inst,
             || Box::new(ShuffledPathAdversary),
         );
-        let mg = ctx.mean_rounds(
+        let mg = ctx.mean_rounds_spec(
             &format!("E13 greedy d={d}"),
             &meta_nkdb(&inst.params),
             &seeds,
             100 * n * n,
-            || GreedyForward::new(&inst),
+            &ProtocolSpec::parse("greedy-forward").unwrap(),
+            &inst,
             || Box::new(ShuffledPathAdversary),
         );
-        let mf = ctx.mean_rounds(
+        let mf = ctx.mean_rounds_spec(
             &format!("E13 fwd d={d}"),
             &meta_nkdb(&inst.params),
             &seeds,
             10 * n * n,
-            || TokenForwarding::baseline(&inst),
+            &ProtocolSpec::TokenForwarding,
+            &inst,
             || Box::new(ShuffledPathAdversary),
         );
         t.row(vec![d.to_string(), f(mn), f(mg), f(mf), f(mn / mg)]);
@@ -392,20 +405,22 @@ pub fn e14(ctx: &mut ExpCtx) {
     for mult in [2usize, 4, 8, 16, 32] {
         let b = mult * d;
         let inst = standard_instance(n, d, b, 6);
-        let mg = ctx.mean_rounds(
+        let mg = ctx.mean_rounds_spec(
             &format!("E14 greedy b={b}"),
             &meta_nkdb(&inst.params),
             &seeds,
             100 * n * n,
-            || GreedyForward::new(&inst),
+            &ProtocolSpec::parse("greedy-forward").unwrap(),
+            &inst,
             || Box::new(ShuffledPathAdversary),
         );
-        let mp = ctx.mean_rounds(
+        let mp = ctx.mean_rounds_spec(
             &format!("E14 priority b={b}"),
             &meta_nkdb(&inst.params),
             &seeds,
             100 * n * n,
-            || PriorityForward::new(&inst),
+            &ProtocolSpec::parse("priority-forward").unwrap(),
+            &inst,
             || Box::new(ShuffledPathAdversary),
         );
         t.row(vec![

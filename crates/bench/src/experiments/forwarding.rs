@@ -1,20 +1,23 @@
 //! E1 (Theorem 2.1) and E6 (Lemma 7.2): the token-forwarding baseline and
-//! the random-forward gathering primitive.
+//! the random-forward gathering primitive — both driven through the
+//! protocol registry (`ProtocolSpec` strings), not bespoke constructors.
 
 use super::{d_for, meta_nkdb, standard_instance};
 use crate::ctx::ExpCtx;
 use crate::table::{f, Table};
-use dyncode_core::protocols::{RandomForward, TokenForwarding};
+use dyncode_core::protocols::RandomForward;
+use dyncode_core::spec::ProtocolSpec;
 use dyncode_core::theory;
 use dyncode_dynet::adversaries::ShuffledPathAdversary;
 use dyncode_dynet::adversary::TStable;
-use dyncode_dynet::simulator::{run, SimConfig};
+use dyncode_dynet::simulator::{run_erased, Erased, SimConfig};
 
 /// E1 — Theorem 2.1: token forwarding takes Θ(nkd/(bT) + n) rounds:
 /// sweeps n (k = n), then b at fixed n, then T at fixed n and b.
 pub fn e1(ctx: &mut ExpCtx) {
     println!("\n## E1 — Theorem 2.1: token forwarding = Θ(nkd/(bT) + n)");
     let seeds: Vec<u64> = if ctx.quick { vec![1] } else { vec![1, 2, 3] };
+    let tf = ProtocolSpec::TokenForwarding;
 
     // (a) n sweep at b = 2d.
     let ns: &[usize] = if ctx.quick {
@@ -30,12 +33,13 @@ pub fn e1(ctx: &mut ExpCtx) {
     for &n in ns {
         let d = d_for(n);
         let inst = standard_instance(n, d, 2 * d, 42);
-        let m = ctx.mean_rounds(
+        let m = ctx.mean_rounds_spec(
             &format!("E1a n={n}"),
             &meta_nkdb(&inst.params),
             &seeds,
             10 * n * n,
-            || TokenForwarding::baseline(&inst),
+            &tf,
+            &inst,
             || Box::new(ShuffledPathAdversary),
         );
         let p = theory::tf_bound(n, n, d, 2 * d, 1);
@@ -57,12 +61,13 @@ pub fn e1(ctx: &mut ExpCtx) {
     for mult in [1usize, 2, 4, 8] {
         let b = mult * d;
         let inst = standard_instance(n, d, b, 43);
-        let m = ctx.mean_rounds(
+        let m = ctx.mean_rounds_spec(
             &format!("E1b b={b}"),
             &meta_nkdb(&inst.params),
             &seeds,
             10 * n * n,
-            || TokenForwarding::baseline(&inst),
+            &tf,
+            &inst,
             || Box::new(ShuffledPathAdversary),
         );
         let p = theory::tf_bound(n, n, d, b, 1);
@@ -80,7 +85,8 @@ pub fn e1(ctx: &mut ExpCtx) {
     );
     ctx.scalar("E1b loglog slope rounds vs b", slope);
 
-    // (c) T sweep with the pipelined variant on T-stable networks.
+    // (c) T sweep with the pipelined variant on T-stable networks: the
+    // registry carries T as a spec parameter (`pipelined-forwarding(8)`).
     let mut t = Table::new(
         format!("E1c: T sweep (n = k = {n}, d = {d}, b = {d}) — factor-T speedup"),
         &["T", "rounds (mean)", "nkd/(bT) + n", "speedup vs T=1"],
@@ -90,18 +96,15 @@ pub fn e1(ctx: &mut ExpCtx) {
         let inst = standard_instance(n, d, d, 44);
         let mut meta = meta_nkdb(&inst.params);
         meta.push(("t", tt.to_string()));
-        let m = ctx.mean_rounds(
+        let spec = ProtocolSpec::parse(&format!("pipelined-forwarding({tt})"))
+            .expect("static spec is valid");
+        let m = ctx.mean_rounds_spec(
             &format!("E1c T={tt}"),
             &meta,
             &seeds,
             10 * n * n,
-            || {
-                if tt == 1 {
-                    TokenForwarding::baseline(&inst)
-                } else {
-                    TokenForwarding::pipelined(&inst, tt)
-                }
-            },
+            &spec,
+            &inst,
             || Box::new(TStable::new(ShuffledPathAdversary, tt)),
         );
         if tt == 1 {
@@ -121,7 +124,9 @@ pub fn e1(ctx: &mut ExpCtx) {
 }
 
 /// E6 — Lemma 7.2: after random-forward the max node holds ≥ √(bk/d)
-/// tokens (or all of them).
+/// tokens (or all of them). Runs the registry's `random-forward` spec on
+/// the erased surface and reads the gather statistic back through the
+/// `as_any` introspection hatch.
 pub fn e6(ctx: &mut ExpCtx) {
     println!("\n## E6 — Lemma 7.2: random-forward gathers M = sqrt(bk/d)");
     let seeds: Vec<u64> = if ctx.quick {
@@ -153,14 +158,28 @@ pub fn e6(ctx: &mut ExpCtx) {
                 move || {
                     let d = 8;
                     let inst = standard_instance(n, d, b, 7);
+                    let spec = ProtocolSpec::RandomForward {
+                        rounds: Some(2 * n),
+                    };
                     let counts: Vec<f64> = seeds_ref
                         .iter()
                         .map(|&s| {
-                            let mut proto = RandomForward::new(&inst, 2 * n);
-                            let cap = proto.schedule_rounds();
+                            let mut proto = spec.build(&inst, 1);
+                            let cap = proto
+                                .as_any()
+                                .downcast_ref::<Erased<RandomForward>>()
+                                .expect("random-forward spec builds RandomForward")
+                                .0
+                                .schedule_rounds();
                             let mut adv = ShuffledPathAdversary;
-                            run(&mut proto, &mut adv, &SimConfig::with_max_rounds(cap), s);
-                            proto.identified(0).0 as f64
+                            run_erased(&mut proto, &mut adv, &SimConfig::with_max_rounds(cap), s);
+                            proto
+                                .as_any()
+                                .downcast_ref::<Erased<RandomForward>>()
+                                .expect("spec type is stable across the run")
+                                .0
+                                .identified(0)
+                                .0 as f64
                         })
                         .collect();
                     let min = counts.iter().cloned().fold(f64::INFINITY, f64::min);

@@ -12,7 +12,7 @@
 use super::{d_for, standard_instance};
 use crate::ctx::ExpCtx;
 use crate::table::{f, Table};
-use dyncode_core::protocols::{IndexedBroadcast, TokenForwarding};
+use dyncode_core::spec::ProtocolSpec;
 use dyncode_scenarios::{record_scenario_to_file, ScenarioKind};
 use std::path::PathBuf;
 
@@ -40,20 +40,22 @@ fn paired_cell(
         ("b", (2 * d).to_string()),
         ("scenario", scenario.name()),
     ];
-    let fwd = ctx.mean_rounds(
+    let fwd = ctx.mean_rounds_spec(
         &format!("{tag} fwd"),
         &meta,
         seeds,
         cap,
-        || TokenForwarding::baseline(&inst),
+        &ProtocolSpec::TokenForwarding,
+        &inst,
         || scenario.build(),
     );
-    let coded = ctx.mean_rounds(
+    let coded = ctx.mean_rounds_spec(
         &format!("{tag} coding"),
         &meta,
         seeds,
         cap,
-        || IndexedBroadcast::new(&inst),
+        &ProtocolSpec::IndexedBroadcast,
+        &inst,
         || scenario.build(),
     );
     (fwd, coded)
@@ -176,20 +178,22 @@ pub fn e20(ctx: &mut ExpCtx) {
             ("b", (2 * d).to_string()),
             ("scenario", format!("replayed {}", model.name())),
         ];
-        let fwd = ctx.mean_rounds(
+        let fwd = ctx.mean_rounds_spec(
             &format!("E20 n={n} fwd"),
             &meta,
             &seeds,
             60 * n * n,
-            || TokenForwarding::baseline(&inst),
+            &ProtocolSpec::TokenForwarding,
+            &inst,
             || replay.build(),
         );
-        let coded = ctx.mean_rounds(
+        let coded = ctx.mean_rounds_spec(
             &format!("E20 n={n} coding"),
             &meta,
             &seeds,
             60 * n * n,
-            || IndexedBroadcast::new(&inst),
+            &ProtocolSpec::IndexedBroadcast,
+            &inst,
             || replay.build(),
         );
         t.row(vec![

@@ -14,12 +14,15 @@
 //! Exit codes: 0 success, 1 failed experiment or regression, 2 usage
 //! error (including unknown experiment ids, which print the registry).
 
+use dyncode_bench::cli::{
+    parse_flags, print_protocol_registry, print_registry_listing, print_usage_and_registry,
+};
 use dyncode_bench::ctx::ExpCtx;
 use dyncode_bench::registry;
 use dyncode_core::params::{Params, Placement};
+use dyncode_core::spec::ProtocolSpec;
 use dyncode_engine::{
     compare, run_campaign, AdversaryKind, Artifact, Campaign, CellSpec, CompareConfig, Engine,
-    ProtocolKind,
 };
 use dyncode_scenarios::{record_scenario_to_file, DctReader, ScenarioKind};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -37,80 +40,11 @@ fn real_main() -> i32 {
         Some("schema") => cmd_schema(&args[1..]),
         Some("bench-engine") => cmd_bench_engine(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
-        _ => cmd_experiments(&args),
-    }
-}
-
-/// Parsed common flags; leftover positional arguments are returned.
-/// `out`/`tol` stay `None` unless explicitly passed so each subcommand
-/// can reject flags it would otherwise silently ignore.
-struct Flags {
-    quick: bool,
-    json: bool,
-    list: bool,
-    threads: usize,
-    out: Option<PathBuf>,
-    tol: Option<f64>,
-    positional: Vec<String>,
-}
-
-fn parse_flags(args: &[String]) -> Result<Flags, String> {
-    let mut flags = Flags {
-        quick: false,
-        json: false,
-        list: false,
-        threads: Engine::with_default_parallelism().threads(),
-        out: None,
-        tol: None,
-        positional: Vec::new(),
-    };
-    let mut it = args.iter().peekable();
-    while let Some(a) = it.next() {
-        let mut value_of = |name: &str| -> Result<String, String> {
-            it.next().cloned().ok_or(format!("{name} requires a value"))
-        };
-        match a.as_str() {
-            "--quick" => flags.quick = true,
-            "--json" => flags.json = true,
-            "--list" => flags.list = true,
-            "--threads" => {
-                let v = value_of("--threads")?;
-                flags.threads = v
-                    .parse::<usize>()
-                    .map_err(|_| format!("bad --threads value {v:?}"))?
-                    .max(1);
-            }
-            "--out" => flags.out = Some(PathBuf::from(value_of("--out")?)),
-            "--tol" => {
-                let v = value_of("--tol")?;
-                flags.tol = Some(
-                    v.parse::<f64>()
-                        .map_err(|_| format!("bad --tol value {v:?}"))?,
-                );
-            }
-            other if other.starts_with("--") => {
-                return Err(format!("unknown flag {other:?}"));
-            }
-            other => flags.positional.push(other.to_string()),
+        Some("protocols") => {
+            print_protocol_registry();
+            0
         }
-    }
-    Ok(flags)
-}
-
-fn print_usage_and_registry() {
-    eprintln!(
-        "usage: experiments <all | e1 .. e20>... [--quick] [--threads N] [--json] [--out DIR]"
-    );
-    eprintln!("       experiments --list");
-    eprintln!("       experiments compare <BASE.json> <CANDIDATE.json> [--tol F]");
-    eprintln!("       experiments schema <FILE.json>...");
-    eprintln!("       experiments bench-engine [--quick] [--threads N]");
-    eprintln!("       experiments trace record <PATH.dct> <SCENARIO> <N> <ROUNDS> [SEED]");
-    eprintln!("       experiments trace info <PATH.dct>");
-    eprintln!("       experiments trace replay <PATH.dct> [PROTOCOL] [SEED]\n");
-    eprintln!("experiments:");
-    for (id, desc, _) in &registry() {
-        eprintln!("  {id:<5} {desc}");
+        _ => cmd_experiments(&args),
     }
 }
 
@@ -127,10 +61,9 @@ fn cmd_experiments(args: &[String]) -> i32 {
 
     let reg = registry();
     if flags.list {
-        // The machine-friendlier registry listing, on stdout.
-        for (id, desc, _) in &reg {
-            println!("{id:<5} {desc}");
-        }
+        // The machine-friendlier registry listing (with each
+        // experiment's protocol column), on stdout.
+        print_registry_listing();
         return 0;
     }
     if wanted.is_empty() || wanted.iter().any(|w| w == "help") {
@@ -143,7 +76,7 @@ fn cmd_experiments(args: &[String]) -> i32 {
     // typo'd experiment).
     let unknown: Vec<&String> = wanted
         .iter()
-        .filter(|w| w.as_str() != "all" && !reg.iter().any(|(id, _, _)| *id == w.as_str()))
+        .filter(|w| w.as_str() != "all" && !reg.iter().any(|(id, _, _, _)| *id == w.as_str()))
         .collect();
     if !unknown.is_empty() {
         eprintln!("error: unknown experiment id(s) {unknown:?}\n");
@@ -169,7 +102,7 @@ fn cmd_experiments(args: &[String]) -> i32 {
         if emit { ", emitting artifacts" } else { "" }
     );
     let mut failed = 0;
-    for (id, desc, f) in &reg {
+    for (id, desc, _, f) in &reg {
         if run_all || wanted.iter().any(|w| w == *id) {
             eprintln!(
                 "[running {id}: {desc}{}]",
@@ -297,6 +230,7 @@ fn cmd_trace(args: &[String]) -> i32 {
         eprintln!("       experiments trace replay <PATH.dct> [PROTOCOL] [SEED]");
         eprintln!("\nscenarios: edge-markov(p_up,p_down) | waypoint(radius,speed)");
         eprintln!("           | churn(rate,base) | shuffled-path | … | random-connected");
+        eprintln!("protocols: any registry spec (see `experiments protocols`)");
         2
     };
     match args.first().map(String::as_str) {
@@ -413,8 +347,8 @@ fn cmd_trace(args: &[String]) -> i32 {
                 return usage();
             };
             let protocol = match args.get(2).map(String::as_str) {
-                None => ProtocolKind::TokenForwarding,
-                Some(p) => match ProtocolKind::parse(p) {
+                None => ProtocolSpec::TokenForwarding,
+                Some(p) => match ProtocolSpec::parse(p) {
                     Ok(k) => k,
                     Err(e) => {
                         eprintln!("error: {e}");
@@ -449,16 +383,15 @@ fn cmd_trace(args: &[String]) -> i32 {
                 t: 1,
                 adversary: AdversaryKind::Scenario(ScenarioKind::Trace { path: path.clone() }),
                 placement: Placement::OneTokenPerNode,
-                protocol,
+                protocol: protocol.clone(),
                 cap: 60 * n * n,
                 instance_seed: 42,
                 record_history: false,
             };
             let r = cell.run(seed);
             println!(
-                "replayed {path} (n={n}, {} recorded rounds, cycling) with {} from seed {seed}:",
-                header.rounds,
-                protocol.name()
+                "replayed {path} (n={n}, {} recorded rounds, cycling) with {protocol} from seed {seed}:",
+                header.rounds
             );
             println!(
                 "  rounds {}, completed {}, total bits {}, max message {} bits",
@@ -491,7 +424,7 @@ fn cmd_bench_engine(args: &[String]) -> i32 {
         return 2;
     }
     let campaign = Campaign::builder("bench-engine", "wall-clock speedup smoke check")
-        .protocol(ProtocolKind::TokenForwarding)
+        .protocol(ProtocolSpec::TokenForwarding)
         .adversaries(vec![AdversaryKind::ShuffledPath, AdversaryKind::Bottleneck])
         .ns(&[32, 48])
         .seeds(&[1, 2, 3, 4])

@@ -61,7 +61,7 @@ fn unknown_experiment_id_exits_nonzero_with_registry() {
 }
 
 #[test]
-fn list_flag_prints_sorted_registry_on_stdout() {
+fn list_flag_prints_sorted_registry_with_protocol_column() {
     let out = experiments(&["--list"]);
     assert_eq!(out.status.code(), Some(0));
     let text = stdout(&out);
@@ -69,8 +69,45 @@ fn list_flag_prints_sorted_registry_on_stdout() {
         .lines()
         .filter_map(|l| l.split_whitespace().next())
         .collect();
-    let expected: Vec<String> = (1..=20).map(|i| format!("e{i}")).collect();
-    assert_eq!(ids, expected, "--list must print e1..e20 in numeric order");
+    let expected: Vec<String> = (1..=21).map(|i| format!("e{i}")).collect();
+    assert_eq!(ids, expected, "--list must print e1..e21 in numeric order");
+    // Every line carries its protocol column in brackets.
+    for line in text.lines() {
+        assert!(line.contains('['), "missing protocol column: {line}");
+    }
+    assert!(
+        text.contains("field-broadcast(gf256)"),
+        "e21's protocol column names the registry specs:\n{text}"
+    );
+}
+
+#[test]
+fn protocols_subcommand_prints_the_registry_grammar() {
+    let out = experiments(&["protocols"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    for needle in [
+        "protocol registry",
+        "token-forwarding",
+        "pipelined-forwarding[(T)]",
+        "greedy-forward[(gather=G,bcast=B)]",
+        "field-broadcast(gf2|gf256|gf257|m61[,det=S])",
+        "patch-indexed",
+        "parameters:",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?}:\n{text}");
+    }
+}
+
+#[test]
+fn trace_replay_rejects_unknown_protocols_with_the_registry() {
+    let out = experiments(&["trace", "replay", "/nonexistent.dct", "mystery-proto", "1"]);
+    assert_eq!(out.status.code(), Some(2), "usage error, not runtime");
+    let err = stderr(&out);
+    assert!(
+        err.contains("unknown protocol") && err.contains("valid protocols"),
+        "{err}"
+    );
 }
 
 #[test]

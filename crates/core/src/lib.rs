@@ -15,9 +15,14 @@
 //!   (Corollary 7.1), `greedy-forward` (Theorem 7.3), `priority-forward`
 //!   (Theorem 7.5), the T-stable patch algorithms (Section 8), and the
 //!   centralized algorithm (Corollary 2.6).
+//! * [`spec`] — the first-class protocol registry: every algorithm as a
+//!   parseable, `Display`-round-trippable [`ProtocolSpec`] string with a
+//!   factory erasing heterogeneous message types behind one
+//!   `Box<dyn ErasedProtocol>` surface.
 //! * [`theory`] — closed-form bound formulas and shape-regression helpers
 //!   used by the experiment harness.
-//! * [`runner`] — seed sweeps and summaries.
+//! * [`runner`] — seed sweeps and summaries, over concrete protocol types
+//!   ([`runner::run_one`]) or registry specs ([`runner::run_spec`]).
 //!
 //! # Quickstart
 //!
@@ -52,6 +57,7 @@ pub mod knowledge;
 pub mod params;
 pub mod protocols;
 pub mod runner;
+pub mod spec;
 pub mod theory;
 
 pub use params::{Instance, Params, Placement};
@@ -59,3 +65,4 @@ pub use protocols::{
     Centralized, GreedyForward, IndexedBroadcast, NaiveCoded, PriorityForward, RandomForward,
     TokenForwarding,
 };
+pub use spec::{FieldKind, ProtocolSpec};

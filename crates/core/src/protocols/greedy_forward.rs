@@ -60,7 +60,7 @@ enum Stage {
 }
 
 /// Phase-length constants (all O(1) multiples of the paper's phases).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GreedyConfig {
     /// Gather phase length as a multiple of n.
     pub gather_mult: usize,

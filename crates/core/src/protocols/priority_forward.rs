@@ -67,7 +67,7 @@ enum Stage {
 }
 
 /// Phase-length constants.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PriorityConfig {
     /// Warm-up length as a multiple of n.
     pub warmup_mult: usize,

@@ -1,8 +1,12 @@
 //! Experiment-facing run helpers: seed sweeps, completion verification and
-//! summary statistics.
+//! summary statistics — over concrete protocol types ([`run_one`],
+//! [`sweep_seeds`]) or registry specs ([`run_spec`], [`sweep_seeds_spec`]).
 
+use crate::params::Instance;
+use crate::protocols::patch::{patch_dissemination, PatchParams};
+use crate::spec::ProtocolSpec;
 use dyncode_dynet::adversary::Adversary;
-use dyncode_dynet::simulator::{run, Protocol, RunResult, SimConfig};
+use dyncode_dynet::simulator::{run, run_erased, Protocol, RunResult, SimConfig};
 
 /// Checks that a protocol's view reports every token at every node — the
 /// dissemination postcondition.
@@ -79,6 +83,57 @@ where
     r
 }
 
+/// [`run_one`] for a registry spec: builds the protocol named by `spec`
+/// over `inst` (with the cell's stability interval `t`) and runs it
+/// through the dyn-dispatch simulator twin, asserting dissemination
+/// correctness on completion.
+///
+/// Equivalence contract: for every simulator spec the returned
+/// `RunResult` is bit-identical to running the monomorphized protocol
+/// through [`run_one`] — the erased wrapper forwards every call without
+/// touching the RNG (locked by `tests/protocol_registry.rs`).
+///
+/// `patch-indexed` is the one non-simulator spec: its §8 charged-rounds
+/// model consumes the adversary per stability window, and the result maps
+/// charged rounds into `RunResult::rounds` (bit accounting stays zero —
+/// the model charges rounds, not messages).
+pub fn run_spec<FA>(
+    spec: &ProtocolSpec,
+    inst: &Instance,
+    t: usize,
+    adv: &FA,
+    config: &SimConfig,
+    seed: u64,
+) -> RunResult
+where
+    FA: Fn() -> Box<dyn Adversary>,
+{
+    if let ProtocolSpec::PatchIndexed = spec {
+        let mut a = adv();
+        let name = a.name();
+        let pp = PatchParams::new(inst.params.n, t.max(1), inst.params.b);
+        let res = patch_dissemination(inst, pp, a.as_mut(), seed, config.max_rounds);
+        return RunResult {
+            rounds: res.charged_rounds,
+            completed: res.completed,
+            total_bits: 0,
+            max_message_bits: 0,
+            adversary: name,
+            history: Vec::new(),
+        };
+    }
+    let mut p = spec.build(inst, t);
+    let mut a = adv();
+    let r = run_erased(&mut p, a.as_mut(), config, seed);
+    if r.completed {
+        assert!(
+            fully_disseminated(&p),
+            "completed {spec} run left a node without some token (seed {seed})"
+        );
+    }
+    r
+}
+
 /// Runs a freshly built protocol once per seed against freshly built
 /// adversaries, asserting dissemination correctness on completion.
 ///
@@ -100,6 +155,25 @@ where
     seeds
         .iter()
         .map(|&seed| run_one(&build, &adv, &config, seed))
+        .collect()
+}
+
+/// [`sweep_seeds`] for a registry spec: one [`run_spec`] cell per seed.
+pub fn sweep_seeds_spec<FA>(
+    spec: &ProtocolSpec,
+    inst: &Instance,
+    t: usize,
+    seeds: &[u64],
+    max_rounds: usize,
+    adv: FA,
+) -> Vec<RunResult>
+where
+    FA: Fn() -> Box<dyn Adversary>,
+{
+    let config = SimConfig::with_max_rounds(max_rounds);
+    seeds
+        .iter()
+        .map(|&seed| run_spec(spec, inst, t, &adv, &config, seed))
         .collect()
 }
 
@@ -148,6 +222,42 @@ mod tests {
     #[should_panic(expected = "no results")]
     fn empty_summary_rejected() {
         summarize(&[]);
+    }
+
+    #[test]
+    fn run_spec_matches_run_one_and_handles_patch() {
+        let p = Params::new(8, 8, 4, 8);
+        let inst = Instance::generate(p, Placement::OneTokenPerNode, 1);
+        let cfg = SimConfig::with_max_rounds(10_000).recording();
+        let adv = || Box::new(ShuffledPathAdversary) as Box<dyn Adversary>;
+
+        // Spec path == concrete path, bit for bit.
+        let spec = ProtocolSpec::parse("token-forwarding").unwrap();
+        let via_spec = run_spec(&spec, &inst, 1, &adv, &cfg, 7);
+        let via_type = run_one(&|| TokenForwarding::baseline(&inst), &adv, &cfg, 7);
+        assert_eq!(via_spec, via_type);
+
+        // The charged-rounds model completes and reports rounds > 0 with
+        // no per-message bit accounting.
+        let patch = ProtocolSpec::parse("patch-indexed").unwrap();
+        let r = run_spec(
+            &patch,
+            &inst,
+            4,
+            &adv,
+            &SimConfig::with_max_rounds(500_000),
+            3,
+        );
+        assert!(r.completed, "{r:?}");
+        assert!(r.rounds > 0);
+        assert_eq!(r.total_bits, 0);
+        assert_eq!(r.adversary, "shuffled-path");
+
+        // And the spec sweep aggregates like the concrete sweep.
+        let results = sweep_seeds_spec(&spec, &inst, 1, &[1, 2, 3], 10_000, adv);
+        let s = summarize(&results);
+        assert_eq!(s.runs, 3);
+        assert_eq!(s.failures, 0);
     }
 
     #[test]

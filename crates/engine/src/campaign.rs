@@ -1,21 +1,25 @@
 //! The declarative campaign spec: sweep grids over `(n, k, d, b, T)` ×
-//! adversary suite × seeds, with a builder API and a small text parser so
-//! scenarios are data, not code.
+//! protocol suite × adversary suite × seeds, with a builder API and a
+//! small text parser so scenarios — and protocols — are data, not code.
 //!
 //! A [`Campaign`] expands into independent [`CellSpec`]s (one per grid
-//! point per adversary); [`run_campaign`] shards `cells × seeds` across
-//! the executor and aggregates the results into an [`Artifact`]. Every
-//! cell carries its own seeds, so the parallel artifact is byte-identical
-//! to the serial one.
+//! point per protocol per adversary); [`run_campaign`] shards
+//! `cells × seeds` across the executor and aggregates the results into an
+//! [`Artifact`]. Every cell carries its own seeds, so the parallel
+//! artifact is byte-identical to the serial one.
+//!
+//! Protocols are named by `dyncode_core::spec::ProtocolSpec` strings
+//! (`protocol = greedy-forward, field-broadcast(gf256), patch-indexed`),
+//! so every algorithm the repo implements — configured variants included —
+//! is a campaign grid key; each cell's label and metadata carry the
+//! canonical spec string into the artifact.
 
 use crate::aggregate::SeedStats;
 use crate::artifact::{Artifact, CellRecord, RunError, RunRecord};
 use crate::executor::Engine;
 use dyncode_core::params::{Instance, Params, Placement};
-use dyncode_core::protocols::{
-    Centralized, GreedyForward, IndexedBroadcast, NaiveCoded, PriorityForward, TokenForwarding,
-};
-use dyncode_core::runner::run_one;
+use dyncode_core::runner::run_spec;
+use dyncode_core::spec::ProtocolSpec;
 use dyncode_dynet::adversaries::{
     BottleneckAdversary, KnowledgeAdaptiveAdversary, RandomConnectedAdversary,
     ShuffledPathAdversary, ShuffledStarAdversary,
@@ -23,56 +27,6 @@ use dyncode_dynet::adversaries::{
 use dyncode_dynet::adversary::{Adversary, TStable};
 use dyncode_dynet::simulator::{RunResult, SimConfig};
 use dyncode_scenarios::{split_top_level, ScenarioKind};
-
-/// Which protocol a campaign runs. The declarative counterpart of the
-/// concrete types in `dyncode_core::protocols`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ProtocolKind {
-    /// `TokenForwarding::baseline` (Theorem 2.1 baseline).
-    TokenForwarding,
-    /// `TokenForwarding::pipelined(T)` when the cell's T > 1, baseline
-    /// otherwise.
-    PipelinedForwarding,
-    /// `GreedyForward` (Theorem 7.3).
-    GreedyForward,
-    /// `PriorityForward` (Theorem 7.5).
-    PriorityForward,
-    /// `NaiveCoded` (Corollary 7.1).
-    NaiveCoded,
-    /// `IndexedBroadcast` (Lemma 5.3).
-    IndexedBroadcast,
-    /// `Centralized` (Corollary 2.6).
-    Centralized,
-}
-
-impl ProtocolKind {
-    /// The spec-file name of this protocol.
-    pub fn name(&self) -> &'static str {
-        match self {
-            ProtocolKind::TokenForwarding => "token-forwarding",
-            ProtocolKind::PipelinedForwarding => "pipelined-forwarding",
-            ProtocolKind::GreedyForward => "greedy-forward",
-            ProtocolKind::PriorityForward => "priority-forward",
-            ProtocolKind::NaiveCoded => "naive-coded",
-            ProtocolKind::IndexedBroadcast => "indexed-broadcast",
-            ProtocolKind::Centralized => "centralized",
-        }
-    }
-
-    /// Parses a spec-file protocol name.
-    pub fn parse(s: &str) -> Result<ProtocolKind, String> {
-        match s {
-            "token-forwarding" => Ok(ProtocolKind::TokenForwarding),
-            "pipelined-forwarding" => Ok(ProtocolKind::PipelinedForwarding),
-            "greedy-forward" => Ok(ProtocolKind::GreedyForward),
-            "priority-forward" => Ok(ProtocolKind::PriorityForward),
-            "naive-coded" => Ok(ProtocolKind::NaiveCoded),
-            "indexed-broadcast" => Ok(ProtocolKind::IndexedBroadcast),
-            "centralized" => Ok(ProtocolKind::Centralized),
-            other => Err(format!("unknown protocol {other:?}")),
-        }
-    }
-}
 
 /// Which adversary family a cell runs against: one of the classic
 /// worst-case families, or a `dyncode-scenarios` workload model (the
@@ -109,6 +63,7 @@ impl AdversaryKind {
     /// Parses a spec-file adversary name: the classic family names, or
     /// any scenario spec (`edge-markov(p_up,p_down)`,
     /// `waypoint(radius,speed)`, `churn(rate,base)`, `trace(path)`).
+    /// Unknown names enumerate the valid families.
     pub fn parse(s: &str) -> Result<AdversaryKind, String> {
         match s {
             "shuffled-path" => Ok(AdversaryKind::ShuffledPath),
@@ -118,7 +73,14 @@ impl AdversaryKind {
             "random-connected" => Ok(AdversaryKind::RandomConnected),
             other => ScenarioKind::parse(other)
                 .map(AdversaryKind::Scenario)
-                .map_err(|e| format!("unknown adversary {other:?} ({e})")),
+                .map_err(|e| {
+                    format!(
+                        "unknown adversary {other:?} ({e}); valid: shuffled-path, \
+                         shuffled-star, bottleneck, knowledge-adaptive, random-connected, \
+                         edge-markov(p_up,p_down), waypoint(radius,speed), \
+                         churn(rate,base), trace(path)"
+                    )
+                }),
         }
     }
 
@@ -230,16 +192,17 @@ impl CapRule {
     }
 }
 
-/// A declarative sweep: the full cross product of `n × T × adversary`
-/// (with `k`, `d`, `b` derived per point) run over a common seed list.
+/// A declarative sweep: the full cross product of
+/// `n × T × protocol × adversary` (with `k`, `d`, `b` derived per point)
+/// run over a common seed list.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Campaign {
     /// Campaign id; names the artifact (`BENCH_<id>.json`).
     pub id: String,
     /// Human-readable title.
     pub title: String,
-    /// Protocol under test.
-    pub protocol: ProtocolKind,
+    /// Protocols under test (registry specs).
+    pub protocols: Vec<ProtocolSpec>,
     /// Adversary families to sweep.
     pub adversaries: Vec<AdversaryKind>,
     /// Initial token placement.
@@ -277,7 +240,7 @@ impl Campaign {
             campaign: Campaign {
                 id: id.into(),
                 title: title.into(),
-                protocol: ProtocolKind::TokenForwarding,
+                protocols: vec![ProtocolSpec::TokenForwarding],
                 adversaries: vec![AdversaryKind::ShuffledPath],
                 placement: Placement::OneTokenPerNode,
                 ns: vec![16, 32],
@@ -311,8 +274,10 @@ impl Campaign {
         c
     }
 
-    /// Expands the grid into cells: `n × T × adversary`, in that
-    /// (deterministic) nesting order.
+    /// Expands the grid into cells: `n × T × protocol × adversary`, in
+    /// that (deterministic) nesting order — adversaries vary fastest, so
+    /// a protocol's row across the workload suite is contiguous in the
+    /// artifact.
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut out = Vec::new();
         for &n in &self.ns {
@@ -320,17 +285,19 @@ impl Campaign {
             let k = self.k.eval(n, d);
             let b = self.b.eval(n, d);
             for &t in &self.ts {
-                for adv in &self.adversaries {
-                    out.push(CellSpec {
-                        params: Params::new(n, k, d, b),
-                        t,
-                        adversary: adv.clone(),
-                        placement: self.placement,
-                        protocol: self.protocol,
-                        cap: self.cap.eval(n, k),
-                        instance_seed: self.instance_seed,
-                        record_history: self.record_history,
-                    });
+                for proto in &self.protocols {
+                    for adv in &self.adversaries {
+                        out.push(CellSpec {
+                            params: Params::new(n, k, d, b),
+                            t,
+                            adversary: adv.clone(),
+                            placement: self.placement,
+                            protocol: proto.clone(),
+                            cap: self.cap.eval(n, k),
+                            instance_seed: self.instance_seed,
+                            record_history: self.record_history,
+                        });
+                    }
                 }
             }
         }
@@ -340,10 +307,10 @@ impl Campaign {
     /// Parses a campaign from the `key = value` spec text format:
     ///
     /// ```text
-    /// # scenarios are data, not code
+    /// # scenarios — and protocols — are data, not code
     /// id = tf-nsweep
     /// title = Token forwarding n sweep
-    /// protocol = token-forwarding
+    /// protocol = token-forwarding, greedy-forward, field-broadcast(gf256)
     /// adversaries = shuffled-path, bottleneck
     /// scenario = edge-markov(0.05,0.2), churn(0.1,random-connected)
     /// placement = one-token-per-node
@@ -356,28 +323,38 @@ impl Campaign {
     /// cap = 10nn
     /// ```
     ///
+    /// `protocol` names registry specs (`dyncode_core::spec`); commas
+    /// inside parentheses do not split the list, so configured variants
+    /// (`greedy-forward(gather=2,bcast=3)`) work in list position. The
+    /// first `protocol` line replaces the default (`token-forwarding`);
+    /// later lines accumulate.
+    ///
     /// `adversaries` names classic worst-case families; `scenario` adds
     /// `dyncode-scenarios` workload models (`edge-markov(p_up,p_down)`,
-    /// `waypoint(radius,speed)`, `churn(rate,base)`, `trace(path)`;
-    /// commas inside parentheses do not split the list). The first of
-    /// either key replaces the default suite; the two keys then
+    /// `waypoint(radius,speed)`, `churn(rate,base)`, `trace(path)`). The
+    /// first of either key replaces the default suite; the two keys then
     /// accumulate, so a campaign can sweep worst-case and stochastic
-    /// dynamics side by side.
+    /// dynamics side by side. The grid is the full cross product
+    /// `n × T × protocol × adversary`.
     ///
     /// Unknown keys are errors; everything except `id` has a default.
+    /// Errors carry the line number and key, and enumerate the valid
+    /// names for the offending position.
     pub fn parse(text: &str) -> Result<Campaign, String> {
         let mut b = Campaign::builder("", "");
         let mut saw_id = false;
         let mut saw_title = false;
         let mut saw_adversaries = false;
+        let mut saw_protocols = false;
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
                 continue;
             }
-            let (key, value) = line
-                .split_once('=')
-                .ok_or(format!("line {}: expected `key = value`", lineno + 1))?;
+            let (key, value) = line.split_once('=').ok_or(format!(
+                "line {}: expected `key = value`, got {line:?}",
+                lineno + 1
+            ))?;
             let (key, value) = (key.trim(), value.trim());
             let list = || -> Vec<&str> {
                 value
@@ -398,7 +375,7 @@ impl Campaign {
                     .map(|s| s.parse::<u64>().map_err(|_| format!("bad seed {s:?}")))
                     .collect()
             };
-            let err = |e: String| format!("line {}: {e}", lineno + 1);
+            let err = |e: String| format!("line {} (`{key}`): {e}", lineno + 1);
             match key {
                 "id" => {
                     b.campaign.id = value.to_string();
@@ -408,7 +385,19 @@ impl Campaign {
                     b.campaign.title = value.to_string();
                     saw_title = true;
                 }
-                "protocol" => b.campaign.protocol = ProtocolKind::parse(value).map_err(err)?,
+                "protocol" => {
+                    let parsed: Vec<ProtocolSpec> = split_top_level(value)
+                        .iter()
+                        .map(|s| ProtocolSpec::parse(s))
+                        .collect::<Result<_, _>>()
+                        .map_err(err)?;
+                    if !saw_protocols {
+                        b.campaign.protocols = parsed;
+                        saw_protocols = true;
+                    } else {
+                        b.campaign.protocols.extend(parsed);
+                    }
+                }
                 "adversaries" | "scenario" => {
                     let parsed: Vec<AdversaryKind> = split_top_level(value)
                         .iter()
@@ -444,7 +433,14 @@ impl Campaign {
                 }
                 "quick_n" => b.campaign.quick_ns = Some(usizes(list()).map_err(err)?),
                 "quick_seeds" => b.campaign.quick_seeds = Some(u64s(list()).map_err(err)?),
-                other => return Err(err(format!("unknown key {other:?}"))),
+                other => {
+                    return Err(format!(
+                        "line {}: unknown key {other:?}; valid keys: id, title, protocol, \
+                         adversaries, scenario, placement, n, k, d, b, t, seeds, \
+                         instance_seed, cap, record_history, quick_n, quick_seeds",
+                        lineno + 1
+                    ))
+                }
             }
         }
         if !saw_id {
@@ -486,9 +482,15 @@ pub struct CampaignBuilder {
 }
 
 impl CampaignBuilder {
-    /// Sets the protocol under test.
-    pub fn protocol(mut self, p: ProtocolKind) -> Self {
-        self.campaign.protocol = p;
+    /// Sets a single protocol under test.
+    pub fn protocol(mut self, p: ProtocolSpec) -> Self {
+        self.campaign.protocols = vec![p];
+        self
+    }
+
+    /// Sets the protocol suite to sweep.
+    pub fn protocols(mut self, ps: Vec<ProtocolSpec>) -> Self {
+        self.campaign.protocols = ps;
         self
     }
 
@@ -585,6 +587,9 @@ impl CampaignBuilder {
         if c.adversaries.is_empty() {
             return Err("campaign needs at least one adversary".into());
         }
+        if c.protocols.is_empty() {
+            return Err("campaign needs at least one protocol".into());
+        }
         if c.ts.is_empty() || c.ts.contains(&0) {
             return Err("stability intervals must be nonempty and ≥ 1".into());
         }
@@ -604,8 +609,8 @@ pub struct CellSpec {
     pub adversary: AdversaryKind,
     /// Token placement.
     pub placement: Placement,
-    /// Protocol under test.
-    pub protocol: ProtocolKind,
+    /// Protocol under test (a registry spec).
+    pub protocol: ProtocolSpec,
     /// Round cap.
     pub cap: usize,
     /// Instance-generation seed.
@@ -615,11 +620,13 @@ pub struct CellSpec {
 }
 
 impl CellSpec {
-    /// The cell's artifact label (unique within a campaign).
+    /// The cell's artifact label (unique within a campaign): the
+    /// canonical protocol spec string plus the grid point.
     pub fn label(&self) -> String {
         let p = &self.params;
         format!(
-            "n={} k={} d={} b={} t={} adv={}",
+            "proto={} n={} k={} d={} b={} t={} adv={}",
+            self.protocol,
             p.n,
             p.k,
             p.d,
@@ -633,7 +640,7 @@ impl CellSpec {
     pub fn meta(&self) -> Vec<(String, String)> {
         let p = &self.params;
         vec![
-            ("protocol".into(), self.protocol.name().into()),
+            ("protocol".into(), self.protocol.name()),
             ("adversary".into(), self.adversary.name()),
             ("n".into(), p.n.to_string()),
             ("k".into(), p.k.to_string()),
@@ -660,39 +667,14 @@ impl CellSpec {
 
     /// [`CellSpec::run`] against a pre-generated instance (which must be
     /// [`CellSpec::instance`] — callers sweeping many seeds generate it
-    /// once instead of per seed).
+    /// once instead of per seed). Dispatch goes through the protocol
+    /// registry's erased factory (`dyncode_core::runner::run_spec`), so
+    /// any spec string the registry parses runs here.
     pub fn run_on(&self, inst: &Instance, seed: u64) -> RunResult {
         let mut config = SimConfig::with_max_rounds(self.cap);
         config.record_history = self.record_history;
         let adv = || self.adversary.build(self.t);
-        match self.protocol {
-            ProtocolKind::TokenForwarding => {
-                run_one(&|| TokenForwarding::baseline(inst), &adv, &config, seed)
-            }
-            ProtocolKind::PipelinedForwarding => run_one(
-                &|| {
-                    if self.t > 1 {
-                        TokenForwarding::pipelined(inst, self.t)
-                    } else {
-                        TokenForwarding::baseline(inst)
-                    }
-                },
-                &adv,
-                &config,
-                seed,
-            ),
-            ProtocolKind::GreedyForward => {
-                run_one(&|| GreedyForward::new(inst), &adv, &config, seed)
-            }
-            ProtocolKind::PriorityForward => {
-                run_one(&|| PriorityForward::new(inst), &adv, &config, seed)
-            }
-            ProtocolKind::NaiveCoded => run_one(&|| NaiveCoded::new(inst), &adv, &config, seed),
-            ProtocolKind::IndexedBroadcast => {
-                run_one(&|| IndexedBroadcast::new(inst), &adv, &config, seed)
-            }
-            ProtocolKind::Centralized => run_one(&|| Centralized::new(inst), &adv, &config, seed),
-        }
+        run_spec(&self.protocol, inst, self.t, &adv, &config, seed)
     }
 }
 
@@ -765,14 +747,64 @@ mod tests {
     fn grid_expansion_order_and_labels() {
         let c = tiny();
         let cells = c.cells();
-        // 2 sizes × 1 T × 2 adversaries.
+        // 2 sizes × 1 T × 1 protocol × 2 adversaries.
         assert_eq!(cells.len(), 4);
-        assert_eq!(cells[0].label(), "n=8 k=8 d=4 b=8 t=1 adv=shuffled-path");
-        assert_eq!(cells[1].label(), "n=8 k=8 d=4 b=8 t=1 adv=bottleneck");
+        assert_eq!(
+            cells[0].label(),
+            "proto=token-forwarding n=8 k=8 d=4 b=8 t=1 adv=shuffled-path"
+        );
+        assert_eq!(
+            cells[1].label(),
+            "proto=token-forwarding n=8 k=8 d=4 b=8 t=1 adv=bottleneck"
+        );
         assert_eq!(cells[2].params.n, 16);
         assert_eq!(cells[2].params.d, 5); // lg 16 + 1
         assert_eq!(cells[2].params.b, 10); // 2d
         assert_eq!(cells[0].cap, 10 * 8 * 8);
+    }
+
+    #[test]
+    fn protocol_axis_expands_the_grid() {
+        let c = Campaign::parse(
+            "
+            id = grid
+            protocol = token-forwarding, greedy-forward(gather=2,bcast=3)
+            protocol = field-broadcast(gf256)
+            adversaries = shuffled-path, bottleneck
+            n = 8
+            seeds = 1
+        ",
+        )
+        .expect("parse");
+        assert_eq!(c.protocols.len(), 3, "first line replaces, second extends");
+        let cells = c.cells();
+        // 1 size × 1 T × 3 protocols × 2 adversaries, adversary fastest.
+        assert_eq!(cells.len(), 6);
+        assert_eq!(
+            cells[0].label(),
+            "proto=token-forwarding n=8 k=8 d=4 b=8 t=1 adv=shuffled-path"
+        );
+        assert_eq!(
+            cells[1].label(),
+            "proto=token-forwarding n=8 k=8 d=4 b=8 t=1 adv=bottleneck"
+        );
+        assert_eq!(
+            cells[2].label(),
+            "proto=greedy-forward(gather=2,bcast=3) n=8 k=8 d=4 b=8 t=1 adv=shuffled-path"
+        );
+        assert_eq!(
+            cells[4].label(),
+            "proto=field-broadcast(gf256) n=8 k=8 d=4 b=8 t=1 adv=shuffled-path"
+        );
+        // The canonical spec string rides into the cell metadata.
+        let meta = cells[2].meta();
+        assert_eq!(
+            meta[0],
+            (
+                "protocol".to_string(),
+                "greedy-forward(gather=2,bcast=3)".to_string()
+            )
+        );
     }
 
     #[test]
@@ -849,12 +881,24 @@ mod tests {
         assert_eq!(minimal.k, Dim::N);
 
         assert!(Campaign::parse("").unwrap_err().contains("missing `id`"));
-        assert!(Campaign::parse("id = x\nbogus = 1")
-            .unwrap_err()
-            .contains("unknown key"));
-        assert!(Campaign::parse("id = x\nprotocol = nope")
-            .unwrap_err()
-            .contains("unknown protocol"));
+        let err = Campaign::parse("id = x\nbogus = 1").unwrap_err();
+        assert!(
+            err.contains("unknown key") && err.contains("valid keys") && err.contains("line 2"),
+            "{err}"
+        );
+        let err = Campaign::parse("id = x\nprotocol = nope").unwrap_err();
+        assert!(
+            err.contains("unknown protocol")
+                && err.contains("`protocol`")
+                && err.contains("valid protocols")
+                && err.contains("line 2"),
+            "errors must carry line, key, and the registry: {err}"
+        );
+        let err = Campaign::parse("id = x\nadversaries = nope").unwrap_err();
+        assert!(
+            err.contains("unknown adversary") && err.contains("valid:"),
+            "{err}"
+        );
         assert!(Campaign::parse("id = x\nn = ")
             .unwrap_err()
             .contains("at least one n"));
@@ -942,7 +986,7 @@ mod tests {
     #[test]
     fn tstable_and_pipelined_cells_run() {
         let c = Campaign::builder("t", "t-stable pipelined")
-            .protocol(ProtocolKind::PipelinedForwarding)
+            .protocol(ProtocolSpec::PipelinedForwarding { t: None })
             .ns(&[8])
             .ts(&[1, 4])
             .seeds(&[1])
@@ -951,5 +995,37 @@ mod tests {
         let a = run_campaign(&Engine::new(2), &c);
         assert_eq!(a.cells.len(), 2);
         assert!(a.cells.iter().all(|c| c.stats.all_completed()));
+    }
+
+    #[test]
+    fn cross_protocol_campaign_runs_every_registry_family() {
+        // Five specs × one scenario, patch-indexed (charged model) and a
+        // configured field variant included: the full dispatch surface.
+        let c = Campaign::parse(
+            "
+            id = cross
+            protocol = token-forwarding, greedy-forward, indexed-broadcast
+            protocol = field-broadcast(m61,det=3), patch-indexed
+            adversaries = shuffled-path
+            n = 8
+            t = 4
+            seeds = 1
+            cap = 500nn
+        ",
+        )
+        .unwrap();
+        let a = run_campaign(&Engine::new(2), &c);
+        assert_eq!(a.cells.len(), 5);
+        for cell in &a.cells {
+            assert!(cell.stats.all_completed(), "{}", cell.label);
+        }
+        // patch-indexed cells charge rounds but no message bits.
+        let patch = a
+            .cells
+            .iter()
+            .find(|c| c.label.starts_with("proto=patch-indexed"))
+            .expect("patch cell present");
+        assert_eq!(patch.runs[0].total_bits, 0);
+        assert!(patch.runs[0].rounds > 0);
     }
 }

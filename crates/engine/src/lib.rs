@@ -4,9 +4,12 @@
 //! declarative, parallel, reproducible job. Four layers:
 //!
 //! 1. **Spec** ([`campaign`]) — a [`Campaign`] describes a sweep grid over
-//!    `(n, k, d, b, T)`, an adversary suite, seed lists and quick/full
-//!    profiles, via a builder API or the `key = value` text format
-//!    ([`Campaign::parse`]) so scenarios are data, not code.
+//!    `(n, k, d, b, T)`, a protocol suite (registry
+//!    [`ProtocolSpec`] strings, `protocol = greedy-forward,
+//!    field-broadcast(gf256)`), an adversary suite, seed lists and
+//!    quick/full profiles, via a builder API or the `key = value` text
+//!    format ([`Campaign::parse`]) so scenarios — and protocols — are
+//!    data, not code.
 //! 2. **Executor** ([`executor`]) — a work-stealing pool on
 //!    `std::thread::scope` + channels that shards independent cells
 //!    across `--threads N` workers. Each cell carries its own seed and
@@ -18,7 +21,7 @@
 //!    mean/min/max/σ/CI95 across seeds, alongside fitted constants and
 //!    rendered tables, emitted as `BENCH_<id>.json` artifacts with a
 //!    validated schema.
-//! 4. **Gating** ([`compare`]) — diff two artifacts and fail (nonzero
+//! 4. **Gating** ([`mod@compare`]) — diff two artifacts and fail (nonzero
 //!    exit in the CLI) on rounds/bits/fit regressions beyond a relative
 //!    tolerance: the perf trajectory's regression gate.
 //!
@@ -38,8 +41,9 @@ pub mod json;
 pub use aggregate::SeedStats;
 pub use artifact::{Artifact, CellRecord, Fit, RunError, RunRecord, Scalar, TableData};
 pub use campaign::{
-    run_campaign, AdversaryKind, Campaign, CampaignBuilder, CapRule, CellSpec, Dim, ProtocolKind,
+    run_campaign, AdversaryKind, Campaign, CampaignBuilder, CapRule, CellSpec, Dim,
 };
 pub use compare::{compare, CompareConfig, CompareReport};
+pub use dyncode_core::spec::{FieldKind, ProtocolSpec};
 pub use executor::{CellError, Engine};
 pub use json::Json;

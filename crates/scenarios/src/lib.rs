@@ -10,7 +10,7 @@
 //! Three layers:
 //!
 //! * **Evolving-graph models** implementing
-//!   [`Adversary`](dyncode_dynet::adversary::Adversary):
+//!   [`Adversary`]:
 //!   [`edge_markov`] (per-edge birth/death chains), [`waypoint`] (random
 //!   waypoint mobility on the unit square with a communication radius),
 //!   and [`churn`] (activity flapping over any base adversary, token
@@ -133,28 +133,7 @@ impl ClassicKind {
     }
 }
 
-/// Splits `s` on commas at parenthesis depth 0 (so nested scenario
-/// arguments like `churn(0.1,edge-markov(0.05,0.2))` survive list
-/// contexts). Empty pieces are dropped.
-pub fn split_top_level(s: &str) -> Vec<&str> {
-    let mut out = Vec::new();
-    let mut depth = 0usize;
-    let mut start = 0usize;
-    for (i, c) in s.char_indices() {
-        match c {
-            '(' => depth += 1,
-            ')' => depth = depth.saturating_sub(1),
-            ',' if depth == 0 => {
-                out.push(s[start..i].trim());
-                start = i + 1;
-            }
-            _ => {}
-        }
-    }
-    out.push(s[start..].trim());
-    out.retain(|p| !p.is_empty());
-    out
-}
+pub use dyncode_dynet::split_top_level;
 
 impl ScenarioKind {
     /// The spec-text name (parses back via [`ScenarioKind::parse`]).

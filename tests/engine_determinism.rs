@@ -8,11 +8,11 @@
 //! seed (`dyncode_core::runner::run_one`), and (b) the executor returns
 //! outcomes in submission order regardless of completion order.
 
-use dyncode::engine::{run_campaign, AdversaryKind, Campaign, CapRule, Dim, Engine, ProtocolKind};
+use dyncode::engine::{run_campaign, AdversaryKind, Campaign, CapRule, Dim, Engine, ProtocolSpec};
 
 fn demo_campaign() -> Campaign {
     Campaign::builder("determinism", "engine determinism check")
-        .protocol(ProtocolKind::TokenForwarding)
+        .protocol(ProtocolSpec::TokenForwarding)
         .adversaries(vec![
             AdversaryKind::ShuffledPath,
             AdversaryKind::Bottleneck,
@@ -123,6 +123,70 @@ fn scenario_campaign_is_thread_count_independent() {
             assert!(!run.history.is_empty(), "{}", cell.label);
         }
     }
+}
+
+/// The protocol-grid determinism contract: a campaign sweeping the
+/// `protocol =` axis across heterogeneous registry specs — forwarding,
+/// coding over three fields, configured variants, and the charged-rounds
+/// patch model — produces byte-identical artifacts at 1 and 8 threads,
+/// and every cell's erased-dispatch result equals the monomorphized
+/// simulator's (checked here for the protocol the old enum could name
+/// *and* the ones it could not).
+#[test]
+fn protocol_grid_campaign_is_thread_count_independent_and_erased_equals_mono() {
+    let text = "
+        id = protocol-grid-determinism
+        protocol = token-forwarding, pipelined-forwarding(8), greedy-forward(gather=2,bcast=3)
+        protocol = priority-forward, indexed-broadcast, field-broadcast(gf256)
+        protocol = field-broadcast(m61,det=5), centralized, patch-indexed
+        adversaries = shuffled-path
+        scenario = edge-markov(0.1,0.3)
+        n = 8, 12
+        k = n
+        d = lgn+1
+        b = 2d
+        t = 4
+        seeds = 1, 2
+        cap = 500nn
+        record_history = true
+    ";
+    let campaign = Campaign::parse(text).expect("spec parses");
+    let serial = run_campaign(&Engine::new(1), &campaign);
+    let parallel = run_campaign(&Engine::new(8), &campaign);
+    assert_eq!(
+        serial.to_json_string(),
+        parallel.to_json_string(),
+        "protocol-grid artifact differs between 1 and 8 threads"
+    );
+    // 2 sizes × 1 T × 9 protocols × 2 adversaries.
+    assert_eq!(serial.cells.len(), 2 * 9 * 2);
+    for cell in &serial.cells {
+        assert!(cell.stats.all_completed(), "{}", cell.label);
+    }
+
+    // Erased = monomorphized, spot-checked against hand-built protocols
+    // on one grid point of the same campaign.
+    use dyncode::core::params::{Instance, Params, Placement};
+    use dyncode::core::protocols::{GreedyConfig, GreedyForward};
+    use dyncode::core::runner::run_spec;
+    use dyncode::dynet::adversaries::ShuffledPathAdversary;
+    use dyncode::dynet::adversary::Adversary;
+    use dyncode::dynet::simulator::{run, SimConfig};
+
+    let inst = Instance::generate(Params::new(8, 8, 4, 8), Placement::OneTokenPerNode, 42);
+    let cfg = SimConfig::with_max_rounds(500 * 64).recording();
+    let spec = ProtocolSpec::parse("greedy-forward(gather=2,bcast=3)").unwrap();
+    let adv = || Box::new(ShuffledPathAdversary) as Box<dyn Adversary>;
+    let erased = run_spec(&spec, &inst, 1, &adv, &cfg, 2);
+    let mut mono = GreedyForward::with_config(
+        &inst,
+        GreedyConfig {
+            gather_mult: 2,
+            broadcast_mult: 3,
+        },
+    );
+    let direct = run(&mut mono, &mut ShuffledPathAdversary, &cfg, 2);
+    assert_eq!(erased, direct, "erased dispatch must not perturb the run");
 }
 
 /// The record/replay acceptance check: a `.dct` trace recorded from a

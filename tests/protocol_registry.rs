@@ -1,0 +1,225 @@
+//! The protocol registry's two contracts:
+//!
+//! 1. **Grammar**: `ProtocolSpec::parse ∘ Display = id` on spec *values* —
+//!    whatever a spec prints, parsing it back yields an equal spec
+//!    (property-tested over randomly generated specs), and malformed
+//!    strings are rejected with errors that enumerate the registry.
+//! 2. **Erasure**: `run_erased` on a registry-built protocol reproduces
+//!    the monomorphized `run`'s `RunResult` **bit for bit** — rounds,
+//!    total bits, max message bits, per-round history — across a seeded
+//!    cross-protocol matrix covering every simulator family, three
+//!    coding fields, deterministic advice mode, and configured variants.
+
+use dyncode::core::params::{Instance, Params, Placement};
+use dyncode::core::protocols::{
+    Centralized, FieldBroadcast, GreedyConfig, GreedyForward, IndexedBroadcast, NaiveCoded,
+    PriorityConfig, PriorityForward, RandomForward, TokenForwarding,
+};
+use dyncode::core::runner::run_spec;
+use dyncode::core::spec::ProtocolSpec;
+use dyncode::dynet::adversaries::{RandomConnectedAdversary, ShuffledPathAdversary};
+use dyncode::dynet::adversary::Adversary;
+use dyncode::dynet::simulator::{run, Protocol, RunResult, SimConfig};
+use dyncode::gf::{Gf256, Gf257, Mersenne61};
+use proptest::prelude::*;
+
+proptest! {
+    /// Generate spec values across the whole enum (parameters included),
+    /// print them, parse them back: the value must survive unchanged —
+    /// and so must a second print (canonical forms are fixed points).
+    #[test]
+    fn parse_display_round_trips(
+        which in 0usize..10,
+        a in 1usize..64,
+        b in 1usize..64,
+        seed in any::<u64>(),
+        with_param in any::<bool>(),
+    ) {
+        let spec = match which {
+            0 => ProtocolSpec::TokenForwarding,
+            1 => ProtocolSpec::PipelinedForwarding { t: with_param.then_some(a) },
+            2 => ProtocolSpec::GreedyForward {
+                cfg: GreedyConfig { gather_mult: a, broadcast_mult: b },
+            },
+            3 => ProtocolSpec::PriorityForward {
+                cfg: PriorityConfig { warmup_mult: a, broadcast_mult: b },
+            },
+            4 => ProtocolSpec::RandomForward { rounds: with_param.then_some(a) },
+            5 => ProtocolSpec::NaiveCoded,
+            6 => ProtocolSpec::IndexedBroadcast,
+            7 => {
+                let field = match a % 4 {
+                    0 => dyncode::core::spec::FieldKind::Gf2,
+                    1 => dyncode::core::spec::FieldKind::Gf256,
+                    2 => dyncode::core::spec::FieldKind::Gf257,
+                    _ => dyncode::core::spec::FieldKind::Mersenne61,
+                };
+                ProtocolSpec::FieldBroadcast { field, det: with_param.then_some(seed) }
+            }
+            8 => ProtocolSpec::Centralized,
+            _ => ProtocolSpec::PatchIndexed,
+        };
+        let printed = spec.to_string();
+        let back = ProtocolSpec::parse(&printed).expect("canonical strings parse");
+        prop_assert_eq!(&back, &spec, "{}", printed);
+        prop_assert_eq!(back.to_string(), printed, "Display is a fixed point");
+    }
+
+    /// Junk never parses: random words that are not registry names are
+    /// rejected, and the error names the registry.
+    #[test]
+    fn unknown_names_are_rejected_with_the_registry(tail in 0u32..1_000_000) {
+        let bogus = format!("proto-{tail}");
+        let err = ProtocolSpec::parse(&bogus).unwrap_err();
+        prop_assert!(err.contains("valid protocols"), "{}", err);
+        prop_assert!(err.contains("field-broadcast"), "{}", err);
+    }
+}
+
+#[test]
+fn rejection_cases_cover_every_malformation_class() {
+    for bad in [
+        "",                          // empty
+        "token-forwarding(2)",       // arity on a bare protocol
+        "pipelined-forwarding(0)",   // zero T
+        "greedy-forward(gather=0)",  // zero multiplier
+        "greedy-forward(cycle=2)",   // unknown parameter
+        "priority-forward(warmup)",  // missing value
+        "random-forward(rounds=x)",  // non-numeric value
+        "field-broadcast",           // missing field
+        "field-broadcast(gf1024)",   // unknown field
+        "field-broadcast(m61,det=)", // empty seed
+        "greedy-forward(gather=1",   // unbalanced paren
+        "patch-indexed(T)",          // arity
+        "Token-Forwarding",          // case matters
+    ] {
+        assert!(ProtocolSpec::parse(bad).is_err(), "{bad:?} should fail");
+    }
+}
+
+/// Runs `spec` through the erased registry path and the hand-built
+/// monomorphized path under identical `(adversary, config, seed)` and
+/// asserts the full `RunResult` (history included) is identical.
+fn assert_erased_equals_mono<P, FB>(spec: &str, t: usize, build: FB, cap: usize, seed: u64)
+where
+    P: Protocol + 'static,
+    FB: Fn(&Instance) -> P,
+{
+    let inst = Instance::generate(
+        Params::new(12, 12, 5, 40),
+        Placement::OneTokenPerNode,
+        900 + seed,
+    );
+    let cfg = SimConfig::with_max_rounds(cap).recording();
+    let spec = ProtocolSpec::parse(spec).expect(spec);
+    let adv = || Box::new(RandomConnectedAdversary::new(1)) as Box<dyn Adversary>;
+
+    let erased: RunResult = run_spec(&spec, &inst, t, &adv, &cfg, seed);
+    let mut mono = build(&inst);
+    let mut a = RandomConnectedAdversary::new(1);
+    let direct = run(&mut mono, &mut a, &cfg, seed);
+    assert_eq!(erased, direct, "{spec} (seed {seed})");
+}
+
+/// The seeded cross-protocol matrix of the acceptance criteria: every
+/// simulator protocol family × several seeds, erased == monomorphized.
+#[test]
+fn erased_dispatch_reproduces_monomorphized_runs_across_the_registry() {
+    for seed in [1u64, 7, 23] {
+        assert_erased_equals_mono(
+            "token-forwarding",
+            1,
+            TokenForwarding::baseline,
+            100_000,
+            seed,
+        );
+        assert_erased_equals_mono(
+            "pipelined-forwarding(8)",
+            1,
+            |i| TokenForwarding::pipelined(i, 8),
+            100_000,
+            seed,
+        );
+        assert_erased_equals_mono(
+            "greedy-forward(gather=2,bcast=3)",
+            1,
+            |i| {
+                GreedyForward::with_config(
+                    i,
+                    GreedyConfig {
+                        gather_mult: 2,
+                        broadcast_mult: 3,
+                    },
+                )
+            },
+            500_000,
+            seed,
+        );
+        assert_erased_equals_mono("priority-forward", 1, PriorityForward::new, 500_000, seed);
+        // random-forward never self-terminates: both paths must agree on
+        // the incomplete result at the cap too.
+        assert_erased_equals_mono(
+            "random-forward(rounds=24)",
+            1,
+            |i| RandomForward::new(i, 24),
+            36,
+            seed,
+        );
+        assert_erased_equals_mono("naive-coded", 1, NaiveCoded::new, 500_000, seed);
+        assert_erased_equals_mono("indexed-broadcast", 1, IndexedBroadcast::new, 100_000, seed);
+        assert_erased_equals_mono(
+            "field-broadcast(gf256)",
+            1,
+            FieldBroadcast::<Gf256>::new,
+            100_000,
+            seed,
+        );
+        assert_erased_equals_mono(
+            "field-broadcast(gf257)",
+            1,
+            FieldBroadcast::<Gf257>::new,
+            100_000,
+            seed,
+        );
+        assert_erased_equals_mono(
+            "field-broadcast(m61)",
+            1,
+            FieldBroadcast::<Mersenne61>::new,
+            100_000,
+            seed,
+        );
+        assert_erased_equals_mono(
+            "field-broadcast(m61,det=4)",
+            1,
+            |i| FieldBroadcast::<Mersenne61>::deterministic(i, 4),
+            100_000,
+            seed,
+        );
+        assert_erased_equals_mono("centralized", 1, Centralized::new, 100_000, seed);
+    }
+}
+
+/// `field-broadcast(gf2)` has no packed monomorphized twin to diff against
+/// (the packed-GF(2) protocol is `indexed-broadcast`), but it must build,
+/// run, and complete from its spec string like every other family.
+#[test]
+fn gf2_field_broadcast_builds_and_completes() {
+    let inst = Instance::generate(Params::new(10, 10, 5, 200), Placement::RoundRobin, 8);
+    let adv = || Box::new(ShuffledPathAdversary) as Box<dyn Adversary>;
+    let spec = ProtocolSpec::parse("field-broadcast(gf2)").unwrap();
+    let r = run_spec(
+        &spec,
+        &inst,
+        1,
+        &adv,
+        &SimConfig::with_max_rounds(100_000),
+        3,
+    );
+    assert!(r.completed);
+    let mono = FieldBroadcast::<dyncode::gf::Gf2>::new(&inst);
+    let mut a = ShuffledPathAdversary;
+    let mut mono = mono;
+    let direct = run(&mut mono, &mut a, &SimConfig::with_max_rounds(100_000), 3);
+    assert_eq!(r.rounds, direct.rounds);
+    assert_eq!(r.total_bits, direct.total_bits);
+}
