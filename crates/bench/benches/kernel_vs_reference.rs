@@ -1,0 +1,62 @@
+//! Criterion macro-benchmark for the `dyncode-kernel` fast path:
+//! `field-broadcast(gf2)` under the sparse edge-Markov perf workload,
+//! reference vs fast backend, n ∈ {64, 256, 1024, 4096}.
+//!
+//! Cells are [`dyncode_bench::perf::perf_cell_spec`] verbatim — the same
+//! fixed-budget schedule prefix `experiments perf` times and commits to
+//! `baselines/BENCH_perf.json` (running n = 4096 to completion on the
+//! reference backend would take minutes, which is the point of the
+//! kernel). Both backends execute the identical schedule and return
+//! identical `RunResult`s (asserted), so the printed speedup ratio is a
+//! pure backend comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dyncode_bench::perf::perf_cell_spec;
+use dyncode_core::runner::Kernel;
+use dyncode_engine::ProtocolSpec;
+use std::time::Instant;
+
+fn bench_kernels(c: &mut Criterion) {
+    let spec = ProtocolSpec::parse("field-broadcast(gf2)").expect("static spec");
+    let mut g = c.benchmark_group("kernel_vs_reference");
+    g.sample_size(2);
+    let mut ratios = Vec::new();
+    for n in [64usize, 256, 1024, 4096] {
+        let reference = perf_cell_spec(&spec, n, Kernel::Reference);
+        let fast = perf_cell_spec(&spec, n, Kernel::Fast);
+        let inst = reference.instance();
+
+        g.bench_function(format!("reference_n{n}"), |bench| {
+            bench.iter(|| black_box(reference.run_on(&inst, 1).rounds))
+        });
+        g.bench_function(format!("fast_n{n}"), |bench| {
+            bench.iter(|| black_box(fast.run_on(&inst, 1).rounds))
+        });
+
+        // One timed pass per backend for the summary ratio (the criterion
+        // subset prints per-benchmark means but does not expose them
+        // programmatically), doubling as the equivalence assertion.
+        let t0 = Instant::now();
+        let r = reference.run_on(&inst, 1);
+        let ref_s = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let f = fast.run_on(&inst, 1);
+        let fast_s = t1.elapsed().as_secs_f64();
+        assert_eq!(r, f, "fast kernel diverged from reference at n={n}");
+        ratios.push((n, r.rounds, ref_s, fast_s));
+    }
+    g.finish();
+
+    println!("\n### kernel_vs_reference: rounds/sec speedup (fast / reference)\n");
+    println!("| n | rounds | reference (s) | fast (s) | speedup |");
+    println!("| - | ------ | ------------- | -------- | ------- |");
+    for (n, rounds, ref_s, fast_s) in ratios {
+        println!(
+            "| {n} | {rounds} | {ref_s:.3} | {fast_s:.3} | {:.2} |",
+            ref_s / fast_s
+        );
+    }
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

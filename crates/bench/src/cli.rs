@@ -11,7 +11,7 @@
 
 use crate::registry;
 use dyncode_core::spec;
-use dyncode_engine::Engine;
+use dyncode_engine::{Engine, Kernel};
 use std::path::PathBuf;
 
 /// Parsed common flags; leftover positional arguments are returned.
@@ -31,6 +31,11 @@ pub struct Flags {
     pub out: Option<PathBuf>,
     /// Relative tolerance for `compare`.
     pub tol: Option<f64>,
+    /// Percent tolerance for `perf-compare`.
+    pub tol_pct: Option<f64>,
+    /// Execution backend override (`--kernel reference|fast|auto`) for
+    /// the subcommands that run cells (`perf`, `trace replay`).
+    pub kernel: Option<Kernel>,
     /// Non-flag arguments, in order.
     pub positional: Vec<String>,
 }
@@ -45,6 +50,8 @@ pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
         threads: Engine::with_default_parallelism().threads(),
         out: None,
         tol: None,
+        tol_pct: None,
+        kernel: None,
         positional: Vec::new(),
     };
     let mut it = args.iter().peekable();
@@ -71,6 +78,20 @@ pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
                         .map_err(|_| format!("bad --tol value {v:?}"))?,
                 );
             }
+            "--tol-pct" => {
+                let v = value_of("--tol-pct")?;
+                let pct = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad --tol-pct value {v:?}"))?;
+                if pct.is_nan() || pct < 0.0 {
+                    return Err(format!("--tol-pct must be ≥ 0, got {v:?}"));
+                }
+                flags.tol_pct = Some(pct);
+            }
+            "--kernel" => {
+                let v = value_of("--kernel")?;
+                flags.kernel = Some(Kernel::parse(&v)?);
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other:?}"));
             }
@@ -89,11 +110,13 @@ pub fn print_usage_and_registry() {
     eprintln!("       experiments --list");
     eprintln!("       experiments protocols");
     eprintln!("       experiments compare <BASE.json> <CANDIDATE.json> [--tol F]");
+    eprintln!("       experiments perf [--quick] [--kernel K] [--json] [--out DIR]");
+    eprintln!("       experiments perf-compare <BASE.json> <CANDIDATE.json> [--tol-pct P]");
     eprintln!("       experiments schema <FILE.json>...");
     eprintln!("       experiments bench-engine [--quick] [--threads N]");
     eprintln!("       experiments trace record <PATH.dct> <SCENARIO> <N> <ROUNDS> [SEED]");
     eprintln!("       experiments trace info <PATH.dct>");
-    eprintln!("       experiments trace replay <PATH.dct> [PROTOCOL] [SEED]\n");
+    eprintln!("       experiments trace replay <PATH.dct> [PROTOCOL] [SEED] [--kernel K]\n");
     eprintln!("experiments:");
     for (id, desc, protocols, _) in &registry() {
         eprintln!("  {id:<5} {desc}");
@@ -139,7 +162,25 @@ mod tests {
         assert!(!f.quick && !f.json && !f.list);
         assert!(f.threads >= 1);
         assert!(f.out.is_none() && f.tol.is_none());
+        assert!(f.tol_pct.is_none() && f.kernel.is_none());
         assert_eq!(f.positional, vec!["e1", "e21"]);
+    }
+
+    #[test]
+    fn kernel_and_tol_pct_flags_parse() {
+        let f = parse_flags(&strings(&["perf", "--kernel", "fast", "--tol-pct", "25"])).unwrap();
+        assert_eq!(f.kernel, Some(Kernel::Fast));
+        assert_eq!(f.tol_pct, Some(25.0));
+        assert_eq!(f.positional, vec!["perf"]);
+        for (args, needle) in [
+            (&["--kernel", "turbo"][..], "valid kernels"),
+            (&["--kernel"][..], "requires a value"),
+            (&["--tol-pct", "-3"][..], "must be ≥ 0"),
+            (&["--tol-pct", "soon"][..], "bad --tol-pct"),
+        ] {
+            let err = parse_flags(&strings(args)).unwrap_err();
+            assert!(err.contains(needle), "{args:?}: {err}");
+        }
     }
 
     #[test]

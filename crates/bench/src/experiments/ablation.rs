@@ -141,7 +141,7 @@ pub fn e16(ctx: &mut ExpCtx) {
                             .downcast_ref::<Erased<GreedyForward>>()
                             .expect("greedy-forward spec builds GreedyForward");
                         total_rounds += r.rounds as f64;
-                        total_retries += greedy.0.total_retries() as f64;
+                        total_retries += greedy.inner().total_retries() as f64;
                     }
                     (
                         total_rounds / seeds_ref.len() as f64,

@@ -169,7 +169,7 @@ pub fn e6(ctx: &mut ExpCtx) {
                                 .as_any()
                                 .downcast_ref::<Erased<RandomForward>>()
                                 .expect("random-forward spec builds RandomForward")
-                                .0
+                                .inner()
                                 .schedule_rounds();
                             let mut adv = ShuffledPathAdversary;
                             run_erased(&mut proto, &mut adv, &SimConfig::with_max_rounds(cap), s);
@@ -177,7 +177,7 @@ pub fn e6(ctx: &mut ExpCtx) {
                                 .as_any()
                                 .downcast_ref::<Erased<RandomForward>>()
                                 .expect("spec type is stable across the run")
-                                .0
+                                .inner()
                                 .identified(0)
                                 .0 as f64
                         })

@@ -27,6 +27,7 @@
 pub mod cli;
 pub mod ctx;
 pub mod experiments;
+pub mod perf;
 pub mod table;
 
 /// One registry row: experiment id, headline claim, the protocol specs it

@@ -9,6 +9,8 @@
 //! cargo run -p dyncode-bench --release -- compare baselines/BENCH_seed.json artifacts/BENCH_e1.json
 //! cargo run -p dyncode-bench --release -- schema artifacts/BENCH_e1.json
 //! cargo run -p dyncode-bench --release -- bench-engine
+//! cargo run -p dyncode-bench --release -- perf --json --out artifacts
+//! cargo run -p dyncode-bench --release -- perf-compare baselines/BENCH_perf.json artifacts/BENCH_perf.json --tol-pct 50
 //! ```
 //!
 //! Exit codes: 0 success, 1 failed experiment or regression, 2 usage
@@ -18,11 +20,13 @@ use dyncode_bench::cli::{
     parse_flags, print_protocol_registry, print_registry_listing, print_usage_and_registry,
 };
 use dyncode_bench::ctx::ExpCtx;
+use dyncode_bench::perf::{perf_compare, run_perf, PerfArtifact};
 use dyncode_bench::registry;
 use dyncode_core::params::{Params, Placement};
 use dyncode_core::spec::ProtocolSpec;
 use dyncode_engine::{
     compare, run_campaign, AdversaryKind, Artifact, Campaign, CellSpec, CompareConfig, Engine,
+    Json, Kernel,
 };
 use dyncode_scenarios::{record_scenario_to_file, DctReader, ScenarioKind};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -37,6 +41,8 @@ fn real_main() -> i32 {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("compare") => cmd_compare(&args[1..]),
+        Some("perf") => cmd_perf(&args[1..]),
+        Some("perf-compare") => cmd_perf_compare(&args[1..]),
         Some("schema") => cmd_schema(&args[1..]),
         Some("bench-engine") => cmd_bench_engine(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
@@ -172,6 +178,104 @@ fn cmd_compare(args: &[String]) -> i32 {
     }
 }
 
+/// The `perf` subcommand: run the wall-clock suite (reference + fast on
+/// identical cells, equivalence asserted per pair) and — with
+/// `--json`/`--out` — emit `BENCH_perf.json`. `--quick` is the CI smoke
+/// profile (one large-n cell); `--kernel K` times a single backend.
+fn cmd_perf(args: &[String]) -> i32 {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    if flags.tol.is_some() || flags.tol_pct.is_some() {
+        eprintln!("error: --tol/--tol-pct are not valid for perf");
+        return 2;
+    }
+    if !flags.positional.is_empty() {
+        eprintln!("usage: experiments perf [--quick] [--kernel K] [--json] [--out DIR]");
+        return 2;
+    }
+    let artifact = run_perf(flags.quick, flags.kernel);
+    println!("\n### perf: wall-clock per cell\n");
+    println!("| protocol | n | kernel | rounds | wall (s) | rounds/sec | peak RSS (MB) |");
+    println!("| -------- | - | ------ | ------ | -------- | ---------- | ------------- |");
+    for c in &artifact.cells {
+        println!(
+            "| {} | {} | {} | {} | {:.3} | {:.1} | {:.1} |",
+            c.protocol,
+            c.n,
+            c.kernel,
+            c.rounds,
+            c.wall_ns as f64 / 1e9,
+            c.rounds_per_sec,
+            c.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+        );
+    }
+    if !artifact.scalars.is_empty() {
+        println!("\n| speedup (fast / reference, rounds/sec) | ratio |");
+        println!("| -------------------------------------- | ----- |");
+        for s in &artifact.scalars {
+            println!("| {} | {:.2} |", s.name, s.value);
+        }
+    }
+    if flags.json || flags.out.is_some() {
+        let dir = flags.out.unwrap_or_else(|| PathBuf::from("."));
+        match artifact.write_to(&dir) {
+            Ok(path) => eprintln!("[wrote {}]", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write BENCH_perf.json: {e}");
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+/// The `perf-compare` gate: throughput within `--tol-pct` percent of the
+/// baseline per matching cell. Exit 1 on a regression, 2 on bad input.
+fn cmd_perf_compare(args: &[String]) -> i32 {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    if flags.out.is_some() || flags.tol.is_some() {
+        eprintln!("error: --out/--tol are not valid for perf-compare (use --tol-pct)");
+        return 2;
+    }
+    let [base_path, cand_path] = flags.positional.as_slice() else {
+        eprintln!("usage: experiments perf-compare <BASE.json> <CANDIDATE.json> [--tol-pct P]");
+        return 2;
+    };
+    let load = |path: &String| -> Result<PerfArtifact, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        PerfArtifact::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (base, cand) = match (load(base_path), load(cand_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    // Shared-runner wall clocks are noisy: default to a generous 50%.
+    let tol_pct = flags.tol_pct.unwrap_or(50.0);
+    let (lines, ok) = perf_compare(&base, &cand, tol_pct);
+    for line in lines {
+        println!("{line}");
+    }
+    if ok {
+        0
+    } else {
+        1
+    }
+}
+
 fn cmd_schema(args: &[String]) -> i32 {
     let flags = match parse_flags(args) {
         Ok(f) => f,
@@ -190,18 +294,40 @@ fn cmd_schema(args: &[String]) -> i32 {
     }
     let mut bad = 0;
     for path in &flags.positional {
-        match std::fs::read_to_string(path)
+        // Dispatch on the declared schema: experiment artifacts
+        // (dyncode-artifact/v1) and perf artifacts (dyncode-perf/v1)
+        // validate through their own parsers.
+        let validated = std::fs::read_to_string(path)
             .map_err(|e| e.to_string())
-            .and_then(|text| Artifact::parse(&text))
-        {
-            Ok(a) => println!(
-                "{path}: OK (id {:?}, {} cells, {} fits, {} scalars, {} tables)",
-                a.id,
-                a.cells.len(),
-                a.fits.len(),
-                a.scalars.len(),
-                a.tables.len()
-            ),
+            .and_then(|text| {
+                let declared = Json::parse(&text)
+                    .ok()
+                    .and_then(|j| j.get("schema").and_then(Json::as_str).map(String::from));
+                match declared.as_deref() {
+                    Some(dyncode_bench::perf::PERF_SCHEMA) => {
+                        let a = PerfArtifact::parse(&text)?;
+                        Ok(format!(
+                            "OK ({}, {} cells, {} scalars)",
+                            dyncode_bench::perf::PERF_SCHEMA,
+                            a.cells.len(),
+                            a.scalars.len()
+                        ))
+                    }
+                    _ => {
+                        let a = Artifact::parse(&text)?;
+                        Ok(format!(
+                            "OK (id {:?}, {} cells, {} fits, {} scalars, {} tables)",
+                            a.id,
+                            a.cells.len(),
+                            a.fits.len(),
+                            a.scalars.len(),
+                            a.tables.len()
+                        ))
+                    }
+                }
+            });
+        match validated {
+            Ok(line) => println!("{path}: {line}"),
             Err(e) => {
                 println!("{path}: INVALID: {e}");
                 bad += 1;
@@ -221,18 +347,27 @@ fn cmd_schema(args: &[String]) -> i32 {
 /// * `trace record <PATH> <SCENARIO> <N> <ROUNDS> [SEED]` — drive a
 ///   scenario model for `ROUNDS` rounds and stream the schedule to disk.
 /// * `trace info <PATH>` — header + streaming stats (flips, edge counts).
-/// * `trace replay <PATH> [PROTOCOL] [SEED]` — run a protocol against
-///   the recorded schedule and report the `RunResult`.
-fn cmd_trace(args: &[String]) -> i32 {
+/// * `trace replay <PATH> [PROTOCOL] [SEED] [--kernel K]` — run a
+///   protocol against the recorded schedule and report the `RunResult`.
+fn cmd_trace(raw_args: &[String]) -> i32 {
     let usage = || -> i32 {
         eprintln!("usage: experiments trace record <PATH.dct> <SCENARIO> <N> <ROUNDS> [SEED]");
         eprintln!("       experiments trace info <PATH.dct>");
-        eprintln!("       experiments trace replay <PATH.dct> [PROTOCOL] [SEED]");
+        eprintln!("       experiments trace replay <PATH.dct> [PROTOCOL] [SEED] [--kernel K]");
         eprintln!("\nscenarios: edge-markov(p_up,p_down) | waypoint(radius,speed)");
         eprintln!("           | churn(rate,base) | shuffled-path | … | random-connected");
         eprintln!("protocols: any registry spec (see `experiments protocols`)");
+        eprintln!("kernels:   reference (default) | fast | auto");
         2
     };
+    let flags = match parse_flags(raw_args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let args = &flags.positional;
     match args.first().map(String::as_str) {
         Some("record") => {
             let (Some(path), Some(spec), Some(n_raw), Some(rounds_raw)) =
@@ -378,6 +513,7 @@ fn cmd_trace(args: &[String]) -> i32 {
             };
             let n = header.n;
             let d = dyncode_bench::experiments::d_for(n);
+            let kernel = flags.kernel.unwrap_or(Kernel::Reference);
             let cell = CellSpec {
                 params: Params::new(n, n, d, 2 * d),
                 t: 1,
@@ -386,11 +522,13 @@ fn cmd_trace(args: &[String]) -> i32 {
                 protocol: protocol.clone(),
                 cap: 60 * n * n,
                 instance_seed: 42,
+                kernel,
                 record_history: false,
             };
             let r = cell.run(seed);
             println!(
-                "replayed {path} (n={n}, {} recorded rounds, cycling) with {protocol} from seed {seed}:",
+                "replayed {path} (n={n}, {} recorded rounds, cycling) with {protocol} \
+                 from seed {seed} on the {kernel} kernel:",
                 header.rounds
             );
             println!(

@@ -1,0 +1,486 @@
+//! Wall-clock performance artifacts (`BENCH_perf.json`, schema
+//! `dyncode-perf/v1`) and their regression gate — the repo's first
+//! perf-tracking surface.
+//!
+//! Unlike `dyncode-artifact/v1` files, a perf artifact is **not**
+//! byte-stable: it records wall-clock nanoseconds, derived rounds/sec,
+//! and (on Linux) the process peak RSS, all of which vary run to run and
+//! machine to machine. The gate therefore compares *throughput* within a
+//! percent tolerance ([`perf_compare`], CLI `perf-compare --tol-pct`)
+//! instead of demanding byte equality, and CI runs it warning-only —
+//! correctness stays gated by the byte-exact kernel equivalence contract,
+//! which [`run_perf`] re-checks on every timed cell pair.
+//!
+//! Cell design: `field-broadcast(gf2)` (plus one `token-forwarding` row)
+//! under a sparse `edge-markov` workload, run for a **fixed round
+//! budget** per size rather than to completion — throughput cells at
+//! n = 4096 would otherwise take minutes on the reference backend, which
+//! is precisely the problem the fast kernel exists to solve. Both
+//! backends execute the identical schedule, so `rounds/sec` ratios are
+//! apples to apples and the recorded `speedup` scalars are exact.
+
+use dyncode_core::runner::Kernel;
+use dyncode_engine::{AdversaryKind, CellSpec, Json, ProtocolSpec};
+use dyncode_scenarios::ScenarioKind;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// The perf-artifact schema identifier; bump on incompatible change.
+pub const PERF_SCHEMA: &str = "dyncode-perf/v1";
+
+/// One timed cell: a `(kernel, spec, n)` point with its wall clock.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerfCell {
+    /// Unique label (`perf-compare` matches cells by it); carries the
+    /// kernel, spec, and n, but *not* the round budget, so quick and full
+    /// profiles gate against each other on throughput.
+    pub label: String,
+    /// Backend the cell ran on (`reference` | `fast`).
+    pub kernel: String,
+    /// Canonical protocol spec string.
+    pub protocol: String,
+    /// Adversary name.
+    pub adversary: String,
+    /// Node count.
+    pub n: usize,
+    /// Token count.
+    pub k: usize,
+    /// Rounds executed (the fixed budget, unless the run completed).
+    pub rounds: usize,
+    /// Wall-clock nanoseconds for the whole run.
+    pub wall_ns: u64,
+    /// Derived throughput: rounds / wall seconds.
+    pub rounds_per_sec: f64,
+    /// Process peak RSS in bytes after the run (Linux `VmHWM`; 0 when
+    /// unavailable). Monotone across cells — it is a high-water mark.
+    pub peak_rss_bytes: u64,
+}
+
+/// A named scalar (speedup ratios).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerfScalar {
+    /// Scalar name.
+    pub name: String,
+    /// Scalar value.
+    pub value: f64,
+}
+
+/// A complete perf artifact.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct PerfArtifact {
+    /// Timed cells.
+    pub cells: Vec<PerfCell>,
+    /// Derived scalars (`speedup n=4096` etc.).
+    pub scalars: Vec<PerfScalar>,
+}
+
+impl PerfArtifact {
+    /// Serializes to the canonical JSON text.
+    pub fn to_json_string(&self) -> String {
+        Json::obj(vec![
+            ("schema", Json::Str(PERF_SCHEMA.into())),
+            ("id", Json::Str("perf".into())),
+            (
+                "cells",
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            Json::obj(vec![
+                                ("label", Json::Str(c.label.clone())),
+                                ("kernel", Json::Str(c.kernel.clone())),
+                                ("protocol", Json::Str(c.protocol.clone())),
+                                ("adversary", Json::Str(c.adversary.clone())),
+                                ("n", Json::Num(c.n as f64)),
+                                ("k", Json::Num(c.k as f64)),
+                                ("rounds", Json::Num(c.rounds as f64)),
+                                ("wall_ns", Json::Num(c.wall_ns as f64)),
+                                ("rounds_per_sec", Json::Num(c.rounds_per_sec)),
+                                ("peak_rss_bytes", Json::Num(c.peak_rss_bytes as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "scalars",
+                Json::Arr(
+                    self.scalars
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("name", Json::Str(s.name.clone())),
+                                ("value", Json::Num(s.value)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .pretty()
+    }
+
+    /// Writes `BENCH_perf.json` under `dir`; returns the path.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("BENCH_perf.json");
+        std::fs::write(&path, self.to_json_string())?;
+        Ok(path)
+    }
+
+    /// Parses and schema-validates a perf artifact.
+    pub fn parse(text: &str) -> Result<PerfArtifact, String> {
+        let json = Json::parse(text)?;
+        let schema = json
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing/mistyped field \"schema\"")?;
+        if schema != PERF_SCHEMA {
+            return Err(format!(
+                "unsupported schema {schema:?}, expected {PERF_SCHEMA:?}"
+            ));
+        }
+        let req_str = |j: &Json, key: &str| -> Result<String, String> {
+            j.get(key)
+                .and_then(Json::as_str)
+                .map(String::from)
+                .ok_or(format!("missing/mistyped field {key:?}"))
+        };
+        let cells = json
+            .get("cells")
+            .and_then(Json::as_arr)
+            .ok_or("missing/mistyped field \"cells\"")?
+            .iter()
+            .enumerate()
+            .map(|(i, c)| -> Result<PerfCell, String> {
+                let num = |key: &str| -> Result<f64, String> {
+                    c.get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or(format!("cells[{i}]: missing/mistyped field {key:?}"))
+                };
+                Ok(PerfCell {
+                    label: req_str(c, "label").map_err(|e| format!("cells[{i}]: {e}"))?,
+                    kernel: req_str(c, "kernel").map_err(|e| format!("cells[{i}]: {e}"))?,
+                    protocol: req_str(c, "protocol").map_err(|e| format!("cells[{i}]: {e}"))?,
+                    adversary: req_str(c, "adversary").map_err(|e| format!("cells[{i}]: {e}"))?,
+                    n: num("n")? as usize,
+                    k: num("k")? as usize,
+                    rounds: num("rounds")? as usize,
+                    wall_ns: num("wall_ns")? as u64,
+                    rounds_per_sec: num("rounds_per_sec")?,
+                    peak_rss_bytes: num("peak_rss_bytes")? as u64,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let scalars = json
+            .get("scalars")
+            .and_then(Json::as_arr)
+            .ok_or("missing/mistyped field \"scalars\"")?
+            .iter()
+            .enumerate()
+            .map(|(i, s)| -> Result<PerfScalar, String> {
+                Ok(PerfScalar {
+                    name: req_str(s, "name").map_err(|e| format!("scalars[{i}]: {e}"))?,
+                    value: s
+                        .get("value")
+                        .and_then(Json::as_f64)
+                        .ok_or(format!("scalars[{i}]: missing/mistyped field \"value\""))?,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PerfArtifact { cells, scalars })
+    }
+}
+
+/// Process peak RSS in bytes (Linux `VmHWM` from `/proc/self/status`);
+/// 0 when the platform does not expose it.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// The perf suite's sweep sizes: `--quick` is the CI smoke profile (one
+/// large-n cell), the full profile is the committed-baseline sweep.
+pub fn perf_sizes(quick: bool) -> &'static [usize] {
+    if quick {
+        &[2048]
+    } else {
+        &[256, 1024, 2048, 4096]
+    }
+}
+
+/// Fixed per-cell round budget: throughput cells measure rounds/sec over
+/// a fixed schedule prefix instead of running to completion.
+pub const PERF_ROUND_BUDGET: usize = 48;
+
+/// The canonical perf cell for a `(protocol, n, kernel)` point — shared
+/// by `experiments perf` and the `kernel_vs_reference` criterion bench so
+/// both report the same workload.
+pub fn perf_cell_spec(protocol: &ProtocolSpec, n: usize, kernel: Kernel) -> CellSpec {
+    use dyncode_core::params::{Params, Placement};
+    // k fixed at 512 (or n when smaller): large enough that elimination
+    // dominates the shared adversary cost, small enough that the
+    // reference backend's dense rows (one byte per coordinate, k+d of
+    // them, up to k rows per node) fit in memory at n = 4096 (~1.2 GB).
+    let k = n.min(512);
+    let d = 16;
+    // Sparse edge-markov: stationary density 0.004 ≈ average degree 16
+    // at n = 4096, repair-connected below that.
+    let adversary = AdversaryKind::Scenario(ScenarioKind::EdgeMarkov {
+        p_up: 0.001,
+        p_down: 0.25,
+    });
+    CellSpec {
+        params: Params::new(n, k, d, 32),
+        t: 1,
+        adversary,
+        placement: Placement::OneTokenPerNode,
+        protocol: protocol.clone(),
+        cap: PERF_ROUND_BUDGET,
+        instance_seed: 42,
+        kernel,
+        record_history: false,
+    }
+}
+
+/// Timing passes per cell: backends are timed **interleaved**
+/// (reference, fast, reference, fast) and each cell records its minimum
+/// wall clock, so slow drift in the machine's effective speed (shared
+/// hosts, frequency scaling) hits both backends alike instead of
+/// skewing the ratio — the same minimum-estimator rationale as
+/// criterion's.
+pub const PERF_PASSES: usize = 2;
+
+/// Runs the perf suite and returns the artifact.
+///
+/// Per size: time the reference and fast backends on the identical cell
+/// (same spec, same seed, same schedule; [`PERF_PASSES`] interleaved
+/// passes, minimum wall kept), assert all `RunResult`s are equal (the
+/// equivalence contract, re-checked where it matters), and record both
+/// cells plus the speedup scalar. With `kernel_override`, only that
+/// backend is timed and no speedups are recorded.
+pub fn run_perf(quick: bool, kernel_override: Option<Kernel>) -> PerfArtifact {
+    let mut artifact = PerfArtifact::default();
+    let specs = [
+        ProtocolSpec::parse("field-broadcast(gf2)").expect("static spec"),
+        ProtocolSpec::parse("token-forwarding").expect("static spec"),
+    ];
+    let kernels: Vec<Kernel> = match kernel_override {
+        Some(k) => vec![k],
+        None => vec![Kernel::Reference, Kernel::Fast],
+    };
+    for spec in &specs {
+        // The forwarding row only needs one size — it is there to keep
+        // the second fast family on the perf trajectory, not to sweep —
+        // and it is pinned to the quick profile's size so the CI smoke
+        // cell always has a baseline counterpart to gate against.
+        let sizes: &[usize] = if matches!(spec, ProtocolSpec::TokenForwarding) {
+            perf_sizes(true)
+        } else {
+            perf_sizes(quick)
+        };
+        for &n in sizes {
+            // One timed result per kernel: (cell, min wall, RunResult).
+            let mut results: Vec<(CellSpec, u64, Option<dyncode_dynet::RunResult>)> = kernels
+                .iter()
+                .map(|&k| (perf_cell_spec(spec, n, k), u64::MAX, None))
+                .collect();
+            let inst = results[0].0.instance();
+            for pass in 0..PERF_PASSES {
+                for (cell, min_ns, result) in results.iter_mut() {
+                    let t0 = Instant::now();
+                    let r = cell.run_on(&inst, 1);
+                    let wall_ns = t0.elapsed().as_nanos() as u64;
+                    eprintln!(
+                        "[perf {spec} n={n} kernel={} pass {pass}: {} rounds in {:.3}s]",
+                        cell.kernel,
+                        r.rounds,
+                        wall_ns as f64 / 1e9,
+                    );
+                    if let Some(prev) = result {
+                        assert_eq!(*prev, r, "nondeterministic perf cell {spec} n={n}");
+                    }
+                    *min_ns = (*min_ns).min(wall_ns);
+                    *result = Some(r);
+                }
+            }
+            for (cell, min_ns, result) in &results {
+                let r = result.as_ref().expect("at least one pass ran");
+                artifact.cells.push(PerfCell {
+                    label: format!("perf proto={spec} n={n} kernel={}", cell.kernel),
+                    kernel: cell.kernel.name().into(),
+                    protocol: spec.to_string(),
+                    adversary: cell.adversary.name(),
+                    n,
+                    k: cell.params.k,
+                    rounds: r.rounds,
+                    wall_ns: *min_ns,
+                    rounds_per_sec: r.rounds as f64 / (*min_ns as f64 / 1e9),
+                    peak_rss_bytes: peak_rss_bytes(),
+                });
+            }
+            if let [(_, ref_ns, Some(ref_run)), (_, fast_ns, Some(fast_run))] = results.as_slice() {
+                assert_eq!(
+                    ref_run, fast_run,
+                    "kernel equivalence violated on the perf cell {spec} n={n}"
+                );
+                artifact.scalars.push(PerfScalar {
+                    name: format!("speedup {spec} n={n}"),
+                    value: *ref_ns as f64 / *fast_ns as f64,
+                });
+            }
+        }
+    }
+    artifact
+}
+
+/// The `perf-compare` gate: walks the baseline's cells (matched by
+/// label) and reports a regression when the candidate's throughput
+/// dropped by more than `tol_pct` percent. Cells missing on either side
+/// are notes, not regressions — quick CI profiles gate against the full
+/// committed baseline. Returns `(report lines, ok)`.
+pub fn perf_compare(base: &PerfArtifact, cand: &PerfArtifact, tol_pct: f64) -> (Vec<String>, bool) {
+    let mut lines = Vec::new();
+    let mut ok = true;
+    for bc in &base.cells {
+        let Some(cc) = cand.cells.iter().find(|c| c.label == bc.label) else {
+            lines.push(format!("note: cell {:?} not in candidate", bc.label));
+            continue;
+        };
+        let base_rps = bc.rounds_per_sec;
+        let cand_rps = cc.rounds_per_sec;
+        if !base_rps.is_finite() || base_rps <= 0.0 || !cand_rps.is_finite() {
+            lines.push(format!(
+                "note: cell {:?} has no usable throughput",
+                bc.label
+            ));
+            continue;
+        }
+        let drop_pct = (base_rps - cand_rps) / base_rps * 100.0;
+        if drop_pct > tol_pct {
+            ok = false;
+            lines.push(format!(
+                "REGRESSION: {:?}: rounds/sec {base_rps:.1} -> {cand_rps:.1} \
+                 (-{drop_pct:.1}% > {tol_pct:.1}% tolerance)",
+                bc.label
+            ));
+        } else if drop_pct < -tol_pct {
+            lines.push(format!(
+                "note: {:?}: improved {base_rps:.1} -> {cand_rps:.1} rounds/sec",
+                bc.label
+            ));
+        }
+    }
+    for cc in &cand.cells {
+        if !base.cells.iter().any(|c| c.label == cc.label) {
+            lines.push(format!("note: candidate adds cell {:?}", cc.label));
+        }
+    }
+    if ok {
+        lines.push(format!(
+            "OK: no throughput regressions beyond {tol_pct:.1}%"
+        ));
+    }
+    (lines, ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(label: &str, rps: f64) -> PerfCell {
+        PerfCell {
+            label: label.into(),
+            kernel: "fast".into(),
+            protocol: "field-broadcast(gf2)".into(),
+            adversary: "edge-markov(0.001,0.25)".into(),
+            n: 256,
+            k: 256,
+            rounds: 32,
+            wall_ns: 1_000_000,
+            rounds_per_sec: rps,
+            peak_rss_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn perf_artifact_round_trips() {
+        let a = PerfArtifact {
+            cells: vec![cell("perf n=256 kernel=fast", 120.5)],
+            scalars: vec![PerfScalar {
+                name: "speedup field-broadcast(gf2) n=256".into(),
+                value: 4.25,
+            }],
+        };
+        let text = a.to_json_string();
+        let back = PerfArtifact::parse(&text).expect("parse");
+        assert_eq!(back, a);
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn perf_schema_violations_are_named() {
+        let err = PerfArtifact::parse(r#"{"schema": "dyncode-artifact/v1"}"#).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+        let err = PerfArtifact::parse(r#"{"schema": "dyncode-perf/v1", "cells": []}"#).unwrap_err();
+        assert!(err.contains("scalars"), "{err}");
+    }
+
+    #[test]
+    fn perf_compare_gates_on_throughput_drops() {
+        let base = PerfArtifact {
+            cells: vec![cell("a", 100.0), cell("gone", 50.0)],
+            scalars: vec![],
+        };
+        let same = PerfArtifact {
+            cells: vec![cell("a", 95.0)],
+            scalars: vec![],
+        };
+        let (lines, ok) = perf_compare(&base, &same, 20.0);
+        assert!(ok, "{lines:?}");
+        assert!(lines.iter().any(|l| l.contains("not in candidate")));
+
+        let worse = PerfArtifact {
+            cells: vec![cell("a", 60.0)],
+            scalars: vec![],
+        };
+        let (lines, ok) = perf_compare(&base, &worse, 20.0);
+        assert!(!ok);
+        assert!(lines.iter().any(|l| l.contains("REGRESSION")), "{lines:?}");
+
+        let better = PerfArtifact {
+            cells: vec![cell("a", 500.0), cell("new", 10.0)],
+            scalars: vec![],
+        };
+        let (lines, ok) = perf_compare(&base, &better, 20.0);
+        assert!(ok);
+        assert!(lines.iter().any(|l| l.contains("improved")));
+        assert!(lines.iter().any(|l| l.contains("adds cell")));
+    }
+
+    #[test]
+    fn quick_perf_suite_runs_and_verifies_equivalence() {
+        // A miniature in-test profile: n small, both kernels, equivalence
+        // asserted inside run_perf. (The CI smoke profile is `--quick`.)
+        let spec = ProtocolSpec::parse("field-broadcast(gf2)").unwrap();
+        let cell_ref = perf_cell_spec(&spec, 32, Kernel::Reference);
+        let cell_fast = perf_cell_spec(&spec, 32, Kernel::Fast);
+        let r1 = cell_ref.run_on(&cell_ref.instance(), 1);
+        let r2 = cell_fast.run_on(&cell_fast.instance(), 1);
+        assert_eq!(r1, r2, "perf cells must be backend-independent");
+        assert_eq!(r1.rounds, PERF_ROUND_BUDGET.min(r1.rounds));
+    }
+}

@@ -1,12 +1,24 @@
 //! Experiment-facing run helpers: seed sweeps, completion verification and
 //! summary statistics — over concrete protocol types ([`run_one`],
 //! [`sweep_seeds`]) or registry specs ([`run_spec`], [`sweep_seeds_spec`]).
+//!
+//! Spec runs dispatch over a [`Kernel`]: the reference simulator, the
+//! arena-backed `dyncode-kernel` fast path ([`run_spec_kernel`]), or
+//! `Auto`, which picks the fast path for the eligible families
+//! ([`fast_eligible`]) and falls back to the reference otherwise. The
+//! contract, locked by `tests/kernel_equivalence.rs`: for every eligible
+//! spec × adversary × seed, both backends return bit-identical
+//! `RunResult`s, per-round histories included.
 
 use crate::params::Instance;
 use crate::protocols::patch::{patch_dissemination, PatchParams};
-use crate::spec::ProtocolSpec;
+use crate::protocols::token_forwarding::ForwardingConfig;
+use crate::spec::{FieldKind, ProtocolSpec};
 use dyncode_dynet::adversary::Adversary;
 use dyncode_dynet::simulator::{run, run_erased, Protocol, RunResult, SimConfig};
+use dyncode_kernel::{run_fast, FastCell, ForwardCell, Gf2Cell, Gf2ViewMode};
+
+pub use dyncode_kernel::Kernel;
 
 /// Checks that a protocol's view reports every token at every node — the
 /// dissemination postcondition.
@@ -134,6 +146,147 @@ where
     r
 }
 
+/// Is `spec` in the fast backend's eligible families? Those are the
+/// dominant protocols of the repo's campaigns: the Theorem 2.1 forwarding
+/// schedules and the two GF(2) coding broadcasts (randomized mode — the
+/// deterministic advice variant stays on the reference path).
+pub fn fast_eligible(spec: &ProtocolSpec) -> bool {
+    matches!(
+        spec,
+        ProtocolSpec::TokenForwarding
+            | ProtocolSpec::PipelinedForwarding { .. }
+            | ProtocolSpec::IndexedBroadcast
+            | ProtocolSpec::FieldBroadcast {
+                field: FieldKind::Gf2,
+                det: None,
+            }
+    )
+}
+
+/// The backend a `(spec, kernel)` pair actually runs on: `Auto` resolves
+/// to `Fast` for [`fast_eligible`] specs and `Reference` otherwise;
+/// explicit choices pass through (an explicit `Fast` on an ineligible
+/// spec will panic at build time rather than silently degrade).
+pub fn resolve_kernel(spec: &ProtocolSpec, kernel: Kernel) -> Kernel {
+    match kernel {
+        Kernel::Auto => {
+            if fast_eligible(spec) {
+                Kernel::Fast
+            } else {
+                Kernel::Reference
+            }
+        }
+        explicit => explicit,
+    }
+}
+
+/// Builds the arena-backed fast cell for an eligible spec over `inst`
+/// (`t` is the cell's stability interval, adopted by
+/// `pipelined-forwarding` without an explicit T — the same rule as
+/// [`ProtocolSpec::build`]).
+///
+/// # Panics
+/// Panics on an ineligible spec, naming the eligible families.
+pub fn build_fast_cell(spec: &ProtocolSpec, inst: &Instance, t: usize) -> Box<dyn FastCell> {
+    let p = inst.params;
+    let seed_coding = |mut cell: Gf2Cell| -> Box<dyn FastCell> {
+        for (i, holders) in inst.holders.iter().enumerate() {
+            for &u in holders {
+                cell.seed_source(u, i, &inst.tokens[i]);
+            }
+        }
+        Box::new(cell)
+    };
+    match spec {
+        ProtocolSpec::TokenForwarding | ProtocolSpec::PipelinedForwarding { .. } => {
+            let cfg = match spec {
+                ProtocolSpec::PipelinedForwarding { t: spec_t } => {
+                    ForwardingConfig::pipelined(&p, spec_t.unwrap_or(t).max(1))
+                }
+                _ => ForwardingConfig::baseline(&p),
+            };
+            Box::new(ForwardCell::new(
+                p.n,
+                p.k,
+                p.d,
+                p.tokens_per_message(),
+                cfg.batch,
+                cfg.phase_rounds,
+                cfg.window,
+                &inst.holders,
+            ))
+        }
+        ProtocolSpec::IndexedBroadcast => {
+            seed_coding(Gf2Cell::new(p.n, p.k, p.d, Gf2ViewMode::Indexed))
+        }
+        ProtocolSpec::FieldBroadcast {
+            field: FieldKind::Gf2,
+            det: None,
+        } => {
+            // field-broadcast(gf2) packs a d-bit token into d one-bit
+            // symbols, so the packed payload is the token verbatim and
+            // the wire cost is k + d bits — the indexed-broadcast layout
+            // with the all-or-nothing decodability view.
+            seed_coding(Gf2Cell::new(p.n, p.k, p.d, Gf2ViewMode::Broadcast))
+        }
+        other => panic!(
+            "{other} has no fast kernel; eligible specs: token-forwarding, \
+             pipelined-forwarding, indexed-broadcast, field-broadcast(gf2)"
+        ),
+    }
+}
+
+/// [`run_spec`] through an explicit [`Kernel`]: the reference simulator,
+/// the arena-backed fast path, or `Auto` dispatch between them — with the
+/// same dissemination assertion on completion either way.
+pub fn run_spec_kernel<FA>(
+    spec: &ProtocolSpec,
+    inst: &Instance,
+    t: usize,
+    adv: &FA,
+    config: &SimConfig,
+    seed: u64,
+    kernel: Kernel,
+) -> RunResult
+where
+    FA: Fn() -> Box<dyn Adversary>,
+{
+    if resolve_kernel(spec, kernel) != Kernel::Fast {
+        return run_spec(spec, inst, t, adv, config, seed);
+    }
+    let mut cell = build_fast_cell(spec, inst, t);
+    let mut a = adv();
+    let r = run_fast(cell.as_mut(), a.as_mut(), config, seed);
+    if r.completed {
+        assert!(
+            cell.fully_disseminated(),
+            "completed {spec} run left a node without some token (seed {seed})"
+        );
+    }
+    r
+}
+
+/// [`sweep_seeds_spec`] through an explicit [`Kernel`]: one
+/// [`run_spec_kernel`] cell per seed.
+pub fn sweep_seeds_spec_kernel<FA>(
+    spec: &ProtocolSpec,
+    inst: &Instance,
+    t: usize,
+    seeds: &[u64],
+    max_rounds: usize,
+    adv: FA,
+    kernel: Kernel,
+) -> Vec<RunResult>
+where
+    FA: Fn() -> Box<dyn Adversary>,
+{
+    let config = SimConfig::with_max_rounds(max_rounds);
+    seeds
+        .iter()
+        .map(|&seed| run_spec_kernel(spec, inst, t, &adv, &config, seed, kernel))
+        .collect()
+}
+
 /// Runs a freshly built protocol once per seed against freshly built
 /// adversaries, asserting dissemination correctness on completion.
 ///
@@ -258,6 +411,81 @@ mod tests {
         let s = summarize(&results);
         assert_eq!(s.runs, 3);
         assert_eq!(s.failures, 0);
+    }
+
+    #[test]
+    fn auto_dispatch_routes_by_eligibility() {
+        let fast = [
+            "token-forwarding",
+            "pipelined-forwarding",
+            "pipelined-forwarding(8)",
+            "indexed-broadcast",
+            "field-broadcast(gf2)",
+        ];
+        let reference = [
+            "greedy-forward",
+            "priority-forward",
+            "random-forward",
+            "naive-coded",
+            "field-broadcast(gf2,det=1)",
+            "field-broadcast(gf256)",
+            "centralized",
+            "patch-indexed",
+        ];
+        for s in fast {
+            let spec = ProtocolSpec::parse(s).unwrap();
+            assert!(fast_eligible(&spec), "{s}");
+            assert_eq!(resolve_kernel(&spec, Kernel::Auto), Kernel::Fast, "{s}");
+        }
+        for s in reference {
+            let spec = ProtocolSpec::parse(s).unwrap();
+            assert!(!fast_eligible(&spec), "{s}");
+            assert_eq!(
+                resolve_kernel(&spec, Kernel::Auto),
+                Kernel::Reference,
+                "{s}"
+            );
+        }
+        // Explicit choices pass through untouched.
+        let spec = ProtocolSpec::parse("centralized").unwrap();
+        assert_eq!(resolve_kernel(&spec, Kernel::Reference), Kernel::Reference);
+        assert_eq!(resolve_kernel(&spec, Kernel::Fast), Kernel::Fast);
+    }
+
+    #[test]
+    #[should_panic(expected = "no fast kernel")]
+    fn explicit_fast_on_ineligible_spec_is_rejected() {
+        let p = Params::new(8, 8, 4, 8);
+        let inst = Instance::generate(p, Placement::OneTokenPerNode, 1);
+        let _ = build_fast_cell(&ProtocolSpec::Centralized, &inst, 1);
+    }
+
+    #[test]
+    fn fast_kernel_reproduces_reference_bit_for_bit() {
+        let p = Params::new(12, 12, 5, 10);
+        let inst = Instance::generate(p, Placement::OneTokenPerNode, 2);
+        let cfg = SimConfig::with_max_rounds(20_000).recording();
+        let adv = || Box::new(ShuffledPathAdversary) as Box<dyn Adversary>;
+        for s in [
+            "token-forwarding",
+            "pipelined-forwarding(8)",
+            "indexed-broadcast",
+            "field-broadcast(gf2)",
+        ] {
+            let spec = ProtocolSpec::parse(s).unwrap();
+            for seed in [1u64, 7] {
+                let slow = run_spec_kernel(&spec, &inst, 1, &adv, &cfg, seed, Kernel::Reference);
+                let fast = run_spec_kernel(&spec, &inst, 1, &adv, &cfg, seed, Kernel::Fast);
+                assert_eq!(slow, fast, "{s} seed={seed}");
+                assert!(slow.completed, "{s} seed={seed}");
+            }
+        }
+        // The kernel sweep equals the reference sweep, seed for seed.
+        let spec = ProtocolSpec::parse("field-broadcast(gf2)").unwrap();
+        let slow =
+            sweep_seeds_spec_kernel(&spec, &inst, 1, &[1, 2, 3], 20_000, adv, Kernel::Reference);
+        let fast = sweep_seeds_spec_kernel(&spec, &inst, 1, &[1, 2, 3], 20_000, adv, Kernel::Auto);
+        assert_eq!(slow, fast);
     }
 
     #[test]

@@ -403,46 +403,52 @@ impl ProtocolSpec {
     /// through [`crate::runner::run_spec`], which handles it).
     pub fn build(&self, inst: &Instance, t: usize) -> Box<dyn ErasedProtocol> {
         match self {
-            ProtocolSpec::TokenForwarding => Box::new(Erased(TokenForwarding::baseline(inst))),
+            ProtocolSpec::TokenForwarding => Box::new(Erased::new(TokenForwarding::baseline(inst))),
             ProtocolSpec::PipelinedForwarding { t: spec_t } => {
                 let tt = spec_t.unwrap_or(t).max(1);
                 // `pipelined` returns the baseline schedule below T = 4,
                 // exactly as the engine's old PipelinedForwarding arm did.
-                Box::new(Erased(TokenForwarding::pipelined(inst, tt)))
+                Box::new(Erased::new(TokenForwarding::pipelined(inst, tt)))
             }
             ProtocolSpec::GreedyForward { cfg } => {
-                Box::new(Erased(GreedyForward::with_config(inst, *cfg)))
+                Box::new(Erased::new(GreedyForward::with_config(inst, *cfg)))
             }
             ProtocolSpec::PriorityForward { cfg } => {
-                Box::new(Erased(PriorityForward::with_config(inst, *cfg)))
+                Box::new(Erased::new(PriorityForward::with_config(inst, *cfg)))
             }
             ProtocolSpec::RandomForward { rounds } => {
                 let r = rounds.unwrap_or(2 * inst.params.n).max(1);
-                Box::new(Erased(RandomForward::new(inst, r)))
+                Box::new(Erased::new(RandomForward::new(inst, r)))
             }
-            ProtocolSpec::NaiveCoded => Box::new(Erased(NaiveCoded::new(inst))),
-            ProtocolSpec::IndexedBroadcast => Box::new(Erased(IndexedBroadcast::new(inst))),
+            ProtocolSpec::NaiveCoded => Box::new(Erased::new(NaiveCoded::new(inst))),
+            ProtocolSpec::IndexedBroadcast => Box::new(Erased::new(IndexedBroadcast::new(inst))),
             ProtocolSpec::FieldBroadcast { field, det } => match (field, det) {
-                (FieldKind::Gf2, None) => Box::new(Erased(FieldBroadcast::<Gf2>::new(inst))),
+                (FieldKind::Gf2, None) => Box::new(Erased::new(FieldBroadcast::<Gf2>::new(inst))),
                 (FieldKind::Gf2, Some(s)) => {
-                    Box::new(Erased(FieldBroadcast::<Gf2>::deterministic(inst, *s)))
+                    Box::new(Erased::new(FieldBroadcast::<Gf2>::deterministic(inst, *s)))
                 }
-                (FieldKind::Gf256, None) => Box::new(Erased(FieldBroadcast::<Gf256>::new(inst))),
-                (FieldKind::Gf256, Some(s)) => {
-                    Box::new(Erased(FieldBroadcast::<Gf256>::deterministic(inst, *s)))
+                (FieldKind::Gf256, None) => {
+                    Box::new(Erased::new(FieldBroadcast::<Gf256>::new(inst)))
                 }
-                (FieldKind::Gf257, None) => Box::new(Erased(FieldBroadcast::<Gf257>::new(inst))),
-                (FieldKind::Gf257, Some(s)) => {
-                    Box::new(Erased(FieldBroadcast::<Gf257>::deterministic(inst, *s)))
-                }
-                (FieldKind::Mersenne61, None) => {
-                    Box::new(Erased(FieldBroadcast::<Mersenne61>::new(inst)))
-                }
-                (FieldKind::Mersenne61, Some(s)) => Box::new(Erased(
-                    FieldBroadcast::<Mersenne61>::deterministic(inst, *s),
+                (FieldKind::Gf256, Some(s)) => Box::new(Erased::new(
+                    FieldBroadcast::<Gf256>::deterministic(inst, *s),
                 )),
+                (FieldKind::Gf257, None) => {
+                    Box::new(Erased::new(FieldBroadcast::<Gf257>::new(inst)))
+                }
+                (FieldKind::Gf257, Some(s)) => Box::new(Erased::new(
+                    FieldBroadcast::<Gf257>::deterministic(inst, *s),
+                )),
+                (FieldKind::Mersenne61, None) => {
+                    Box::new(Erased::new(FieldBroadcast::<Mersenne61>::new(inst)))
+                }
+                (FieldKind::Mersenne61, Some(s)) => {
+                    Box::new(Erased::new(FieldBroadcast::<Mersenne61>::deterministic(
+                        inst, *s,
+                    )))
+                }
             },
-            ProtocolSpec::Centralized => Box::new(Erased(Centralized::new(inst))),
+            ProtocolSpec::Centralized => Box::new(Erased::new(Centralized::new(inst))),
             ProtocolSpec::PatchIndexed => {
                 panic!("patch-indexed is a charged-rounds model; run it via runner::run_spec")
             }

@@ -73,6 +73,11 @@ impl BitSet {
         self.words[i / 64] >> (i % 64) & 1 == 1
     }
 
+    /// Removes every element, keeping the capacity (and the allocation).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
     /// Number of elements.
     pub fn len(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()

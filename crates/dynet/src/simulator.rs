@@ -150,18 +150,45 @@ pub trait ErasedProtocol {
 /// produces the identical `RunResult` as the monomorphized run — the
 /// contract `tests/protocol_registry.rs` locks across the whole protocol
 /// registry.
-pub struct Erased<P>(pub P);
+pub struct Erased<P: Protocol> {
+    inner: P,
+    /// Typed-inbox scratch, refilled per delivery with its capacity kept
+    /// across rounds, so the erased path does not allocate a fresh
+    /// `Vec<P::Message>` per node per round.
+    scratch: Vec<P::Message>,
+}
+
+impl<P: Protocol> Erased<P> {
+    /// Wraps `inner`.
+    pub fn new(inner: P) -> Self {
+        Erased {
+            inner,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The wrapped protocol (the read half of the `as_any` introspection
+    /// hatch: downcast to `Erased<P>`, then read concrete state here).
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped protocol.
+    pub fn inner_mut(&mut self) -> &mut P {
+        &mut self.inner
+    }
+}
 
 impl<P: Protocol + 'static> ErasedProtocol for Erased<P>
 where
     P::Message: 'static,
 {
     fn num_nodes(&self) -> usize {
-        self.0.num_nodes()
+        self.inner.num_nodes()
     }
 
     fn num_tokens(&self) -> usize {
-        self.0.num_tokens()
+        self.inner.num_tokens()
     }
 
     fn compose_erased(
@@ -170,8 +197,8 @@ where
         round: usize,
         rng: &mut StdRng,
     ) -> Option<ErasedMessage> {
-        self.0.compose(node, round, rng).map(|m| ErasedMessage {
-            bits: self.0.message_bits(&m),
+        self.inner.compose(node, round, rng).map(|m| ErasedMessage {
+            bits: self.inner.message_bits(&m),
             payload: Rc::new(m),
         })
     }
@@ -183,28 +210,29 @@ where
         round: usize,
         rng: &mut StdRng,
     ) {
-        let typed: Vec<P::Message> = inbox
-            .iter()
-            .map(|m| {
-                m.payload
-                    .downcast_ref::<P::Message>()
-                    .expect("erased inbox holds a foreign message type")
-                    .clone()
-            })
-            .collect();
-        self.0.deliver(node, &typed, round, rng);
+        // Split-borrow: refill the scratch while the inner protocol stays
+        // untouched, then hand it over as the typed inbox.
+        let Erased { inner, scratch } = self;
+        scratch.clear();
+        scratch.extend(inbox.iter().map(|m| {
+            m.payload
+                .downcast_ref::<P::Message>()
+                .expect("erased inbox holds a foreign message type")
+                .clone()
+        }));
+        inner.deliver(node, scratch, round, rng);
     }
 
     fn node_done(&self, node: NodeId) -> bool {
-        self.0.node_done(node)
+        self.inner.node_done(node)
     }
 
     fn view(&self) -> KnowledgeView {
-        self.0.view()
+        self.inner.view()
     }
 
     fn round_end_erased(&mut self, round: usize, rng: &mut StdRng) {
-        self.0.round_end(round, rng);
+        self.inner.round_end(round, rng);
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -634,7 +662,7 @@ mod tests {
                 let mut adv = RandomConnectedAdversary::new(1);
                 let mono = run(&mut p, &mut adv, &cfg, seed);
 
-                let mut e: Box<dyn ErasedProtocol> = Box::new(Erased(Flood::new(n)));
+                let mut e: Box<dyn ErasedProtocol> = Box::new(Erased::new(Flood::new(n)));
                 let mut adv = RandomConnectedAdversary::new(1);
                 let erased = run_erased(&mut e, &mut adv, &cfg, seed);
                 assert_eq!(mono, erased, "n={n} seed={seed}");
@@ -644,7 +672,7 @@ mod tests {
 
     #[test]
     fn erased_message_carries_inner_bit_pricing() {
-        let mut e: Box<dyn ErasedProtocol> = Box::new(Erased(Flood::new(2)));
+        let mut e: Box<dyn ErasedProtocol> = Box::new(Erased::new(Flood::new(2)));
         let mut rng = StdRng::seed_from_u64(0);
         let msg = e.compose_erased(0, 0, &mut rng).expect("node 0 speaks");
         assert_eq!(msg.bits(), 1, "Flood prices every message at 1 bit");

@@ -18,7 +18,7 @@ use crate::aggregate::SeedStats;
 use crate::artifact::{Artifact, CellRecord, RunError, RunRecord};
 use crate::executor::Engine;
 use dyncode_core::params::{Instance, Params, Placement};
-use dyncode_core::runner::run_spec;
+use dyncode_core::runner::{run_spec_kernel, Kernel};
 use dyncode_core::spec::ProtocolSpec;
 use dyncode_dynet::adversaries::{
     BottleneckAdversary, KnowledgeAdaptiveAdversary, RandomConnectedAdversary,
@@ -223,6 +223,11 @@ pub struct Campaign {
     pub instance_seed: u64,
     /// Round-cap rule.
     pub cap: CapRule,
+    /// Execution backend for every cell (`kernel = reference|fast|auto`).
+    /// Results are backend-independent by the kernel equivalence
+    /// contract; the default `reference` keeps committed baselines
+    /// byte-identical.
+    pub kernel: Kernel,
     /// Record per-round histories into the artifact.
     pub record_history: bool,
     /// Quick-profile node counts (`None` = first two of `ns`).
@@ -251,6 +256,7 @@ impl Campaign {
                 seeds: vec![1, 2, 3],
                 instance_seed: 42,
                 cap: CapRule::MulNN(10),
+                kernel: Kernel::Reference,
                 record_history: false,
                 quick_ns: None,
                 quick_seeds: None,
@@ -295,6 +301,7 @@ impl Campaign {
                             protocol: proto.clone(),
                             cap: self.cap.eval(n, k),
                             instance_seed: self.instance_seed,
+                            kernel: self.kernel,
                             record_history: self.record_history,
                         });
                     }
@@ -424,6 +431,7 @@ impl Campaign {
                         .map_err(|_| err(format!("bad seed {value:?}")))?;
                 }
                 "cap" => b.campaign.cap = CapRule::parse(value).map_err(err)?,
+                "kernel" => b.campaign.kernel = Kernel::parse(value).map_err(err)?,
                 "record_history" => {
                     b.campaign.record_history = match value {
                         "true" => true,
@@ -437,7 +445,7 @@ impl Campaign {
                     return Err(format!(
                         "line {}: unknown key {other:?}; valid keys: id, title, protocol, \
                          adversaries, scenario, placement, n, k, d, b, t, seeds, \
-                         instance_seed, cap, record_history, quick_n, quick_seeds",
+                         instance_seed, cap, kernel, record_history, quick_n, quick_seeds",
                         lineno + 1
                     ))
                 }
@@ -554,6 +562,12 @@ impl CampaignBuilder {
         self
     }
 
+    /// Sets the execution backend for every cell.
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.campaign.kernel = kernel;
+        self
+    }
+
     /// Enables per-round history recording into the artifact.
     pub fn record_history(mut self, on: bool) -> Self {
         self.campaign.record_history = on;
@@ -615,6 +629,8 @@ pub struct CellSpec {
     pub cap: usize,
     /// Instance-generation seed.
     pub instance_seed: u64,
+    /// Execution backend (reference | fast | auto).
+    pub kernel: Kernel,
     /// Record per-round history.
     pub record_history: bool,
 }
@@ -639,7 +655,7 @@ impl CellSpec {
     /// The cell's artifact metadata pairs.
     pub fn meta(&self) -> Vec<(String, String)> {
         let p = &self.params;
-        vec![
+        let mut meta = vec![
             ("protocol".into(), self.protocol.name()),
             ("adversary".into(), self.adversary.name()),
             ("n".into(), p.n.to_string()),
@@ -649,7 +665,14 @@ impl CellSpec {
             ("t".into(), self.t.to_string()),
             ("cap".into(), self.cap.to_string()),
             ("instance_seed".into(), self.instance_seed.to_string()),
-        ]
+        ];
+        // Reference cells keep their historical metadata (committed
+        // baselines stay byte-identical); non-default kernels are
+        // recorded so artifacts say which backend produced them.
+        if self.kernel != Kernel::Reference {
+            meta.push(("kernel".into(), self.kernel.name().into()));
+        }
+        meta
     }
 
     /// Generates this cell's problem instance (shared by all its seeds —
@@ -668,13 +691,23 @@ impl CellSpec {
     /// [`CellSpec::run`] against a pre-generated instance (which must be
     /// [`CellSpec::instance`] — callers sweeping many seeds generate it
     /// once instead of per seed). Dispatch goes through the protocol
-    /// registry's erased factory (`dyncode_core::runner::run_spec`), so
-    /// any spec string the registry parses runs here.
+    /// registry's erased factory or the fast backend per the cell's
+    /// [`Kernel`] (`dyncode_core::runner::run_spec_kernel`), so any spec
+    /// string the registry parses runs here — with identical results on
+    /// either backend by the kernel equivalence contract.
     pub fn run_on(&self, inst: &Instance, seed: u64) -> RunResult {
         let mut config = SimConfig::with_max_rounds(self.cap);
         config.record_history = self.record_history;
         let adv = || self.adversary.build(self.t);
-        run_spec(&self.protocol, inst, self.t, &adv, &config, seed)
+        run_spec_kernel(
+            &self.protocol,
+            inst,
+            self.t,
+            &adv,
+            &config,
+            seed,
+            self.kernel,
+        )
     }
 }
 
@@ -935,6 +968,48 @@ mod tests {
         assert_eq!(CapRule::parse("50(n+k)").unwrap(), CapRule::MulNPlusK(50));
         assert_eq!(CapRule::MulNPlusK(50).eval(16, 8), 50 * 24);
         assert!(CapRule::parse("nn10").is_err());
+    }
+
+    #[test]
+    fn kernel_key_selects_the_backend_and_results_are_identical() {
+        let text = "
+            id = fastlane
+            protocol = field-broadcast(gf2), indexed-broadcast
+            adversaries = shuffled-path
+            n = 10
+            seeds = 1, 2
+            cap = 50nn
+            kernel = auto
+        ";
+        let fast = Campaign::parse(text).expect("parse");
+        assert_eq!(fast.kernel, Kernel::Auto);
+        let cells = fast.cells();
+        assert!(cells.iter().all(|c| c.kernel == Kernel::Auto));
+        assert!(cells[0]
+            .meta()
+            .contains(&("kernel".to_string(), "auto".to_string())));
+
+        // Same campaign on the reference backend: identical stats and
+        // runs (the equivalence contract seen from the engine).
+        let mut reference = fast.clone();
+        reference.kernel = Kernel::Reference;
+        let a_fast = run_campaign(&Engine::new(2), &fast);
+        let a_ref = run_campaign(&Engine::new(2), &reference);
+        assert_eq!(a_fast.cells.len(), a_ref.cells.len());
+        for (f, r) in a_fast.cells.iter().zip(&a_ref.cells) {
+            assert_eq!(f.label, r.label);
+            assert_eq!(f.stats, r.stats, "{}", f.label);
+            assert_eq!(f.runs, r.runs, "{}", f.label);
+        }
+        // Reference cells carry no kernel metadata (baseline stability).
+        assert!(a_ref.cells[0].meta.iter().all(|(k, _)| k != "kernel"));
+
+        // Bad kernel names are line-anchored errors.
+        let err = Campaign::parse("id = x\nkernel = turbo").unwrap_err();
+        assert!(
+            err.contains("line 2") && err.contains("valid kernels"),
+            "{err}"
+        );
     }
 
     #[test]

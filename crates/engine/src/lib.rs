@@ -44,6 +44,7 @@ pub use campaign::{
     run_campaign, AdversaryKind, Campaign, CampaignBuilder, CapRule, CellSpec, Dim,
 };
 pub use compare::{compare, CompareConfig, CompareReport};
+pub use dyncode_core::runner::Kernel;
 pub use dyncode_core::spec::{FieldKind, ProtocolSpec};
 pub use executor::{CellError, Engine};
 pub use json::Json;

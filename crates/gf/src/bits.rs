@@ -11,6 +11,57 @@
 
 use rand::{Rng, RngExt};
 
+/// Number of u64 limbs needed to hold `len` bits.
+pub fn limbs_for(len: usize) -> usize {
+    len.div_ceil(64)
+}
+
+/// Bit `i` of a limb slice.
+pub fn limb_get(words: &[u64], i: usize) -> bool {
+    words[i / 64] >> (i % 64) & 1 == 1
+}
+
+/// Sets bit `i` of a limb slice.
+pub fn limb_set(words: &mut [u64], i: usize) {
+    words[i / 64] |= 1 << (i % 64);
+}
+
+/// `dst ^= src` over equal-length limb slices — GF(2) vector addition on
+/// raw limbs, the in-place row operation of the fast elimination kernels.
+///
+/// # Panics
+/// Panics (in debug builds) on length mismatch; release builds truncate to
+/// the shorter slice, so callers must pass equal lengths.
+pub fn limb_xor(dst: &mut [u64], src: &[u64]) {
+    debug_assert_eq!(dst.len(), src.len(), "limb length mismatch");
+    for (a, b) in dst.iter_mut().zip(src) {
+        *a ^= b;
+    }
+}
+
+/// The lowest set bit of a limb slice, if any (the pivot scan of the
+/// elimination kernels).
+pub fn limb_leading_one(words: &[u64]) -> Option<usize> {
+    for (w, &word) in words.iter().enumerate() {
+        if word != 0 {
+            return Some(w * 64 + word.trailing_zeros() as usize);
+        }
+    }
+    None
+}
+
+/// Number of set bits among the first `upto` bits of a limb slice (the
+/// prefix popcount used by coefficient-rank and decodability tests).
+pub fn limb_prefix_ones(words: &[u64], upto: usize) -> usize {
+    let full = upto / 64;
+    let mut acc: usize = words[..full].iter().map(|w| w.count_ones() as usize).sum();
+    let rem = upto % 64;
+    if rem != 0 {
+        acc += (words[full] & ((1u64 << rem) - 1)).count_ones() as usize;
+    }
+    acc
+}
+
 /// A vector over GF(2) with `len` coordinates, bit-packed into u64 words.
 /// Coordinate 0 is the least-significant bit of word 0.
 #[derive(Clone, PartialEq, Eq, Hash)]
@@ -258,6 +309,26 @@ impl Gf2Vec {
         out.splice(self.len, other);
         out
     }
+
+    /// The backing limbs (tail bits beyond `len` are guaranteed zero), for
+    /// kernels that operate on raw `u64` slices via [`limb_xor`] and
+    /// friends instead of per-coordinate accessors.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Builds a vector from raw limbs, masking any tail bits beyond `len`.
+    ///
+    /// # Panics
+    /// Panics if `words` is shorter than [`limbs_for`]`(len)`; extra limbs
+    /// are truncated.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Gf2Vec {
+        assert!(words.len() >= limbs_for(len), "limb slice too short");
+        words.truncate(limbs_for(len));
+        let mut v = Gf2Vec { words, len };
+        v.mask_tail();
+        v
+    }
 }
 
 /// A GF(2) subspace basis in reduced row-echelon form, with innovative
@@ -399,6 +470,45 @@ impl Gf2Basis {
 mod tests {
     use super::*;
     use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn limb_ops_agree_with_vector_ops() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for len in [1usize, 63, 64, 65, 130, 200] {
+            let a = Gf2Vec::random(len, &mut rng);
+            let b = Gf2Vec::random(len, &mut rng);
+            assert_eq!(limbs_for(len), a.words().len());
+            // xor on raw limbs == xor_assign on vectors.
+            let mut words = a.words().to_vec();
+            limb_xor(&mut words, b.words());
+            let mut expect = a.clone();
+            expect.xor_assign(&b);
+            assert_eq!(Gf2Vec::from_words(words.clone(), len), expect);
+            // get / leading-one / prefix popcount agree.
+            for i in 0..len {
+                assert_eq!(limb_get(a.words(), i), a.get(i));
+            }
+            assert_eq!(limb_leading_one(a.words()), a.leading_one());
+            for upto in [1, len / 2 + 1, len] {
+                assert_eq!(
+                    limb_prefix_ones(a.words(), upto),
+                    a.extract(0, upto).count_ones(),
+                    "len={len} upto={upto}"
+                );
+            }
+            // set on raw limbs == set on vectors.
+            let mut words = vec![0u64; limbs_for(len)];
+            limb_set(&mut words, len - 1);
+            assert_eq!(Gf2Vec::from_words(words, len), Gf2Vec::unit(len, len - 1));
+        }
+    }
+
+    #[test]
+    fn from_words_masks_the_tail() {
+        let v = Gf2Vec::from_words(vec![u64::MAX], 3);
+        assert_eq!(v.count_ones(), 3);
+        assert_eq!(v.words(), &[0b111]);
+    }
 
     #[test]
     fn set_get_round_trip_across_word_boundaries() {

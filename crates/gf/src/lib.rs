@@ -58,7 +58,9 @@ pub mod matrix;
 pub mod subspace;
 pub mod vector;
 
-pub use bits::{Gf2Basis, Gf2Vec};
+pub use bits::{
+    limb_get, limb_leading_one, limb_prefix_ones, limb_set, limb_xor, limbs_for, Gf2Basis, Gf2Vec,
+};
 pub use field::Field;
 pub use gf2::Gf2;
 pub use gf256::Gf256;

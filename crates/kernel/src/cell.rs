@@ -1,0 +1,136 @@
+//! The fast round loop: [`FastCell`] is the arena-backed counterpart of
+//! `dyncode_dynet::simulator::Protocol`, batched per round instead of per
+//! node, and [`run_fast`] is the counterpart of `simulator::run`.
+//!
+//! The loop replays the reference round structure *exactly* — adversary
+//! view, topology validation, neighbor-blind compose, anonymous delivery,
+//! end-of-round hook, history row — and draws from the same two RNG
+//! streams (`seed` for the protocol, [`adversary_rng`] for the
+//! adversary), which is what makes the fast `RunResult` bit-identical to
+//! the reference one for every eligible cell (the contract
+//! `tests/kernel_equivalence.rs` locks).
+
+use crate::csr::CsrTopology;
+use dyncode_dynet::adversary::{Adversary, KnowledgeView};
+use dyncode_dynet::simulator::{adversary_rng, RoundRecord, RunResult, SimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One protocol family running on the fast backend.
+///
+/// Unlike `Protocol`, the surface is *batched*: one `compose_all` and one
+/// `deliver_all` per round over internal arenas, so the round loop does
+/// no per-node allocation. Implementations must preserve the reference
+/// semantics: compose per node in ascending node order (drawing exactly
+/// the coins the reference protocol draws), deliver per node from
+/// ascending neighbors, and report the same views and statistics.
+pub trait FastCell {
+    /// Number of nodes n.
+    fn num_nodes(&self) -> usize;
+
+    /// Composes every node's broadcast for `round` into the message
+    /// arena, enforcing `bit_limit` per message when set. Returns
+    /// `(bits broadcast this round, largest message this round)`.
+    fn compose_all(&mut self, round: usize, rng: &mut StdRng, bit_limit: Option<u64>)
+        -> (u64, u64);
+
+    /// Delivers the composed messages along `topo` (per node, ascending
+    /// neighbor order — the reference inbox order).
+    fn deliver_all(&mut self, topo: &CsrTopology, round: usize, rng: &mut StdRng);
+
+    /// Global end-of-round hook (phase counters); defaults to a no-op.
+    fn round_end(&mut self, _round: usize, _rng: &mut StdRng) {}
+
+    /// Have all nodes locally terminated?
+    fn all_done(&self) -> bool;
+
+    /// The adversary/statistics view — must equal the reference
+    /// protocol's `view()` element for element (adaptive adversaries
+    /// branch on it).
+    fn view(&self) -> KnowledgeView;
+
+    /// `(min_dim, max_dim, total_tokens, done)` of the current state, for
+    /// a history row (the reference derives these from `view()`).
+    fn history_stats(&self) -> (usize, usize, usize, usize);
+
+    /// Does every node know every token (the dissemination
+    /// postcondition asserted after a completed run)?
+    fn fully_disseminated(&self) -> bool;
+}
+
+/// Runs `cell` against `adversary` from `seed` until every node is done
+/// or `config.max_rounds` elapse — `simulator::run`, specialized to the
+/// arena-backed cells.
+///
+/// # Panics
+/// Panics if the adversary produces a disconnected or wrongly-sized
+/// graph, or (in strict mode) if a message exceeds the bit limit — the
+/// same conditions, with the same messages, as the reference loop.
+pub fn run_fast(
+    cell: &mut dyn FastCell,
+    adversary: &mut dyn Adversary,
+    config: &SimConfig,
+    seed: u64,
+) -> RunResult {
+    let n = cell.num_nodes();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut adv_rng = adversary_rng(seed);
+    let mut csr = CsrTopology::new(n);
+    let mut total_bits = 0u64;
+    let mut max_message_bits = 0u64;
+    let mut history = Vec::new();
+
+    let mut round = 0usize;
+    let mut completed = cell.all_done();
+    while !completed && round < config.max_rounds {
+        // 1. Adversary commits a topology from the current state.
+        let view = cell.view();
+        let graph = adversary.topology(round, &view, &mut adv_rng);
+        assert_eq!(
+            graph.num_nodes(),
+            n,
+            "adversary {} produced a graph of the wrong size",
+            adversary.name()
+        );
+        assert!(
+            graph.is_connected(),
+            "adversary {} produced a disconnected graph at round {round}",
+            adversary.name()
+        );
+        csr.load(&graph);
+
+        // 2. Nodes speak, neighbor-blind.
+        let (round_bits, round_max) = cell.compose_all(round, &mut rng, config.bit_limit);
+        total_bits += round_bits;
+        max_message_bits = max_message_bits.max(round_max);
+
+        // 3. Anonymous broadcast delivery.
+        cell.deliver_all(&csr, round, &mut rng);
+        cell.round_end(round, &mut rng);
+
+        if config.record_history {
+            let (min_dim, max_dim, total_tokens, done) = cell.history_stats();
+            history.push(RoundRecord {
+                round,
+                edges: graph.num_edges(),
+                bits: round_bits,
+                min_dim,
+                max_dim,
+                total_tokens,
+                done,
+            });
+        }
+
+        round += 1;
+        completed = cell.all_done();
+    }
+
+    RunResult {
+        rounds: round,
+        completed,
+        total_bits,
+        max_message_bits,
+        adversary: adversary.name(),
+        history,
+    }
+}

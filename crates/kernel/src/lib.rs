@@ -1,0 +1,111 @@
+//! # dyncode-kernel
+//!
+//! The arena-backed fast-path execution backend for the dominant protocol
+//! families, sitting *below* `dyncode-core` in the crate graph: it knows
+//! nothing about `ProtocolSpec`s or `Instance`s — `core::runner` builds a
+//! [`FastCell`] from a spec and hands it to [`run_fast`].
+//!
+//! The reference simulator (`dyncode_dynet::simulator::run`) is
+//! allocation-bound at large n: a fresh `Vec<Option<Message>>` per round,
+//! a payload clone per neighbor, and a per-node inbox `Vec` per round.
+//! This crate replaces those with three reusable structures:
+//!
+//! * [`CsrTopology`] — a flat offsets/targets adjacency snapshot, rebuilt
+//!   from the adversary's edge deltas (the `dyncode_dynet::trace` flip
+//!   machinery): a round whose edge set did not change — every round
+//!   inside a T-stable window — costs one O(m) diff walk and no rebuild.
+//! * [`Gf2Cell`] — per-node GF(2) RLNC state as one word-packed row
+//!   arena, with incremental Gaussian elimination running directly on
+//!   `u64` limb slices (`dyncode_gf::bits::limb_xor` and friends) instead
+//!   of per-packet `Vec` clones.
+//! * [`ForwardCell`] — the knowledge-based forwarding schedules with a
+//!   flat per-round message arena instead of per-node `Vec<usize>`
+//!   messages and inbox clones.
+//!
+//! **Equivalence contract.** For every eligible cell, [`run_fast`]
+//! produces a `RunResult` bit-identical to the reference simulator's —
+//! rounds, bit accounting, adversary schedule, and per-round history.
+//! This holds because the fast loop replays the reference loop's event
+//! order exactly: the adversary sees the same
+//! [`KnowledgeView`](dyncode_dynet::adversary::KnowledgeView) each
+//! round, protocol coins are
+//! drawn in the same order (one `bool` per basis row per compose for the
+//! coding cells, none for forwarding), and deliveries apply per node in
+//! ascending neighbor order. `tests/kernel_equivalence.rs` locks the
+//! contract across the eligible-spec × adversary × seed matrix.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod csr;
+pub mod forward;
+pub mod gf2cell;
+
+pub use cell::{run_fast, FastCell};
+pub use csr::CsrTopology;
+pub use forward::ForwardCell;
+pub use gf2cell::{Gf2Cell, Gf2ViewMode};
+
+use std::fmt;
+
+/// Which execution backend a run uses — threaded through
+/// `core::runner::run_spec_kernel`, the engine's `kernel =` campaign key,
+/// and the bench CLI's `--kernel` flag.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Kernel {
+    /// The reference simulator (`dyncode_dynet::simulator::run`), for
+    /// every spec. The default: committed baselines are reference runs.
+    #[default]
+    Reference,
+    /// The arena-backed fast path. Panics on a spec outside the eligible
+    /// families (use [`Kernel::Auto`] to fall back instead).
+    Fast,
+    /// Fast for eligible specs, Reference otherwise.
+    Auto,
+}
+
+impl Kernel {
+    /// The spec-text name (`reference` | `fast` | `auto`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kernel::Reference => "reference",
+            Kernel::Fast => "fast",
+            Kernel::Auto => "auto",
+        }
+    }
+
+    /// Parses a spec-text name; unknown names enumerate the valid ones.
+    pub fn parse(s: &str) -> Result<Kernel, String> {
+        match s.trim() {
+            "reference" => Ok(Kernel::Reference),
+            "fast" => Ok(Kernel::Fast),
+            "auto" => Ok(Kernel::Auto),
+            other => Err(format!(
+                "unknown kernel {other:?}; valid kernels: reference, fast, auto"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_names_round_trip() {
+        for k in [Kernel::Reference, Kernel::Fast, Kernel::Auto] {
+            assert_eq!(Kernel::parse(k.name()).unwrap(), k);
+            assert_eq!(k.to_string(), k.name());
+        }
+        assert_eq!(Kernel::default(), Kernel::Reference);
+        let err = Kernel::parse("turbo").unwrap_err();
+        assert!(err.contains("valid kernels"), "{err}");
+    }
+}

@@ -31,6 +31,11 @@
 //!   stochastic evolving-graph adversaries (edge-Markov, random
 //!   waypoint, churn) and the streaming `.dct` binary trace format for
 //!   exact record/replay.
+//! * [`kernel`] (`dyncode-kernel`) — the arena-backed fast-path
+//!   execution backend: CSR topology snapshots rebuilt from edge
+//!   deltas, word-packed GF(2) elimination cells, and the
+//!   `Kernel::{Reference, Fast, Auto}` selection enum, bit-identical to
+//!   the reference simulator on every eligible spec.
 //!
 //! See `examples/quickstart.rs` for a first run and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment index.
@@ -42,6 +47,7 @@ pub use dyncode_core as core;
 pub use dyncode_dynet as dynet;
 pub use dyncode_engine as engine;
 pub use dyncode_gf as gf;
+pub use dyncode_kernel as kernel;
 pub use dyncode_rlnc as rlnc;
 pub use dyncode_scenarios as scenarios;
 
@@ -52,7 +58,9 @@ pub mod prelude {
         Centralized, GreedyForward, IndexedBroadcast, NaiveCoded, PriorityForward, RandomForward,
         TokenForwarding,
     };
-    pub use dyncode_core::runner::{fully_disseminated, run_one, summarize, sweep_seeds};
+    pub use dyncode_core::runner::{
+        fully_disseminated, run_one, run_spec_kernel, summarize, sweep_seeds, Kernel,
+    };
     pub use dyncode_core::theory;
     pub use dyncode_dynet::adversaries;
     pub use dyncode_dynet::adversary::{Adversary, KnowledgeView, TStable};

@@ -1,0 +1,121 @@
+//! The kernel equivalence contract: for every **eligible** spec ×
+//! adversary × seed, the arena-backed fast backend (`dyncode-kernel`)
+//! produces a `RunResult` **bit-identical** to the reference simulator's —
+//! rounds, completion, total bits, max message bits, and the per-round
+//! history compared element-wise. This is the PR-5 analogue of PR 3's
+//! replay == record and PR 4's erased == mono contracts: committed
+//! baselines stay valid no matter which backend produced them.
+//!
+//! The matrix covers the worst-case families (shuffled path/star, the
+//! knowledge-*adaptive* adversary — the sharpest probe of view
+//! equivalence, since its topology choices branch on the per-round
+//! `KnowledgeView`) and the stochastic workloads (edge-Markov, churn),
+//! both fully dynamic and T-stable.
+
+use dyncode::core::params::{Instance, Params, Placement};
+use dyncode::core::runner::{fast_eligible, resolve_kernel, run_spec_kernel, Kernel};
+use dyncode::core::spec::ProtocolSpec;
+use dyncode::dynet::adversary::Adversary;
+use dyncode::dynet::simulator::SimConfig;
+use dyncode::engine::AdversaryKind;
+use proptest::prelude::*;
+
+const ELIGIBLE: &[&str] = &[
+    "token-forwarding",
+    "pipelined-forwarding",
+    "pipelined-forwarding(8)",
+    "indexed-broadcast",
+    "field-broadcast(gf2)",
+];
+
+const ADVERSARIES: &[&str] = &[
+    "shuffled-path",
+    "shuffled-star",
+    "knowledge-adaptive",
+    "edge-markov(0.1,0.3)",
+    "churn(0.15,random-connected)",
+];
+
+/// Runs one cell on both backends and asserts bit-identity, histories
+/// included.
+fn assert_equivalent(spec_s: &str, adv_s: &str, n: usize, t: usize, seed: u64) {
+    let spec = ProtocolSpec::parse(spec_s).expect(spec_s);
+    let kind = AdversaryKind::parse(adv_s).expect(adv_s);
+    // d = ⌈lg n⌉ + 2: distinct d-bit values for k = n tokens at any n here.
+    let d = (usize::BITS - (n.max(2) - 1).leading_zeros()) as usize + 2;
+    let inst = Instance::generate(Params::new(n, n, d, 2 * d), Placement::OneTokenPerNode, 42);
+    let cfg = SimConfig::with_max_rounds(200 * n * n).recording();
+    let adv = || kind.build(t) as Box<dyn Adversary>;
+    let reference = run_spec_kernel(&spec, &inst, t, &adv, &cfg, seed, Kernel::Reference);
+    let fast = run_spec_kernel(&spec, &inst, t, &adv, &cfg, seed, Kernel::Fast);
+    assert_eq!(
+        reference.history.len(),
+        fast.history.len(),
+        "{spec_s} × {adv_s} n={n} t={t} seed={seed}: history length"
+    );
+    for (r, f) in reference.history.iter().zip(&fast.history) {
+        assert_eq!(r, f, "{spec_s} × {adv_s} n={n} t={t} seed={seed}");
+    }
+    assert_eq!(
+        reference, fast,
+        "{spec_s} × {adv_s} n={n} t={t} seed={seed}"
+    );
+    // Most cells complete (exercising the dissemination postcondition on
+    // both backends); the ones that legitimately hit the cap — e.g. a
+    // T = 8 pipelined schedule against a fully dynamic adversary — cover
+    // the incomplete-run path, which must agree bit for bit too.
+}
+
+#[test]
+fn exhaustive_small_matrix() {
+    // Every eligible spec against every adversary family, fully dynamic.
+    for spec in ELIGIBLE {
+        for adv in ADVERSARIES {
+            assert_equivalent(spec, adv, 8, 1, 1);
+        }
+    }
+}
+
+#[test]
+fn t_stable_windows_hit_the_csr_reuse_path() {
+    // T > 1 freezes the topology inside windows: the fast path serves
+    // those rounds from the unchanged CSR snapshot, and pipelined
+    // forwarding adopts the cell's T.
+    for spec in ["pipelined-forwarding", "field-broadcast(gf2)"] {
+        for t in [2usize, 4, 8] {
+            assert_equivalent(spec, "shuffled-path", 12, t, 3);
+        }
+    }
+}
+
+#[test]
+fn auto_matches_explicit_fast_on_eligible_specs() {
+    for spec_s in ELIGIBLE {
+        let spec = ProtocolSpec::parse(spec_s).unwrap();
+        assert!(fast_eligible(&spec), "{spec_s}");
+        assert_eq!(resolve_kernel(&spec, Kernel::Auto), Kernel::Fast);
+    }
+    // Ineligible specs route Auto to the reference backend.
+    for spec_s in ["greedy-forward", "field-broadcast(gf256)", "naive-coded"] {
+        let spec = ProtocolSpec::parse(spec_s).unwrap();
+        assert!(!fast_eligible(&spec), "{spec_s}");
+        assert_eq!(resolve_kernel(&spec, Kernel::Auto), Kernel::Reference);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The randomized matrix: random (spec, adversary, size, T, seed)
+    /// cells, histories compared element-wise.
+    #[test]
+    fn fast_equals_reference(
+        spec_i in 0usize..ELIGIBLE.len(),
+        adv_i in 0usize..ADVERSARIES.len(),
+        n in 4usize..20,
+        t in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        assert_equivalent(ELIGIBLE[spec_i], ADVERSARIES[adv_i], n, t, seed);
+    }
+}
