@@ -499,6 +499,16 @@ fn cmd_trace(raw_args: &[String]) -> i32 {
                     return 2;
                 }
             };
+            let kernel = flags.kernel.unwrap_or(Kernel::Reference);
+            // An explicit `--kernel fast` on an ineligible spec would
+            // panic inside the cell; report the mismatch as a usage error
+            // up front (`--kernel auto` falls back per spec).
+            if kernel == Kernel::Fast {
+                if let Some(why) = dyncode_core::runner::fast_ineligibility(&protocol) {
+                    eprintln!("error: --kernel fast: {why}");
+                    return 2;
+                }
+            }
             // Validate the header up front (build() inside the cell only
             // panics, which would be an ugly way to report a typo).
             let header = match std::fs::File::open(path)
@@ -513,7 +523,6 @@ fn cmd_trace(raw_args: &[String]) -> i32 {
             };
             let n = header.n;
             let d = dyncode_bench::experiments::d_for(n);
-            let kernel = flags.kernel.unwrap_or(Kernel::Reference);
             let cell = CellSpec {
                 params: Params::new(n, n, d, 2 * d),
                 t: 1,

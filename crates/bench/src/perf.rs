@@ -11,13 +11,17 @@
 //! correctness stays gated by the byte-exact kernel equivalence contract,
 //! which [`run_perf`] re-checks on every timed cell pair.
 //!
-//! Cell design: `field-broadcast(gf2)` (plus one `token-forwarding` row)
-//! under a sparse `edge-markov` workload, run for a **fixed round
-//! budget** per size rather than to completion — throughput cells at
-//! n = 4096 would otherwise take minutes on the reference backend, which
-//! is precisely the problem the fast kernel exists to solve. Both
-//! backends execute the identical schedule, so `rounds/sec` ratios are
-//! apples to apples and the recorded `speedup` scalars are exact.
+//! Cell design: `field-broadcast` over every registry field — gf2 and
+//! gf256 sweep the size axis, the word-wide gf257/m61 rows and one
+//! `token-forwarding` row are pinned to a single size — under a sparse
+//! `edge-markov` workload, run for a **fixed round budget** per size
+//! rather than to completion — throughput cells at n = 4096 would
+//! otherwise take minutes on the reference backend, which is precisely
+//! the problem the fast kernel exists to solve. Both backends execute
+//! the identical schedule, so `rounds/sec` ratios are apples to apples
+//! and the recorded `speedup` scalars are exact. Peak RSS is reset
+//! (`/proc/self/clear_refs`) before every timed pass, so each cell's
+//! figure is its own working set, not the process high-water mark.
 
 use dyncode_core::runner::Kernel;
 use dyncode_engine::{AdversaryKind, CellSpec, Json, ProtocolSpec};
@@ -51,8 +55,9 @@ pub struct PerfCell {
     pub wall_ns: u64,
     /// Derived throughput: rounds / wall seconds.
     pub rounds_per_sec: f64,
-    /// Process peak RSS in bytes after the run (Linux `VmHWM`; 0 when
-    /// unavailable). Monotone across cells — it is a high-water mark.
+    /// Peak RSS in bytes for **this cell's** timed run (Linux `VmHWM`,
+    /// reset via `/proc/self/clear_refs` before each pass; 0 when
+    /// unavailable). The value kept is from the minimum-wall pass.
     pub peak_rss_bytes: u64,
 }
 
@@ -192,8 +197,18 @@ impl PerfArtifact {
     }
 }
 
+/// Resets the process peak-RSS counter (`VmHWM`) to the **current** RSS
+/// by writing `5` to `/proc/self/clear_refs`, so the next
+/// [`peak_rss_bytes`] reading reflects only growth since this call.
+/// Returns `false` (and changes nothing) where the interface is absent —
+/// there `VmHWM` stays a process-lifetime high-water mark.
+pub fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
 /// Process peak RSS in bytes (Linux `VmHWM` from `/proc/self/status`);
-/// 0 when the platform does not expose it.
+/// 0 when the platform does not expose it. Scoped to a region of
+/// interest by calling [`reset_peak_rss`] at the region's start.
 pub fn peak_rss_bytes() -> u64 {
     let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
         return 0;
@@ -273,73 +288,115 @@ pub const PERF_PASSES: usize = 2;
 /// cells plus the speedup scalar. With `kernel_override`, only that
 /// backend is timed and no speedups are recorded.
 pub fn run_perf(quick: bool, kernel_override: Option<Kernel>) -> PerfArtifact {
+    /// One per-cell timing accumulator: minimum wall clock across passes
+    /// and the peak RSS observed on that minimum-wall pass.
+    struct Timed {
+        cell: CellSpec,
+        min_ns: u64,
+        peak_rss: u64,
+        result: Option<dyncode_dynet::RunResult>,
+    }
     let mut artifact = PerfArtifact::default();
-    let specs = [
-        ProtocolSpec::parse("field-broadcast(gf2)").expect("static spec"),
-        ProtocolSpec::parse("token-forwarding").expect("static spec"),
+    // Every quick size also appears in the full sweep, so the CI smoke
+    // cells always have baseline counterparts to gate against. The
+    // dense-field sizes sit a step (or two) below gf2's: their reference
+    // cells do real elimination arithmetic per coordinate (a byte for
+    // gf256, a full word for gf257/m61), which at n = 2048 costs CI
+    // minutes (and, for the word fields, reference row memory in the GB
+    // range) — so the word fields sweep {512, 1024} and smoke at 512.
+    let gfp_sizes: &[usize] = if quick { &[512] } else { &[512, 1024] };
+    let specs: [(ProtocolSpec, &[usize]); 5] = [
+        (
+            ProtocolSpec::parse("field-broadcast(gf2)").expect("static spec"),
+            perf_sizes(quick),
+        ),
+        (
+            ProtocolSpec::parse("field-broadcast(gf256)").expect("static spec"),
+            if quick { &[1024] } else { perf_sizes(false) },
+        ),
+        (
+            ProtocolSpec::parse("field-broadcast(gf257)").expect("static spec"),
+            gfp_sizes,
+        ),
+        (
+            ProtocolSpec::parse("field-broadcast(m61)").expect("static spec"),
+            gfp_sizes,
+        ),
+        (
+            ProtocolSpec::parse("token-forwarding").expect("static spec"),
+            perf_sizes(true),
+        ),
     ];
     let kernels: Vec<Kernel> = match kernel_override {
         Some(k) => vec![k],
         None => vec![Kernel::Reference, Kernel::Fast],
     };
-    for spec in &specs {
-        // The forwarding row only needs one size — it is there to keep
-        // the second fast family on the perf trajectory, not to sweep —
-        // and it is pinned to the quick profile's size so the CI smoke
-        // cell always has a baseline counterpart to gate against.
-        let sizes: &[usize] = if matches!(spec, ProtocolSpec::TokenForwarding) {
-            perf_sizes(true)
-        } else {
-            perf_sizes(quick)
-        };
-        for &n in sizes {
-            // One timed result per kernel: (cell, min wall, RunResult).
-            let mut results: Vec<(CellSpec, u64, Option<dyncode_dynet::RunResult>)> = kernels
+    for (spec, sizes) in &specs {
+        for &n in *sizes {
+            let mut results: Vec<Timed> = kernels
                 .iter()
-                .map(|&k| (perf_cell_spec(spec, n, k), u64::MAX, None))
+                .map(|&k| Timed {
+                    cell: perf_cell_spec(spec, n, k),
+                    min_ns: u64::MAX,
+                    peak_rss: 0,
+                    result: None,
+                })
                 .collect();
-            let inst = results[0].0.instance();
+            let inst = results[0].cell.instance();
             for pass in 0..PERF_PASSES {
-                for (cell, min_ns, result) in results.iter_mut() {
+                for timed in results.iter_mut() {
+                    // Scope the peak-RSS counter to this cell's run; on
+                    // platforms without clear_refs the reading degrades
+                    // to the process high-water mark (and 0 without
+                    // /proc at all).
+                    reset_peak_rss();
                     let t0 = Instant::now();
-                    let r = cell.run_on(&inst, 1);
+                    let r = timed.cell.run_on(&inst, 1);
                     let wall_ns = t0.elapsed().as_nanos() as u64;
+                    let peak = peak_rss_bytes();
                     eprintln!(
                         "[perf {spec} n={n} kernel={} pass {pass}: {} rounds in {:.3}s]",
-                        cell.kernel,
+                        timed.cell.kernel,
                         r.rounds,
                         wall_ns as f64 / 1e9,
                     );
-                    if let Some(prev) = result {
+                    if let Some(prev) = &timed.result {
                         assert_eq!(*prev, r, "nondeterministic perf cell {spec} n={n}");
                     }
-                    *min_ns = (*min_ns).min(wall_ns);
-                    *result = Some(r);
+                    if wall_ns < timed.min_ns {
+                        timed.min_ns = wall_ns;
+                        timed.peak_rss = peak;
+                    }
+                    timed.result = Some(r);
                 }
             }
-            for (cell, min_ns, result) in &results {
-                let r = result.as_ref().expect("at least one pass ran");
+            for timed in &results {
+                let r = timed.result.as_ref().expect("at least one pass ran");
                 artifact.cells.push(PerfCell {
-                    label: format!("perf proto={spec} n={n} kernel={}", cell.kernel),
-                    kernel: cell.kernel.name().into(),
+                    label: format!("perf proto={spec} n={n} kernel={}", timed.cell.kernel),
+                    kernel: timed.cell.kernel.name().into(),
                     protocol: spec.to_string(),
-                    adversary: cell.adversary.name(),
+                    adversary: timed.cell.adversary.name(),
                     n,
-                    k: cell.params.k,
+                    k: timed.cell.params.k,
                     rounds: r.rounds,
-                    wall_ns: *min_ns,
-                    rounds_per_sec: r.rounds as f64 / (*min_ns as f64 / 1e9),
-                    peak_rss_bytes: peak_rss_bytes(),
+                    wall_ns: timed.min_ns,
+                    rounds_per_sec: r.rounds as f64 / (timed.min_ns as f64 / 1e9),
+                    peak_rss_bytes: timed.peak_rss,
                 });
             }
-            if let [(_, ref_ns, Some(ref_run)), (_, fast_ns, Some(fast_run))] = results.as_slice() {
+            if let [a, b] = results.as_slice() {
+                let (ref_run, fast_run) = (
+                    a.result.as_ref().expect("pass ran"),
+                    b.result.as_ref().expect("pass ran"),
+                );
                 assert_eq!(
                     ref_run, fast_run,
                     "kernel equivalence violated on the perf cell {spec} n={n}"
                 );
                 artifact.scalars.push(PerfScalar {
                     name: format!("speedup {spec} n={n}"),
-                    value: *ref_ns as f64 / *fast_ns as f64,
+                    value: a.min_ns as f64 / b.min_ns as f64,
                 });
             }
         }
@@ -469,6 +526,31 @@ mod tests {
         assert!(ok);
         assert!(lines.iter().any(|l| l.contains("improved")));
         assert!(lines.iter().any(|l| l.contains("adds cell")));
+    }
+
+    #[test]
+    fn peak_rss_is_per_region_not_process_lifetime() {
+        // The VmHWM bug this guards against: without the clear_refs
+        // reset, peak RSS is a process-lifetime high-water mark, so a
+        // small cell timed after a big one inherits the big cell's
+        // figure. Two successive regions of very different working-set
+        // sizes must report very different peaks.
+        if peak_rss_bytes() == 0 || !reset_peak_rss() {
+            eprintln!("peak-RSS interface unavailable; skipping");
+            return;
+        }
+        const BIG: usize = 64 << 20;
+        reset_peak_rss();
+        let buf = vec![1u8; BIG]; // touched: vec! writes every byte
+        let big_peak = peak_rss_bytes();
+        assert_eq!(buf.iter().map(|&b| b as u64).sum::<u64>(), BIG as u64);
+        drop(buf); // BIG is far above the mmap threshold: freed to the OS
+        reset_peak_rss();
+        let small_peak = peak_rss_bytes();
+        assert!(
+            big_peak >= small_peak + BIG as u64 / 2,
+            "peak RSS did not track the region: big={big_peak} small={small_peak}"
+        );
     }
 
     #[test]

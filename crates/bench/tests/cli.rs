@@ -111,6 +111,42 @@ fn trace_replay_rejects_unknown_protocols_with_the_registry() {
 }
 
 #[test]
+fn trace_replay_rejects_explicit_fast_kernel_on_ineligible_specs() {
+    // A usage error (exit 2) before the trace file is even opened: the
+    // spec can never run on the fast backend, so `--kernel fast` is a
+    // typo regardless of the trace.
+    for spec in ["patch-indexed", "field-broadcast(gf2,det=1)"] {
+        let out = experiments(&[
+            "trace",
+            "replay",
+            "/nonexistent.dct",
+            spec,
+            "1",
+            "--kernel",
+            "fast",
+        ]);
+        assert_eq!(out.status.code(), Some(2), "{spec}");
+        let err = stderr(&out);
+        assert!(
+            err.contains("no fast kernel") && err.contains("eligible specs"),
+            "{spec}: {err}"
+        );
+    }
+    // `--kernel auto` on the same spec falls back instead of erroring
+    // (the nonexistent file is then the failure, exit 1 not 2).
+    let out = experiments(&[
+        "trace",
+        "replay",
+        "/nonexistent.dct",
+        "patch-indexed",
+        "1",
+        "--kernel",
+        "auto",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+}
+
+#[test]
 fn trace_record_info_replay_round_trip() {
     let dir = temp_dir("trace");
     let path = dir.join("t.dct");

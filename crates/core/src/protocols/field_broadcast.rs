@@ -42,8 +42,9 @@ pub struct FieldBroadcast<F: Field> {
 
 /// Packs a d-bit token into ⌈d / (bits_per_symbol − 1)⌉ field symbols,
 /// using one fewer bit per symbol than the field width so every chunk is
-/// a valid canonical representative for any q ≥ 2.
-fn token_to_symbols<F: Field>(token: &dyncode_gf::Gf2Vec) -> Vec<F> {
+/// a valid canonical representative for any q ≥ 2. Crate-visible so the
+/// fast kernel's `DenseCell` seeding uses the identical encoding.
+pub(crate) fn token_to_symbols<F: Field>(token: &dyncode_gf::Gf2Vec) -> Vec<F> {
     let chunk = (F::bits_per_symbol() as usize - 1).max(1);
     (0..token.len())
         .step_by(chunk)

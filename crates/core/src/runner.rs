@@ -11,12 +11,16 @@
 //! `RunResult`s, per-round histories included.
 
 use crate::params::Instance;
+use crate::protocols::field_broadcast::token_to_symbols;
 use crate::protocols::patch::{patch_dissemination, PatchParams};
 use crate::protocols::token_forwarding::ForwardingConfig;
 use crate::spec::{FieldKind, ProtocolSpec};
 use dyncode_dynet::adversary::Adversary;
 use dyncode_dynet::simulator::{run, run_erased, Protocol, RunResult, SimConfig};
-use dyncode_kernel::{run_fast, FastCell, ForwardCell, Gf2Cell, Gf2ViewMode};
+use dyncode_gf::{Field, Gf256, Gf257, Mersenne61};
+use dyncode_kernel::{
+    run_fast, DenseCell, ErasedCell, FastCell, ForwardCell, Gf256Cell, Gf2Cell, Gf2ViewMode,
+};
 
 pub use dyncode_kernel::Kernel;
 
@@ -146,27 +150,48 @@ where
     r
 }
 
-/// Is `spec` in the fast backend's eligible families? Those are the
-/// dominant protocols of the repo's campaigns: the Theorem 2.1 forwarding
-/// schedules and the two GF(2) coding broadcasts (randomized mode — the
-/// deterministic advice variant stays on the reference path).
+/// Why `spec` cannot run on the fast backend, or `None` if it can.
+///
+/// The eligibility table now covers the whole registry except two
+/// families, which `Kernel::Auto` falls back to the reference path for:
+///
+/// * `field-broadcast(…,det=S)` — the deterministic advice schedule is a
+///   reference-path construct (baselines for the derandomization
+///   experiments are reference runs by design);
+/// * `patch-indexed` — the §8 charged-rounds model is not a per-round
+///   simulation at all.
+///
+/// The message names the eligible families, so it doubles as the
+/// user-facing error for an explicit `kernel = fast` on an ineligible
+/// spec (campaign validation and the `experiments` CLI surface it as a
+/// proper error rather than a panic traceback).
+pub fn fast_ineligibility(spec: &ProtocolSpec) -> Option<String> {
+    let why = match spec {
+        ProtocolSpec::FieldBroadcast { det: Some(_), .. } => {
+            "deterministic advice schedules run on the reference backend"
+        }
+        ProtocolSpec::PatchIndexed => "the charged-rounds model is not a per-round simulation",
+        _ => return None,
+    };
+    Some(format!(
+        "{spec} has no fast kernel ({why}); eligible specs: token-forwarding, \
+         pipelined-forwarding, greedy-forward, priority-forward, random-forward, \
+         naive-coded, indexed-broadcast, field-broadcast(gf2|gf256|gf257|m61), \
+         centralized"
+    ))
+}
+
+/// Is `spec` in the fast backend's eligible families? See
+/// [`fast_ineligibility`] for the (short) exclusion list.
 pub fn fast_eligible(spec: &ProtocolSpec) -> bool {
-    matches!(
-        spec,
-        ProtocolSpec::TokenForwarding
-            | ProtocolSpec::PipelinedForwarding { .. }
-            | ProtocolSpec::IndexedBroadcast
-            | ProtocolSpec::FieldBroadcast {
-                field: FieldKind::Gf2,
-                det: None,
-            }
-    )
+    fast_ineligibility(spec).is_none()
 }
 
 /// The backend a `(spec, kernel)` pair actually runs on: `Auto` resolves
 /// to `Fast` for [`fast_eligible`] specs and `Reference` otherwise;
 /// explicit choices pass through (an explicit `Fast` on an ineligible
-/// spec will panic at build time rather than silently degrade).
+/// spec fails at build time — [`build_fast_cell`] returns the
+/// [`fast_ineligibility`] message — rather than silently degrade).
 pub fn resolve_kernel(spec: &ProtocolSpec, kernel: Kernel) -> Kernel {
     match kernel {
         Kernel::Auto => {
@@ -180,14 +205,62 @@ pub fn resolve_kernel(spec: &ProtocolSpec, kernel: Kernel) -> Kernel {
     }
 }
 
+/// Seeds a [`DenseCell`] over `F` from the instance, using the exact
+/// token-to-symbol encoding, payload padding, and `(token, holder)`
+/// seeding order of `FieldBroadcast::<F>::new`.
+fn build_dense_cell<F: Field>(inst: &Instance) -> Box<dyn FastCell> {
+    let p = inst.params;
+    let payloads: Vec<Vec<F>> = inst
+        .tokens
+        .iter()
+        .map(|t| token_to_symbols::<F>(t))
+        .collect();
+    let payload_len = payloads.iter().map(Vec::len).max().unwrap_or(1);
+    let mut cell: DenseCell<F> = DenseCell::new(p.n, p.k, payload_len);
+    for (i, holders) in inst.holders.iter().enumerate() {
+        let mut payload = payloads[i].clone();
+        payload.resize(payload_len, F::ZERO);
+        for &u in holders {
+            cell.seed_source(u, i, &payload);
+        }
+    }
+    Box::new(cell)
+}
+
+/// Seeds the bit-planar [`Gf256Cell`] from the instance — the same
+/// encoding, padding, and seeding order as [`build_dense_cell`].
+fn build_gf256_cell(inst: &Instance) -> Box<dyn FastCell> {
+    let p = inst.params;
+    let payloads: Vec<Vec<Gf256>> = inst.tokens.iter().map(token_to_symbols::<Gf256>).collect();
+    let payload_len = payloads.iter().map(Vec::len).max().unwrap_or(1);
+    let mut cell = Gf256Cell::new(p.n, p.k, payload_len);
+    for (i, holders) in inst.holders.iter().enumerate() {
+        let mut payload = payloads[i].clone();
+        payload.resize(payload_len, Gf256::ZERO);
+        for &u in holders {
+            cell.seed_source(u, i, &payload);
+        }
+    }
+    Box::new(cell)
+}
+
 /// Builds the arena-backed fast cell for an eligible spec over `inst`
 /// (`t` is the cell's stability interval, adopted by
 /// `pipelined-forwarding` without an explicit T — the same rule as
-/// [`ProtocolSpec::build`]).
+/// [`ProtocolSpec::build`]). Dedicated cells cover the elimination-bound
+/// coding families ([`Gf2Cell`], [`Gf256Cell`], [`DenseCell`]) and the
+/// Theorem 2.1
+/// forwarding schedules ([`ForwardCell`]); the stage-machine families run
+/// through [`ErasedCell`], which reuses the fast loop's CSR snapshot and
+/// message arenas around the reference state machines.
 ///
-/// # Panics
-/// Panics on an ineligible spec, naming the eligible families.
-pub fn build_fast_cell(spec: &ProtocolSpec, inst: &Instance, t: usize) -> Box<dyn FastCell> {
+/// # Errors
+/// Returns the [`fast_ineligibility`] message on an ineligible spec.
+pub fn build_fast_cell(
+    spec: &ProtocolSpec,
+    inst: &Instance,
+    t: usize,
+) -> Result<Box<dyn FastCell>, String> {
     let p = inst.params;
     let seed_coding = |mut cell: Gf2Cell| -> Box<dyn FastCell> {
         for (i, holders) in inst.holders.iter().enumerate() {
@@ -197,7 +270,7 @@ pub fn build_fast_cell(spec: &ProtocolSpec, inst: &Instance, t: usize) -> Box<dy
         }
         Box::new(cell)
     };
-    match spec {
+    Ok(match spec {
         ProtocolSpec::TokenForwarding | ProtocolSpec::PipelinedForwarding { .. } => {
             let cfg = match spec {
                 ProtocolSpec::PipelinedForwarding { t: spec_t } => {
@@ -219,26 +292,37 @@ pub fn build_fast_cell(spec: &ProtocolSpec, inst: &Instance, t: usize) -> Box<dy
         ProtocolSpec::IndexedBroadcast => {
             seed_coding(Gf2Cell::new(p.n, p.k, p.d, Gf2ViewMode::Indexed))
         }
-        ProtocolSpec::FieldBroadcast {
-            field: FieldKind::Gf2,
-            det: None,
-        } => {
+        ProtocolSpec::FieldBroadcast { field, det: None } => match field {
             // field-broadcast(gf2) packs a d-bit token into d one-bit
             // symbols, so the packed payload is the token verbatim and
             // the wire cost is k + d bits — the indexed-broadcast layout
             // with the all-or-nothing decodability view.
-            seed_coding(Gf2Cell::new(p.n, p.k, p.d, Gf2ViewMode::Broadcast))
+            FieldKind::Gf2 => seed_coding(Gf2Cell::new(p.n, p.k, p.d, Gf2ViewMode::Broadcast)),
+            FieldKind::Gf256 => build_gf256_cell(inst),
+            FieldKind::Gf257 => build_dense_cell::<Gf257>(inst),
+            FieldKind::Mersenne61 => build_dense_cell::<Mersenne61>(inst),
+        },
+        ProtocolSpec::GreedyForward { .. }
+        | ProtocolSpec::PriorityForward { .. }
+        | ProtocolSpec::RandomForward { .. }
+        | ProtocolSpec::NaiveCoded
+        | ProtocolSpec::Centralized => Box::new(ErasedCell::new(spec.build(inst, t))),
+        other => {
+            return Err(fast_ineligibility(other)
+                .expect("specs without an ineligibility reason have a fast cell"))
         }
-        other => panic!(
-            "{other} has no fast kernel; eligible specs: token-forwarding, \
-             pipelined-forwarding, indexed-broadcast, field-broadcast(gf2)"
-        ),
-    }
+    })
 }
 
 /// [`run_spec`] through an explicit [`Kernel`]: the reference simulator,
 /// the arena-backed fast path, or `Auto` dispatch between them — with the
 /// same dissemination assertion on completion either way.
+///
+/// # Panics
+/// Panics with the [`fast_ineligibility`] message on an explicit
+/// `Kernel::Fast` for an ineligible spec. Callers with a user-facing
+/// error path (campaign parsing, the CLI) should pre-check with
+/// [`fast_ineligibility`] instead of catching the panic.
 pub fn run_spec_kernel<FA>(
     spec: &ProtocolSpec,
     inst: &Instance,
@@ -254,7 +338,7 @@ where
     if resolve_kernel(spec, kernel) != Kernel::Fast {
         return run_spec(spec, inst, t, adv, config, seed);
     }
-    let mut cell = build_fast_cell(spec, inst, t);
+    let mut cell = build_fast_cell(spec, inst, t).unwrap_or_else(|e| panic!("{e}"));
     let mut a = adv();
     let r = run_fast(cell.as_mut(), a.as_mut(), config, seed);
     if r.completed {
@@ -419,17 +503,20 @@ mod tests {
             "token-forwarding",
             "pipelined-forwarding",
             "pipelined-forwarding(8)",
-            "indexed-broadcast",
-            "field-broadcast(gf2)",
-        ];
-        let reference = [
             "greedy-forward",
             "priority-forward",
             "random-forward",
             "naive-coded",
-            "field-broadcast(gf2,det=1)",
+            "indexed-broadcast",
+            "field-broadcast(gf2)",
             "field-broadcast(gf256)",
+            "field-broadcast(gf257)",
+            "field-broadcast(m61)",
             "centralized",
+        ];
+        let reference = [
+            "field-broadcast(gf2,det=1)",
+            "field-broadcast(gf256,det=7)",
             "patch-indexed",
         ];
         for s in fast {
@@ -447,9 +534,22 @@ mod tests {
             );
         }
         // Explicit choices pass through untouched.
-        let spec = ProtocolSpec::parse("centralized").unwrap();
+        let spec = ProtocolSpec::parse("patch-indexed").unwrap();
         assert_eq!(resolve_kernel(&spec, Kernel::Reference), Kernel::Reference);
         assert_eq!(resolve_kernel(&spec, Kernel::Fast), Kernel::Fast);
+    }
+
+    #[test]
+    fn ineligible_spec_build_is_an_error_naming_the_eligible_families() {
+        let p = Params::new(8, 8, 4, 8);
+        let inst = Instance::generate(p, Placement::OneTokenPerNode, 1);
+        for s in ["field-broadcast(gf2,det=1)", "patch-indexed"] {
+            let spec = ProtocolSpec::parse(s).unwrap();
+            let err = build_fast_cell(&spec, &inst, 1).err().expect(s);
+            assert!(err.contains("no fast kernel"), "{err}");
+            assert!(err.contains("eligible specs"), "{err}");
+            assert_eq!(fast_ineligibility(&spec), Some(err));
+        }
     }
 
     #[test]
@@ -457,7 +557,10 @@ mod tests {
     fn explicit_fast_on_ineligible_spec_is_rejected() {
         let p = Params::new(8, 8, 4, 8);
         let inst = Instance::generate(p, Placement::OneTokenPerNode, 1);
-        let _ = build_fast_cell(&ProtocolSpec::Centralized, &inst, 1);
+        let spec = ProtocolSpec::parse("field-broadcast(gf2,det=1)").unwrap();
+        let adv = || Box::new(ShuffledPathAdversary) as Box<dyn Adversary>;
+        let cfg = SimConfig::with_max_rounds(100);
+        let _ = run_spec_kernel(&spec, &inst, 1, &adv, &cfg, 1, Kernel::Fast);
     }
 
     #[test]
@@ -469,8 +572,15 @@ mod tests {
         for s in [
             "token-forwarding",
             "pipelined-forwarding(8)",
+            "greedy-forward",
+            "priority-forward",
+            "naive-coded",
             "indexed-broadcast",
             "field-broadcast(gf2)",
+            "field-broadcast(gf256)",
+            "field-broadcast(gf257)",
+            "field-broadcast(m61)",
+            "centralized",
         ] {
             let spec = ProtocolSpec::parse(s).unwrap();
             for seed in [1u64, 7] {
@@ -479,6 +589,15 @@ mod tests {
                 assert_eq!(slow, fast, "{s} seed={seed}");
                 assert!(slow.completed, "{s} seed={seed}");
             }
+        }
+        // random-forward never terminates (it forwards forever), so it is
+        // equivalence-checked at a short cap without the completion claim.
+        let spec = ProtocolSpec::parse("random-forward").unwrap();
+        let short = SimConfig::with_max_rounds(64).recording();
+        for seed in [1u64, 7] {
+            let slow = run_spec_kernel(&spec, &inst, 1, &adv, &short, seed, Kernel::Reference);
+            let fast = run_spec_kernel(&spec, &inst, 1, &adv, &short, seed, Kernel::Fast);
+            assert_eq!(slow, fast, "random-forward seed={seed}");
         }
         // The kernel sweep equals the reference sweep, seed for seed.
         let spec = ProtocolSpec::parse("field-broadcast(gf2)").unwrap();

@@ -18,7 +18,7 @@ use crate::aggregate::SeedStats;
 use crate::artifact::{Artifact, CellRecord, RunError, RunRecord};
 use crate::executor::Engine;
 use dyncode_core::params::{Instance, Params, Placement};
-use dyncode_core::runner::{run_spec_kernel, Kernel};
+use dyncode_core::runner::{fast_ineligibility, run_spec_kernel, Kernel};
 use dyncode_core::spec::ProtocolSpec;
 use dyncode_dynet::adversaries::{
     BottleneckAdversary, KnowledgeAdaptiveAdversary, RandomConnectedAdversary,
@@ -607,6 +607,16 @@ impl CampaignBuilder {
         if c.ts.is_empty() || c.ts.contains(&0) {
             return Err("stability intervals must be nonempty and ≥ 1".into());
         }
+        // An explicit `kernel = fast` must cover every protocol in the
+        // grid — catch the mismatch here, at campaign-build time, instead
+        // of panicking mid-sweep inside a worker.
+        if c.kernel == Kernel::Fast {
+            for spec in &c.protocols {
+                if let Some(why) = fast_ineligibility(spec) {
+                    return Err(format!("kernel = fast: {why}"));
+                }
+            }
+        }
         Ok(c)
     }
 }
@@ -1010,6 +1020,27 @@ mod tests {
             err.contains("line 2") && err.contains("valid kernels"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn explicit_fast_kernel_rejects_ineligible_protocols_at_build_time() {
+        let text = "
+            id = fastlane
+            protocol = field-broadcast(gf2), patch-indexed
+            adversaries = shuffled-path
+            n = 10
+            seeds = 1
+            kernel = fast
+        ";
+        let err = Campaign::parse(text).unwrap_err();
+        assert!(
+            err.contains("kernel = fast") && err.contains("no fast kernel"),
+            "{err}"
+        );
+        assert!(err.contains("eligible specs"), "{err}");
+        // The same grid runs fine under auto (per-cell fallback).
+        let ok = text.replace("kernel = fast", "kernel = auto");
+        assert!(Campaign::parse(&ok).is_ok());
     }
 
     #[test]

@@ -75,6 +75,25 @@ pub trait Field:
         self == Self::ZERO
     }
 
+    /// `dst += c * src` over whole rows — the **fast kernel's** row
+    /// operation (the reference backend's `vector::scale_add` keeps its
+    /// own textbook loop). The default is the obvious per-entry loop;
+    /// implementations with cheaper bulk forms (e.g. [`crate::Gf256`]'s
+    /// per-coefficient product table) may override it, but must compute
+    /// exactly `d.add(c.mul(s))` per entry so results stay bit-identical.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    fn axpy(dst: &mut [Self], src: &[Self], c: Self) {
+        assert_eq!(dst.len(), src.len(), "axpy length mismatch");
+        if c.is_zero() {
+            return;
+        }
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = d.add(c.mul(*s));
+        }
+    }
+
     /// A uniformly random field element.
     fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
 

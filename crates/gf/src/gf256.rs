@@ -62,9 +62,42 @@ const LOG: [u16; 256] = {
     log
 };
 
+/// Plane-feed masks of multiplication by every constant, for bit-planar
+/// row arithmetic: `PLANE_MASKS[c][j]` has bit `i` set iff bit plane `i`
+/// of the source feeds bit plane `j` of `c · source` — i.e. iff bit `j`
+/// of `c·x^i` is set. Multiplication by `c` is GF(2)-linear on the 8 bit
+/// planes, so `y_j = XOR over set bits i of x_i`.
+const PLANE_MASKS: [[u8; 8]; 256] = {
+    let mut masks = [[0u8; 8]; 256];
+    let mut c = 0usize;
+    while c < 256 {
+        let mut i = 0;
+        while i < 8 {
+            let col = mul_slow(c as u8, 1 << i);
+            let mut j = 0;
+            while j < 8 {
+                masks[c][j] |= ((col >> j) & 1) << i;
+                j += 1;
+            }
+            i += 1;
+        }
+        c += 1;
+    }
+    masks
+};
+
 /// An element of GF(2^8).
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Gf256(pub u8);
+
+impl Gf256 {
+    /// The bit-plane feed masks of multiplication by `self`: entry `j`
+    /// has bit `i` set iff source plane `i` feeds product plane `j`.
+    /// Backs the kernel's bit-planar row operations.
+    pub fn plane_masks(self) -> &'static [u8; 8] {
+        &PLANE_MASKS[self.0 as usize]
+    }
+}
 
 impl core::fmt::Debug for Gf256 {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
@@ -114,6 +147,26 @@ impl Field for Gf256 {
         self.0 as u64
     }
 
+    fn axpy(dst: &mut [Self], src: &[Self], c: Self) {
+        assert_eq!(dst.len(), src.len(), "axpy length mismatch");
+        if c.0 == 0 {
+            return;
+        }
+        // Build the 256-byte product row of `c` once (255 log/antilog
+        // lookups), then every entry is a single branchless lookup + xor.
+        // Amortizes for the row lengths the kernel's elimination works on
+        // (hundreds of symbols); products are identical to per-entry
+        // `mul`, so the result is bit-identical to the default.
+        let log_c = LOG[c.0 as usize] as usize;
+        let mut tbl = [0u8; 256];
+        for (x, t) in tbl.iter_mut().enumerate().skip(1) {
+            *t = EXP[log_c + LOG[x] as usize];
+        }
+        for (d, s) in dst.iter_mut().zip(src) {
+            d.0 ^= tbl[s.0 as usize];
+        }
+    }
+
     fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
         Gf256(rng.random())
     }
@@ -153,6 +206,46 @@ mod tests {
             x = x.mul(Gf256(3));
         }
         assert_eq!(x, Gf256::ONE);
+    }
+
+    #[test]
+    fn table_axpy_matches_per_entry_mul() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..50 {
+            let len = rng.random_range(1..40usize);
+            let src: Vec<Gf256> = (0..len).map(|_| Gf256::random(&mut rng)).collect();
+            let mut fast: Vec<Gf256> = (0..len).map(|_| Gf256::random(&mut rng)).collect();
+            let mut slow = fast.clone();
+            let c = Gf256::random(&mut rng);
+            Gf256::axpy(&mut fast, &src, c);
+            for (d, s) in slow.iter_mut().zip(&src) {
+                *d = d.add(c.mul(*s));
+            }
+            assert_eq!(fast, slow, "c={c:?}");
+        }
+    }
+
+    #[test]
+    fn plane_masks_encode_multiplication_exhaustively() {
+        // Applying the plane-feed masks bit by bit must reproduce `mul`
+        // for every (c, x) pair.
+        for c in 0..=255u8 {
+            let m = Gf256(c).plane_masks();
+            for x in 0..=255u8 {
+                let mut y = 0u8;
+                for (j, mask) in m.iter().enumerate() {
+                    let mut bit = 0u8;
+                    for i in 0..8 {
+                        if (mask >> i) & 1 != 0 {
+                            bit ^= (x >> i) & 1;
+                        }
+                    }
+                    y |= bit << j;
+                }
+                assert_eq!(y, Gf256(c).mul(Gf256(x)).0, "c={c} x={x}");
+            }
+        }
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub type Gf65537 = GfP<65537>;
 /// "large q" derandomization regime.
 pub type Mersenne61 = GfP<2_305_843_009_213_693_951>;
 
+/// The Mersenne-61 modulus, named so `mul` can branch on it per-instance.
+const MERSENNE61_P: u64 = 2_305_843_009_213_693_951;
+
 impl<const P: u64> GfP<P> {
     /// Builds an element from an already-reduced representative.
     ///
@@ -73,7 +76,28 @@ impl<const P: u64> Field for GfP<P> {
     }
 
     fn mul(self, rhs: Self) -> Self {
-        GfP(((self.0 as u128 * rhs.0 as u128) % P as u128) as u64)
+        // Branching on the const modulus lets each instantiation keep only
+        // its own reduction path after constant folding. A generic `u128 %`
+        // compiles to a full 128-bit division on the row-operation hot
+        // path; both special moduli admit division-free reductions.
+        if P == MERSENNE61_P {
+            // Mersenne reduction: 2^61 ≡ 1 (mod p), so fold the high bits
+            // down twice (the first fold leaves a value < 2^62) and finish
+            // with one conditional subtract.
+            let wide = self.0 as u128 * rhs.0 as u128;
+            let folded = (wide & MERSENNE61_P as u128) as u64 + (wide >> 61) as u64;
+            let folded = (folded & MERSENNE61_P) + (folded >> 61);
+            GfP(if folded >= P { folded - P } else { folded })
+        } else if P == 257 {
+            // 2^8 ≡ −1 (mod 257): for a product x ≤ 256², the byte split
+            // x = hi·2^8 + lo reduces to lo − hi, lifted into 0..257 by
+            // adding 257 and one conditional subtract.
+            let x = self.0 * rhs.0;
+            let r = (x & 0xff) + 257 - (x >> 8);
+            GfP(if r >= 257 { r - 257 } else { r })
+        } else {
+            GfP(((self.0 as u128 * rhs.0 as u128) % P as u128) as u64)
+        }
     }
 
     fn inv(self) -> Option<Self> {
@@ -85,7 +109,9 @@ impl<const P: u64> Field for GfP<P> {
     }
 
     fn from_u64(x: u64) -> Self {
-        GfP(x % P)
+        // Already-reduced values (the common case: unpacking symbols that
+        // were packed from canonical representatives) skip the division.
+        GfP(if x < P { x } else { x % P })
     }
 
     fn to_u64(self) -> u64 {
@@ -135,6 +161,53 @@ mod tests {
         assert_eq!(a.mul(a), Mersenne61::ONE);
         assert_eq!(a.sub(Mersenne61::new(0)), a);
         assert_eq!(Mersenne61::new(0).sub(a).value(), 1);
+    }
+
+    #[test]
+    fn gf257_fast_reduction_matches_generic_modulo_exhaustively() {
+        // The byte-split path is locked against the old `%` implementation
+        // over the entire 257 × 257 multiplication table.
+        for a in 0..257u64 {
+            for b in 0..257u64 {
+                assert_eq!(
+                    Gf257::new(a).mul(Gf257::new(b)).value(),
+                    (a * b) % 257,
+                    "{a} * {b} mod 257"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mersenne61_fast_reduction_matches_generic_modulo_at_edges() {
+        let p = 2_305_843_009_213_693_951u64;
+        // Boundary representatives where the shift-add folds are tightest.
+        let edges = [0, 1, 2, (1 << 31) - 1, 1 << 31, p / 2, p - 2, p - 1];
+        for &a in &edges {
+            for &b in &edges {
+                assert_eq!(
+                    Mersenne61::new(a).mul(Mersenne61::new(b)).value(),
+                    ((a as u128 * b as u128) % p as u128) as u64,
+                    "{a} * {b} mod 2^61-1"
+                );
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// Randomized lock of the Mersenne shift-add reduction against the
+        /// old generic `u128 %` implementation.
+        #[test]
+        fn mersenne61_fast_reduction_matches_generic_modulo(
+            a in 0u64..2_305_843_009_213_693_951,
+            b in 0u64..2_305_843_009_213_693_951,
+        ) {
+            let p = 2_305_843_009_213_693_951u64;
+            proptest::prop_assert_eq!(
+                Mersenne61::new(a).mul(Mersenne61::new(b)).value(),
+                ((a as u128 * b as u128) % p as u128) as u64
+            );
+        }
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod gf2;
 pub mod gf256;
 pub mod gfp;
 pub mod matrix;
+pub mod pack;
 pub mod subspace;
 pub mod vector;
 

@@ -1,0 +1,119 @@
+//! Packed symbol codec: field elements at ⌈lg q⌉ bits each, chunked
+//! little-endian into `u64` words.
+//!
+//! The fast-kernel message arenas store composed packets in this layout so
+//! a GF(2^8) packet costs one byte per symbol and a GF(257) packet nine
+//! bits instead of a `Vec<F>` allocation per message. The layout mirrors
+//! the wire accounting (`Field::bits_per_symbol` per symbol): symbol `j`
+//! of a word chunk occupies bits `[w*j, w*(j+1))` of that word, words in
+//! ascending symbol order — the classic chunked-LE bit-pack scheme.
+//!
+//! Packing uses canonical representatives (`to_u64`/`from_u64`), so a
+//! round trip is exact for every reduced element of any [`Field`] with
+//! `bits_per_symbol() <= 64`.
+
+use crate::field::Field;
+
+/// Symbols per `u64` word for a `w`-bit symbol (at least 1; `w = 61`
+/// packs one symbol per word).
+pub fn per_word(w: u32) -> usize {
+    ((64 / w.max(1)) as usize).max(1)
+}
+
+/// Words needed to pack `len` symbols of `w` bits each.
+pub fn packed_words(len: usize, w: u32) -> usize {
+    len.div_ceil(per_word(w))
+}
+
+/// Packs `src` into `dst` (chunked-LE), zeroing any unused tail bits.
+///
+/// # Panics
+/// Panics if `dst` is shorter than [`packed_words`]`(src.len(), w)` or if
+/// the field is wider than 64 bits per symbol.
+pub fn pack<F: Field>(src: &[F], dst: &mut [u64]) {
+    let w = F::bits_per_symbol();
+    assert!(w <= 64, "symbol wider than a word");
+    let per = per_word(w);
+    let words = packed_words(src.len(), w);
+    assert!(dst.len() >= words, "packed destination too short");
+    for (word, chunk) in dst.iter_mut().zip(src.chunks(per)) {
+        let mut x = 0u64;
+        for (j, v) in chunk.iter().enumerate() {
+            x |= v.to_u64() << (w as usize * j);
+        }
+        *word = x;
+    }
+}
+
+/// Unpacks `dst.len()` symbols from the chunked-LE words in `src`.
+///
+/// # Panics
+/// Panics if `src` is shorter than [`packed_words`]`(dst.len(), w)`.
+pub fn unpack<F: Field>(src: &[u64], dst: &mut [F]) {
+    let w = F::bits_per_symbol();
+    assert!(w <= 64, "symbol wider than a word");
+    let per = per_word(w);
+    assert!(
+        src.len() >= packed_words(dst.len(), w),
+        "packed source too short"
+    );
+    let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+    for (word, chunk) in src.iter().zip(dst.chunks_mut(per)) {
+        for (j, v) in chunk.iter_mut().enumerate() {
+            *v = F::from_u64((word >> (w as usize * j)) & mask);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gf2, Gf256, Gf257, Mersenne61};
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+    fn round_trip<F: Field>(seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..40 {
+            let len = rng.random_range(0..70usize);
+            let vals: Vec<F> = (0..len).map(|_| F::random(&mut rng)).collect();
+            let mut words = vec![u64::MAX; packed_words(len, F::bits_per_symbol())];
+            pack(&vals, &mut words);
+            let mut back = vec![F::ZERO; len];
+            unpack(&words, &mut back);
+            assert_eq!(back, vals, "len={len}");
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly_over_every_field() {
+        round_trip::<Gf2>(1);
+        round_trip::<Gf256>(2);
+        round_trip::<Gf257>(3);
+        round_trip::<Mersenne61>(4);
+    }
+
+    #[test]
+    fn layout_is_chunked_little_endian() {
+        // 8-bit symbols: eight per word, symbol j at bits [8j, 8j+8).
+        let vals: Vec<Gf256> = (1..=9u64).map(Gf256::from_u64).collect();
+        let mut words = vec![0u64; packed_words(vals.len(), 8)];
+        pack(&vals, &mut words);
+        assert_eq!(words, vec![0x0807_0605_0403_0201, 0x09]);
+        // 9-bit symbols: seven per word, the tail bits stay zero.
+        let vals: Vec<Gf257> = vec![Gf257::new(256), Gf257::new(3)];
+        let mut words = vec![u64::MAX; 1];
+        pack(&vals, &mut words);
+        assert_eq!(words, vec![(3 << 9) | 256]);
+    }
+
+    #[test]
+    fn word_counts() {
+        assert_eq!(per_word(1), 64);
+        assert_eq!(per_word(8), 8);
+        assert_eq!(per_word(9), 7);
+        assert_eq!(per_word(61), 1);
+        assert_eq!(packed_words(0, 9), 0);
+        assert_eq!(packed_words(7, 9), 1);
+        assert_eq!(packed_words(8, 9), 2);
+    }
+}

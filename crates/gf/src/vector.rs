@@ -4,7 +4,12 @@
 use crate::field::Field;
 use rand::Rng;
 
-/// `dst += c * src` (the classic axpy kernel).
+/// `dst += c * src` (the classic axpy kernel), written as the plain
+/// per-entry `mul`/`add` loop. This is deliberately **not** routed
+/// through [`Field::axpy`]: `scale_add` is the reference backend's row
+/// operation, and keeping it at the textbook form leaves the bulk
+/// overrides (notably GF(2^8)'s product-table version) to the fast
+/// kernel, where the equivalence contract proves they change nothing.
 ///
 /// # Panics
 /// Panics if the slices have different lengths.

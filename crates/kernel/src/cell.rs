@@ -80,9 +80,16 @@ pub fn run_fast(
     let mut max_message_bits = 0u64;
     let mut history = Vec::new();
 
+    let phase_time = std::env::var_os("DYNCODE_PHASE_TIME").is_some();
+    let (mut t_view, mut t_compose, mut t_deliver) = (
+        std::time::Duration::ZERO,
+        std::time::Duration::ZERO,
+        std::time::Duration::ZERO,
+    );
     let mut round = 0usize;
     let mut completed = cell.all_done();
     while !completed && round < config.max_rounds {
+        let t0 = std::time::Instant::now();
         // 1. Adversary commits a topology from the current state.
         let view = cell.view();
         let graph = adversary.topology(round, &view, &mut adv_rng);
@@ -99,14 +106,22 @@ pub fn run_fast(
         );
         csr.load(&graph);
 
+        let t1 = std::time::Instant::now();
         // 2. Nodes speak, neighbor-blind.
         let (round_bits, round_max) = cell.compose_all(round, &mut rng, config.bit_limit);
         total_bits += round_bits;
         max_message_bits = max_message_bits.max(round_max);
 
+        let t2 = std::time::Instant::now();
         // 3. Anonymous broadcast delivery.
         cell.deliver_all(&csr, round, &mut rng);
         cell.round_end(round, &mut rng);
+        if phase_time {
+            let t3 = std::time::Instant::now();
+            t_view += t1 - t0;
+            t_compose += t2 - t1;
+            t_deliver += t3 - t2;
+        }
 
         if config.record_history {
             let (min_dim, max_dim, total_tokens, done) = cell.history_stats();
@@ -123,6 +138,14 @@ pub fn run_fast(
 
         round += 1;
         completed = cell.all_done();
+    }
+    if phase_time {
+        eprintln!(
+            "[phase-time n={n} rounds={round}: view+topo {:.3}s compose {:.3}s deliver {:.3}s]",
+            t_view.as_secs_f64(),
+            t_compose.as_secs_f64(),
+            t_deliver.as_secs_f64()
+        );
     }
 
     RunResult {

@@ -1,0 +1,405 @@
+//! The dense-field RLNC cell: per-node coding state over an arbitrary
+//! [`Field`], with packed message arenas — the fast backend for the
+//! prime fields, `field-broadcast(gf257|m61)` (randomized mode).
+//! GF(2^8) gets the dedicated bit-planar
+//! [`Gf256Cell`](crate::gf256cell::Gf256Cell) instead; this cell still
+//! supports it (the tests pin the mirror property on all three fields).
+//!
+//! The reference protocol keeps one `Subspace<F>` per node and allocates a
+//! `DensePacket<F>` (plus an `Rc` and an inbox `Vec`) per message per
+//! neighbor per round. This cell keeps the same reduced-row-echelon bases
+//! in per-node row arenas that grow one row per innovative insert, and
+//! stores every composed packet bit-packed at ⌈lg q⌉ bits per symbol in
+//! one flat `u64` arena ([`dyncode_gf::pack`]'s chunked-LE layout), so a
+//! round performs zero allocations after warmup. Three further wins over
+//! the reference path:
+//!
+//! * row operations go through [`Field::axpy`], which GF(2^8) overrides
+//!   with a hoisted log/antilog table form;
+//! * a node whose span is already full (rank k) skips its whole inbox —
+//!   no insert against a full basis can be innovative or change state, and
+//!   inserts draw no coins, so the skip is bit-invisible;
+//! * prime-field reduction is division-free (`dyncode_gf::gfp`).
+//!
+//! **Equivalence.** The insert replays `Subspace::insert` operation for
+//! operation (reduce in pivot order, leading-index scan, pivot
+//! normalization, back-elimination, pivot-sorted insert), and compose
+//! draws exactly one `F::random` per basis row in pivot order — the draw
+//! sequence of `vector::random_combination` — so runs are bit-identical
+//! to the reference `FieldBroadcast<F>` under the kernel contract.
+
+use crate::cell::FastCell;
+use crate::csr::CsrTopology;
+use dyncode_dynet::adversary::KnowledgeView;
+use dyncode_dynet::bitset::BitSet;
+use dyncode_gf::{pack, vector, Field};
+use rand::rngs::StdRng;
+
+/// One node's basis: a slot-major row arena plus the pivot-sorted
+/// indirection. Slots are assigned in insertion order and never move.
+#[derive(Clone, Debug)]
+struct NodeBasis<F> {
+    /// Row slot `s` lives at `rows[s·ambient .. (s+1)·ambient]`; grows one
+    /// row per innovative insert (total memory is O(Σ ranks), not n·k).
+    rows: Vec<F>,
+    /// Basis position (pivot-ascending) → row slot.
+    order: Vec<u32>,
+    /// Basis position → pivot column, strictly increasing.
+    pivots: Vec<u32>,
+}
+
+/// The arena-backed dense-field coding state for all n nodes.
+pub struct DenseCell<F: Field> {
+    n: usize,
+    k: usize,
+    /// Row width in symbols: k coefficients + payload symbols.
+    ambient: usize,
+    /// Packed message width in `u64` words.
+    wpm: usize,
+    nodes: Vec<NodeBasis<F>>,
+    /// Per node: pivots below k (the coefficient-projection rank).
+    coeff_rank: Vec<u32>,
+    /// Message arena: node `u`'s packed broadcast at
+    /// `msgs[u·wpm .. (u+1)·wpm]`, valid iff `has_msg[u]`.
+    msgs: Vec<u64>,
+    has_msg: Vec<bool>,
+    /// Delivery-time symbol arena: each sender's message is unpacked here
+    /// once per round instead of once per receiver (a node of degree d
+    /// would otherwise decode the same packet d times).
+    unpacked: Vec<F>,
+    /// Compose/unpack buffer, `ambient` symbols.
+    scratch: Vec<F>,
+}
+
+impl<F: Field> DenseCell<F> {
+    /// A fresh cell: n nodes, k coded indices, `payload_len`-symbol
+    /// payloads. Seed the sources with [`DenseCell::seed_source`] before
+    /// running.
+    pub fn new(n: usize, k: usize, payload_len: usize) -> Self {
+        let ambient = k + payload_len;
+        let wpm = pack::packed_words(ambient, F::bits_per_symbol()).max(1);
+        DenseCell {
+            n,
+            k,
+            ambient,
+            wpm,
+            nodes: vec![
+                NodeBasis {
+                    rows: Vec::new(),
+                    order: Vec::new(),
+                    pivots: Vec::new(),
+                };
+                n
+            ],
+            coeff_rank: vec![0; n],
+            msgs: vec![0; n * wpm],
+            has_msg: vec![false; n],
+            unpacked: vec![F::ZERO; n * ambient],
+            scratch: vec![F::ZERO; ambient],
+        }
+    }
+
+    /// Seeds `node` with source index `index` and its payload — the arena
+    /// analogue of `DenseNode::seed_source`.
+    ///
+    /// # Panics
+    /// Panics if the payload width disagrees or `index >= k`.
+    pub fn seed_source(&mut self, node: usize, index: usize, payload: &[F]) {
+        assert!(index < self.k, "source index out of range");
+        assert_eq!(
+            payload.len(),
+            self.ambient - self.k,
+            "payload width mismatch"
+        );
+        let mut v = std::mem::take(&mut self.scratch);
+        v.fill(F::ZERO);
+        v[index] = F::ONE;
+        v[self.k..].copy_from_slice(payload);
+        self.insert(node, &mut v);
+        self.scratch = v;
+    }
+
+    /// The basis dimension of `node`.
+    pub fn rank(&self, node: usize) -> usize {
+        self.nodes[node].order.len()
+    }
+
+    /// The coefficient-projection rank of `node`.
+    pub fn coefficient_rank(&self, node: usize) -> usize {
+        self.coeff_rank[node] as usize
+    }
+
+    /// Basis row `r` (pivot order) of `node` — test and introspection
+    /// surface, not the hot path.
+    pub fn basis_row(&self, node: usize, r: usize) -> Vec<F> {
+        let st = &self.nodes[node];
+        let slot = st.order[r] as usize;
+        st.rows[slot * self.ambient..(slot + 1) * self.ambient].to_vec()
+    }
+
+    /// Inserts `v` (an `ambient`-symbol packet) into `node`'s basis;
+    /// returns `true` iff innovative. `v` is clobbered (it becomes the
+    /// normalized new row). Identical math to `Subspace::insert`.
+    fn insert(&mut self, node: usize, v: &mut [F]) -> bool {
+        let (k, ambient) = (self.k, self.ambient);
+        let st = &mut self.nodes[node];
+        // Reduce against the basis in pivot order. Every stored row is
+        // zero before its pivot column (the pivot is its leading index,
+        // an invariant back-elimination preserves: a new pivot only ever
+        // rewrites columns at or after itself in rows with smaller
+        // pivots), so each axpy starts at the pivot — the reference
+        // `Subspace` pays full-length row ops instead.
+        for r in 0..st.order.len() {
+            let p = st.pivots[r] as usize;
+            let c = v[p];
+            if !c.is_zero() {
+                let slot = st.order[r] as usize;
+                F::axpy(
+                    &mut v[p..],
+                    &st.rows[slot * ambient + p..(slot + 1) * ambient],
+                    c.neg(),
+                );
+            }
+        }
+        let Some(p) = vector::leading_index(v) else {
+            return false;
+        };
+        // Normalize the new pivot to 1 (`v` is zero before `p`).
+        let inv = v[p].inv().expect("leading entry nonzero");
+        vector::scale(&mut v[p..], inv);
+        // Back-eliminate the new pivot column from existing rows; `v` is
+        // zero before `p`, so only entries from `p` on can change.
+        for r in 0..st.order.len() {
+            let slot = st.order[r] as usize;
+            let row = &mut st.rows[slot * ambient + p..(slot + 1) * ambient];
+            let c = row[0];
+            if !c.is_zero() {
+                F::axpy(row, &v[p..], c.neg());
+            }
+        }
+        // Insert keeping pivots sorted; the row data takes the next slot.
+        let nrank = st.order.len();
+        assert!(
+            nrank < k,
+            "rank overflow: packets must lie in the k-dimensional source span"
+        );
+        let idx = st.pivots.partition_point(|&q| (q as usize) < p);
+        st.order.insert(idx, nrank as u32);
+        st.pivots.insert(idx, p as u32);
+        st.rows.extend_from_slice(v);
+        if p < k {
+            self.coeff_rank[node] += 1;
+        }
+        true
+    }
+
+    fn node_done(&self, node: usize) -> bool {
+        self.coeff_rank[node] as usize == self.k
+    }
+}
+
+impl<F: Field> FastCell for DenseCell<F> {
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn compose_all(
+        &mut self,
+        round: usize,
+        rng: &mut StdRng,
+        bit_limit: Option<u64>,
+    ) -> (u64, u64) {
+        let (ambient, wpm) = (self.ambient, self.wpm);
+        let bits = ambient as u64 * F::bits_per_symbol() as u64;
+        let mut round_bits = 0u64;
+        let mut round_max = 0u64;
+        let mut msg = std::mem::take(&mut self.scratch);
+        for u in 0..self.n {
+            let st = &self.nodes[u];
+            let nrank = st.order.len();
+            if nrank == 0 {
+                // Nothing received: stay silent and draw no coefficients,
+                // exactly like the reference emit.
+                self.has_msg[u] = false;
+                continue;
+            }
+            msg.fill(F::ZERO);
+            for r in 0..nrank {
+                // One coefficient per basis row in pivot order — the draw
+                // sequence of `random_combination`; the axpy itself skips
+                // zero coefficients, as `scale_add` does, and starts at
+                // the row's pivot (rows are zero before their pivot).
+                let c = F::random(rng);
+                if !c.is_zero() {
+                    let slot = st.order[r] as usize;
+                    let p = st.pivots[r] as usize;
+                    F::axpy(
+                        &mut msg[p..],
+                        &st.rows[slot * ambient + p..(slot + 1) * ambient],
+                        c,
+                    );
+                }
+            }
+            if let Some(limit) = bit_limit {
+                assert!(
+                    bits <= limit,
+                    "node {u} exceeded the message budget at round {round}: \
+                     {bits} > {limit} bits"
+                );
+            }
+            round_bits += bits;
+            round_max = round_max.max(bits);
+            pack::pack(&msg, &mut self.msgs[u * wpm..(u + 1) * wpm]);
+            self.has_msg[u] = true;
+        }
+        self.scratch = msg;
+        (round_bits, round_max)
+    }
+
+    fn deliver_all(&mut self, topo: &CsrTopology, _round: usize, _rng: &mut StdRng) {
+        let (wpm, ambient) = (self.wpm, self.ambient);
+        // Decode each sender's packed message once; every receiver then
+        // starts from a plain symbol copy.
+        let mut unpacked = std::mem::take(&mut self.unpacked);
+        for v in 0..self.n {
+            if self.has_msg[v] {
+                pack::unpack(
+                    &self.msgs[v * wpm..(v + 1) * wpm],
+                    &mut unpacked[v * ambient..(v + 1) * ambient],
+                );
+            }
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for u in 0..self.n {
+            // Saturation shortcut: at rank k the node holds the full
+            // source span, so no insert can be innovative or change any
+            // row (reducing an in-span vector yields zero), and inserts
+            // draw no coins — skipping the inbox is bit-invisible.
+            if self.nodes[u].order.len() == self.k {
+                continue;
+            }
+            for &v in topo.neighbors(u) {
+                let v = v as usize;
+                if self.has_msg[v] {
+                    scratch.copy_from_slice(&unpacked[v * ambient..(v + 1) * ambient]);
+                    self.insert(u, &mut scratch);
+                }
+            }
+        }
+        self.scratch = scratch;
+        self.unpacked = unpacked;
+    }
+
+    fn all_done(&self) -> bool {
+        (0..self.n).all(|u| self.node_done(u))
+    }
+
+    fn view(&self) -> KnowledgeView {
+        // Mirror of `FieldBroadcast::view`: all-or-nothing decodability.
+        let tokens: Vec<BitSet> = (0..self.n)
+            .map(|u| {
+                let mut s = BitSet::new(self.k);
+                if self.node_done(u) {
+                    for i in 0..self.k {
+                        s.insert(i);
+                    }
+                }
+                s
+            })
+            .collect();
+        KnowledgeView {
+            dims: (0..self.n).map(|u| self.rank(u)).collect(),
+            done: (0..self.n).map(|u| self.node_done(u)).collect(),
+            tokens,
+        }
+    }
+
+    fn history_stats(&self) -> (usize, usize, usize, usize) {
+        let min_dim = (0..self.n).map(|u| self.rank(u)).min().unwrap_or(0);
+        let max_dim = (0..self.n).map(|u| self.rank(u)).max().unwrap_or(0);
+        let done = (0..self.n).filter(|&u| self.node_done(u)).count();
+        (min_dim, max_dim, self.k * done, done)
+    }
+
+    fn fully_disseminated(&self) -> bool {
+        self.all_done()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyncode_gf::{Gf256, Gf257, Mersenne61, Subspace};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Mirror of the reference basis: every insert must agree with
+    /// `Subspace::insert` on innovation, rank, pivots, and row content.
+    /// Inputs are random combinations of k source packets — the only
+    /// vectors a run can deliver.
+    fn insert_agrees_with_subspace<F: Field>(seed: u64) {
+        let (k, d) = (5, 7);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sources: Vec<Vec<F>> = (0..k)
+            .map(|i| {
+                let mut v = vec![F::ZERO; k + d];
+                v[i] = F::ONE;
+                for s in v[k..].iter_mut() {
+                    *s = F::random(&mut rng);
+                }
+                v
+            })
+            .collect();
+        let mut cell: DenseCell<F> = DenseCell::new(1, k, d);
+        let mut reference: Subspace<F> = Subspace::new(k + d);
+        for _ in 0..60 {
+            let mut v = vec![F::ZERO; k + d];
+            for s in &sources {
+                F::axpy(&mut v, s, F::random(&mut rng));
+            }
+            let fast = cell.insert(0, &mut v.clone());
+            let slow = reference.insert(v);
+            assert_eq!(fast, slow);
+            assert_eq!(cell.rank(0), reference.dim());
+            for (r, row) in reference.basis().iter().enumerate() {
+                assert_eq!(&cell.basis_row(0, r), row, "row {r}");
+            }
+            assert_eq!(cell.coefficient_rank(0), reference.prefix_rank(k));
+        }
+    }
+
+    #[test]
+    fn insert_mirrors_subspace_over_every_dense_field() {
+        insert_agrees_with_subspace::<Gf256>(11);
+        insert_agrees_with_subspace::<Gf257>(12);
+        insert_agrees_with_subspace::<Mersenne61>(13);
+    }
+
+    #[test]
+    fn seeded_sources_make_node_decodable() {
+        let (k, d) = (4, 3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let payloads: Vec<Vec<Gf256>> = (0..k)
+            .map(|_| (0..d).map(|_| Gf256::random(&mut rng)).collect())
+            .collect();
+        let mut cell: DenseCell<Gf256> = DenseCell::new(2, k, d);
+        for (i, p) in payloads.iter().enumerate() {
+            cell.seed_source(0, i, p);
+        }
+        assert_eq!(cell.rank(0), k);
+        assert_eq!(cell.coefficient_rank(0), k);
+        assert!(!cell.all_done(), "node 1 has nothing yet");
+        let v = cell.view();
+        assert_eq!(v.dims, vec![k, 0]);
+        assert_eq!(v.tokens[0].len(), k, "done view is all-or-nothing");
+        assert!(v.tokens[1].is_empty());
+        assert_eq!(cell.history_stats(), (0, k, k, 1));
+    }
+
+    #[test]
+    fn zero_packet_is_never_innovative() {
+        let mut cell: DenseCell<Gf257> = DenseCell::new(1, 3, 2);
+        let mut zero = vec![Gf257::ZERO; 5];
+        assert!(!cell.insert(0, &mut zero));
+        assert_eq!(cell.rank(0), 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! [`ErasedCell`]: any `Box<dyn ErasedProtocol>` as a [`FastCell`] — the
+//! adapter that closes the fast kernel's eligibility table over the
+//! stage-machine protocols (greedy/priority/random forwarding,
+//! `naive-coded`, `centralized`).
+//!
+//! These families are not elimination-bound: their per-round cost is a
+//! schedule decision plus small token moves, so what the fast loop buys
+//! them is its round *infrastructure* — the delta-reused CSR snapshot and
+//! a persistent message/inbox arena instead of the reference loop's fresh
+//! `Vec<Option<M>>` and per-node inbox `Vec` every round — not a
+//! reimplementation of their state machines. The adapter forwards every
+//! protocol call with the same arguments in the same order as
+//! `simulator::run` (compose per node ascending, deliver for **every**
+//! node from ascending neighbors — some protocols advance state on an
+//! empty inbox — then the round-end hook), so no wrapper path touches the
+//! RNG and runs are bit-identical by construction.
+
+use crate::cell::FastCell;
+use crate::csr::CsrTopology;
+use dyncode_dynet::adversary::KnowledgeView;
+use dyncode_dynet::simulator::{ErasedMessage, ErasedProtocol};
+use rand::rngs::StdRng;
+
+/// An erased protocol running on the fast backend.
+pub struct ErasedCell {
+    protocol: Box<dyn ErasedProtocol>,
+    /// This round's composed broadcasts, indexed by node.
+    msgs: Vec<Option<ErasedMessage>>,
+    /// Reused inbox scratch (`ErasedMessage` clones are refcount bumps).
+    inbox: Vec<ErasedMessage>,
+}
+
+impl ErasedCell {
+    /// Wraps an erased protocol (fully built and seeded).
+    pub fn new(protocol: Box<dyn ErasedProtocol>) -> Self {
+        let n = protocol.num_nodes();
+        ErasedCell {
+            protocol,
+            msgs: vec![None; n],
+            inbox: Vec::new(),
+        }
+    }
+}
+
+impl FastCell for ErasedCell {
+    fn num_nodes(&self) -> usize {
+        self.protocol.num_nodes()
+    }
+
+    fn compose_all(
+        &mut self,
+        round: usize,
+        rng: &mut StdRng,
+        bit_limit: Option<u64>,
+    ) -> (u64, u64) {
+        let mut round_bits = 0u64;
+        let mut round_max = 0u64;
+        for u in 0..self.msgs.len() {
+            let msg = self.protocol.compose_erased(u, round, rng);
+            if let Some(m) = &msg {
+                let bits = m.bits();
+                if let Some(limit) = bit_limit {
+                    assert!(
+                        bits <= limit,
+                        "node {u} exceeded the message budget at round {round}: \
+                         {bits} > {limit} bits"
+                    );
+                }
+                round_bits += bits;
+                round_max = round_max.max(bits);
+            }
+            self.msgs[u] = msg;
+        }
+        (round_bits, round_max)
+    }
+
+    fn deliver_all(&mut self, topo: &CsrTopology, round: usize, rng: &mut StdRng) {
+        for u in 0..self.msgs.len() {
+            self.inbox.clear();
+            for &v in topo.neighbors(u) {
+                if let Some(m) = &self.msgs[v as usize] {
+                    self.inbox.push(m.clone());
+                }
+            }
+            // Deliver even when the inbox is empty: the reference loop
+            // calls `deliver` for every node, and some protocols (e.g.
+            // random-forward's boundary refresh) mutate state there.
+            self.protocol.deliver_erased(u, &self.inbox, round, rng);
+        }
+    }
+
+    fn round_end(&mut self, round: usize, rng: &mut StdRng) {
+        self.protocol.round_end_erased(round, rng);
+    }
+
+    fn all_done(&self) -> bool {
+        (0..self.protocol.num_nodes()).all(|u| self.protocol.node_done(u))
+    }
+
+    fn view(&self) -> KnowledgeView {
+        self.protocol.view()
+    }
+
+    fn history_stats(&self) -> (usize, usize, usize, usize) {
+        // Derived from the view exactly as the reference loop derives a
+        // history row.
+        let v = self.protocol.view();
+        let min_dim = v.dims.iter().copied().min().unwrap_or(0);
+        let max_dim = v.dims.iter().copied().max().unwrap_or(0);
+        let total_tokens = v.tokens.iter().map(|s| s.len()).sum();
+        let done = v.done.iter().filter(|&&d| d).count();
+        (min_dim, max_dim, total_tokens, done)
+    }
+
+    fn fully_disseminated(&self) -> bool {
+        let k = self.protocol.num_tokens();
+        self.protocol.view().tokens.iter().all(|s| s.len() == k)
+    }
+}

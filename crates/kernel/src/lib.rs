@@ -8,7 +8,7 @@
 //! The reference simulator (`dyncode_dynet::simulator::run`) is
 //! allocation-bound at large n: a fresh `Vec<Option<Message>>` per round,
 //! a payload clone per neighbor, and a per-node inbox `Vec` per round.
-//! This crate replaces those with three reusable structures:
+//! This crate replaces those with six reusable structures:
 //!
 //! * [`CsrTopology`] — a flat offsets/targets adjacency snapshot, rebuilt
 //!   from the adversary's edge deltas (the `dyncode_dynet::trace` flip
@@ -18,9 +18,22 @@
 //!   arena, with incremental Gaussian elimination running directly on
 //!   `u64` limb slices (`dyncode_gf::bits::limb_xor` and friends) instead
 //!   of per-packet `Vec` clones.
+//! * [`Gf256Cell`] — `field-broadcast(gf256)` with *bit-planar* rows
+//!   (plane j holds bit j of every symbol, 64 symbols per word), turning
+//!   constant-multiply row ops into batched word XORs, plus rank-k
+//!   saturation shortcuts on both compose and delivery.
+//! * [`DenseCell`] — the dense-field analogue for
+//!   `field-broadcast(gf257|m61)`: per-node bases in lazily grown
+//!   row arenas, fast-reduction row ops via `Field::axpy`,
+//!   packets crossing the arena packed into chunked-LE `u64` words
+//!   (`dyncode_gf::pack`), and the rank-k saturation shortcut.
 //! * [`ForwardCell`] — the knowledge-based forwarding schedules with a
 //!   flat per-round message arena instead of per-node `Vec<usize>`
 //!   messages and inbox clones.
+//! * [`ErasedCell`] — any erased registry protocol on the fast loop's
+//!   round infrastructure, closing the eligibility table over the
+//!   stage-machine families (greedy/priority/random forwarding,
+//!   `naive-coded`, `centralized`).
 //!
 //! **Equivalence contract.** For every eligible cell, [`run_fast`]
 //! produces a `RunResult` bit-identical to the reference simulator's —
@@ -39,12 +52,18 @@
 
 pub mod cell;
 pub mod csr;
+pub mod densecell;
+pub mod erased;
 pub mod forward;
+pub mod gf256cell;
 pub mod gf2cell;
 
 pub use cell::{run_fast, FastCell};
 pub use csr::CsrTopology;
+pub use densecell::DenseCell;
+pub use erased::ErasedCell;
 pub use forward::ForwardCell;
+pub use gf256cell::Gf256Cell;
 pub use gf2cell::{Gf2Cell, Gf2ViewMode};
 
 use std::fmt;
@@ -58,8 +77,9 @@ pub enum Kernel {
     /// every spec. The default: committed baselines are reference runs.
     #[default]
     Reference,
-    /// The arena-backed fast path. Panics on a spec outside the eligible
-    /// families (use [`Kernel::Auto`] to fall back instead).
+    /// The arena-backed fast path. Rejected (an error naming the
+    /// eligible families) on a spec outside them — use [`Kernel::Auto`]
+    /// to fall back instead.
     Fast,
     /// Fast for eligible specs, Reference otherwise.
     Auto,

@@ -24,8 +24,16 @@ const ELIGIBLE: &[&str] = &[
     "token-forwarding",
     "pipelined-forwarding",
     "pipelined-forwarding(8)",
+    "greedy-forward",
+    "priority-forward",
+    "random-forward",
+    "naive-coded",
     "indexed-broadcast",
     "field-broadcast(gf2)",
+    "field-broadcast(gf256)",
+    "field-broadcast(gf257)",
+    "field-broadcast(m61)",
+    "centralized",
 ];
 
 const ADVERSARIES: &[&str] = &[
@@ -44,7 +52,15 @@ fn assert_equivalent(spec_s: &str, adv_s: &str, n: usize, t: usize, seed: u64) {
     // d = ⌈lg n⌉ + 2: distinct d-bit values for k = n tokens at any n here.
     let d = (usize::BITS - (n.max(2) - 1).leading_zeros()) as usize + 2;
     let inst = Instance::generate(Params::new(n, n, d, 2 * d), Placement::OneTokenPerNode, 42);
-    let cfg = SimConfig::with_max_rounds(200 * n * n).recording();
+    // random-forward forwards forever (it never completes), so the full
+    // 200n² cap would only replay tens of thousands of silent rounds; a
+    // short cap checks the same bit-identity without the wait.
+    let cap = if spec_s == "random-forward" {
+        40 * n
+    } else {
+        200 * n * n
+    };
+    let cfg = SimConfig::with_max_rounds(cap).recording();
     let adv = || kind.build(t) as Box<dyn Adversary>;
     let reference = run_spec_kernel(&spec, &inst, t, &adv, &cfg, seed, Kernel::Reference);
     let fast = run_spec_kernel(&spec, &inst, t, &adv, &cfg, seed, Kernel::Fast);
@@ -95,12 +111,26 @@ fn auto_matches_explicit_fast_on_eligible_specs() {
         assert!(fast_eligible(&spec), "{spec_s}");
         assert_eq!(resolve_kernel(&spec, Kernel::Auto), Kernel::Fast);
     }
-    // Ineligible specs route Auto to the reference backend.
-    for spec_s in ["greedy-forward", "field-broadcast(gf256)", "naive-coded"] {
+    // Ineligible specs route Auto to the reference backend: deterministic
+    // advice schedules and the charged-rounds patch model fall back, they
+    // never panic.
+    for spec_s in [
+        "field-broadcast(gf2,det=1)",
+        "field-broadcast(gf256,det=7)",
+        "patch-indexed",
+    ] {
         let spec = ProtocolSpec::parse(spec_s).unwrap();
         assert!(!fast_eligible(&spec), "{spec_s}");
         assert_eq!(resolve_kernel(&spec, Kernel::Auto), Kernel::Reference);
     }
+}
+
+#[test]
+fn det_advice_specs_resolve_to_reference_without_panicking() {
+    // The det-variant fallback rule, stated as a unit: Auto on a
+    // deterministic advice schedule is a clean Reference resolution.
+    let spec = ProtocolSpec::parse("field-broadcast(gf256,det=7)").unwrap();
+    assert_eq!(resolve_kernel(&spec, Kernel::Auto), Kernel::Reference);
 }
 
 proptest! {
