@@ -11,7 +11,7 @@
 
 use crate::registry;
 use dyncode_core::spec;
-use dyncode_engine::{Engine, Kernel};
+use dyncode_engine::{Engine, Kernel, Shard};
 use std::path::PathBuf;
 
 /// Parsed common flags; leftover positional arguments are returned.
@@ -36,6 +36,18 @@ pub struct Flags {
     /// Execution backend override (`--kernel reference|fast|auto`) for
     /// the subcommands that run cells (`perf`, `trace replay`).
     pub kernel: Option<Kernel>,
+    /// Campaign slice (`--shard I/K`) for the `campaign` subcommand.
+    pub shard: Option<Shard>,
+    /// Result-store directory (`--store DIR`) for `campaign`/`serve`/`store`.
+    pub store: Option<PathBuf>,
+    /// Re-open a partial artifact and execute only missing cells.
+    pub resume: bool,
+    /// Drain the serve spool once instead of looping.
+    pub once: bool,
+    /// Store size budget (`store gc --max-bytes N`).
+    pub max_bytes: Option<u64>,
+    /// Percent budget for peak-RSS growth in `perf-compare`.
+    pub max_rss_pct: Option<f64>,
     /// Non-flag arguments, in order.
     pub positional: Vec<String>,
 }
@@ -52,6 +64,12 @@ pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
         tol: None,
         tol_pct: None,
         kernel: None,
+        shard: None,
+        store: None,
+        resume: false,
+        once: false,
+        max_bytes: None,
+        max_rss_pct: None,
         positional: Vec::new(),
     };
     let mut it = args.iter().peekable();
@@ -92,6 +110,27 @@ pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 let v = value_of("--kernel")?;
                 flags.kernel = Some(Kernel::parse(&v)?);
             }
+            "--shard" => flags.shard = Some(Shard::parse(&value_of("--shard")?)?),
+            "--store" => flags.store = Some(PathBuf::from(value_of("--store")?)),
+            "--resume" => flags.resume = true,
+            "--once" => flags.once = true,
+            "--max-bytes" => {
+                let v = value_of("--max-bytes")?;
+                flags.max_bytes = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("bad --max-bytes value {v:?}"))?,
+                );
+            }
+            "--max-rss-pct" => {
+                let v = value_of("--max-rss-pct")?;
+                let pct = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad --max-rss-pct value {v:?}"))?;
+                if pct.is_nan() || pct < 0.0 {
+                    return Err(format!("--max-rss-pct must be ≥ 0, got {v:?}"));
+                }
+                flags.max_rss_pct = Some(pct);
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other:?}"));
             }
@@ -99,6 +138,26 @@ pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
         }
     }
     Ok(flags)
+}
+
+/// Errors on the first store/orchestration flag set in `flags` —
+/// subcommands outside the store family call this so a stray `--shard`,
+/// `--store`, `--resume`, `--once`, `--max-bytes`, or (unless
+/// `allow_rss`) `--max-rss-pct` fails loudly instead of being silently
+/// ignored.
+pub fn reject_store_flags(flags: &Flags, cmd: &str, allow_rss: bool) -> Result<(), String> {
+    let set = [
+        ("--shard", flags.shard.is_some()),
+        ("--store", flags.store.is_some()),
+        ("--resume", flags.resume),
+        ("--once", flags.once),
+        ("--max-bytes", flags.max_bytes.is_some()),
+        ("--max-rss-pct", !allow_rss && flags.max_rss_pct.is_some()),
+    ];
+    match set.iter().find(|(_, present)| *present) {
+        Some((name, _)) => Err(format!("{name} is not valid for {cmd}")),
+        None => Ok(()),
+    }
 }
 
 /// The usage text plus the experiment registry (with each experiment's
@@ -111,12 +170,25 @@ pub fn print_usage_and_registry() {
     eprintln!("       experiments protocols");
     eprintln!("       experiments compare <BASE.json> <CANDIDATE.json> [--tol F]");
     eprintln!("       experiments perf [--quick] [--kernel K] [--json] [--out DIR]");
-    eprintln!("       experiments perf-compare <BASE.json> <CANDIDATE.json> [--tol-pct P]");
+    eprintln!(
+        "       experiments perf-compare <BASE.json> <CANDIDATE.json> [--tol-pct P] \
+         [--max-rss-pct P]"
+    );
     eprintln!("       experiments schema <FILE.json>...");
     eprintln!("       experiments bench-engine [--quick] [--threads N]");
     eprintln!("       experiments trace record <PATH.dct> <SCENARIO> <N> <ROUNDS> [SEED]");
     eprintln!("       experiments trace info <PATH.dct>");
-    eprintln!("       experiments trace replay <PATH.dct> [PROTOCOL] [SEED] [--kernel K]\n");
+    eprintln!("       experiments trace replay <PATH.dct> [PROTOCOL] [SEED] [--kernel K]");
+    eprintln!(
+        "       experiments campaign <SPEC.camp> [--quick] [--threads N] [--out DIR]\n\
+         \x20                  [--shard I/K] [--store DIR] [--resume]"
+    );
+    eprintln!("       experiments merge <SHARD.json>... [--out DIR]");
+    eprintln!(
+        "       experiments serve <SPOOL> [--once] [--quick] [--threads N] [--out DIR] \
+         [--store DIR]"
+    );
+    eprintln!("       experiments store <stats | gc --max-bytes N> --store DIR\n");
     eprintln!("experiments:");
     for (id, desc, protocols, _) in &registry() {
         eprintln!("  {id:<5} {desc}");
@@ -181,6 +253,52 @@ mod tests {
             let err = parse_flags(&strings(args)).unwrap_err();
             assert!(err.contains(needle), "{args:?}: {err}");
         }
+    }
+
+    #[test]
+    fn store_and_shard_flags_parse() {
+        let f = parse_flags(&strings(&[
+            "campaign",
+            "spec.camp",
+            "--shard",
+            "2/4",
+            "--store",
+            "cache",
+            "--resume",
+            "--once",
+            "--max-bytes",
+            "4096",
+            "--max-rss-pct",
+            "75",
+        ]))
+        .unwrap();
+        assert_eq!(f.shard, Some(Shard { index: 2, count: 4 }));
+        assert_eq!(f.store.as_deref(), Some(std::path::Path::new("cache")));
+        assert!(f.resume && f.once);
+        assert_eq!(f.max_bytes, Some(4096));
+        assert_eq!(f.max_rss_pct, Some(75.0));
+        assert_eq!(f.positional, vec!["campaign", "spec.camp"]);
+        for (args, needle) in [
+            (&["--shard", "0/2"][..], "1 ≤ I ≤ K"),
+            (&["--shard", "3/2"][..], "1 ≤ I ≤ K"),
+            (&["--shard", "nope"][..], "expected I/K"),
+            (&["--shard"][..], "requires a value"),
+            (&["--max-bytes", "soon"][..], "bad --max-bytes"),
+            (&["--max-rss-pct", "-1"][..], "must be ≥ 0"),
+        ] {
+            let err = parse_flags(&strings(args)).unwrap_err();
+            assert!(err.contains(needle), "{args:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn store_flags_are_rejected_outside_the_store_family() {
+        let f = parse_flags(&strings(&["e1", "--shard", "1/2"])).unwrap();
+        let err = reject_store_flags(&f, "experiment runs", false).unwrap_err();
+        assert!(err.contains("--shard is not valid"), "{err}");
+        let f = parse_flags(&strings(&["perf-compare", "--max-rss-pct", "10"])).unwrap();
+        assert!(reject_store_flags(&f, "perf-compare", true).is_ok());
+        assert!(reject_store_flags(&f, "perf", false).is_err());
     }
 
     #[test]

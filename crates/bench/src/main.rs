@@ -18,8 +18,10 @@
 
 use dyncode_bench::cli::{
     parse_flags, print_protocol_registry, print_registry_listing, print_usage_and_registry,
+    reject_store_flags,
 };
 use dyncode_bench::ctx::ExpCtx;
+use dyncode_bench::orchestrate;
 use dyncode_bench::perf::{perf_compare, run_perf, PerfArtifact};
 use dyncode_bench::registry;
 use dyncode_core::params::{Params, Placement};
@@ -46,6 +48,10 @@ fn real_main() -> i32 {
         Some("schema") => cmd_schema(&args[1..]),
         Some("bench-engine") => cmd_bench_engine(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("campaign") => orchestrate::cmd_campaign(&args[1..]),
+        Some("merge") => orchestrate::cmd_merge(&args[1..]),
+        Some("serve") => orchestrate::cmd_serve(&args[1..]),
+        Some("store") => orchestrate::cmd_store(&args[1..]),
         Some("protocols") => {
             print_protocol_registry();
             0
@@ -92,6 +98,14 @@ fn cmd_experiments(args: &[String]) -> i32 {
 
     if flags.tol.is_some() {
         eprintln!("error: --tol is only valid with the compare subcommand");
+        return 2;
+    }
+    if let Err(e) = reject_store_flags(
+        &flags,
+        "experiment runs (use the campaign subcommand)",
+        false,
+    ) {
+        eprintln!("error: {e}");
         return 2;
     }
 
@@ -153,6 +167,10 @@ fn cmd_compare(args: &[String]) -> i32 {
         eprintln!("error: --out is not valid for compare");
         return 2;
     }
+    if let Err(e) = reject_store_flags(&flags, "compare", false) {
+        eprintln!("error: {e}");
+        return 2;
+    }
     let [base_path, cand_path] = flags.positional.as_slice() else {
         eprintln!("usage: experiments compare <BASE.json> <CANDIDATE.json> [--tol F]");
         return 2;
@@ -192,6 +210,10 @@ fn cmd_perf(args: &[String]) -> i32 {
     };
     if flags.tol.is_some() || flags.tol_pct.is_some() {
         eprintln!("error: --tol/--tol-pct are not valid for perf");
+        return 2;
+    }
+    if let Err(e) = reject_store_flags(&flags, "perf", false) {
+        eprintln!("error: {e}");
         return 2;
     }
     if !flags.positional.is_empty() {
@@ -248,8 +270,15 @@ fn cmd_perf_compare(args: &[String]) -> i32 {
         eprintln!("error: --out/--tol are not valid for perf-compare (use --tol-pct)");
         return 2;
     }
+    if let Err(e) = reject_store_flags(&flags, "perf-compare", true) {
+        eprintln!("error: {e}");
+        return 2;
+    }
     let [base_path, cand_path] = flags.positional.as_slice() else {
-        eprintln!("usage: experiments perf-compare <BASE.json> <CANDIDATE.json> [--tol-pct P]");
+        eprintln!(
+            "usage: experiments perf-compare <BASE.json> <CANDIDATE.json> [--tol-pct P] \
+             [--max-rss-pct P]"
+        );
         return 2;
     };
     let load = |path: &String| -> Result<PerfArtifact, String> {
@@ -265,7 +294,7 @@ fn cmd_perf_compare(args: &[String]) -> i32 {
     };
     // Shared-runner wall clocks are noisy: default to a generous 50%.
     let tol_pct = flags.tol_pct.unwrap_or(50.0);
-    let (lines, ok) = perf_compare(&base, &cand, tol_pct);
+    let (lines, ok) = perf_compare(&base, &cand, tol_pct, flags.max_rss_pct);
     for line in lines {
         println!("{line}");
     }
@@ -286,6 +315,10 @@ fn cmd_schema(args: &[String]) -> i32 {
     };
     if flags.out.is_some() || flags.tol.is_some() {
         eprintln!("error: --out/--tol are not valid for schema");
+        return 2;
+    }
+    if let Err(e) = reject_store_flags(&flags, "schema", false) {
+        eprintln!("error: {e}");
         return 2;
     }
     if flags.positional.is_empty() {
@@ -367,6 +400,10 @@ fn cmd_trace(raw_args: &[String]) -> i32 {
             return 2;
         }
     };
+    if let Err(e) = reject_store_flags(&flags, "trace", false) {
+        eprintln!("error: {e}");
+        return 2;
+    }
     let args = &flags.positional;
     match args.first().map(String::as_str) {
         Some("record") => {
@@ -568,6 +605,10 @@ fn cmd_bench_engine(args: &[String]) -> i32 {
     };
     if flags.out.is_some() || flags.tol.is_some() {
         eprintln!("error: --out/--tol are not valid for bench-engine");
+        return 2;
+    }
+    if let Err(e) = reject_store_flags(&flags, "bench-engine", false) {
+        eprintln!("error: {e}");
         return 2;
     }
     let campaign = Campaign::builder("bench-engine", "wall-clock speedup smoke check")

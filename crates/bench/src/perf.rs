@@ -406,10 +406,17 @@ pub fn run_perf(quick: bool, kernel_override: Option<Kernel>) -> PerfArtifact {
 
 /// The `perf-compare` gate: walks the baseline's cells (matched by
 /// label) and reports a regression when the candidate's throughput
-/// dropped by more than `tol_pct` percent. Cells missing on either side
-/// are notes, not regressions — quick CI profiles gate against the full
-/// committed baseline. Returns `(report lines, ok)`.
-pub fn perf_compare(base: &PerfArtifact, cand: &PerfArtifact, tol_pct: f64) -> (Vec<String>, bool) {
+/// dropped by more than `tol_pct` percent — and, when `max_rss_pct` is
+/// set, when its peak RSS grew by more than that budget. Cells missing
+/// on either side (or with an unmeasured RSS of 0, as on platforms
+/// without `/proc`) are notes, not regressions — quick CI profiles gate
+/// against the full committed baseline. Returns `(report lines, ok)`.
+pub fn perf_compare(
+    base: &PerfArtifact,
+    cand: &PerfArtifact,
+    tol_pct: f64,
+    max_rss_pct: Option<f64>,
+) -> (Vec<String>, bool) {
     let mut lines = Vec::new();
     let mut ok = true;
     for bc in &base.cells {
@@ -440,6 +447,26 @@ pub fn perf_compare(base: &PerfArtifact, cand: &PerfArtifact, tol_pct: f64) -> (
                 bc.label
             ));
         }
+        if let Some(budget) = max_rss_pct {
+            if bc.peak_rss_bytes == 0 || cc.peak_rss_bytes == 0 {
+                lines.push(format!(
+                    "note: cell {:?} has no RSS measurement on one side",
+                    bc.label
+                ));
+            } else {
+                let growth_pct = (cc.peak_rss_bytes as f64 - bc.peak_rss_bytes as f64)
+                    / bc.peak_rss_bytes as f64
+                    * 100.0;
+                if growth_pct > budget {
+                    ok = false;
+                    lines.push(format!(
+                        "REGRESSION: {:?}: peak RSS {} -> {} bytes \
+                         (+{growth_pct:.1}% > {budget:.1}% budget)",
+                        bc.label, bc.peak_rss_bytes, cc.peak_rss_bytes
+                    ));
+                }
+            }
+        }
     }
     for cc in &cand.cells {
         if !base.cells.iter().any(|c| c.label == cc.label) {
@@ -447,9 +474,13 @@ pub fn perf_compare(base: &PerfArtifact, cand: &PerfArtifact, tol_pct: f64) -> (
         }
     }
     if ok {
-        lines.push(format!(
-            "OK: no throughput regressions beyond {tol_pct:.1}%"
-        ));
+        lines.push(match max_rss_pct {
+            Some(budget) => format!(
+                "OK: no throughput regressions beyond {tol_pct:.1}%, \
+                 no RSS growth beyond {budget:.1}%"
+            ),
+            None => format!("OK: no throughput regressions beyond {tol_pct:.1}%"),
+        });
     }
     (lines, ok)
 }
@@ -506,7 +537,7 @@ mod tests {
             cells: vec![cell("a", 95.0)],
             scalars: vec![],
         };
-        let (lines, ok) = perf_compare(&base, &same, 20.0);
+        let (lines, ok) = perf_compare(&base, &same, 20.0, None);
         assert!(ok, "{lines:?}");
         assert!(lines.iter().any(|l| l.contains("not in candidate")));
 
@@ -514,7 +545,7 @@ mod tests {
             cells: vec![cell("a", 60.0)],
             scalars: vec![],
         };
-        let (lines, ok) = perf_compare(&base, &worse, 20.0);
+        let (lines, ok) = perf_compare(&base, &worse, 20.0, None);
         assert!(!ok);
         assert!(lines.iter().any(|l| l.contains("REGRESSION")), "{lines:?}");
 
@@ -522,10 +553,55 @@ mod tests {
             cells: vec![cell("a", 500.0), cell("new", 10.0)],
             scalars: vec![],
         };
-        let (lines, ok) = perf_compare(&base, &better, 20.0);
+        let (lines, ok) = perf_compare(&base, &better, 20.0, None);
         assert!(ok);
         assert!(lines.iter().any(|l| l.contains("improved")));
         assert!(lines.iter().any(|l| l.contains("adds cell")));
+    }
+
+    #[test]
+    fn perf_compare_gates_on_rss_growth() {
+        let with_rss = |label: &str, rps: f64, rss: u64| {
+            let mut c = cell(label, rps);
+            c.peak_rss_bytes = rss;
+            c
+        };
+        let base = PerfArtifact {
+            cells: vec![with_rss("a", 100.0, 1000), with_rss("b", 100.0, 0)],
+            scalars: vec![],
+        };
+        let grown = PerfArtifact {
+            cells: vec![with_rss("a", 100.0, 2000), with_rss("b", 100.0, 500)],
+            scalars: vec![],
+        };
+        // Without a budget, RSS growth is not gated.
+        let (_, ok) = perf_compare(&base, &grown, 20.0, None);
+        assert!(ok);
+        // +100% > 75% budget; the unmeasured cell (0 on either side) is
+        // a note, not a regression.
+        let (lines, ok) = perf_compare(&base, &grown, 20.0, Some(75.0));
+        assert!(!ok);
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("REGRESSION") && l.contains("peak RSS")),
+            "{lines:?}"
+        );
+        assert!(
+            lines.iter().any(|l| l.contains("no RSS measurement")),
+            "{lines:?}"
+        );
+        // Growth within budget passes, and the OK line names both gates.
+        let slight = PerfArtifact {
+            cells: vec![with_rss("a", 100.0, 1200)],
+            scalars: vec![],
+        };
+        let (lines, ok) = perf_compare(&base, &slight, 20.0, Some(75.0));
+        assert!(ok, "{lines:?}");
+        assert!(
+            lines.iter().any(|l| l.contains("no RSS growth beyond")),
+            "{lines:?}"
+        );
     }
 
     #[test]

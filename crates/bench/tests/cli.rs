@@ -272,6 +272,256 @@ fn json_artifacts_are_emitted_schema_valid_and_thread_independent() {
     std::fs::remove_dir_all(&dir8).ok();
 }
 
+/// A tiny 4-cell campaign spec for the store-family subcommand tests.
+const MINI_SPEC: &str = "id = mini\n\
+                         adversaries = shuffled-path, bottleneck\n\
+                         n = 8, 12\n\
+                         seeds = 1, 2\n\
+                         cap = 50nn\n";
+
+#[test]
+fn campaign_rejects_malformed_shard_values() {
+    let dir = temp_dir("badshard");
+    let spec = dir.join("mini.camp");
+    std::fs::write(&spec, MINI_SPEC).unwrap();
+    for (bad, needle) in [
+        ("0/2", "1 ≤ I ≤ K"),
+        ("3/2", "1 ≤ I ≤ K"),
+        ("2/0", "K must be ≥ 1"),
+        ("x/2", "expected I/K"),
+        ("12", "expected I/K"),
+    ] {
+        let out = experiments(&["campaign", spec.to_str().unwrap(), "--shard", bad]);
+        assert_eq!(out.status.code(), Some(2), "--shard {bad}");
+        let err = stderr(&out);
+        assert!(err.contains(needle), "--shard {bad}: {err}");
+    }
+    // --shard on plain experiment runs is rejected, pointing at campaign.
+    let out = experiments(&["e1", "--quick", "--shard", "1/2"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("--shard is not valid"),
+        "{}",
+        stderr(&out)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn campaign_shard_merge_and_warm_store_reproduce_the_unsharded_bytes() {
+    let dir = temp_dir("orch");
+    let spec = dir.join("mini.camp");
+    std::fs::write(&spec, MINI_SPEC).unwrap();
+    let sp = spec.to_str().unwrap();
+    let store = dir.join("cache");
+    let store_s = store.to_str().unwrap();
+    let full_dir = dir.join("full");
+
+    // Unsharded run, populating the store.
+    let out = experiments(&[
+        "campaign",
+        sp,
+        "--out",
+        full_dir.to_str().unwrap(),
+        "--store",
+        store_s,
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let full = std::fs::read_to_string(full_dir.join("BENCH_mini.json")).unwrap();
+
+    // Both shards (pure store hits now), then merge: byte-identical.
+    let shard_dir = dir.join("shards");
+    for i in ["1/2", "2/2"] {
+        let out = experiments(&[
+            "campaign",
+            sp,
+            "--shard",
+            i,
+            "--out",
+            shard_dir.to_str().unwrap(),
+            "--store",
+            store_s,
+        ]);
+        assert_eq!(out.status.code(), Some(0), "shard {i}: {}", stderr(&out));
+    }
+    let s1 = shard_dir.join("BENCH_mini.shard-1-of-2.json");
+    let s2 = shard_dir.join("BENCH_mini.shard-2-of-2.json");
+    let merged_dir = dir.join("merged");
+    let out = experiments(&[
+        "merge",
+        s1.to_str().unwrap(),
+        s2.to_str().unwrap(),
+        "--out",
+        merged_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let merged = std::fs::read_to_string(merged_dir.join("BENCH_mini.json")).unwrap();
+    assert_eq!(merged, full, "merge must reproduce the unsharded bytes");
+
+    // Merging an incomplete shard set is a usage error naming the gap.
+    let out = experiments(&["merge", s1.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("incomplete shard set"),
+        "{}",
+        stderr(&out)
+    );
+
+    // A warm re-run recomputes nothing: sidecar counters prove it and
+    // the artifact bytes cannot tell warm from cold.
+    let warm_dir = dir.join("warm");
+    let out = experiments(&[
+        "campaign",
+        sp,
+        "--out",
+        warm_dir.to_str().unwrap(),
+        "--store",
+        store_s,
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let warm = std::fs::read_to_string(warm_dir.join("BENCH_mini.json")).unwrap();
+    assert_eq!(warm, full);
+    let sidecar = std::fs::read_to_string(warm_dir.join("BENCH_mini.store.json")).unwrap();
+    assert!(sidecar.contains("\"computed\": 0"), "{sidecar}");
+    assert!(sidecar.contains("\"store_hits\": 8"), "{sidecar}");
+
+    // Resume against a *different* campaign's artifact: exit 2, the
+    // error names the digest mismatch.
+    let spec2 = dir.join("mini2.camp");
+    std::fs::write(&spec2, MINI_SPEC.replace("seeds = 1, 2", "seeds = 7")).unwrap();
+    let out = experiments(&[
+        "campaign",
+        spec2.to_str().unwrap(),
+        "--resume",
+        "--out",
+        full_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    assert!(stderr(&out).contains("digest"), "{}", stderr(&out));
+
+    // Resume with the matching spec succeeds (everything carries over)
+    // and still reproduces the same bytes.
+    let out = experiments(&[
+        "campaign",
+        sp,
+        "--resume",
+        "--out",
+        full_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("resumed 8"), "{}", stdout(&out));
+    let resumed = std::fs::read_to_string(full_dir.join("BENCH_mini.json")).unwrap();
+    assert_eq!(resumed, full);
+    // --resume without --out has nowhere to find the prior artifact.
+    let out = experiments(&["campaign", sp, "--resume"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("--resume needs --out"),
+        "{}",
+        stderr(&out)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn campaign_usage_errors_exit_2() {
+    // No spec file given.
+    let out = experiments(&["campaign"]);
+    assert_eq!(out.status.code(), Some(2));
+    // Spec file missing on disk is an input error, not a crash.
+    let out = experiments(&["campaign", "/nonexistent/spec.camp"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("cannot read"), "{}", stderr(&out));
+    // Malformed spec text names the offending line.
+    let dir = temp_dir("badspec");
+    let bad = dir.join("bad.camp");
+    std::fs::write(&bad, "this is not a campaign\n").unwrap();
+    let out = experiments(&["campaign", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("key = value"), "{}", stderr(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_once_drains_a_spool_and_reports_failures() {
+    let dir = temp_dir("serve");
+    let spool = dir.join("spool");
+    std::fs::create_dir_all(&spool).unwrap();
+    std::fs::write(
+        spool.join("ok.camp"),
+        "id = srv\nn = 8\nseeds = 1\ncap = 50nn\n",
+    )
+    .unwrap();
+    std::fs::write(spool.join("zz-broken.camp"), "garbage\n").unwrap();
+    let out_dir = dir.join("out");
+
+    // One failing spec → exit 1, but the good spec still ran.
+    let out = experiments(&[
+        "serve",
+        spool.to_str().unwrap(),
+        "--once",
+        "--out",
+        out_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("served"), "{text}");
+    assert!(text.contains("FAILED"), "{text}");
+    assert!(out_dir.join("BENCH_srv.json").exists());
+    assert!(spool.join("done/ok.camp").exists());
+    assert!(spool.join("failed/zz-broken.camp").exists());
+
+    // The spool is drained: a second pass does nothing and exits 0.
+    let out = experiments(&[
+        "serve",
+        spool.to_str().unwrap(),
+        "--once",
+        "--out",
+        out_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+
+    // A nonexistent spool is a usage error.
+    let out = experiments(&["serve", "/nonexistent/spool", "--once"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn store_subcommand_requires_an_explicit_store_and_gcs_to_budget() {
+    // No default store directory: gc deletes files.
+    let out = experiments(&["store", "stats"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--store"), "{}", stderr(&out));
+    let out = experiments(&["store", "gc", "--store", "/tmp/x"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--max-bytes"), "{}", stderr(&out));
+
+    // Populate a store via a campaign run, then stats + gc to zero.
+    let dir = temp_dir("storegc");
+    let spec = dir.join("mini.camp");
+    std::fs::write(&spec, MINI_SPEC).unwrap();
+    let store = dir.join("cache");
+    let store_s = store.to_str().unwrap();
+    let out = experiments(&["campaign", spec.to_str().unwrap(), "--store", store_s]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let out = experiments(&["store", "stats", "--store", store_s]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout(&out).contains("8 object(s)"), "{}", stdout(&out));
+    let out = experiments(&["store", "gc", "--max-bytes", "0", "--store", store_s]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("removed 8 object(s)"),
+        "{}",
+        stdout(&out)
+    );
+    let out = experiments(&["store", "stats", "--store", store_s]);
+    assert!(stdout(&out).contains("0 object(s)"), "{}", stdout(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Multiplies the first `"mean_rounds": <x>` in the artifact text by 10 —
 /// an injected regression well past any tolerance.
 fn regress_first_mean_rounds(text: &str) -> String {

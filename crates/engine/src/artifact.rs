@@ -146,6 +146,12 @@ pub struct Artifact {
     pub id: String,
     /// Human-readable title.
     pub title: String,
+    /// The campaign digest (`dyncode-store`), when produced by the
+    /// stored orchestrator: names the exact effective campaign so
+    /// shard merges and `--resume` can verify artifacts belong to the
+    /// same grid. `None` (and absent from the JSON) for experiment
+    /// artifacts — committed baselines keep their historical bytes.
+    pub campaign_digest: Option<String>,
     /// Sweep cells.
     pub cells: Vec<CellRecord>,
     /// Fitted constants.
@@ -162,6 +168,7 @@ impl Artifact {
         Artifact {
             id: id.into(),
             title: title.into(),
+            campaign_digest: None,
             cells: Vec::new(),
             fits: Vec::new(),
             scalars: Vec::new(),
@@ -190,10 +197,17 @@ impl Artifact {
 
     /// The JSON form.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("schema", Json::Str(SCHEMA.into())),
             ("id", Json::Str(self.id.clone())),
             ("title", Json::Str(self.title.clone())),
+        ];
+        // Optional, so artifacts without one (every experiment artifact,
+        // every committed baseline) keep their historical bytes.
+        if let Some(digest) = &self.campaign_digest {
+            fields.push(("campaign_digest", Json::Str(digest.clone())));
+        }
+        fields.extend(vec![
             (
                 "cells",
                 Json::Arr(self.cells.iter().map(cell_to_json).collect()),
@@ -261,7 +275,8 @@ impl Artifact {
                         .collect(),
                 ),
             ),
-        ])
+        ]);
+        Json::obj(fields)
     }
 
     /// Parses and schema-validates an artifact from JSON text.
@@ -313,6 +328,10 @@ impl Artifact {
         Ok(Artifact {
             id: req_str(json, "id")?,
             title: req_str(json, "title")?,
+            campaign_digest: json
+                .get("campaign_digest")
+                .and_then(Json::as_str)
+                .map(String::from),
             cells,
             fits,
             scalars,
@@ -659,6 +678,24 @@ mod tests {
 
         let err = Artifact::parse("{not json").unwrap_err();
         assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn campaign_digest_is_optional_and_round_trips() {
+        // Absent: serialized text has no key, parses back to None (old
+        // baselines stay valid and byte-stable).
+        let plain = sample();
+        assert!(plain.campaign_digest.is_none());
+        assert!(!plain.to_json_string().contains("campaign_digest"));
+
+        // Present: round-trips byte-identically.
+        let mut stored = sample();
+        stored.campaign_digest = Some("ab".repeat(32));
+        let text = stored.to_json_string();
+        assert!(text.contains("campaign_digest"));
+        let back = Artifact::parse(&text).expect("parse");
+        assert_eq!(back, stored);
+        assert_eq!(back.to_json_string(), text);
     }
 
     #[test]

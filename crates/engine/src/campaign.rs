@@ -18,7 +18,7 @@ use crate::aggregate::SeedStats;
 use crate::artifact::{Artifact, CellRecord, RunError, RunRecord};
 use crate::executor::Engine;
 use dyncode_core::params::{Instance, Params, Placement};
-use dyncode_core::runner::{fast_ineligibility, run_spec_kernel, Kernel};
+use dyncode_core::runner::{fast_ineligibility, resolve_kernel, run_spec_kernel, Kernel};
 use dyncode_core::spec::ProtocolSpec;
 use dyncode_dynet::adversaries::{
     BottleneckAdversary, KnowledgeAdaptiveAdversary, RandomConnectedAdversary,
@@ -676,12 +676,15 @@ impl CellSpec {
             ("cap".into(), self.cap.to_string()),
             ("instance_seed".into(), self.instance_seed.to_string()),
         ];
-        // Reference cells keep their historical metadata (committed
-        // baselines stay byte-identical); non-default kernels are
-        // recorded so artifacts say which backend produced them.
-        if self.kernel != Kernel::Reference {
-            meta.push(("kernel".into(), self.kernel.name().into()));
-        }
+        // The *resolved* backend, recorded unconditionally: cache keys
+        // (dyncode-store) and artifact provenance must always agree on
+        // which kernel actually produced the cell, and `auto` must
+        // record what it resolved to, not the request. (`compare`
+        // ignores meta, so committed baselines need no regeneration.)
+        meta.push((
+            "kernel".into(),
+            resolve_kernel(&self.protocol, self.kernel).name().into(),
+        ));
         meta
     }
 
@@ -995,9 +998,11 @@ mod tests {
         assert_eq!(fast.kernel, Kernel::Auto);
         let cells = fast.cells();
         assert!(cells.iter().all(|c| c.kernel == Kernel::Auto));
+        // Meta records what `auto` *resolved to* (both specs here are
+        // fast-eligible), not the request.
         assert!(cells[0]
             .meta()
-            .contains(&("kernel".to_string(), "auto".to_string())));
+            .contains(&("kernel".to_string(), "fast".to_string())));
 
         // Same campaign on the reference backend: identical stats and
         // runs (the equivalence contract seen from the engine).
@@ -1011,8 +1016,11 @@ mod tests {
             assert_eq!(f.stats, r.stats, "{}", f.label);
             assert_eq!(f.runs, r.runs, "{}", f.label);
         }
-        // Reference cells carry no kernel metadata (baseline stability).
-        assert!(a_ref.cells[0].meta.iter().all(|(k, _)| k != "kernel"));
+        // Reference cells record their backend too — the key is
+        // unconditional so provenance and cache keys always agree.
+        assert!(a_ref.cells[0]
+            .meta
+            .contains(&("kernel".to_string(), "reference".to_string())));
 
         // Bad kernel names are line-anchored errors.
         let err = Campaign::parse("id = x\nkernel = turbo").unwrap_err();

@@ -37,6 +37,7 @@ pub mod campaign;
 pub mod compare;
 pub mod executor;
 pub mod json;
+pub mod shard;
 
 pub use aggregate::SeedStats;
 pub use artifact::{Artifact, CellRecord, Fit, RunError, RunRecord, Scalar, TableData};
@@ -48,3 +49,4 @@ pub use dyncode_core::runner::Kernel;
 pub use dyncode_core::spec::{FieldKind, ProtocolSpec};
 pub use executor::{CellError, Engine};
 pub use json::Json;
+pub use shard::{merge_shards, Shard};

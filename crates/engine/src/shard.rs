@@ -1,0 +1,284 @@
+//! Deterministic campaign sharding: partition a campaign's expanded cell
+//! list across `k` independent runs (`--shard i/k`) and merge the shard
+//! artifacts back into a file **byte-identical** to the unsharded run.
+//!
+//! The partition is round-robin by cell index — shard `i` (1-based)
+//! takes cells `i-1, i-1+k, i-1+2k, …` of the grid order — so every
+//! shard sees a representative slice of the grid (sizes, protocols and
+//! adversaries interleave rather than clumping on one shard) and the
+//! merge is a pure index computation: merged cell `j` comes from shard
+//! `(j mod k) + 1` at position `j / k`. No labels are compared during
+//! the merge itself; identity is enforced through the shard artifact
+//! ids (`<base>.shard-<i>-of-<k>`) and the shared campaign digest.
+
+use crate::artifact::Artifact;
+
+/// One shard selector: 1-based index out of a total count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shard {
+    /// 1-based shard index (`1 ≤ index ≤ count`).
+    pub index: usize,
+    /// Total shard count (`≥ 1`).
+    pub count: usize,
+}
+
+impl Shard {
+    /// Parses `"i/k"` (e.g. `"2/4"`). Errors name the constraint:
+    /// both parts numeric, `k ≥ 1`, `1 ≤ i ≤ k`.
+    pub fn parse(s: &str) -> Result<Shard, String> {
+        let usage = || format!("bad --shard value {s:?}: expected I/K with 1 ≤ I ≤ K (e.g. 2/4)");
+        let (i, k) = s.split_once('/').ok_or_else(usage)?;
+        let index = i.parse::<usize>().map_err(|_| usage())?;
+        let count = k.parse::<usize>().map_err(|_| usage())?;
+        if count == 0 {
+            return Err(format!("bad --shard value {s:?}: K must be ≥ 1"));
+        }
+        if index == 0 || index > count {
+            return Err(format!(
+                "bad --shard value {s:?}: shard index must satisfy 1 ≤ I ≤ K (got I={index}, K={count})"
+            ));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Whether this shard owns grid cell `cell_index` (0-based).
+    pub fn selects(&self, cell_index: usize) -> bool {
+        cell_index % self.count == self.index - 1
+    }
+
+    /// The shard artifact id: `<base>.shard-<i>-of-<k>`.
+    pub fn artifact_id(&self, base_id: &str) -> String {
+        format!("{base_id}.shard-{}-of-{}", self.index, self.count)
+    }
+
+    /// Recovers `(base id, shard)` from a shard artifact id; `None` for
+    /// unsharded ids.
+    pub fn parse_artifact_id(id: &str) -> Option<(String, Shard)> {
+        let (base, suffix) = id.rsplit_once(".shard-")?;
+        let (i, k) = suffix.split_once("-of-")?;
+        let shard = Shard {
+            index: i.parse().ok()?,
+            count: k.parse().ok()?,
+        };
+        (shard.count >= 1 && shard.index >= 1 && shard.index <= shard.count)
+            .then(|| (base.to_string(), shard))
+    }
+}
+
+/// Merges a complete set of shard artifacts back into the unsharded
+/// artifact, byte-identical to a single-process run of the same
+/// campaign.
+///
+/// Validation before any interleaving: every input must carry a shard
+/// id, all must agree on base id, shard count, title, and campaign
+/// digest, and the set must contain each of `1..=k` exactly once.
+/// During interleaving, a shard running short of cells (a partial or
+/// truncated run) is an error naming the shard.
+pub fn merge_shards(shards: Vec<Artifact>) -> Result<Artifact, String> {
+    if shards.is_empty() {
+        return Err("merge needs at least one shard artifact".into());
+    }
+    let mut parsed: Vec<(Shard, Artifact)> = Vec::with_capacity(shards.len());
+    for artifact in shards {
+        let Some((base, shard)) = Shard::parse_artifact_id(&artifact.id) else {
+            return Err(format!(
+                "artifact id {:?} is not a shard id (expected <base>.shard-<i>-of-<k>)",
+                artifact.id
+            ));
+        };
+        if let Some((first_shard, first)) = parsed.first() {
+            let first_base = Shard::parse_artifact_id(&first.id)
+                .expect("validated on insert")
+                .0;
+            if base != first_base {
+                return Err(format!(
+                    "shard artifacts mix campaigns: {first_base:?} vs {base:?}"
+                ));
+            }
+            if shard.count != first_shard.count {
+                return Err(format!(
+                    "shard artifacts disagree on shard count: {} vs {}",
+                    first_shard.count, shard.count
+                ));
+            }
+            if artifact.title != first.title {
+                return Err("shard artifacts disagree on title".into());
+            }
+            if artifact.campaign_digest != first.campaign_digest {
+                return Err(format!(
+                    "shard artifacts carry different campaign digests — {:?} and {:?} \
+                     come from different campaign specs (or profiles)",
+                    first.id, artifact.id
+                ));
+            }
+        }
+        if !artifact.fits.is_empty() || !artifact.scalars.is_empty() || !artifact.tables.is_empty()
+        {
+            return Err(format!(
+                "artifact {:?} carries fits/scalars/tables; merge only supports plain \
+                 campaign artifacts",
+                artifact.id
+            ));
+        }
+        parsed.push((shard, artifact));
+    }
+
+    let count = parsed[0].0.count;
+    let base_id = Shard::parse_artifact_id(&parsed[0].1.id)
+        .expect("validated above")
+        .0;
+    parsed.sort_by_key(|(s, _)| s.index);
+    let present: Vec<usize> = parsed.iter().map(|(s, _)| s.index).collect();
+    let expected: Vec<usize> = (1..=count).collect();
+    if present != expected {
+        return Err(format!(
+            "incomplete shard set for {base_id:?}: have shards {present:?} of {count} \
+             (need each of 1..={count} exactly once)"
+        ));
+    }
+
+    let mut merged = Artifact::new(base_id, parsed[0].1.title.clone());
+    merged.campaign_digest = parsed[0].1.campaign_digest.clone();
+    let total: usize = parsed.iter().map(|(_, a)| a.cells.len()).sum();
+    let mut cursors: Vec<std::vec::IntoIter<crate::artifact::CellRecord>> = parsed
+        .into_iter()
+        .map(|(_, a)| a.cells.into_iter())
+        .collect();
+    for j in 0..total {
+        let which = j % count;
+        match cursors[which].next() {
+            Some(cell) => merged.cells.push(cell),
+            None => {
+                return Err(format!(
+                    "shard {}/{count} ran short of cells at merged position {j} — a \
+                     partial shard artifact cannot be merged",
+                    which + 1
+                ))
+            }
+        }
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::SeedStats;
+    use crate::artifact::CellRecord;
+
+    fn cell(label: &str) -> CellRecord {
+        CellRecord {
+            label: label.into(),
+            meta: vec![],
+            stats: SeedStats::from_runs(&[], 0),
+            runs: vec![],
+            errors: vec![],
+        }
+    }
+
+    fn shard_artifact(i: usize, k: usize, labels: &[&str]) -> Artifact {
+        let mut a = Artifact::new(
+            Shard { index: i, count: k }.artifact_id("camp"),
+            "t".to_string(),
+        );
+        a.campaign_digest = Some("d".into());
+        a.cells = labels.iter().map(|l| cell(l)).collect();
+        a
+    }
+
+    #[test]
+    fn parse_accepts_valid_and_names_each_violation() {
+        assert_eq!(Shard::parse("1/1").unwrap(), Shard { index: 1, count: 1 });
+        assert_eq!(Shard::parse("2/4").unwrap(), Shard { index: 2, count: 4 });
+        for (bad, needle) in [
+            ("0/2", "1 ≤ I ≤ K"),
+            ("3/2", "1 ≤ I ≤ K"),
+            ("x/2", "expected I/K"),
+            ("1/y", "expected I/K"),
+            ("12", "expected I/K"),
+            ("1/0", "K must be ≥ 1"),
+            ("", "expected I/K"),
+        ] {
+            let err = Shard::parse(bad).unwrap_err();
+            assert!(err.contains(needle), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn selection_partitions_the_grid_exactly() {
+        for k in 1..5 {
+            for idx in 0..23 {
+                let owners: Vec<usize> = (1..=k)
+                    .filter(|&i| Shard { index: i, count: k }.selects(idx))
+                    .collect();
+                assert_eq!(owners.len(), 1, "cell {idx} must have one owner at k={k}");
+                assert_eq!(owners[0], idx % k + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn artifact_id_round_trips() {
+        let shard = Shard { index: 2, count: 3 };
+        let id = shard.artifact_id("e21c");
+        assert_eq!(id, "e21c.shard-2-of-3");
+        assert_eq!(Shard::parse_artifact_id(&id), Some(("e21c".into(), shard)));
+        assert_eq!(Shard::parse_artifact_id("e21c"), None);
+        assert_eq!(Shard::parse_artifact_id("e21c.shard-0-of-3"), None);
+    }
+
+    #[test]
+    fn merge_interleaves_round_robin() {
+        // 5 cells over 2 shards: shard 1 gets 0,2,4; shard 2 gets 1,3.
+        let merged = merge_shards(vec![
+            shard_artifact(1, 2, &["c0", "c2", "c4"]),
+            shard_artifact(2, 2, &["c1", "c3"]),
+        ])
+        .expect("merge");
+        assert_eq!(merged.id, "camp");
+        assert_eq!(merged.campaign_digest.as_deref(), Some("d"));
+        let labels: Vec<&str> = merged.cells.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, ["c0", "c1", "c2", "c3", "c4"]);
+        // Order of inputs does not matter.
+        let swapped = merge_shards(vec![
+            shard_artifact(2, 2, &["c1", "c3"]),
+            shard_artifact(1, 2, &["c0", "c2", "c4"]),
+        ])
+        .expect("merge");
+        // Byte comparison: empty-cell stats are NaN, and NaN != NaN.
+        assert_eq!(swapped.to_json_string(), merged.to_json_string());
+    }
+
+    #[test]
+    fn merge_rejects_bad_sets_with_named_errors() {
+        // Incomplete set.
+        let err = merge_shards(vec![shard_artifact(1, 2, &["c0"])]).unwrap_err();
+        assert!(err.contains("incomplete shard set"), "{err}");
+        // Duplicate shard.
+        let err = merge_shards(vec![
+            shard_artifact(1, 2, &["c0"]),
+            shard_artifact(1, 2, &["c0"]),
+        ])
+        .unwrap_err();
+        assert!(err.contains("incomplete shard set"), "{err}");
+        // Not a shard id.
+        let err = merge_shards(vec![Artifact::new("plain", "t")]).unwrap_err();
+        assert!(err.contains("not a shard id"), "{err}");
+        // Digest mismatch.
+        let mut other = shard_artifact(2, 2, &["c1"]);
+        other.campaign_digest = Some("other".into());
+        let err = merge_shards(vec![shard_artifact(1, 2, &["c0", "c2"]), other]).unwrap_err();
+        assert!(err.contains("campaign digests"), "{err}");
+        // Truncated shard: shard 1 must hold merged cell 2 but is empty
+        // (a round-robin partition can never leave shard 1 shorter than
+        // shard 2, so this set cannot come from one complete run).
+        let err = merge_shards(vec![
+            shard_artifact(1, 2, &["c0"]),
+            shard_artifact(2, 2, &["c1", "c3"]),
+        ])
+        .unwrap_err();
+        assert!(err.contains("ran short"), "{err}");
+        // Empty input.
+        assert!(merge_shards(vec![]).unwrap_err().contains("at least one"));
+    }
+}

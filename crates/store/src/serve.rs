@@ -1,0 +1,91 @@
+//! A minimal spool-directory serve loop: drop `*.camp` campaign spec
+//! files into a spool directory and a running `experiments serve` picks
+//! each up (lexicographic order), runs it through the stored
+//! orchestrator, writes its `BENCH_<id>.json`, and moves the spec to
+//! `done/` (or `failed/`, with a `.err` file carrying the reason).
+//!
+//! The loop is deliberately simple — one campaign at a time, no daemon
+//! machinery — because the *store* is the concurrency story: several
+//! serve loops (or shards, or interactive runs) sharing one store
+//! deduplicate work through content addressing, not coordination.
+
+use crate::run::{run_campaign_stored, write_sidecar, RunOptions};
+use crate::store::Store;
+use dyncode_engine::{Campaign, Engine};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One processed spec: where it came from and how it ended.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// The spool file that was processed.
+    pub spec: PathBuf,
+    /// The written artifact path, or the failure reason.
+    pub result: Result<PathBuf, String>,
+}
+
+/// Processes every `*.camp` file currently in `spool` (sorted by file
+/// name), writing artifacts (and `.store.json` sidecars) under `out`.
+/// Returns one outcome per spec. IO errors on the spool itself (not on
+/// individual specs) are returned as errors.
+pub fn serve_once(
+    spool: &Path,
+    out: &Path,
+    engine: &Engine,
+    store: Option<&Store>,
+    quick: bool,
+) -> io::Result<Vec<ServeOutcome>> {
+    let mut specs: Vec<PathBuf> = std::fs::read_dir(spool)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_file() && p.extension().and_then(|e| e.to_str()) == Some("camp"))
+        .collect();
+    specs.sort();
+
+    let mut outcomes = Vec::new();
+    for spec in specs {
+        let result = process_spec(&spec, out, engine, store, quick);
+        let (bucket, err) = match &result {
+            Ok(_) => ("done", None),
+            Err(e) => ("failed", Some(e.clone())),
+        };
+        // Move the spec out of the spool so it runs exactly once; the
+        // move is best-effort (a vanished file means another consumer
+        // claimed it).
+        let dest_dir = spool.join(bucket);
+        std::fs::create_dir_all(&dest_dir)?;
+        let name = spec.file_name().expect("spec path has a file name");
+        let dest = dest_dir.join(name);
+        let _ = std::fs::rename(&spec, &dest);
+        if let Some(message) = err {
+            let _ = std::fs::write(dest.with_extension("camp.err"), format!("{message}\n"));
+        }
+        outcomes.push(ServeOutcome { spec, result });
+    }
+    Ok(outcomes)
+}
+
+fn process_spec(
+    spec: &Path,
+    out: &Path,
+    engine: &Engine,
+    store: Option<&Store>,
+    quick: bool,
+) -> Result<PathBuf, String> {
+    let text = std::fs::read_to_string(spec)
+        .map_err(|e| format!("cannot read {}: {e}", spec.display()))?;
+    let campaign = Campaign::parse(&text).map_err(|e| format!("{}: {e}", spec.display()))?;
+    let campaign = if quick { campaign.quick() } else { campaign };
+    let opts = RunOptions {
+        store,
+        ..RunOptions::default()
+    };
+    let (artifact, stats) = run_campaign_stored(engine, &campaign, &opts)?;
+    let digest = artifact.campaign_digest.clone().unwrap_or_default();
+    let path = artifact
+        .write_to(out)
+        .map_err(|e| format!("cannot write artifact: {e}"))?;
+    write_sidecar(out, &artifact.id, &digest, &stats, store)
+        .map_err(|e| format!("cannot write sidecar: {e}"))?;
+    Ok(path)
+}

@@ -1,0 +1,418 @@
+//! The content-addressed on-disk store.
+//!
+//! Layout under the store root:
+//!
+//! ```text
+//! objects/<hh>/<62 hex>.json   one cached cell-seed result per file,
+//!                              addressed by the SHA-256 of its key
+//! index.log                    append-only `<digest> <bytes>` lines,
+//!                              one per put (advisory: rebuilt by gc,
+//!                              never consulted on the read path)
+//! ```
+//!
+//! Writes are atomic (`.tmp-<pid>` then rename), so concurrent writers —
+//! shards on a shared filesystem, the serve loop next to a CLI run —
+//! never expose a torn object: the worst case is two processes writing
+//! the same content to the same address, which is idempotent. Reads
+//! verify the stored canonical key string against the requested key, so
+//! corruption (or an astronomically unlikely digest collision) degrades
+//! to a cache miss, never a wrong result.
+
+use crate::key::CellKey;
+use dyncode_dynet::simulator::{RoundRecord, RunResult};
+use dyncode_engine::Json;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The object-file schema identifier; bump on incompatible change.
+pub const CELL_SCHEMA: &str = "dyncode-store-cell/v1";
+
+/// Hit/miss/put counters since [`Store::open`] (process-local).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Lookups served from disk.
+    pub hits: u64,
+    /// Lookups that found nothing (or an unreadable object).
+    pub misses: u64,
+    /// Objects written.
+    pub puts: u64,
+}
+
+/// An on-disk usage report ([`Store::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Object files present.
+    pub objects: u64,
+    /// Total object bytes.
+    pub bytes: u64,
+}
+
+/// A [`Store::gc`] report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Object files removed.
+    pub removed_objects: u64,
+    /// Bytes reclaimed.
+    pub removed_bytes: u64,
+    /// Object bytes remaining after eviction.
+    pub remaining_bytes: u64,
+}
+
+/// A content-addressed store of cell results rooted at one directory.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    puts: AtomicU64,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Store> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join("objects"))?;
+        Ok(Store {
+            root,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+        })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// This process's hit/miss/put counters.
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+        }
+    }
+
+    fn object_path(&self, digest_hex: &str) -> PathBuf {
+        let (shard, rest) = digest_hex.split_at(2);
+        self.root
+            .join("objects")
+            .join(shard)
+            .join(format!("{rest}.json"))
+    }
+
+    /// Looks up the result stored under `key`. Any failure — absent file,
+    /// unparsable JSON, schema or key mismatch — is a miss, never an
+    /// error: the orchestrator then recomputes and overwrites.
+    pub fn get(&self, key: &CellKey) -> Option<RunResult> {
+        let loaded = std::fs::read_to_string(self.object_path(key.digest_hex()))
+            .ok()
+            .and_then(|text| decode_object(&text, key.canonical()).ok());
+        match loaded {
+            Some(r) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(r)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores `result` under `key`: atomic tmp-then-rename write plus an
+    /// `index.log` append. Returns the object path.
+    pub fn put(&self, key: &CellKey, result: &RunResult) -> io::Result<PathBuf> {
+        let path = self.object_path(key.digest_hex());
+        let dir = path.parent().expect("object path has a shard dir");
+        std::fs::create_dir_all(dir)?;
+        let text = encode_object(key.canonical(), result);
+        let tmp = dir.join(format!("{}.tmp-{}", key.digest_hex(), std::process::id()));
+        std::fs::write(&tmp, &text)?;
+        std::fs::rename(&tmp, &path)?;
+        // The index is advisory (a human-greppable put log); appends from
+        // concurrent processes may interleave but each line is short
+        // enough to land intact on any POSIX filesystem.
+        use std::io::Write;
+        let mut log = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.root.join("index.log"))?;
+        writeln!(log, "{} {}", key.digest_hex(), text.len())?;
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        Ok(path)
+    }
+
+    /// Walks `objects/` and returns every `(path, bytes, mtime)` triple,
+    /// sorted by `(mtime, path)` — oldest first, ties broken by path so
+    /// eviction order is deterministic.
+    fn walk_objects(&self) -> io::Result<Vec<(PathBuf, u64, std::time::SystemTime)>> {
+        let mut out = Vec::new();
+        let objects = self.root.join("objects");
+        for shard in std::fs::read_dir(&objects)? {
+            let shard = shard?.path();
+            if !shard.is_dir() {
+                continue;
+            }
+            for entry in std::fs::read_dir(&shard)? {
+                let path = entry?.path();
+                // Skip leftovers from interrupted writes.
+                if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                    continue;
+                }
+                let meta = std::fs::metadata(&path)?;
+                let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+                out.push((path, meta.len(), mtime));
+            }
+        }
+        out.sort_by(|a, b| (a.2, &a.0).cmp(&(b.2, &b.0)));
+        Ok(out)
+    }
+
+    /// On-disk usage: object count and total bytes.
+    pub fn stats(&self) -> io::Result<StoreStats> {
+        let objects = self.walk_objects()?;
+        Ok(StoreStats {
+            objects: objects.len() as u64,
+            bytes: objects.iter().map(|(_, len, _)| len).sum(),
+        })
+    }
+
+    /// Evicts oldest-first (by mtime) until total object bytes fit under
+    /// `max_bytes`, then rewrites `index.log` from the survivors.
+    pub fn gc(&self, max_bytes: u64) -> io::Result<GcReport> {
+        let objects = self.walk_objects()?;
+        let mut total: u64 = objects.iter().map(|(_, len, _)| len).sum();
+        let mut report = GcReport::default();
+        let mut removed = std::collections::HashSet::new();
+        for (path, len, _) in &objects {
+            if total <= max_bytes {
+                break;
+            }
+            std::fs::remove_file(path)?;
+            removed.insert(path.clone());
+            total -= len;
+            report.removed_objects += 1;
+            report.removed_bytes += len;
+        }
+        report.remaining_bytes = total;
+        // Rebuild the index to match the surviving objects (atomically,
+        // like the objects themselves).
+        let mut index = String::new();
+        for (path, len, _) in &objects {
+            if removed.contains(path) {
+                continue;
+            }
+            let shard = path
+                .parent()
+                .and_then(|d| d.file_name())
+                .and_then(|s| s.to_str())
+                .unwrap_or("");
+            let rest = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+            index.push_str(&format!("{shard}{rest} {len}\n"));
+        }
+        let tmp = self
+            .root
+            .join(format!("index.log.tmp-{}", std::process::id()));
+        std::fs::write(&tmp, index)?;
+        std::fs::rename(&tmp, self.root.join("index.log"))?;
+        Ok(report)
+    }
+}
+
+/// Serializes a cached result: the canonical key string plus the full
+/// [`RunResult`] (history rows in the artifact's 7-column form).
+fn encode_object(canonical_key: &str, r: &RunResult) -> String {
+    Json::obj(vec![
+        ("schema", Json::Str(CELL_SCHEMA.into())),
+        ("key", Json::Str(canonical_key.into())),
+        ("rounds", Json::Num(r.rounds as f64)),
+        ("completed", Json::Bool(r.completed)),
+        ("total_bits", Json::Num(r.total_bits as f64)),
+        ("max_message_bits", Json::Num(r.max_message_bits as f64)),
+        ("adversary", Json::Str(r.adversary.clone())),
+        (
+            "history",
+            Json::Arr(
+                r.history
+                    .iter()
+                    .map(|h| {
+                        Json::Arr(vec![
+                            Json::Num(h.round as f64),
+                            Json::Num(h.edges as f64),
+                            Json::Num(h.bits as f64),
+                            Json::Num(h.min_dim as f64),
+                            Json::Num(h.max_dim as f64),
+                            Json::Num(h.total_tokens as f64),
+                            Json::Num(h.done as f64),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .pretty()
+}
+
+/// Parses an object file, verifying both the schema and that the stored
+/// canonical key matches the one requested.
+fn decode_object(text: &str, expect_key: &str) -> Result<RunResult, String> {
+    let json = Json::parse(text)?;
+    let str_field = |key: &str| -> Result<String, String> {
+        json.get(key)
+            .and_then(Json::as_str)
+            .map(String::from)
+            .ok_or(format!("missing/mistyped field {key:?}"))
+    };
+    if str_field("schema")? != CELL_SCHEMA {
+        return Err("unsupported object schema".into());
+    }
+    if str_field("key")? != expect_key {
+        return Err("stored key does not match the requested key".into());
+    }
+    let num = |key: &str| -> Result<u64, String> {
+        json.get(key)
+            .and_then(Json::as_u64)
+            .ok_or(format!("missing/mistyped field {key:?}"))
+    };
+    let history = json
+        .get("history")
+        .and_then(Json::as_arr)
+        .ok_or("missing/mistyped field \"history\"")?
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let cols = row
+                .as_arr()
+                .filter(|a| a.len() == 7)
+                .ok_or(format!("history[{i}] is not a 7-column row"))?;
+            let col = |j: usize| -> Result<usize, String> {
+                cols[j]
+                    .as_usize()
+                    .ok_or(format!("history[{i}][{j}] is not an integer"))
+            };
+            Ok(RoundRecord {
+                round: col(0)?,
+                edges: col(1)?,
+                bits: cols[2].as_u64().ok_or(format!("history[{i}][2] bad"))?,
+                min_dim: col(3)?,
+                max_dim: col(4)?,
+                total_tokens: col(5)?,
+                done: col(6)?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(RunResult {
+        rounds: num("rounds")? as usize,
+        completed: json
+            .get("completed")
+            .and_then(Json::as_bool)
+            .ok_or("missing/mistyped field \"completed\"")?,
+        total_bits: num("total_bits")?,
+        max_message_bits: num("max_message_bits")?,
+        adversary: str_field("adversary")?,
+        history,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyncode_engine::{AdversaryKind, Campaign};
+
+    fn temp_store(name: &str) -> Store {
+        let dir = std::env::temp_dir().join(format!("dyncode_store_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        Store::open(dir).expect("open store")
+    }
+
+    fn sample_result(history: bool) -> RunResult {
+        RunResult {
+            rounds: 17,
+            completed: true,
+            total_bits: 1234,
+            max_message_bits: 16,
+            adversary: "shuffled-path".into(),
+            history: if history {
+                vec![RoundRecord {
+                    round: 0,
+                    edges: 7,
+                    bits: 160,
+                    min_dim: 0,
+                    max_dim: 1,
+                    total_tokens: 8,
+                    done: 0,
+                }]
+            } else {
+                vec![]
+            },
+        }
+    }
+
+    fn sample_key(seed: u64) -> CellKey {
+        let c = Campaign::builder("s", "store tests")
+            .ns(&[8])
+            .adversaries(vec![AdversaryKind::ShuffledPath])
+            .build()
+            .unwrap();
+        CellKey::new(&c.cells()[0], seed)
+    }
+
+    #[test]
+    fn put_get_round_trips_exactly() {
+        let store = temp_store("roundtrip");
+        for (seed, history) in [(1, false), (2, true)] {
+            let key = sample_key(seed);
+            let r = sample_result(history);
+            assert_eq!(store.get(&key), None, "cold lookup misses");
+            store.put(&key, &r).expect("put");
+            assert_eq!(store.get(&key), Some(r), "history={history}");
+        }
+        let c = store.counters();
+        assert_eq!((c.hits, c.misses, c.puts), (2, 2, 2));
+        assert!(store.root().join("index.log").exists());
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_objects_degrade_to_misses() {
+        let store = temp_store("corrupt");
+        let key = sample_key(2);
+        store.put(&key, &sample_result(false)).expect("put");
+        // Overwrite the object with garbage: read must miss, not error.
+        let path = store.object_path(key.digest_hex());
+        std::fs::write(&path, "{not json").unwrap();
+        assert_eq!(store.get(&key), None);
+        // An object whose embedded key disagrees (e.g. truncated digest
+        // collision) also misses.
+        std::fs::write(&path, encode_object("someone-else", &sample_result(false))).unwrap();
+        assert_eq!(store.get(&key), None);
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn gc_evicts_to_budget_and_rewrites_the_index() {
+        let store = temp_store("gc");
+        for seed in 0..6 {
+            store.put(&sample_key(seed), &sample_result(false)).unwrap();
+        }
+        let before = store.stats().unwrap();
+        assert_eq!(before.objects, 6);
+        // A budget of zero clears everything.
+        let report = store.gc(0).unwrap();
+        assert_eq!(report.removed_objects, 6);
+        assert_eq!(report.remaining_bytes, 0);
+        let after = store.stats().unwrap();
+        assert_eq!((after.objects, after.bytes), (0, 0));
+        let index = std::fs::read_to_string(store.root().join("index.log")).unwrap();
+        assert!(index.is_empty(), "index rebuilt empty: {index:?}");
+        // A generous budget is a no-op.
+        store.put(&sample_key(9), &sample_result(false)).unwrap();
+        let report = store.gc(u64::MAX).unwrap();
+        assert_eq!(report.removed_objects, 0);
+        assert_eq!(store.stats().unwrap().objects, 1);
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+}
