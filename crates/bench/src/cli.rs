@@ -48,6 +48,15 @@ pub struct Flags {
     pub max_bytes: Option<u64>,
     /// Percent budget for peak-RSS growth in `perf-compare`.
     pub max_rss_pct: Option<f64>,
+    /// Telemetry event stream path (`--events PATH`, JSONL) for the
+    /// subcommands that run cells.
+    pub events: Option<PathBuf>,
+    /// Final metrics snapshot path (`--metrics PATH`).
+    pub metrics: Option<PathBuf>,
+    /// Suppress progress lines (errors only).
+    pub quiet: bool,
+    /// Show debug-level detail lines.
+    pub verbose: bool,
     /// Non-flag arguments, in order.
     pub positional: Vec<String>,
 }
@@ -70,6 +79,10 @@ pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
         once: false,
         max_bytes: None,
         max_rss_pct: None,
+        events: None,
+        metrics: None,
+        quiet: false,
+        verbose: false,
         positional: Vec::new(),
     };
     let mut it = args.iter().peekable();
@@ -131,13 +144,57 @@ pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 }
                 flags.max_rss_pct = Some(pct);
             }
+            "--events" => flags.events = Some(PathBuf::from(value_of("--events")?)),
+            "--metrics" => flags.metrics = Some(PathBuf::from(value_of("--metrics")?)),
+            "--quiet" => flags.quiet = true,
+            "--verbose" => flags.verbose = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other:?}"));
             }
             other => flags.positional.push(other.to_string()),
         }
     }
+    if flags.quiet && flags.verbose {
+        return Err("--quiet and --verbose are mutually exclusive".to_string());
+    }
     Ok(flags)
+}
+
+/// Applies `--quiet`/`--verbose` to the process-global obs log level.
+/// Called once right after parsing, before any progress output, so the
+/// level is uniform across every subcommand.
+pub fn apply_log_level(flags: &Flags) {
+    use dyncode_obs::log::{set_level, Level};
+    set_level(if flags.quiet {
+        Level::Error
+    } else if flags.verbose {
+        Level::Debug
+    } else {
+        Level::Info
+    });
+}
+
+/// Errors on `--events`/`--metrics` for subcommands that don't run cells
+/// (compare, schema, merge, store, …) — same loud-failure policy as
+/// [`reject_store_flags`]. `--quiet`/`--verbose` are valid everywhere.
+pub fn reject_obs_flags(flags: &Flags, cmd: &str) -> Result<(), String> {
+    for (name, present) in [
+        ("--events", flags.events.is_some()),
+        ("--metrics", flags.metrics.is_some()),
+    ] {
+        if present {
+            return Err(format!("{name} is not valid for {cmd}"));
+        }
+    }
+    Ok(())
+}
+
+/// Starts the telemetry session requested by `--events`/`--metrics` (or a
+/// no-op guard). Keep the returned guard alive for the whole command —
+/// dropping it finalizes the output files.
+pub fn start_obs_session(flags: &Flags) -> Result<dyncode_obs::Session, String> {
+    dyncode_obs::Session::start(flags.events.as_deref(), flags.metrics.as_deref())
+        .map_err(|e| format!("cannot create --events file: {e}"))
 }
 
 /// Errors on the first store/orchestration flag set in `flags` —
@@ -164,7 +221,8 @@ pub fn reject_store_flags(flags: &Flags, cmd: &str, allow_rss: bool) -> Result<(
 /// protocol column), on stderr.
 pub fn print_usage_and_registry() {
     eprintln!(
-        "usage: experiments <all | e1 .. e21>... [--quick] [--threads N] [--json] [--out DIR]"
+        "usage: experiments <all | e1 .. e21>... [--quick] [--threads N] [--json] [--out DIR]\n\
+         \x20                  [--events PATH] [--metrics PATH]"
     );
     eprintln!("       experiments --list");
     eprintln!("       experiments protocols");
@@ -181,14 +239,18 @@ pub fn print_usage_and_registry() {
     eprintln!("       experiments trace replay <PATH.dct> [PROTOCOL] [SEED] [--kernel K]");
     eprintln!(
         "       experiments campaign <SPEC.camp> [--quick] [--threads N] [--out DIR]\n\
-         \x20                  [--shard I/K] [--store DIR] [--resume]"
+         \x20                  [--shard I/K] [--store DIR] [--resume] [--events PATH] \
+         [--metrics PATH]"
     );
     eprintln!("       experiments merge <SHARD.json>... [--out DIR]");
     eprintln!(
         "       experiments serve <SPOOL> [--once] [--quick] [--threads N] [--out DIR] \
-         [--store DIR]"
+         [--store DIR]\n\
+         \x20                  [--events PATH] [--metrics PATH]"
     );
-    eprintln!("       experiments store <stats | gc --max-bytes N> --store DIR\n");
+    eprintln!("       experiments store <stats | gc --max-bytes N> --store DIR");
+    eprintln!("       experiments obs <check | summarize> <EVENTS.jsonl>\n");
+    eprintln!("global: --quiet (errors only) / --verbose (debug detail) on any subcommand\n");
     eprintln!("experiments:");
     for (id, desc, protocols, _) in &registry() {
         eprintln!("  {id:<5} {desc}");
@@ -346,5 +408,29 @@ mod tests {
     #[test]
     fn list_flag_is_recognized() {
         assert!(parse_flags(&strings(&["--list"])).unwrap().list);
+    }
+
+    #[test]
+    fn obs_flags_parse_and_are_rejected_where_invalid() {
+        let f = parse_flags(&strings(&[
+            "e21",
+            "--events",
+            "ev.jsonl",
+            "--metrics",
+            "m.json",
+            "--verbose",
+        ]))
+        .unwrap();
+        assert_eq!(f.events.as_deref(), Some(std::path::Path::new("ev.jsonl")));
+        assert_eq!(f.metrics.as_deref(), Some(std::path::Path::new("m.json")));
+        assert!(f.verbose && !f.quiet);
+        let err = reject_obs_flags(&f, "compare").unwrap_err();
+        assert!(err.contains("--events is not valid"), "{err}");
+        let quiet = parse_flags(&strings(&["e1", "--quiet"])).unwrap();
+        assert!(reject_obs_flags(&quiet, "compare").is_ok());
+        let err = parse_flags(&strings(&["--quiet", "--verbose"])).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = parse_flags(&strings(&["--events"])).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
     }
 }

@@ -27,6 +27,7 @@
 pub mod cli;
 pub mod ctx;
 pub mod experiments;
+pub mod obs_cmd;
 pub mod orchestrate;
 pub mod perf;
 pub mod table;

@@ -17,10 +17,11 @@
 //! error (including unknown experiment ids, which print the registry).
 
 use dyncode_bench::cli::{
-    parse_flags, print_protocol_registry, print_registry_listing, print_usage_and_registry,
-    reject_store_flags,
+    apply_log_level, parse_flags, print_protocol_registry, print_registry_listing,
+    print_usage_and_registry, reject_obs_flags, reject_store_flags, start_obs_session,
 };
 use dyncode_bench::ctx::ExpCtx;
+use dyncode_bench::obs_cmd;
 use dyncode_bench::orchestrate;
 use dyncode_bench::perf::{perf_compare, run_perf, PerfArtifact};
 use dyncode_bench::registry;
@@ -30,6 +31,7 @@ use dyncode_engine::{
     compare, run_campaign, AdversaryKind, Artifact, Campaign, CellSpec, CompareConfig, Engine,
     Json, Kernel,
 };
+use dyncode_obs::{obs_error, obs_info};
 use dyncode_scenarios::{record_scenario_to_file, DctReader, ScenarioKind};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -52,6 +54,7 @@ fn real_main() -> i32 {
         Some("merge") => orchestrate::cmd_merge(&args[1..]),
         Some("serve") => orchestrate::cmd_serve(&args[1..]),
         Some("store") => orchestrate::cmd_store(&args[1..]),
+        Some("obs") => obs_cmd::cmd_obs(&args[1..]),
         Some("protocols") => {
             print_protocol_registry();
             0
@@ -69,6 +72,7 @@ fn cmd_experiments(args: &[String]) -> i32 {
             return 2;
         }
     };
+    apply_log_level(&flags);
     let wanted = &flags.positional;
 
     let reg = registry();
@@ -108,6 +112,13 @@ fn cmd_experiments(args: &[String]) -> i32 {
         eprintln!("error: {e}");
         return 2;
     }
+    let _obs = match start_obs_session(&flags) {
+        Ok(session) => session,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
 
     let run_all = wanted.iter().any(|w| w == "all");
     // `--out DIR` implies `--json` — asking for an output directory and
@@ -115,7 +126,7 @@ fn cmd_experiments(args: &[String]) -> i32 {
     let emit = flags.json || flags.out.is_some();
     let out_dir = emit.then(|| flags.out.clone().unwrap_or_else(|| PathBuf::from(".")));
     let mut ctx = ExpCtx::new(flags.quick, flags.threads, out_dir);
-    eprintln!(
+    obs_info!(
         "[engine: {} thread{}{}]",
         ctx.threads(),
         if ctx.threads() == 1 { "" } else { "s" },
@@ -124,7 +135,7 @@ fn cmd_experiments(args: &[String]) -> i32 {
     let mut failed = 0;
     for (id, desc, _, f) in &reg {
         if run_all || wanted.iter().any(|w| w == *id) {
-            eprintln!(
+            obs_info!(
                 "[running {id}: {desc}{}]",
                 if flags.quick { " (quick)" } else { "" }
             );
@@ -134,22 +145,22 @@ fn cmd_experiments(args: &[String]) -> i32 {
             // contained), and carry on with the remaining experiments.
             let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
             match ctx.finish() {
-                Ok(Some(path)) => eprintln!("[wrote {}]", path.display()),
+                Ok(Some(path)) => obs_info!("[wrote {}]", path.display()),
                 Ok(None) => {}
                 Err(e) => {
-                    eprintln!("[experiment {id} FAILED: cannot write artifact: {e}]");
+                    obs_error!("[experiment {id} FAILED: cannot write artifact: {e}]");
                     failed += 1;
                 }
             }
             if let Err(payload) = outcome {
                 let msg = dyncode_engine::CellError::from_panic(payload).message;
-                eprintln!("[experiment {id} FAILED: {msg}]");
+                obs_error!("[experiment {id} FAILED: {msg}]");
                 failed += 1;
             }
         }
     }
     if failed > 0 {
-        eprintln!("{failed} experiment(s) failed");
+        obs_error!("{failed} experiment(s) failed");
         return 1;
     }
     0
@@ -163,11 +174,16 @@ fn cmd_compare(args: &[String]) -> i32 {
             return 2;
         }
     };
+    apply_log_level(&flags);
     if flags.out.is_some() {
         eprintln!("error: --out is not valid for compare");
         return 2;
     }
     if let Err(e) = reject_store_flags(&flags, "compare", false) {
+        eprintln!("error: {e}");
+        return 2;
+    }
+    if let Err(e) = reject_obs_flags(&flags, "compare") {
         eprintln!("error: {e}");
         return 2;
     }
@@ -208,6 +224,7 @@ fn cmd_perf(args: &[String]) -> i32 {
             return 2;
         }
     };
+    apply_log_level(&flags);
     if flags.tol.is_some() || flags.tol_pct.is_some() {
         eprintln!("error: --tol/--tol-pct are not valid for perf");
         return 2;
@@ -220,6 +237,13 @@ fn cmd_perf(args: &[String]) -> i32 {
         eprintln!("usage: experiments perf [--quick] [--kernel K] [--json] [--out DIR]");
         return 2;
     }
+    let _obs = match start_obs_session(&flags) {
+        Ok(session) => session,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
     let artifact = run_perf(flags.quick, flags.kernel);
     println!("\n### perf: wall-clock per cell\n");
     println!("| protocol | n | kernel | rounds | wall (s) | rounds/sec | peak RSS (MB) |");
@@ -243,12 +267,15 @@ fn cmd_perf(args: &[String]) -> i32 {
             println!("| {} | {:.2} |", s.name, s.value);
         }
     }
+    for note in &artifact.notes {
+        obs_info!("[note: {note}]");
+    }
     if flags.json || flags.out.is_some() {
         let dir = flags.out.unwrap_or_else(|| PathBuf::from("."));
         match artifact.write_to(&dir) {
-            Ok(path) => eprintln!("[wrote {}]", path.display()),
+            Ok(path) => obs_info!("[wrote {}]", path.display()),
             Err(e) => {
-                eprintln!("error: cannot write BENCH_perf.json: {e}");
+                obs_error!("error: cannot write BENCH_perf.json: {e}");
                 return 1;
             }
         }
@@ -266,11 +293,16 @@ fn cmd_perf_compare(args: &[String]) -> i32 {
             return 2;
         }
     };
+    apply_log_level(&flags);
     if flags.out.is_some() || flags.tol.is_some() {
         eprintln!("error: --out/--tol are not valid for perf-compare (use --tol-pct)");
         return 2;
     }
     if let Err(e) = reject_store_flags(&flags, "perf-compare", true) {
+        eprintln!("error: {e}");
+        return 2;
+    }
+    if let Err(e) = reject_obs_flags(&flags, "perf-compare") {
         eprintln!("error: {e}");
         return 2;
     }
@@ -313,11 +345,16 @@ fn cmd_schema(args: &[String]) -> i32 {
             return 2;
         }
     };
+    apply_log_level(&flags);
     if flags.out.is_some() || flags.tol.is_some() {
         eprintln!("error: --out/--tol are not valid for schema");
         return 2;
     }
     if let Err(e) = reject_store_flags(&flags, "schema", false) {
+        eprintln!("error: {e}");
+        return 2;
+    }
+    if let Err(e) = reject_obs_flags(&flags, "schema") {
         eprintln!("error: {e}");
         return 2;
     }
@@ -400,7 +437,12 @@ fn cmd_trace(raw_args: &[String]) -> i32 {
             return 2;
         }
     };
+    apply_log_level(&flags);
     if let Err(e) = reject_store_flags(&flags, "trace", false) {
+        eprintln!("error: {e}");
+        return 2;
+    }
+    if let Err(e) = reject_obs_flags(&flags, "trace") {
         eprintln!("error: {e}");
         return 2;
     }
@@ -603,11 +645,16 @@ fn cmd_bench_engine(args: &[String]) -> i32 {
             return 2;
         }
     };
+    apply_log_level(&flags);
     if flags.out.is_some() || flags.tol.is_some() {
         eprintln!("error: --out/--tol are not valid for bench-engine");
         return 2;
     }
     if let Err(e) = reject_store_flags(&flags, "bench-engine", false) {
+        eprintln!("error: {e}");
+        return 2;
+    }
+    if let Err(e) = reject_obs_flags(&flags, "bench-engine") {
         eprintln!("error: {e}");
         return 2;
     }
@@ -627,7 +674,7 @@ fn cmd_bench_engine(args: &[String]) -> i32 {
     };
     let cells = campaign.cells().len();
     let runs = cells * campaign.seeds.len();
-    eprintln!(
+    obs_info!(
         "bench-engine: {cells} cells x {} seeds = {runs} runs per pass",
         campaign.seeds.len()
     );

@@ -1,0 +1,81 @@
+//! The `experiments obs` subcommand family: offline tools for
+//! `dyncode-events/v1` streams written by `--events`.
+//!
+//! * `obs check <EVENTS.jsonl>` — strict schema validation (header line,
+//!   every event, no trailing garbage); prints the event count.
+//! * `obs summarize <EVENTS.jsonl>` — aggregate the stream into the
+//!   markdown report rendered by [`dyncode_obs::summary::Summary`]: top
+//!   spans by total/self time, per-worker utilization, counters/gauges,
+//!   histogram percentiles, panic and log-line counts.
+//!
+//! Exit codes follow the binary's convention: 0 success, 1 invalid
+//! stream, 2 usage error.
+
+use dyncode_obs::summary::Summary;
+use dyncode_obs::{parse_events, Event};
+
+const OBS_USAGE: &str = "experiments obs <check | summarize> <EVENTS.jsonl>";
+
+fn load(path: &str) -> Result<Vec<Event>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_events(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `experiments obs`: dispatches `check` and `summarize`.
+pub fn cmd_obs(args: &[String]) -> i32 {
+    let (action, path) = match args {
+        [action, path] if action == "check" || action == "summarize" => (action.as_str(), path),
+        _ => {
+            eprintln!("usage: {OBS_USAGE}");
+            return 2;
+        }
+    };
+    let events = match load(path) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    match action {
+        "check" => {
+            println!(
+                "{path}: OK ({}, {} event(s))",
+                dyncode_obs::EVENTS_SCHEMA,
+                events.len()
+            );
+            0
+        }
+        _ => {
+            print!("{}", Summary::from_events(&events).render());
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_cmd_checks_and_summarizes_a_stream() {
+        let dir = std::env::temp_dir().join(format!("dyncode-obs-cmd-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        {
+            let sink = dyncode_obs::JsonlSink::create(&path).unwrap();
+            let mut ev = Event::span_total("kernel.eliminate", 1_000, vec![]);
+            ev.t_ns = 5;
+            dyncode_obs::Sink::record(&sink, &ev);
+        }
+        let arg = |s: &str| s.to_string();
+        assert_eq!(cmd_obs(&[arg("check"), arg(path.to_str().unwrap())]), 0);
+        assert_eq!(cmd_obs(&[arg("summarize"), arg(path.to_str().unwrap())]), 0);
+        assert_eq!(cmd_obs(&[arg("bogus"), arg("x")]), 2);
+        assert_eq!(
+            cmd_obs(&[arg("check"), arg("/nonexistent/events.jsonl")]),
+            1
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

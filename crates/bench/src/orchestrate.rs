@@ -8,14 +8,18 @@
 //! or input error (bad flags, malformed specs, digest mismatches,
 //! incomplete shard sets).
 
-use crate::cli::{parse_flags, Flags};
+use crate::cli::{apply_log_level, parse_flags, reject_obs_flags, start_obs_session, Flags};
 use dyncode_engine::{merge_shards, Artifact, Campaign, Engine};
+use dyncode_obs::{obs_debug, obs_error, obs_info};
 use dyncode_store::{run_campaign_stored, serve_once, write_sidecar, RunOptions, Store};
 use std::path::PathBuf;
 
 fn parse_or_usage(args: &[String], usage: &str) -> Result<Flags, i32> {
     match parse_flags(args) {
-        Ok(f) => Ok(f),
+        Ok(f) => {
+            apply_log_level(&f);
+            Ok(f)
+        }
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("usage: {usage}");
@@ -52,6 +56,13 @@ pub fn cmd_campaign(args: &[String]) -> i32 {
         eprintln!("error: --resume needs --out DIR (the directory holding the partial artifact)");
         return 2;
     }
+    let _obs = match start_obs_session(&flags) {
+        Ok(session) => session,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
 
     let campaign = match std::fs::read_to_string(spec_path)
         .map_err(|e| format!("cannot read {spec_path}: {e}"))
@@ -59,7 +70,7 @@ pub fn cmd_campaign(args: &[String]) -> i32 {
     {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("error: {e}");
+            obs_error!("error: {e}");
             return 2;
         }
     };
@@ -72,7 +83,7 @@ pub fn cmd_campaign(args: &[String]) -> i32 {
     let store = match flags.store.as_ref().map(Store::open).transpose() {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: cannot open store: {e}");
+            obs_error!("error: cannot open store: {e}");
             return 1;
         }
     };
@@ -89,16 +100,16 @@ pub fn cmd_campaign(args: &[String]) -> i32 {
         let path = dir.join(format!("BENCH_{artifact_id}.json"));
         match std::fs::read_to_string(&path) {
             Err(_) => {
-                eprintln!("[no prior artifact at {}; running fresh]", path.display());
+                obs_info!("[no prior artifact at {}; running fresh]", path.display());
                 None
             }
             Ok(text) => match Artifact::parse(&text) {
                 Ok(a) => {
-                    eprintln!("[resuming from {}]", path.display());
+                    obs_info!("[resuming from {}]", path.display());
                     Some(a)
                 }
                 Err(e) => {
-                    eprintln!("error: cannot resume from {}: {e}", path.display());
+                    obs_error!("error: cannot resume from {}: {e}", path.display());
                     return 2;
                 }
             },
@@ -116,7 +127,7 @@ pub fn cmd_campaign(args: &[String]) -> i32 {
     let (artifact, stats) = match run_campaign_stored(&engine, &campaign, &opts) {
         Ok(pair) => pair,
         Err(e) => {
-            eprintln!("error: {e}");
+            obs_error!("error: {e}");
             return 2;
         }
     };
@@ -138,7 +149,7 @@ pub fn cmd_campaign(args: &[String]) -> i32 {
     );
     if let Some(s) = &store {
         let c = s.counters();
-        eprintln!(
+        obs_debug!(
             "[store {}: {} hits, {} misses, {} puts]",
             s.root().display(),
             c.hits,
@@ -151,9 +162,9 @@ pub fn cmd_campaign(args: &[String]) -> i32 {
     if flags.json || flags.out.is_some() {
         let dir = flags.out.clone().unwrap_or_else(|| PathBuf::from("."));
         match artifact.write_to(&dir) {
-            Ok(path) => eprintln!("[wrote {}]", path.display()),
+            Ok(path) => obs_info!("[wrote {}]", path.display()),
             Err(e) => {
-                eprintln!("error: cannot write artifact: {e}");
+                obs_error!("error: cannot write artifact: {e}");
                 return 1;
             }
         }
@@ -162,17 +173,16 @@ pub fn cmd_campaign(args: &[String]) -> i32 {
             &artifact_id,
             artifact.campaign_digest.as_deref().unwrap_or(""),
             &stats,
-            store.as_ref(),
         ) {
-            Ok(path) => eprintln!("[wrote {}]", path.display()),
+            Ok(path) => obs_info!("[wrote {}]", path.display()),
             Err(e) => {
-                eprintln!("error: cannot write sidecar: {e}");
+                obs_error!("error: cannot write sidecar: {e}");
                 return 1;
             }
         }
     }
     if errors > 0 {
-        eprintln!("{errors} cell run(s) failed (recorded in the artifact)");
+        obs_error!("{errors} cell run(s) failed (recorded in the artifact)");
         return 1;
     }
     0
@@ -189,6 +199,10 @@ pub fn cmd_merge(args: &[String]) -> i32 {
         Err(code) => return code,
     };
     if let Err(e) = crate::cli::reject_store_flags(&flags, "merge", false) {
+        eprintln!("error: {e}");
+        return 2;
+    }
+    if let Err(e) = reject_obs_flags(&flags, "merge") {
         eprintln!("error: {e}");
         return 2;
     }
@@ -271,16 +285,23 @@ pub fn cmd_serve(args: &[String]) -> i32 {
         eprintln!("error: spool {} is not a directory", spool.display());
         return 2;
     }
+    let _obs = match start_obs_session(&flags) {
+        Ok(session) => session,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
     let out = flags.out.clone().unwrap_or_else(|| PathBuf::from("."));
     let store = match flags.store.as_ref().map(Store::open).transpose() {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("error: cannot open store: {e}");
+            obs_error!("error: cannot open store: {e}");
             return 1;
         }
     };
     let engine = Engine::new(flags.threads);
-    eprintln!(
+    obs_info!(
         "[serving {} -> {}{}{}]",
         spool.display(),
         out.display(),
@@ -291,11 +312,12 @@ pub fn cmd_serve(args: &[String]) -> i32 {
         }
     );
     let mut any_failed = false;
+    let mut served_total: u64 = 0;
     loop {
         let outcomes = match serve_once(&spool, &out, &engine, store.as_ref(), flags.quick) {
             Ok(o) => o,
             Err(e) => {
-                eprintln!("error: serve pass failed: {e}");
+                obs_error!("error: serve pass failed: {e}");
                 return 1;
             }
         };
@@ -308,6 +330,24 @@ pub fn cmd_serve(args: &[String]) -> i32 {
                 }
             }
         }
+        served_total += outcomes.len() as u64;
+        // One heartbeat per spool pass: how many specs this loop has
+        // handled so far, visible both as a mark in the event stream and
+        // as a gauge in the metrics snapshot.
+        dyncode_obs::metrics::gauge("serve.served_total").set(served_total);
+        if dyncode_obs::enabled() {
+            dyncode_obs::emit(&dyncode_obs::Event::mark(
+                "serve.heartbeat",
+                vec![(
+                    "served_total".to_string(),
+                    dyncode_obs::Value::from(served_total),
+                )],
+            ));
+        }
+        obs_debug!(
+            "[serve pass: {} spec(s), {served_total} total]",
+            outcomes.len()
+        );
         if flags.once {
             return if any_failed { 1 } else { 0 };
         }
@@ -326,6 +366,10 @@ pub fn cmd_store(args: &[String]) -> i32 {
         Ok(f) => f,
         Err(code) => return code,
     };
+    if let Err(e) = reject_obs_flags(&flags, "store") {
+        eprintln!("error: {e}");
+        return 2;
+    }
     if flags.tol.is_some()
         || flags.tol_pct.is_some()
         || flags.kernel.is_some()

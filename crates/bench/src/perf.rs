@@ -77,6 +77,9 @@ pub struct PerfArtifact {
     pub cells: Vec<PerfCell>,
     /// Derived scalars (`speedup n=4096` etc.).
     pub scalars: Vec<PerfScalar>,
+    /// Measurement caveats (e.g. peak RSS unavailable on this platform).
+    /// Always emitted; optional on parse so older artifacts still load.
+    pub notes: Vec<String>,
 }
 
 impl PerfArtifact {
@@ -120,6 +123,10 @@ impl PerfArtifact {
                         })
                         .collect(),
                 ),
+            ),
+            (
+                "notes",
+                Json::Arr(self.notes.iter().map(|n| Json::Str(n.clone())).collect()),
             ),
         ])
         .pretty()
@@ -193,7 +200,28 @@ impl PerfArtifact {
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(PerfArtifact { cells, scalars })
+        // `notes` is absent from pre-v1.1 artifacts (the committed
+        // baseline among them): missing means none, a present field must
+        // still be a string array.
+        let notes = match json.get("notes") {
+            None => Vec::new(),
+            Some(j) => j
+                .as_arr()
+                .ok_or("mistyped field \"notes\"")?
+                .iter()
+                .enumerate()
+                .map(|(i, n)| {
+                    n.as_str()
+                        .map(String::from)
+                        .ok_or(format!("notes[{i}]: not a string"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        Ok(PerfArtifact {
+            cells,
+            scalars,
+            notes,
+        })
     }
 }
 
@@ -297,6 +325,25 @@ pub fn run_perf(quick: bool, kernel_override: Option<Kernel>) -> PerfArtifact {
         result: Option<dyncode_dynet::RunResult>,
     }
     let mut artifact = PerfArtifact::default();
+    // Probe the peak-RSS interface once up front. Where it is missing the
+    // per-cell figures silently degrade (0, or a process-lifetime
+    // high-water mark) — make that loud: a structured event plus a note
+    // carried in the artifact itself.
+    if !reset_peak_rss() {
+        let note = "peak RSS unavailable on this platform \
+                    (/proc/self/clear_refs not writable); peak_rss_bytes \
+                    figures are not per-cell";
+        if dyncode_obs::enabled() {
+            dyncode_obs::emit(&dyncode_obs::Event::mark(
+                "rss_unavailable",
+                vec![(
+                    "reason".to_string(),
+                    dyncode_obs::Value::Str("clear_refs not writable".to_string()),
+                )],
+            ));
+        }
+        artifact.notes.push(note.to_string());
+    }
     // Every quick size also appears in the full sweep, so the CI smoke
     // cells always have baseline counterparts to gate against. The
     // dense-field sizes sit a step (or two) below gf2's: their reference
@@ -354,7 +401,7 @@ pub fn run_perf(quick: bool, kernel_override: Option<Kernel>) -> PerfArtifact {
                     let r = timed.cell.run_on(&inst, 1);
                     let wall_ns = t0.elapsed().as_nanos() as u64;
                     let peak = peak_rss_bytes();
-                    eprintln!(
+                    dyncode_obs::obs_info!(
                         "[perf {spec} n={n} kernel={} pass {pass}: {} rounds in {:.3}s]",
                         timed.cell.kernel,
                         r.rounds,
@@ -512,11 +559,26 @@ mod tests {
                 name: "speedup field-broadcast(gf2) n=256".into(),
                 value: 4.25,
             }],
+            notes: vec!["peak RSS unavailable".into()],
         };
         let text = a.to_json_string();
         let back = PerfArtifact::parse(&text).expect("parse");
         assert_eq!(back, a);
         assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn perf_artifact_notes_are_optional_on_parse() {
+        // The committed baseline predates the notes field: it must still
+        // parse, as an empty note list.
+        let text = r#"{"schema": "dyncode-perf/v1", "id": "perf", "cells": [], "scalars": []}"#;
+        let a = PerfArtifact::parse(text).expect("parse without notes");
+        assert!(a.notes.is_empty());
+        let err = PerfArtifact::parse(
+            r#"{"schema": "dyncode-perf/v1", "id": "perf", "cells": [], "scalars": [], "notes": 3}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("notes"), "{err}");
     }
 
     #[test]
@@ -532,10 +594,12 @@ mod tests {
         let base = PerfArtifact {
             cells: vec![cell("a", 100.0), cell("gone", 50.0)],
             scalars: vec![],
+            notes: vec![],
         };
         let same = PerfArtifact {
             cells: vec![cell("a", 95.0)],
             scalars: vec![],
+            notes: vec![],
         };
         let (lines, ok) = perf_compare(&base, &same, 20.0, None);
         assert!(ok, "{lines:?}");
@@ -544,6 +608,7 @@ mod tests {
         let worse = PerfArtifact {
             cells: vec![cell("a", 60.0)],
             scalars: vec![],
+            notes: vec![],
         };
         let (lines, ok) = perf_compare(&base, &worse, 20.0, None);
         assert!(!ok);
@@ -552,6 +617,7 @@ mod tests {
         let better = PerfArtifact {
             cells: vec![cell("a", 500.0), cell("new", 10.0)],
             scalars: vec![],
+            notes: vec![],
         };
         let (lines, ok) = perf_compare(&base, &better, 20.0, None);
         assert!(ok);
@@ -569,10 +635,12 @@ mod tests {
         let base = PerfArtifact {
             cells: vec![with_rss("a", 100.0, 1000), with_rss("b", 100.0, 0)],
             scalars: vec![],
+            notes: vec![],
         };
         let grown = PerfArtifact {
             cells: vec![with_rss("a", 100.0, 2000), with_rss("b", 100.0, 500)],
             scalars: vec![],
+            notes: vec![],
         };
         // Without a budget, RSS growth is not gated.
         let (_, ok) = perf_compare(&base, &grown, 20.0, None);
@@ -595,6 +663,7 @@ mod tests {
         let slight = PerfArtifact {
             cells: vec![with_rss("a", 100.0, 1200)],
             scalars: vec![],
+            notes: vec![],
         };
         let (lines, ok) = perf_compare(&base, &slight, 20.0, Some(75.0));
         assert!(ok, "{lines:?}");

@@ -87,14 +87,24 @@ where
     FB: Fn() -> P,
     FA: Fn() -> Box<dyn Adversary>,
 {
-    let mut p = build();
-    let mut a = adv();
-    let r = run(&mut p, a.as_mut(), config, seed);
-    if r.completed {
-        assert!(
-            fully_disseminated(&p),
-            "completed run left a node without some token (seed {seed})"
-        );
+    let (mut p, mut a) = {
+        let _setup = dyncode_obs::span!("runner.setup", seed = seed);
+        (build(), adv())
+    };
+    let r = {
+        let _run = dyncode_obs::span!("runner.run", seed = seed);
+        run(&mut p, a.as_mut(), config, seed)
+    };
+    {
+        let _teardown = dyncode_obs::span!("runner.teardown", seed = seed);
+        if r.completed {
+            assert!(
+                fully_disseminated(&p),
+                "completed run left a node without some token (seed {seed})"
+            );
+        }
+        drop(a);
+        drop(p);
     }
     r
 }
@@ -128,7 +138,10 @@ where
         let mut a = adv();
         let name = a.name();
         let pp = PatchParams::new(inst.params.n, t.max(1), inst.params.b);
-        let res = patch_dissemination(inst, pp, a.as_mut(), seed, config.max_rounds);
+        let res = {
+            let _run = dyncode_obs::span!("runner.run", seed = seed);
+            patch_dissemination(inst, pp, a.as_mut(), seed, config.max_rounds)
+        };
         return RunResult {
             rounds: res.charged_rounds,
             completed: res.completed,
@@ -138,14 +151,24 @@ where
             history: Vec::new(),
         };
     }
-    let mut p = spec.build(inst, t);
-    let mut a = adv();
-    let r = run_erased(&mut p, a.as_mut(), config, seed);
-    if r.completed {
-        assert!(
-            fully_disseminated(&p),
-            "completed {spec} run left a node without some token (seed {seed})"
-        );
+    let (mut p, mut a) = {
+        let _setup = dyncode_obs::span!("runner.setup", seed = seed);
+        (spec.build(inst, t), adv())
+    };
+    let r = {
+        let _run = dyncode_obs::span!("runner.run", seed = seed);
+        run_erased(&mut p, a.as_mut(), config, seed)
+    };
+    {
+        let _teardown = dyncode_obs::span!("runner.teardown", seed = seed);
+        if r.completed {
+            assert!(
+                fully_disseminated(&p),
+                "completed {spec} run left a node without some token (seed {seed})"
+            );
+        }
+        drop(a);
+        drop(p);
     }
     r
 }
@@ -338,14 +361,27 @@ where
     if resolve_kernel(spec, kernel) != Kernel::Fast {
         return run_spec(spec, inst, t, adv, config, seed);
     }
-    let mut cell = build_fast_cell(spec, inst, t).unwrap_or_else(|e| panic!("{e}"));
-    let mut a = adv();
-    let r = run_fast(cell.as_mut(), a.as_mut(), config, seed);
-    if r.completed {
-        assert!(
-            cell.fully_disseminated(),
-            "completed {spec} run left a node without some token (seed {seed})"
-        );
+    let (mut cell, mut a) = {
+        let _setup = dyncode_obs::span!("runner.setup", seed = seed);
+        (
+            build_fast_cell(spec, inst, t).unwrap_or_else(|e| panic!("{e}")),
+            adv(),
+        )
+    };
+    let r = {
+        let _run = dyncode_obs::span!("runner.run", seed = seed);
+        run_fast(cell.as_mut(), a.as_mut(), config, seed)
+    };
+    {
+        let _teardown = dyncode_obs::span!("runner.teardown", seed = seed);
+        if r.completed {
+            assert!(
+                cell.fully_disseminated(),
+                "completed {spec} run left a node without some token (seed {seed})"
+            );
+        }
+        drop(a);
+        drop(cell);
     }
     r
 }

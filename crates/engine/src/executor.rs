@@ -17,10 +17,40 @@
 //!    the campaign: each job runs under [`catch_unwind`] and a panic
 //!    becomes a [`CellError`] carried in the result slot.
 
+use dyncode_obs::{Event, Value};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Mutex};
 use std::thread;
+use std::time::Instant;
+
+/// Runs one job under panic containment, with an `executor.cell` span
+/// and an `executor.panic` mark when telemetry is enabled. Returns the
+/// outcome and the job's wall time in nanoseconds (0 when disabled).
+fn run_job<T, F: FnOnce() -> T>(i: usize, f: F) -> (Result<T, CellError>, u64) {
+    if !dyncode_obs::enabled() {
+        return (
+            catch_unwind(AssertUnwindSafe(f)).map_err(CellError::from_panic),
+            0,
+        );
+    }
+    let start = Instant::now();
+    let outcome = {
+        let _span = dyncode_obs::span!("executor.cell", job = i);
+        catch_unwind(AssertUnwindSafe(f)).map_err(CellError::from_panic)
+    };
+    let dur = start.elapsed().as_nanos() as u64;
+    if let Err(e) = &outcome {
+        dyncode_obs::emit(&Event::mark(
+            "executor.panic",
+            vec![
+                ("job".to_string(), Value::from(i)),
+                ("message".to_string(), Value::from(e.message.as_str())),
+            ],
+        ));
+    }
+    (outcome, dur)
+}
 
 /// A contained per-cell failure: the payload of a panic that occurred
 /// while the cell ran.
@@ -98,18 +128,28 @@ impl Engine {
             return Vec::new();
         }
         let workers = self.threads.min(n);
+        let _map_span = dyncode_obs::span!("executor.map", jobs = n, workers = workers);
         if workers == 1 {
             // Serial fast path: same containment semantics, no threads.
-            return jobs
+            let mut busy_ns = 0u64;
+            let out: Vec<Result<T, CellError>> = jobs
                 .into_iter()
-                .map(|f| catch_unwind(AssertUnwindSafe(f)).map_err(CellError::from_panic))
+                .enumerate()
+                .map(|(i, f)| {
+                    let (outcome, dur) = run_job(i, f);
+                    busy_ns += dur;
+                    outcome
+                })
                 .collect();
+            emit_worker_mark(0, n, n, 0, busy_ns);
+            return out;
         }
 
         let mut local: Vec<VecDeque<(usize, F)>> = (0..workers).map(|_| VecDeque::new()).collect();
         for (i, job) in jobs.into_iter().enumerate() {
             local[i % workers].push_back((i, job));
         }
+        let queued: Vec<usize> = local.iter().map(VecDeque::len).collect();
         let shards: Vec<Mutex<VecDeque<(usize, F)>>> = local.into_iter().map(Mutex::new).collect();
         let (tx, rx) = mpsc::channel::<(usize, Result<T, CellError>)>();
 
@@ -117,13 +157,21 @@ impl Engine {
             for w in 0..workers {
                 let tx = tx.clone();
                 let shards = &shards;
-                scope.spawn(move || loop {
-                    let job = next_job(shards, w);
-                    let Some((i, f)) = job else { break };
-                    let outcome = catch_unwind(AssertUnwindSafe(f)).map_err(CellError::from_panic);
-                    if tx.send((i, outcome)).is_err() {
-                        break;
+                let queued = queued[w];
+                scope.spawn(move || {
+                    let (mut ran, mut stolen, mut busy_ns) = (0u64, 0u64, 0u64);
+                    loop {
+                        let job = next_job(shards, w);
+                        let Some((i, f, stole)) = job else { break };
+                        let (outcome, dur) = run_job(i, f);
+                        ran += 1;
+                        stolen += stole as u64;
+                        busy_ns += dur;
+                        if tx.send((i, outcome)).is_err() {
+                            break;
+                        }
                     }
+                    emit_worker_mark(w, queued, ran as usize, stolen, busy_ns);
                 });
             }
             drop(tx);
@@ -160,20 +208,39 @@ impl Engine {
 
 /// Pops the next job for worker `w`: own deque front first, then steal
 /// from siblings' backs (classic work-stealing order — owners and thieves
-/// touch opposite ends to minimize contention).
-fn next_job<F>(shards: &[Mutex<VecDeque<(usize, F)>>], w: usize) -> Option<(usize, F)> {
+/// touch opposite ends to minimize contention). The `bool` is true when
+/// the job was stolen from a sibling.
+fn next_job<F>(shards: &[Mutex<VecDeque<(usize, F)>>], w: usize) -> Option<(usize, F, bool)> {
     // Locks are held only for the pop itself (never across user code), so
     // a poisoned mutex is impossible; unwrap is fine.
-    if let Some(job) = shards[w].lock().unwrap().pop_front() {
-        return Some(job);
+    if let Some((i, f)) = shards[w].lock().unwrap().pop_front() {
+        return Some((i, f, false));
     }
     for offset in 1..shards.len() {
         let victim = (w + offset) % shards.len();
-        if let Some(job) = shards[victim].lock().unwrap().pop_back() {
-            return Some(job);
+        if let Some((i, f)) = shards[victim].lock().unwrap().pop_back() {
+            return Some((i, f, true));
         }
     }
     None
+}
+
+/// Emits one `executor.worker` mark summarizing a worker's run: initial
+/// queue depth, jobs ran (own + stolen), steals, and busy time.
+fn emit_worker_mark(w: usize, queued: usize, ran: usize, stolen: u64, busy_ns: u64) {
+    if !dyncode_obs::enabled() {
+        return;
+    }
+    dyncode_obs::emit(&Event::mark(
+        "executor.worker",
+        vec![
+            ("worker".to_string(), Value::from(w)),
+            ("queued".to_string(), Value::from(queued)),
+            ("ran".to_string(), Value::from(ran)),
+            ("stolen".to_string(), Value::from(stolen)),
+            ("busy_ns".to_string(), Value::from(busy_ns)),
+        ],
+    ));
 }
 
 #[cfg(test)]

@@ -80,7 +80,8 @@ pub fn run_fast(
     let mut max_message_bits = 0u64;
     let mut history = Vec::new();
 
-    let phase_time = std::env::var_os("DYNCODE_PHASE_TIME").is_some();
+    crate::phase::ensure_env_compat();
+    crate::phase::elim_reset();
     let (mut t_view, mut t_compose, mut t_deliver) = (
         std::time::Duration::ZERO,
         std::time::Duration::ZERO,
@@ -116,12 +117,10 @@ pub fn run_fast(
         // 3. Anonymous broadcast delivery.
         cell.deliver_all(&csr, round, &mut rng);
         cell.round_end(round, &mut rng);
-        if phase_time {
-            let t3 = std::time::Instant::now();
-            t_view += t1 - t0;
-            t_compose += t2 - t1;
-            t_deliver += t3 - t2;
-        }
+        let t3 = std::time::Instant::now();
+        t_view += t1 - t0;
+        t_compose += t2 - t1;
+        t_deliver += t3 - t2;
 
         if config.record_history {
             let (min_dim, max_dim, total_tokens, done) = cell.history_stats();
@@ -139,13 +138,36 @@ pub fn run_fast(
         round += 1;
         completed = cell.all_done();
     }
-    if phase_time {
-        eprintln!(
-            "[phase-time n={n} rounds={round}: view+topo {:.3}s compose {:.3}s deliver {:.3}s]",
-            t_view.as_secs_f64(),
-            t_compose.as_secs_f64(),
-            t_deliver.as_secs_f64()
-        );
+    // Per-run phase totals as aggregate span events. `kernel.eliminate`
+    // is what the cells accumulated around their `insert` calls;
+    // `kernel.gather` is the rest of delivery (copy/unpack + inbox walk).
+    let elim_ns = crate::phase::elim_take();
+    if crate::phase::active() {
+        let fields = |extra: Vec<(String, dyncode_obs::Value)>| {
+            let mut f = vec![
+                ("n".to_string(), dyncode_obs::Value::from(n)),
+                ("rounds".to_string(), dyncode_obs::Value::from(round)),
+            ];
+            f.extend(extra);
+            f
+        };
+        let deliver_ns = t_deliver.as_nanos() as u64;
+        for ev in [
+            dyncode_obs::Event::span_total("kernel.csr", t_view.as_nanos() as u64, fields(vec![])),
+            dyncode_obs::Event::span_total(
+                "kernel.compose",
+                t_compose.as_nanos() as u64,
+                fields(vec![]),
+            ),
+            dyncode_obs::Event::span_total(
+                "kernel.gather",
+                deliver_ns.saturating_sub(elim_ns),
+                fields(vec![]),
+            ),
+            dyncode_obs::Event::span_total("kernel.eliminate", elim_ns, fields(vec![])),
+        ] {
+            dyncode_obs::emit(&ev);
+        }
     }
 
     RunResult {

@@ -269,6 +269,7 @@ impl<F: Field> FastCell for DenseCell<F> {
                 );
             }
         }
+        let timing = crate::phase::active();
         let mut scratch = std::mem::take(&mut self.scratch);
         for u in 0..self.n {
             // Saturation shortcut: at rank k the node holds the full
@@ -282,7 +283,13 @@ impl<F: Field> FastCell for DenseCell<F> {
                 let v = v as usize;
                 if self.has_msg[v] {
                     scratch.copy_from_slice(&unpacked[v * ambient..(v + 1) * ambient]);
-                    self.insert(u, &mut scratch);
+                    if timing {
+                        let t = std::time::Instant::now();
+                        self.insert(u, &mut scratch);
+                        crate::phase::elim_add(t.elapsed().as_nanos() as u64);
+                    } else {
+                        self.insert(u, &mut scratch);
+                    }
                 }
             }
         }

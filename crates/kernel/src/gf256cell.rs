@@ -551,6 +551,7 @@ impl FastCell for Gf256Cell {
 
     fn deliver_all(&mut self, topo: &CsrTopology, _round: usize, _rng: &mut StdRng) {
         let rw = self.rw;
+        let timing = crate::phase::active();
         let mut scratch = std::mem::take(&mut self.scratch);
         for u in 0..self.n {
             // Saturation shortcut: at rank k the node holds the full
@@ -564,7 +565,13 @@ impl FastCell for Gf256Cell {
                 let v = v as usize;
                 if self.has_msg[v] {
                     scratch.copy_from_slice(&self.msgs[v * rw..(v + 1) * rw]);
-                    self.insert(u, &mut scratch);
+                    if timing {
+                        let t = std::time::Instant::now();
+                        self.insert(u, &mut scratch);
+                        crate::phase::elim_add(t.elapsed().as_nanos() as u64);
+                    } else {
+                        self.insert(u, &mut scratch);
+                    }
                 }
             }
         }

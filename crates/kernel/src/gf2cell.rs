@@ -291,6 +291,7 @@ impl FastCell for Gf2Cell {
 
     fn deliver_all(&mut self, topo: &CsrTopology, _round: usize, _rng: &mut StdRng) {
         let wpr = self.wpr;
+        let timing = crate::phase::active();
         let mut scratch = std::mem::take(&mut self.scratch);
         for u in 0..self.n {
             // Saturation shortcut: every packet lies in the span of the k
@@ -306,7 +307,13 @@ impl FastCell for Gf2Cell {
                 let v = v as usize;
                 if self.has_msg[v] {
                     scratch.copy_from_slice(&self.msgs[v * wpr..(v + 1) * wpr]);
-                    self.insert(u, &mut scratch);
+                    if timing {
+                        let t = std::time::Instant::now();
+                        self.insert(u, &mut scratch);
+                        crate::phase::elim_add(t.elapsed().as_nanos() as u64);
+                    } else {
+                        self.insert(u, &mut scratch);
+                    }
                 }
             }
         }

@@ -57,6 +57,7 @@ pub mod erased;
 pub mod forward;
 pub mod gf256cell;
 pub mod gf2cell;
+pub mod phase;
 
 pub use cell::{run_fast, FastCell};
 pub use csr::CsrTopology;

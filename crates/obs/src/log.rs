@@ -1,0 +1,139 @@
+//! Leveled progress logging (`--quiet` / `--verbose`).
+//!
+//! The bench CLI's scattered `eprintln!` progress lines route through
+//! [`obs_info!`](crate::obs_info), [`obs_debug!`](crate::obs_debug), and
+//! [`obs_error!`](crate::obs_error) so one process-global [`Level`]
+//! controls them uniformly across the campaign/merge/serve/store
+//! subcommands. A suppressed line costs one relaxed atomic load — the
+//! format arguments are not evaluated. Emitted lines still go to stderr
+//! (they are operator chatter, not artifacts) and are mirrored as
+//! [`Kind::Log`](crate::Kind) events when sinks are installed, so an
+//! `--events` stream records what the operator saw.
+
+use crate::event::{Event, Kind, Value};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log verbosity, ordered: `Error < Info < Debug`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Failures only (`--quiet`).
+    Error = 0,
+    /// Progress lines (default).
+    Info = 1,
+    /// Extra detail like store counters and heartbeats (`--verbose`).
+    Debug = 2,
+}
+
+impl Level {
+    /// The wire/display name (`"error"`, `"info"`, `"debug"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Sets the process-global log level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current log level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Whether a line at `l` would be printed. The logging macros check this
+/// before evaluating their format arguments.
+pub fn level_enabled(l: Level) -> bool {
+    l as u8 <= LEVEL.load(Ordering::Relaxed)
+}
+
+/// Prints `msg` to stderr and mirrors it as a [`Kind::Log`] event when
+/// sinks are installed. Called by the macros after the level check.
+pub fn emit_log(l: Level, msg: &str) {
+    eprintln!("{msg}");
+    if crate::enabled() {
+        let mut ev = Event::new(Kind::Log, l.name());
+        ev.fields = vec![("msg".to_string(), Value::Str(msg.to_string()))];
+        crate::emit(&ev);
+    }
+}
+
+/// Logs a progress line at [`Level::Info`] (suppressed by `--quiet`).
+#[macro_export]
+macro_rules! obs_info {
+    ($($arg:tt)*) => {
+        if $crate::log::level_enabled($crate::log::Level::Info) {
+            $crate::log::emit_log($crate::log::Level::Info, &::std::format!($($arg)*));
+        }
+    };
+}
+
+/// Logs a detail line at [`Level::Debug`] (shown with `--verbose`).
+#[macro_export]
+macro_rules! obs_debug {
+    ($($arg:tt)*) => {
+        if $crate::log::level_enabled($crate::log::Level::Debug) {
+            $crate::log::emit_log($crate::log::Level::Debug, &::std::format!($($arg)*));
+        }
+    };
+}
+
+/// Logs a failure line at [`Level::Error`] (never suppressed).
+#[macro_export]
+macro_rules! obs_error {
+    ($($arg:tt)*) => {
+        if $crate::log::level_enabled($crate::log::Level::Error) {
+            $crate::log::emit_log($crate::log::Level::Error, &::std::format!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_gate() {
+        let _lock = crate::test_guard();
+        set_level(Level::Info);
+        assert!(level_enabled(Level::Error));
+        assert!(level_enabled(Level::Info));
+        assert!(!level_enabled(Level::Debug));
+        set_level(Level::Error);
+        assert!(level_enabled(Level::Error));
+        assert!(!level_enabled(Level::Info));
+        set_level(Level::Debug);
+        assert!(level_enabled(Level::Debug));
+        assert_eq!(level(), Level::Debug);
+        set_level(Level::Info);
+    }
+
+    #[test]
+    fn log_lines_mirror_to_sinks() {
+        let _lock = crate::test_guard();
+        set_level(Level::Info);
+        let sink = std::sync::Arc::new(crate::sink::MemorySink::default());
+        let id = crate::install(sink.clone());
+        crate::obs_info!("hello {}", 42);
+        crate::obs_debug!("suppressed {}", "detail");
+        crate::uninstall(id);
+        let events = sink.take();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, Kind::Log);
+        assert_eq!(events[0].name, "info");
+        assert_eq!(
+            events[0].field("msg"),
+            Some(&Value::Str("hello 42".to_string()))
+        );
+    }
+}

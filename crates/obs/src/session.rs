@@ -1,0 +1,110 @@
+//! CLI-facing telemetry lifecycle: the [`Session`] guard behind
+//! `--events PATH` and `--metrics PATH`.
+//!
+//! A session installs the requested sinks at command start and, on drop,
+//! appends final metric snapshots to the event stream, flushes,
+//! uninstalls, and writes the metrics file. Because the snapshot events
+//! and the `.store.json` sidecar read the same global metric registry,
+//! `obs summarize` reconciles exactly with the sidecar.
+
+use crate::event::Event;
+use crate::sink::JsonlSink;
+use crate::SinkId;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// An active telemetry session; dropping it finalizes all outputs.
+pub struct Session {
+    ids: Vec<SinkId>,
+    jsonl: Option<Arc<JsonlSink>>,
+    metrics_path: Option<PathBuf>,
+}
+
+impl Session {
+    /// Starts a session writing events to `events` and/or a metrics
+    /// snapshot to `metrics` (each optional; with neither, the session is
+    /// a no-op guard). Fails only if the events file cannot be created.
+    pub fn start(events: Option<&Path>, metrics: Option<&Path>) -> std::io::Result<Session> {
+        let mut ids = Vec::new();
+        let mut jsonl = None;
+        if let Some(path) = events {
+            let sink = Arc::new(JsonlSink::create(path)?);
+            ids.push(crate::install(sink.clone()));
+            jsonl = Some(sink);
+        }
+        Ok(Session {
+            ids,
+            jsonl,
+            metrics_path: metrics.map(Path::to_path_buf),
+        })
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // Final absolute metric values close out the event stream.
+        if let Some(sink) = &self.jsonl {
+            for ev in crate::metrics::snapshot_events() {
+                use crate::sink::Sink as _;
+                sink.record(&ev);
+            }
+            use crate::sink::Sink as _;
+            sink.flush();
+        }
+        for id in self.ids.drain(..) {
+            crate::uninstall(id);
+        }
+        if let Some(path) = &self.metrics_path {
+            // Best-effort: a failed metrics write must not fail the run.
+            let _ = crate::metrics::write_metrics_file(path);
+        }
+    }
+}
+
+impl Session {
+    /// Emits an event directly to this session's sinks (and any others
+    /// installed). Convenience for one-off marks from the CLI layer.
+    pub fn emit(&self, ev: &Event) {
+        crate::emit(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{parse_events, Kind};
+
+    #[test]
+    fn session_writes_events_and_metrics_then_uninstalls() {
+        let _lock = crate::test_guard();
+        let dir = std::env::temp_dir().join(format!("dyncode_obs_session_{}", std::process::id()));
+        let events = dir.join("events.jsonl");
+        let metrics = dir.join("metrics.json");
+        {
+            let session = Session::start(Some(&events), Some(&metrics)).expect("start");
+            assert!(crate::enabled());
+            crate::metrics::counter("test.session.counter").add(5);
+            session.emit(&Event::mark("test.session.mark", Vec::new()));
+        }
+        assert!(!crate::enabled(), "session drop uninstalls its sinks");
+        let stream = parse_events(&std::fs::read_to_string(&events).unwrap()).expect("parse");
+        assert!(stream.iter().any(|e| e.name == "test.session.mark"));
+        let counter = stream
+            .iter()
+            .find(|e| e.kind == Kind::Counter && e.name == "test.session.counter")
+            .expect("final counter snapshot in stream");
+        assert!(counter.value.unwrap() >= 5);
+        let mtext = std::fs::read_to_string(&metrics).unwrap();
+        assert!(mtext.contains(crate::metrics::METRICS_SCHEMA));
+        assert!(mtext.contains("test.session.counter"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_session_is_a_noop_guard() {
+        let _lock = crate::test_guard();
+        let s = Session::start(None, None).expect("start");
+        assert!(!crate::enabled());
+        drop(s);
+    }
+}

@@ -1,0 +1,182 @@
+//! RAII spans with self-time accounting.
+//!
+//! A [`SpanGuard`] records a name, monotonic start, duration, thread,
+//! and a small field map, emitting one [`Kind::Span`](crate::Kind) event
+//! on drop. A thread-local stack tracks nesting so each span also
+//! reports **self time** — its duration minus the time spent inside
+//! same-thread child spans — which is what `obs summarize` ranks by.
+//!
+//! The disabled path is the hot path: with no sinks installed,
+//! [`SpanGuard::enter`] costs one relaxed atomic load and allocates
+//! nothing (the [`span!`](crate::span!) macro doesn't even build the
+//! field vector), a guarantee locked by `tests/no_alloc.rs`.
+
+use crate::event::{Event, Kind, Value};
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// One child-time accumulator per open span on this thread.
+    static CHILD_NS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+struct Active {
+    name: &'static str,
+    fields: Vec<(String, Value)>,
+    start: Instant,
+}
+
+/// An open span; emits its event when dropped. Inert (and free) while
+/// telemetry is disabled.
+pub struct SpanGuard {
+    active: Option<Active>,
+}
+
+impl SpanGuard {
+    /// Opens a span named `name` with `fields`. Returns an inert guard
+    /// when no sinks are installed. Prefer the [`span!`](crate::span!)
+    /// macro, which skips building `fields` entirely on the disabled
+    /// path.
+    pub fn enter(name: &'static str, fields: Vec<(String, Value)>) -> SpanGuard {
+        if !crate::enabled() {
+            return SpanGuard { active: None };
+        }
+        CHILD_NS.with(|s| s.borrow_mut().push(0));
+        SpanGuard {
+            active: Some(Active {
+                name,
+                fields,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// An inert guard (used by the macro's disabled branch).
+    pub fn disabled() -> SpanGuard {
+        SpanGuard { active: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(a) = self.active.take() else { return };
+        let dur = a.start.elapsed().as_nanos() as u64;
+        let child = CHILD_NS.with(|s| {
+            let mut stack = s.borrow_mut();
+            let child = stack.pop().unwrap_or(0);
+            if let Some(parent) = stack.last_mut() {
+                *parent += dur;
+            }
+            child
+        });
+        let mut ev = Event::new(Kind::Span, a.name);
+        ev.dur_ns = Some(dur);
+        ev.self_ns = Some(dur.saturating_sub(child));
+        ev.fields = a.fields;
+        crate::emit(&ev);
+    }
+}
+
+/// Opens a [`SpanGuard`] recording `name` (and optional `key = value`
+/// fields) until the guard drops:
+///
+/// ```
+/// let _span = dyncode_obs::span!("kernel.eliminate");
+/// let _span = dyncode_obs::span!("runner.run", seed = 7u64, n = 128usize);
+/// ```
+///
+/// With no sinks installed the expansion costs one atomic load — the
+/// field expressions are not evaluated and nothing allocates.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanGuard::enter($name, ::std::vec::Vec::new())
+    };
+    ($name:expr, $($key:ident = $val:expr),+ $(,)?) => {
+        if $crate::enabled() {
+            $crate::span::SpanGuard::enter(
+                $name,
+                ::std::vec![$((
+                    ::std::string::String::from(::std::stringify!($key)),
+                    $crate::Value::from($val),
+                )),+],
+            )
+        } else {
+            $crate::span::SpanGuard::disabled()
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::sink::MemorySink;
+    use crate::Value;
+    use std::sync::Arc;
+
+    #[test]
+    fn span_nesting_accounts_self_time() {
+        let _lock = crate::test_guard();
+        let sink = Arc::new(MemorySink::default());
+        let id = crate::install(sink.clone());
+        {
+            let _outer = crate::span!("test.outer", n = 4u64);
+            std::thread::sleep(std::time::Duration::from_millis(4));
+            {
+                let _inner = crate::span!("test.inner");
+                std::thread::sleep(std::time::Duration::from_millis(8));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        crate::uninstall(id);
+        let events = sink.take();
+        // Children drop (and record) before parents.
+        assert_eq!(events.len(), 2);
+        let (inner, outer) = (&events[0], &events[1]);
+        assert_eq!(inner.name, "test.inner");
+        assert_eq!(outer.name, "test.outer");
+        assert_eq!(outer.field("n"), Some(&Value::U64(4)));
+        let (od, os) = (outer.dur_ns.unwrap(), outer.self_ns.unwrap());
+        let id_ns = inner.dur_ns.unwrap();
+        // Inner span's self time is its whole duration (no children).
+        assert_eq!(inner.self_ns, inner.dur_ns);
+        // Outer duration covers the inner; outer self time excludes it.
+        assert!(od >= id_ns, "outer {od} >= inner {id_ns}");
+        assert_eq!(os, od - id_ns);
+        // ~5ms of sleep outside the inner span must show up as self time.
+        assert!(os >= 4_000_000, "outer self {os}ns");
+    }
+
+    #[test]
+    fn sibling_spans_both_count_toward_the_parent() {
+        let _lock = crate::test_guard();
+        let sink = Arc::new(MemorySink::default());
+        let id = crate::install(sink.clone());
+        {
+            let _outer = crate::span!("test.parent");
+            for _ in 0..2 {
+                let _child = crate::span!("test.child");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        crate::uninstall(id);
+        let events = sink.take();
+        assert_eq!(events.len(), 3);
+        let parent = events.last().unwrap();
+        let child_total: u64 = events[..2].iter().map(|e| e.dur_ns.unwrap()).sum();
+        assert_eq!(
+            parent.self_ns.unwrap(),
+            parent.dur_ns.unwrap() - child_total
+        );
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _lock = crate::test_guard();
+        // No sink installed: guards must not touch the nesting stack.
+        {
+            let _a = crate::span!("test.disabled", big = 1u64);
+            let _b = crate::span!("test.disabled2");
+        }
+        super::CHILD_NS.with(|s| assert!(s.borrow().is_empty()));
+    }
+}

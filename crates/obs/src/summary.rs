@@ -1,0 +1,300 @@
+//! Offline aggregation of a `dyncode-events/v1` stream — the engine
+//! behind `experiments obs summarize <events.jsonl>`.
+//!
+//! [`Summary::from_events`] folds a parsed stream into per-span totals
+//! (ranked by total time, with self time and max), final counter/gauge
+//! values, histogram snapshots, and per-worker utilization derived from
+//! the executor's `executor.worker` marks against `executor.map` wall
+//! time. [`Summary::render`] prints it as markdown-ish text.
+
+use crate::event::{Event, Kind};
+use std::collections::BTreeMap;
+
+/// Aggregated statistics for one span name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// Number of span events.
+    pub count: u64,
+    /// Sum of `dur_ns`.
+    pub total_ns: u64,
+    /// Sum of `self_ns`.
+    pub self_ns: u64,
+    /// Largest single `dur_ns`.
+    pub max_ns: u64,
+}
+
+/// One worker's tallies from its `executor.worker` mark.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerAgg {
+    /// Worker index.
+    pub worker: u64,
+    /// Jobs initially queued to this worker's shard.
+    pub queued: u64,
+    /// Jobs this worker ran (own shard + stolen).
+    pub ran: u64,
+    /// Jobs stolen from sibling shards.
+    pub stolen: u64,
+    /// Nanoseconds spent running jobs.
+    pub busy_ns: u64,
+}
+
+/// A histogram's final snapshot fields from its `hist` event.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistAgg {
+    /// Observation count.
+    pub count: u64,
+    /// Observation sum.
+    pub sum: u64,
+    /// Estimated 50th percentile (bucket upper bound).
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// Upper bound of the highest non-empty bucket.
+    pub max: u64,
+}
+
+/// Everything `obs summarize` reports about one event stream.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    /// Total events in the stream (including the meta header).
+    pub events: usize,
+    /// Per-span aggregates, sorted by `total_ns` descending.
+    pub spans: Vec<(String, SpanAgg)>,
+    /// Final counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Final gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Final histogram snapshots by name.
+    pub hists: BTreeMap<String, HistAgg>,
+    /// Per-worker tallies, sorted by worker index.
+    pub workers: Vec<WorkerAgg>,
+    /// Total `executor.map` wall time (denominator for utilization).
+    pub map_total_ns: u64,
+    /// `executor.panic` events seen.
+    pub panics: u64,
+    /// Log-line counts by level name.
+    pub logs: BTreeMap<String, u64>,
+}
+
+impl Summary {
+    /// Folds a parsed stream (as returned by
+    /// [`parse_events`](crate::parse_events)) into a summary.
+    pub fn from_events(events: &[Event]) -> Summary {
+        let mut spans: BTreeMap<String, SpanAgg> = BTreeMap::new();
+        let mut s = Summary {
+            events: events.len(),
+            ..Summary::default()
+        };
+        for ev in events {
+            match ev.kind {
+                Kind::Span => {
+                    let agg = spans.entry(ev.name.clone()).or_default();
+                    let dur = ev.dur_ns.unwrap_or(0);
+                    agg.count += 1;
+                    agg.total_ns += dur;
+                    agg.self_ns += ev.self_ns.unwrap_or(dur);
+                    agg.max_ns = agg.max_ns.max(dur);
+                    if ev.name == "executor.map" {
+                        s.map_total_ns += dur;
+                    }
+                }
+                Kind::Counter => {
+                    s.counters.insert(ev.name.clone(), ev.value.unwrap_or(0));
+                }
+                Kind::Gauge => {
+                    s.gauges.insert(ev.name.clone(), ev.value.unwrap_or(0));
+                }
+                Kind::Hist => {
+                    s.hists.insert(
+                        ev.name.clone(),
+                        HistAgg {
+                            count: ev.field_u64("count").unwrap_or(0),
+                            sum: ev.field_u64("sum").unwrap_or(0),
+                            p50: ev.field_u64("p50").unwrap_or(0),
+                            p90: ev.field_u64("p90").unwrap_or(0),
+                            p99: ev.field_u64("p99").unwrap_or(0),
+                            max: ev.field_u64("max").unwrap_or(0),
+                        },
+                    );
+                }
+                Kind::Mark => match ev.name.as_str() {
+                    "executor.worker" => s.workers.push(WorkerAgg {
+                        worker: ev.field_u64("worker").unwrap_or(0),
+                        queued: ev.field_u64("queued").unwrap_or(0),
+                        ran: ev.field_u64("ran").unwrap_or(0),
+                        stolen: ev.field_u64("stolen").unwrap_or(0),
+                        busy_ns: ev.field_u64("busy_ns").unwrap_or(0),
+                    }),
+                    "executor.panic" => s.panics += 1,
+                    _ => {}
+                },
+                Kind::Log => {
+                    *s.logs.entry(ev.name.clone()).or_insert(0) += 1;
+                }
+                Kind::Meta => {}
+            }
+        }
+        s.spans = spans.into_iter().collect();
+        s.spans
+            .sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(&b.0)));
+        s.workers.sort_by_key(|w| w.worker);
+        s
+    }
+
+    /// Renders the summary as readable text (markdown tables).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let mut out = String::new();
+        let _ = writeln!(out, "# obs summary ({} events)", self.events);
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "\n## spans (by total time)\n");
+            let _ = writeln!(out, "| span | count | total ms | self ms | max ms |");
+            let _ = writeln!(out, "|---|---:|---:|---:|---:|");
+            for (name, a) in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "| {name} | {} | {:.3} | {:.3} | {:.3} |",
+                    a.count,
+                    ms(a.total_ns),
+                    ms(a.self_ns),
+                    ms(a.max_ns)
+                );
+            }
+        }
+        if !self.workers.is_empty() {
+            let _ = writeln!(out, "\n## workers\n");
+            let _ = writeln!(out, "| worker | queued | ran | stolen | busy ms | util |");
+            let _ = writeln!(out, "|---:|---:|---:|---:|---:|---:|");
+            for w in &self.workers {
+                let util = if self.map_total_ns > 0 {
+                    format!(
+                        "{:.1}%",
+                        100.0 * w.busy_ns as f64 / self.map_total_ns as f64
+                    )
+                } else {
+                    "-".to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} | {:.3} | {util} |",
+                    w.worker,
+                    w.queued,
+                    w.ran,
+                    w.stolen,
+                    ms(w.busy_ns)
+                );
+            }
+        }
+        if !self.counters.is_empty() || !self.gauges.is_empty() {
+            let _ = writeln!(out, "\n## counters & gauges\n");
+            let _ = writeln!(out, "| metric | value |");
+            let _ = writeln!(out, "|---|---:|");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "| {name} | {v} |");
+            }
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "| {name} (gauge) | {v} |");
+            }
+        }
+        if !self.hists.is_empty() {
+            let _ = writeln!(out, "\n## histograms (bucket upper bounds, ns)\n");
+            let _ = writeln!(out, "| histogram | count | p50 | p90 | p99 | max |");
+            let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|");
+            for (name, h) in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "| {name} | {} | {} | {} | {} | {} |",
+                    h.count, h.p50, h.p90, h.p99, h.max
+                );
+            }
+        }
+        if self.panics > 0 {
+            let _ = writeln!(out, "\n**panics: {}**", self.panics);
+        }
+        if !self.logs.is_empty() {
+            let parts: Vec<String> = self
+                .logs
+                .iter()
+                .map(|(level, n)| format!("{level}: {n}"))
+                .collect();
+            let _ = writeln!(out, "\nlog lines — {}", parts.join(", "));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Value;
+
+    fn ev_span(name: &str, dur: u64, selfn: u64) -> Event {
+        let mut ev = Event::new(Kind::Span, name);
+        ev.dur_ns = Some(dur);
+        ev.self_ns = Some(selfn);
+        ev
+    }
+
+    #[test]
+    fn summary_aggregates_and_ranks_spans() {
+        let mut counter = Event::new(Kind::Counter, "store.hits");
+        counter.value = Some(24);
+        let events = vec![
+            Event::stream_meta(),
+            ev_span("kernel.eliminate", 100, 100),
+            ev_span("kernel.eliminate", 300, 250),
+            ev_span("kernel.csr", 50, 50),
+            ev_span("executor.map", 1000, 600),
+            Event::mark(
+                "executor.worker",
+                vec![
+                    ("worker".to_string(), Value::U64(0)),
+                    ("queued".to_string(), Value::U64(4)),
+                    ("ran".to_string(), Value::U64(5)),
+                    ("stolen".to_string(), Value::U64(1)),
+                    ("busy_ns".to_string(), Value::U64(500)),
+                ],
+            ),
+            counter,
+        ];
+        let s = Summary::from_events(&events);
+        assert_eq!(s.events, 7);
+        assert_eq!(s.spans[0].0, "executor.map");
+        assert_eq!(s.spans[1].0, "kernel.eliminate");
+        assert_eq!(
+            s.spans[1].1,
+            SpanAgg {
+                count: 2,
+                total_ns: 400,
+                self_ns: 350,
+                max_ns: 300
+            }
+        );
+        assert_eq!(s.map_total_ns, 1000);
+        assert_eq!(s.counters["store.hits"], 24);
+        assert_eq!(s.workers.len(), 1);
+        assert_eq!(s.workers[0].ran, 5);
+        let text = s.render();
+        assert!(text.contains("kernel.eliminate"), "{text}");
+        assert!(text.contains("store.hits | 24"), "{text}");
+        assert!(text.contains("50.0%"), "worker util 500/1000: {text}");
+    }
+
+    #[test]
+    fn summary_counts_panics_and_logs() {
+        let mut log = Event::new(Kind::Log, "info");
+        log.fields = vec![("msg".to_string(), Value::Str("hi".to_string()))];
+        let events = vec![
+            Event::stream_meta(),
+            Event::mark("executor.panic", Vec::new()),
+            log,
+        ];
+        let s = Summary::from_events(&events);
+        assert_eq!(s.panics, 1);
+        assert_eq!(s.logs["info"], 1);
+        assert!(s.render().contains("panics: 1"));
+    }
+}

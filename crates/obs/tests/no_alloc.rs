@@ -1,0 +1,67 @@
+//! Locks the disabled-path zero-allocation guarantee: with no sinks
+//! installed, `span!`, counters, and histograms must not allocate.
+//!
+//! Uses a counting global allocator; this is an integration test (its
+//! own crate), so the library's `#![forbid(unsafe_code)]` does not apply
+//! to the allocator shim here.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn disabled_telemetry_does_not_allocate() {
+    assert!(!dyncode_obs::enabled(), "no sinks installed in this test");
+
+    // Warm up lazies outside the measured window: the obs epoch, this
+    // thread's id slot, and the metric registrations themselves (handles
+    // are cached by callers in real code).
+    dyncode_obs::now_ns();
+    dyncode_obs::thread_id();
+    let counter = dyncode_obs::metrics::counter("noalloc.counter");
+    let hist = dyncode_obs::metrics::histogram("noalloc.hist");
+    {
+        let _s = dyncode_obs::span!("noalloc.warmup", k = 1u64);
+    }
+
+    let before = alloc_count();
+    for i in 0..1000u64 {
+        let _span = dyncode_obs::span!("noalloc.span", iteration = i, tag = "hot");
+        counter.add(1);
+        hist.record(i * 37);
+    }
+    let after = alloc_count();
+    assert_eq!(
+        after - before,
+        0,
+        "disabled spans/metrics allocated {} times",
+        after - before
+    );
+    assert_eq!(counter.get(), 1000);
+}

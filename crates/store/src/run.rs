@@ -270,15 +270,19 @@ pub fn run_campaign_stored(
 /// counters plus the store's hit/miss/put totals. Kept **next to** the
 /// artifact, never inside it — counters vary between cold, warm, and
 /// resumed runs while the artifact bytes must not. Returns the path.
+///
+/// The `"store"` block is rendered from the process-global obs counters
+/// (`store.hits/misses/puts`), which every [`Store`] mirrors its
+/// operations to — the same registry `--events` snapshots and
+/// `obs summarize` reports, so sidecar and summary reconcile exactly.
 pub fn write_sidecar(
     dir: &Path,
     artifact_id: &str,
     digest: &str,
     stats: &RunStats,
-    store: Option<&Store>,
 ) -> std::io::Result<PathBuf> {
     use dyncode_engine::Json;
-    let counters = store.map(|s| s.counters()).unwrap_or_default();
+    let counter = |name: &str| dyncode_obs::metrics::counter_value(name) as f64;
     let text = Json::obj(vec![
         ("schema", Json::Str("dyncode-store-meta/v1".into())),
         ("id", Json::Str(artifact_id.into())),
@@ -292,9 +296,9 @@ pub fn write_sidecar(
         (
             "store",
             Json::obj(vec![
-                ("hits", Json::Num(counters.hits as f64)),
-                ("misses", Json::Num(counters.misses as f64)),
-                ("puts", Json::Num(counters.puts as f64)),
+                ("hits", Json::Num(counter("store.hits"))),
+                ("misses", Json::Num(counter("store.misses"))),
+                ("puts", Json::Num(counter("store.puts"))),
             ]),
         ),
     ])

@@ -12,8 +12,24 @@
 use crate::run::{run_campaign_stored, write_sidecar, RunOptions};
 use crate::store::Store;
 use dyncode_engine::{Campaign, Engine};
+use dyncode_obs::{Event, Value};
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Emits a spool-file lifecycle mark (`serve.claim`, `serve.done`,
+/// `serve.failed`) when telemetry is enabled.
+fn serve_mark(name: &str, spec: &Path, dur_ns: Option<u64>) {
+    if !dyncode_obs::enabled() {
+        return;
+    }
+    let mut ev = Event::mark(
+        name,
+        vec![("file".to_string(), Value::Str(spec.display().to_string()))],
+    );
+    ev.dur_ns = dur_ns;
+    dyncode_obs::emit(&ev);
+}
 
 /// One processed spec: where it came from and how it ended.
 #[derive(Debug)]
@@ -44,10 +60,19 @@ pub fn serve_once(
 
     let mut outcomes = Vec::new();
     for spec in specs {
+        serve_mark("serve.claim", &spec, None);
+        let start = Instant::now();
         let result = process_spec(&spec, out, engine, store, quick);
+        let dur_ns = start.elapsed().as_nanos() as u64;
         let (bucket, err) = match &result {
-            Ok(_) => ("done", None),
-            Err(e) => ("failed", Some(e.clone())),
+            Ok(_) => {
+                serve_mark("serve.done", &spec, Some(dur_ns));
+                ("done", None)
+            }
+            Err(e) => {
+                serve_mark("serve.failed", &spec, Some(dur_ns));
+                ("failed", Some(e.clone()))
+            }
         };
         // Move the spec out of the spool so it runs exactly once; the
         // move is best-effort (a vanished file means another consumer
@@ -85,7 +110,7 @@ fn process_spec(
     let path = artifact
         .write_to(out)
         .map_err(|e| format!("cannot write artifact: {e}"))?;
-    write_sidecar(out, &artifact.id, &digest, &stats, store)
+    write_sidecar(out, &artifact.id, &digest, &stats)
         .map_err(|e| format!("cannot write sidecar: {e}"))?;
     Ok(path)
 }

@@ -24,6 +24,34 @@ use dyncode_engine::Json;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Process-global obs metric handles, mirrored to on every operation (in
+/// addition to the per-[`Store`] counters): `store.hits/misses/puts`
+/// counters and `store.get_ns/put_ns/gc_ns` latency histograms. The
+/// sidecar (`run::write_sidecar`) and `obs summarize` both read these, so
+/// they reconcile exactly.
+struct ObsMetrics {
+    hits: &'static dyncode_obs::metrics::Counter,
+    misses: &'static dyncode_obs::metrics::Counter,
+    puts: &'static dyncode_obs::metrics::Counter,
+    get_ns: &'static dyncode_obs::metrics::Histogram,
+    put_ns: &'static dyncode_obs::metrics::Histogram,
+    gc_ns: &'static dyncode_obs::metrics::Histogram,
+}
+
+fn obs_metrics() -> &'static ObsMetrics {
+    static M: OnceLock<ObsMetrics> = OnceLock::new();
+    M.get_or_init(|| ObsMetrics {
+        hits: dyncode_obs::metrics::counter("store.hits"),
+        misses: dyncode_obs::metrics::counter("store.misses"),
+        puts: dyncode_obs::metrics::counter("store.puts"),
+        get_ns: dyncode_obs::metrics::histogram("store.get_ns"),
+        put_ns: dyncode_obs::metrics::histogram("store.put_ns"),
+        gc_ns: dyncode_obs::metrics::histogram("store.gc_ns"),
+    })
+}
 
 /// The object-file schema identifier; bump on incompatible change.
 pub const CELL_SCHEMA: &str = "dyncode-store-cell/v1";
@@ -107,16 +135,21 @@ impl Store {
     /// unparsable JSON, schema or key mismatch — is a miss, never an
     /// error: the orchestrator then recomputes and overwrites.
     pub fn get(&self, key: &CellKey) -> Option<RunResult> {
+        let m = obs_metrics();
+        let start = Instant::now();
         let loaded = std::fs::read_to_string(self.object_path(key.digest_hex()))
             .ok()
             .and_then(|text| decode_object(&text, key.canonical()).ok());
+        m.get_ns.record(start.elapsed().as_nanos() as u64);
         match loaded {
             Some(r) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                m.hits.add(1);
                 Some(r)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                m.misses.add(1);
                 None
             }
         }
@@ -125,6 +158,8 @@ impl Store {
     /// Stores `result` under `key`: atomic tmp-then-rename write plus an
     /// `index.log` append. Returns the object path.
     pub fn put(&self, key: &CellKey, result: &RunResult) -> io::Result<PathBuf> {
+        let m = obs_metrics();
+        let start = Instant::now();
         let path = self.object_path(key.digest_hex());
         let dir = path.parent().expect("object path has a shard dir");
         std::fs::create_dir_all(dir)?;
@@ -142,6 +177,8 @@ impl Store {
             .open(self.root.join("index.log"))?;
         writeln!(log, "{} {}", key.digest_hex(), text.len())?;
         self.puts.fetch_add(1, Ordering::Relaxed);
+        m.puts.add(1);
+        m.put_ns.record(start.elapsed().as_nanos() as u64);
         Ok(path)
     }
 
@@ -183,6 +220,7 @@ impl Store {
     /// Evicts oldest-first (by mtime) until total object bytes fit under
     /// `max_bytes`, then rewrites `index.log` from the survivors.
     pub fn gc(&self, max_bytes: u64) -> io::Result<GcReport> {
+        let start = Instant::now();
         let objects = self.walk_objects()?;
         let mut total: u64 = objects.iter().map(|(_, len, _)| len).sum();
         let mut report = GcReport::default();
@@ -218,6 +256,9 @@ impl Store {
             .join(format!("index.log.tmp-{}", std::process::id()));
         std::fs::write(&tmp, index)?;
         std::fs::rename(&tmp, self.root.join("index.log"))?;
+        obs_metrics()
+            .gc_ns
+            .record(start.elapsed().as_nanos() as u64);
         Ok(report)
     }
 }
