@@ -11,7 +11,7 @@
 
 use crate::registry;
 use dyncode_core::spec;
-use dyncode_engine::{Engine, Kernel, Shard};
+use dyncode_engine::{delivery_registry, Engine, Kernel, Shard};
 use std::path::PathBuf;
 
 /// Parsed common flags; leftover positional arguments are returned.
@@ -221,7 +221,7 @@ pub fn reject_store_flags(flags: &Flags, cmd: &str, allow_rss: bool) -> Result<(
 /// protocol column), on stderr.
 pub fn print_usage_and_registry() {
     eprintln!(
-        "usage: experiments <all | e1 .. e21>... [--quick] [--threads N] [--json] [--out DIR]\n\
+        "usage: experiments <all | e1 .. e22>... [--quick] [--threads N] [--json] [--out DIR]\n\
          \x20                  [--events PATH] [--metrics PATH]"
     );
     eprintln!("       experiments --list");
@@ -256,19 +256,24 @@ pub fn print_usage_and_registry() {
         eprintln!("  {id:<5} {desc}");
         eprintln!("        protocols: {protocols}");
     }
-    eprintln!("\nprotocol spec strings are listed by `experiments protocols`.");
+    eprintln!("\nprotocol and delivery spec strings are listed by `experiments protocols`.");
 }
 
 /// The machine-friendlier registry listing on stdout (`--list`): one line
-/// per experiment with its protocol column.
+/// per experiment with its protocol column, then the delivery-model
+/// registry (the `delivery =` campaign axis applies to every experiment
+/// that routes through the engine).
 pub fn print_registry_listing() {
     for (id, desc, protocols, _) in &registry() {
         println!("{id:<5} {desc}  [{protocols}]");
     }
+    for (grammar, desc) in delivery_registry() {
+        println!("delivery {grammar}  {desc}");
+    }
 }
 
 /// The `protocols` subcommand: the protocol registry — spec grammar,
-/// parameters, defaults — on stdout.
+/// parameters, defaults — plus the delivery-model registry, on stdout.
 pub fn print_protocol_registry() {
     println!("protocol registry ({} entries)\n", spec::registry().len());
     println!("campaign usage:  protocol = <spec>[, <spec>...]   (grid axis, cross product)");
@@ -280,6 +285,17 @@ pub fn print_protocol_registry() {
     }
     println!("\nconfigured variants round-trip: a spec's canonical string parses back");
     println!("to the same protocol (e.g. greedy-forward(gather=2,bcast=3)).");
+    println!(
+        "\ndelivery model registry ({} entries)\n",
+        delivery_registry().len()
+    );
+    println!("campaign usage:  delivery = <model>[, <model>...]   (grid axis, cross product)");
+    for (grammar, desc) in delivery_registry() {
+        println!("{grammar}");
+        println!("    {desc}");
+    }
+    println!("\nthe default (reliable) is elided from labels, artifact meta, and cache");
+    println!("keys, so campaigns without a delivery axis are byte-identical to older runs.");
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@ mod ablation;
 mod broadcast;
 mod coding;
 mod crossover;
+mod delivery;
 mod fields;
 mod forwarding;
 mod progress;
@@ -22,6 +23,7 @@ pub use ablation::{e15, e16};
 pub use broadcast::{e10, e4};
 pub use coding::{e13, e14, e2, e5, e7, e8};
 pub use crossover::e21;
+pub use delivery::e22;
 pub use fields::{e11, e9};
 pub use forwarding::{e1, e6};
 pub use progress::e17;

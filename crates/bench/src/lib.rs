@@ -186,6 +186,13 @@ fn registry_unsorted() -> Vec<Experiment> {
              field-broadcast(gf256), centralized",
             experiments::e21,
         ),
+        (
+            "e22",
+            "Delivery: coding vs forwarding under radio and lossy channels",
+            "token-forwarding, indexed-broadcast, field-broadcast(gf2), \
+             field-broadcast(gf256)",
+            experiments::e22,
+        ),
     ]
 }
 
@@ -196,12 +203,12 @@ mod tests {
     #[test]
     fn registry_is_sorted_numerically_and_complete() {
         let reg = registry();
-        assert_eq!(reg.len(), 21);
+        assert_eq!(reg.len(), 22);
         let ids: Vec<usize> = reg
             .iter()
             .map(|(id, _, _, _)| id.trim_start_matches('e').parse::<usize>().unwrap())
             .collect();
-        assert_eq!(ids, (1..=21).collect::<Vec<_>>(), "numeric order, e2 < e10");
+        assert_eq!(ids, (1..=22).collect::<Vec<_>>(), "numeric order, e2 < e10");
     }
 
     #[test]

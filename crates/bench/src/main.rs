@@ -28,8 +28,8 @@ use dyncode_bench::registry;
 use dyncode_core::params::{Params, Placement};
 use dyncode_core::spec::ProtocolSpec;
 use dyncode_engine::{
-    compare, run_campaign, AdversaryKind, Artifact, Campaign, CellSpec, CompareConfig, Engine,
-    Json, Kernel,
+    compare, run_campaign, AdversaryKind, Artifact, Campaign, CellSpec, CompareConfig,
+    DeliverySpec, Engine, Json, Kernel,
 };
 use dyncode_obs::{obs_error, obs_info};
 use dyncode_scenarios::{record_scenario_to_file, DctReader, ScenarioKind};
@@ -612,6 +612,7 @@ fn cmd_trace(raw_args: &[String]) -> i32 {
                 instance_seed: 42,
                 kernel,
                 record_history: false,
+                delivery: DeliverySpec::Reliable,
             };
             let r = cell.run(seed);
             println!(

@@ -24,7 +24,7 @@
 //! figure is its own working set, not the process high-water mark.
 
 use dyncode_core::runner::Kernel;
-use dyncode_engine::{AdversaryKind, CellSpec, Json, ProtocolSpec};
+use dyncode_engine::{AdversaryKind, CellSpec, DeliverySpec, Json, ProtocolSpec};
 use dyncode_scenarios::ScenarioKind;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -296,6 +296,7 @@ pub fn perf_cell_spec(protocol: &ProtocolSpec, n: usize, kernel: Kernel) -> Cell
         instance_seed: 42,
         kernel,
         record_history: false,
+        delivery: DeliverySpec::Reliable,
     }
 }
 

@@ -69,16 +69,27 @@ fn list_flag_prints_sorted_registry_with_protocol_column() {
         .lines()
         .filter_map(|l| l.split_whitespace().next())
         .collect();
-    let expected: Vec<String> = (1..=21).map(|i| format!("e{i}")).collect();
-    assert_eq!(ids, expected, "--list must print e1..e21 in numeric order");
-    // Every line carries its protocol column in brackets.
-    for line in text.lines() {
+    // e1..e22 in numeric order, then one row per delivery model.
+    let mut expected: Vec<String> = (1..=22).map(|i| format!("e{i}")).collect();
+    expected.extend(std::iter::repeat_n("delivery".to_string(), 3));
+    assert_eq!(
+        ids, expected,
+        "--list must print e1..e22 then the delivery registry"
+    );
+    // Every experiment line carries its protocol column in brackets.
+    for line in text.lines().filter(|l| l.starts_with('e')) {
         assert!(line.contains('['), "missing protocol column: {line}");
     }
     assert!(
         text.contains("field-broadcast(gf256)"),
         "e21's protocol column names the registry specs:\n{text}"
     );
+    for needle in ["reliable", "radio(p=..[,spont=..])", "lossy(eps=..)"] {
+        assert!(
+            text.contains(needle),
+            "delivery registry row {needle:?} missing:\n{text}"
+        );
+    }
 }
 
 #[test]

@@ -75,7 +75,9 @@ pub mod trace;
 pub use adversary::{Adversary, KnowledgeView, TStable};
 pub use bitset::BitSet;
 pub use graph::{Graph, NodeId};
-pub use simulator::{run, run_erased, Erased, ErasedProtocol, Protocol, RunResult, SimConfig};
+pub use simulator::{
+    run, run_erased, DeliverySpec, Erased, ErasedProtocol, Protocol, RunResult, SimConfig,
+};
 
 /// Splits `s` on commas at parenthesis depth 0 — the shared list rule of
 /// every spec grammar layered above this crate (scenario specs like

@@ -17,6 +17,9 @@
 
 use crate::adversary::{Adversary, KnowledgeView};
 use crate::graph::NodeId;
+pub use dyncode_delivery::{
+    delivery_rng, registry as delivery_registry, DeliveryModel, DeliverySpec,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::any::Any;
@@ -303,6 +306,13 @@ pub struct SimConfig {
     pub bit_limit: Option<u64>,
     /// Record a per-round history (costs memory on long runs).
     pub record_history: bool,
+    /// Delivery semantics for the broadcast step. The default
+    /// ([`DeliverySpec::Reliable`]) takes the legacy code path — no
+    /// delivery coins are drawn, byte-identical to the pre-layer
+    /// simulator. Non-default models draw from the private
+    /// [`delivery_rng`] stream, so protocol and adversary randomness are
+    /// untouched either way.
+    pub delivery: DeliverySpec,
 }
 
 impl SimConfig {
@@ -312,6 +322,7 @@ impl SimConfig {
             max_rounds,
             bit_limit: None,
             record_history: false,
+            delivery: DeliverySpec::Reliable,
         }
     }
 
@@ -324,6 +335,12 @@ impl SimConfig {
     /// Enables per-round history recording.
     pub fn recording(mut self) -> Self {
         self.record_history = true;
+        self
+    }
+
+    /// Selects the delivery model for the broadcast step.
+    pub fn with_delivery(mut self, delivery: DeliverySpec) -> Self {
+        self.delivery = delivery;
         self
     }
 }
@@ -400,6 +417,9 @@ pub fn run<P: Protocol>(
     let n = protocol.num_nodes();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut adv_rng = adversary_rng(seed);
+    // `None` for reliable delivery: the legacy broadcast path below runs
+    // unchanged and no delivery coins are ever drawn.
+    let mut delivery = config.delivery.model(seed);
     let mut total_bits = 0u64;
     let mut max_message_bits = 0u64;
     let mut history = Vec::new();
@@ -446,14 +466,35 @@ pub fn run<P: Protocol>(
             .collect();
         total_bits += round_bits;
 
-        // 3. Anonymous broadcast delivery.
-        for u in 0..n {
-            let inbox: Vec<P::Message> = graph
-                .neighbors(u)
-                .iter()
-                .filter_map(|&v| messages[v].clone())
-                .collect();
-            protocol.deliver(u, &inbox, round, &mut rng);
+        // 3. Anonymous broadcast delivery — reliable (the legacy path)
+        // or the configured delivery model's per-round plan.
+        match &mut delivery {
+            None => {
+                for u in 0..n {
+                    let inbox: Vec<P::Message> = graph
+                        .neighbors(u)
+                        .iter()
+                        .filter_map(|&v| messages[v].clone())
+                        .collect();
+                    protocol.deliver(u, &inbox, round, &mut rng);
+                }
+            }
+            Some(model) => {
+                let speaks: Vec<bool> = messages.iter().map(Option::is_some).collect();
+                model.plan_round(&speaks, &graph);
+                for u in 0..n {
+                    let inbox: Vec<P::Message> = model
+                        .hears(u)
+                        .iter()
+                        .map(|&v| {
+                            messages[v as usize]
+                                .clone()
+                                .expect("delivery plan only routes composed messages")
+                        })
+                        .collect();
+                    protocol.deliver(u, &inbox, round, &mut rng);
+                }
+            }
         }
         protocol.round_end(round, &mut rng);
 

@@ -25,7 +25,7 @@ use dyncode_dynet::adversaries::{
     ShuffledPathAdversary, ShuffledStarAdversary,
 };
 use dyncode_dynet::adversary::{Adversary, TStable};
-use dyncode_dynet::simulator::{RunResult, SimConfig};
+use dyncode_dynet::simulator::{DeliverySpec, RunResult, SimConfig};
 use dyncode_scenarios::{split_top_level, ScenarioKind};
 
 /// Which adversary family a cell runs against: one of the classic
@@ -228,6 +228,11 @@ pub struct Campaign {
     /// contract; the default `reference` keeps committed baselines
     /// byte-identical.
     pub kernel: Kernel,
+    /// Delivery models to sweep (`delivery = reliable, radio(p=0.5), …`).
+    /// The default suite is `[reliable]`, whose cells elide the axis from
+    /// labels, meta, and store keys — pre-layer baselines and caches stay
+    /// byte-valid.
+    pub deliveries: Vec<DeliverySpec>,
     /// Record per-round histories into the artifact.
     pub record_history: bool,
     /// Quick-profile node counts (`None` = first two of `ns`).
@@ -257,6 +262,7 @@ impl Campaign {
                 instance_seed: 42,
                 cap: CapRule::MulNN(10),
                 kernel: Kernel::Reference,
+                deliveries: vec![DeliverySpec::Reliable],
                 record_history: false,
                 quick_ns: None,
                 quick_seeds: None,
@@ -280,10 +286,12 @@ impl Campaign {
         c
     }
 
-    /// Expands the grid into cells: `n × T × protocol × adversary`, in
-    /// that (deterministic) nesting order — adversaries vary fastest, so
-    /// a protocol's row across the workload suite is contiguous in the
-    /// artifact.
+    /// Expands the grid into cells: `n × T × delivery × protocol ×
+    /// adversary`, in that (deterministic) nesting order — adversaries
+    /// vary fastest, so a protocol's row across the workload suite is
+    /// contiguous in the artifact, and each delivery model carries a full
+    /// contiguous protocol × adversary matrix (single-delivery campaigns
+    /// — the default — are laid out exactly as before the axis existed).
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut out = Vec::new();
         for &n in &self.ns {
@@ -291,19 +299,22 @@ impl Campaign {
             let k = self.k.eval(n, d);
             let b = self.b.eval(n, d);
             for &t in &self.ts {
-                for proto in &self.protocols {
-                    for adv in &self.adversaries {
-                        out.push(CellSpec {
-                            params: Params::new(n, k, d, b),
-                            t,
-                            adversary: adv.clone(),
-                            placement: self.placement,
-                            protocol: proto.clone(),
-                            cap: self.cap.eval(n, k),
-                            instance_seed: self.instance_seed,
-                            kernel: self.kernel,
-                            record_history: self.record_history,
-                        });
+                for delivery in &self.deliveries {
+                    for proto in &self.protocols {
+                        for adv in &self.adversaries {
+                            out.push(CellSpec {
+                                params: Params::new(n, k, d, b),
+                                t,
+                                adversary: adv.clone(),
+                                placement: self.placement,
+                                protocol: proto.clone(),
+                                cap: self.cap.eval(n, k),
+                                instance_seed: self.instance_seed,
+                                kernel: self.kernel,
+                                delivery: delivery.clone(),
+                                record_history: self.record_history,
+                            });
+                        }
                     }
                 }
             }
@@ -353,6 +364,7 @@ impl Campaign {
         let mut saw_title = false;
         let mut saw_adversaries = false;
         let mut saw_protocols = false;
+        let mut saw_deliveries = false;
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
@@ -432,6 +444,19 @@ impl Campaign {
                 }
                 "cap" => b.campaign.cap = CapRule::parse(value).map_err(err)?,
                 "kernel" => b.campaign.kernel = Kernel::parse(value).map_err(err)?,
+                "delivery" => {
+                    let parsed: Vec<DeliverySpec> = split_top_level(value)
+                        .iter()
+                        .map(|s| DeliverySpec::parse(s))
+                        .collect::<Result<_, _>>()
+                        .map_err(err)?;
+                    if !saw_deliveries {
+                        b.campaign.deliveries = parsed;
+                        saw_deliveries = true;
+                    } else {
+                        b.campaign.deliveries.extend(parsed);
+                    }
+                }
                 "record_history" => {
                     b.campaign.record_history = match value {
                         "true" => true,
@@ -445,7 +470,8 @@ impl Campaign {
                     return Err(format!(
                         "line {}: unknown key {other:?}; valid keys: id, title, protocol, \
                          adversaries, scenario, placement, n, k, d, b, t, seeds, \
-                         instance_seed, cap, kernel, record_history, quick_n, quick_seeds",
+                         instance_seed, cap, kernel, delivery, record_history, quick_n, \
+                         quick_seeds",
                         lineno + 1
                     ))
                 }
@@ -568,6 +594,18 @@ impl CampaignBuilder {
         self
     }
 
+    /// Sets a single delivery model for every cell.
+    pub fn delivery(mut self, d: DeliverySpec) -> Self {
+        self.campaign.deliveries = vec![d];
+        self
+    }
+
+    /// Sets the delivery-model suite to sweep.
+    pub fn deliveries(mut self, ds: Vec<DeliverySpec>) -> Self {
+        self.campaign.deliveries = ds;
+        self
+    }
+
     /// Enables per-round history recording into the artifact.
     pub fn record_history(mut self, on: bool) -> Self {
         self.campaign.record_history = on;
@@ -607,6 +645,9 @@ impl CampaignBuilder {
         if c.ts.is_empty() || c.ts.contains(&0) {
             return Err("stability intervals must be nonempty and ≥ 1".into());
         }
+        if c.deliveries.is_empty() {
+            return Err("campaign needs at least one delivery model".into());
+        }
         // An explicit `kernel = fast` must cover every protocol in the
         // grid — catch the mismatch here, at campaign-build time, instead
         // of panicking mid-sweep inside a worker.
@@ -641,6 +682,8 @@ pub struct CellSpec {
     pub instance_seed: u64,
     /// Execution backend (reference | fast | auto).
     pub kernel: Kernel,
+    /// Delivery model for the broadcast step (`reliable` = legacy path).
+    pub delivery: DeliverySpec,
     /// Record per-round history.
     pub record_history: bool,
 }
@@ -650,7 +693,7 @@ impl CellSpec {
     /// canonical protocol spec string plus the grid point.
     pub fn label(&self) -> String {
         let p = &self.params;
-        format!(
+        let mut label = format!(
             "proto={} n={} k={} d={} b={} t={} adv={}",
             self.protocol,
             p.n,
@@ -659,7 +702,13 @@ impl CellSpec {
             p.b,
             self.t,
             self.adversary.name()
-        )
+        );
+        // Elided for the default model: pre-layer campaigns keep their
+        // exact historical labels, so committed baselines gate unchanged.
+        if !self.delivery.is_default() {
+            label.push_str(&format!(" delivery={}", self.delivery));
+        }
+        label
     }
 
     /// The cell's artifact metadata pairs.
@@ -685,6 +734,11 @@ impl CellSpec {
             "kernel".into(),
             resolve_kernel(&self.protocol, self.kernel).name().into(),
         ));
+        // The delivery axis, recorded only when non-default — `reliable`
+        // cells keep byte-identical meta to pre-layer artifacts.
+        if !self.delivery.is_default() {
+            meta.push(("delivery".into(), self.delivery.name()));
+        }
         meta
     }
 
@@ -711,6 +765,7 @@ impl CellSpec {
     pub fn run_on(&self, inst: &Instance, seed: u64) -> RunResult {
         let mut config = SimConfig::with_max_rounds(self.cap);
         config.record_history = self.record_history;
+        config.delivery = self.delivery.clone();
         let adv = || self.adversary.build(self.t);
         run_spec_kernel(
             &self.protocol,

@@ -47,6 +47,7 @@ pub use campaign::{
 pub use compare::{compare, CompareConfig, CompareReport};
 pub use dyncode_core::runner::Kernel;
 pub use dyncode_core::spec::{FieldKind, ProtocolSpec};
+pub use dyncode_dynet::simulator::{delivery_registry, DeliverySpec};
 pub use executor::{CellError, Engine};
 pub use json::Json;
 pub use shard::{merge_shards, Shard};

@@ -38,6 +38,14 @@ pub trait FastCell {
     /// neighbor order — the reference inbox order).
     fn deliver_all(&mut self, topo: &CsrTopology, round: usize, rng: &mut StdRng);
 
+    /// Did `node` compose a message this round? Valid between
+    /// `compose_all` and `deliver_all`; must equal
+    /// `compose(node) == Some(_)` in the reference protocol, because the
+    /// delivery layer draws its radio/erasure coins per *speaking* node —
+    /// a mismatch would desynchronize the private delivery RNG stream
+    /// between the two backends.
+    fn spoke(&self, node: usize) -> bool;
+
     /// Global end-of-round hook (phase counters); defaults to a no-op.
     fn round_end(&mut self, _round: usize, _rng: &mut StdRng) {}
 
@@ -76,6 +84,13 @@ pub fn run_fast(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut adv_rng = adversary_rng(seed);
     let mut csr = CsrTopology::new(n);
+    // Non-reliable delivery: the planner draws the same coins over the
+    // same topology view as the reference loop, and the resulting
+    // directed plan is materialized into its own CSR snapshot so the
+    // adversary snapshot's delta reuse is untouched.
+    let mut delivery = config.delivery.model(seed);
+    let mut masked = delivery.as_ref().map(|_| CsrTopology::new(n));
+    let mut speaks: Vec<bool> = Vec::new();
     let mut total_bits = 0u64;
     let mut max_message_bits = 0u64;
     let mut history = Vec::new();
@@ -114,8 +129,18 @@ pub fn run_fast(
         max_message_bits = max_message_bits.max(round_max);
 
         let t2 = std::time::Instant::now();
-        // 3. Anonymous broadcast delivery.
-        cell.deliver_all(&csr, round, &mut rng);
+        // 3. Anonymous broadcast delivery: along the committed topology,
+        // or along the delivery model's per-round masked plan.
+        match (&mut delivery, &mut masked) {
+            (Some(model), Some(plan)) => {
+                speaks.clear();
+                speaks.extend((0..n).map(|u| cell.spoke(u)));
+                model.plan_round(&speaks, &csr);
+                plan.load_plan(model.offsets(), model.senders());
+                cell.deliver_all(plan, round, &mut rng);
+            }
+            _ => cell.deliver_all(&csr, round, &mut rng),
+        }
         cell.round_end(round, &mut rng);
         let t3 = std::time::Instant::now();
         t_view += t1 - t0;

@@ -106,6 +106,29 @@ impl CsrTopology {
         self.rounds_rebuilt += 1;
     }
 
+    /// Overwrites the snapshot with an externally-planned **directed**
+    /// adjacency (CSR offsets + targets) — the delivery layer's per-round
+    /// delivered-sender plan, where `neighbors(u)` becomes "the senders
+    /// receiver `u` hears". No delta reuse (a plan changes every round),
+    /// and the delta base is invalidated so a later [`CsrTopology::load`]
+    /// rebuilds; keep plan snapshots in their own instance when the
+    /// adversary snapshot's reuse counter matters.
+    ///
+    /// # Panics
+    /// Panics if `offsets` is not an (n + 1)-row CSR bound list.
+    pub fn load_plan(&mut self, offsets: &[u32], targets: &[u32]) {
+        assert_eq!(
+            offsets.len(),
+            self.n + 1,
+            "plan offsets must have n + 1 rows"
+        );
+        self.ids.clear();
+        self.offsets.copy_from_slice(offsets);
+        self.targets.clear();
+        self.targets.extend_from_slice(targets);
+        self.rounds_rebuilt += 1;
+    }
+
     /// The neighbors of `u` in the current snapshot, ascending.
     pub fn neighbors(&self, u: usize) -> &[u32] {
         &self.targets[self.offsets[u] as usize..self.offsets[u + 1] as usize]
@@ -125,6 +148,14 @@ impl CsrTopology {
     /// / replay win), for instrumentation.
     pub fn rounds_reused(&self) -> u64 {
         self.rounds_reused
+    }
+}
+
+impl dyncode_delivery::NeighborView for CsrTopology {
+    fn for_each_neighbor(&self, u: usize, visit: &mut dyn FnMut(usize)) {
+        for &v in self.neighbors(u) {
+            visit(v as usize);
+        }
     }
 }
 

@@ -203,6 +203,10 @@ impl<F: Field> FastCell for DenseCell<F> {
         self.n
     }
 
+    fn spoke(&self, node: usize) -> bool {
+        self.has_msg[node]
+    }
+
     fn compose_all(
         &mut self,
         round: usize,

@@ -47,6 +47,10 @@ impl FastCell for ErasedCell {
         self.protocol.num_nodes()
     }
 
+    fn spoke(&self, node: usize) -> bool {
+        self.msgs[node].is_some()
+    }
+
     fn compose_all(
         &mut self,
         round: usize,

@@ -102,6 +102,12 @@ impl FastCell for ForwardCell {
         self.n
     }
 
+    fn spoke(&self, node: usize) -> bool {
+        // A nonempty arena slice ⇔ the reference compose returned a
+        // nonempty batch ⇔ `Some(chosen)`.
+        self.msg_off[node + 1] > self.msg_off[node]
+    }
+
     fn compose_all(
         &mut self,
         round: usize,

@@ -469,6 +469,10 @@ impl FastCell for Gf256Cell {
         self.n
     }
 
+    fn spoke(&self, node: usize) -> bool {
+        self.has_msg[node]
+    }
+
     fn compose_all(
         &mut self,
         round: usize,

@@ -243,6 +243,10 @@ impl FastCell for Gf2Cell {
         self.n
     }
 
+    fn spoke(&self, node: usize) -> bool {
+        self.has_msg[node]
+    }
+
     fn compose_all(
         &mut self,
         round: usize,

@@ -41,7 +41,7 @@ pub fn placement_str(p: &Placement) -> String {
 /// campaign digest joins these per cell.
 pub fn cell_prefix(cell: &CellSpec) -> String {
     let p = &cell.params;
-    format!(
+    let mut prefix = format!(
         "{KEY_SCHEMA}|proto={}|adv={}|n={}|k={}|d={}|b={}|t={}|cap={}|placement={}|\
          instance_seed={}|history={}|kernel={}",
         cell.protocol,
@@ -56,7 +56,14 @@ pub fn cell_prefix(cell: &CellSpec) -> String {
         cell.instance_seed,
         cell.record_history,
         resolve_kernel(&cell.protocol, cell.kernel).name(),
-    )
+    );
+    // The delivery axis entered the canonical string after v1 shipped;
+    // the default (`reliable`) is elided so every pre-axis cache object
+    // keeps its exact legacy address — warm caches survive the upgrade.
+    if !cell.delivery.is_default() {
+        prefix.push_str(&format!("|delivery={}", cell.delivery));
+    }
+    prefix
 }
 
 /// The content address of one cell-seed run.

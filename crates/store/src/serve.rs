@@ -1,13 +1,19 @@
 //! A minimal spool-directory serve loop: drop `*.camp` campaign spec
 //! files into a spool directory and a running `experiments serve` picks
-//! each up (lexicographic order), runs it through the stored
-//! orchestrator, writes its `BENCH_<id>.json`, and moves the spec to
-//! `done/` (or `failed/`, with a `.err` file carrying the reason).
+//! each up (lexicographic order), claims it by atomically renaming it
+//! into `claimed/`, runs it through the stored orchestrator, writes its
+//! `BENCH_<id>.json`, and moves the spec to `done/` (or `failed/`, with
+//! a `.err` file carrying the reason).
 //!
-//! The loop is deliberately simple — one campaign at a time, no daemon
-//! machinery — because the *store* is the concurrency story: several
-//! serve loops (or shards, or interactive runs) sharing one store
-//! deduplicate work through content addressing, not coordination.
+//! The claim rename happens **before** the campaign runs: `rename(2)` is
+//! atomic within a filesystem, so when several serve loops share one
+//! spool exactly one of them wins each spec — the losers see the rename
+//! fail (the file is gone) and skip it. The store deduplicates *results*
+//! through content addressing; the claim protocol deduplicates the
+//! *work* of executing a spec.
+//!
+//! The loop is otherwise deliberately simple — one campaign at a time,
+//! no daemon machinery.
 
 use crate::run::{run_campaign_stored, write_sidecar, RunOptions};
 use crate::store::Store;
@@ -58,11 +64,23 @@ pub fn serve_once(
         .collect();
     specs.sort();
 
+    let claimed_dir = spool.join("claimed");
+    std::fs::create_dir_all(&claimed_dir)?;
+
     let mut outcomes = Vec::new();
     for spec in specs {
+        // Claim the spec by renaming it out of the spool *before*
+        // running it. rename(2) is atomic, so when several serve loops
+        // share one spool exactly one wins; the rest fail the rename
+        // (the source is gone) and skip the spec entirely.
+        let name = spec.file_name().expect("spec path has a file name");
+        let claimed = claimed_dir.join(name);
+        if std::fs::rename(&spec, &claimed).is_err() {
+            continue;
+        }
         serve_mark("serve.claim", &spec, None);
         let start = Instant::now();
-        let result = process_spec(&spec, out, engine, store, quick);
+        let result = process_spec(&claimed, out, engine, store, quick);
         let dur_ns = start.elapsed().as_nanos() as u64;
         let (bucket, err) = match &result {
             Ok(_) => {
@@ -74,14 +92,12 @@ pub fn serve_once(
                 ("failed", Some(e.clone()))
             }
         };
-        // Move the spec out of the spool so it runs exactly once; the
-        // move is best-effort (a vanished file means another consumer
-        // claimed it).
+        // Settle the claimed spec into its terminal bucket; best-effort
+        // (an unsettled file in claimed/ still never re-executes).
         let dest_dir = spool.join(bucket);
         std::fs::create_dir_all(&dest_dir)?;
-        let name = spec.file_name().expect("spec path has a file name");
         let dest = dest_dir.join(name);
-        let _ = std::fs::rename(&spec, &dest);
+        let _ = std::fs::rename(&claimed, &dest);
         if let Some(message) = err {
             let _ = std::fs::write(dest.with_extension("camp.err"), format!("{message}\n"));
         }

@@ -207,12 +207,58 @@ fn serve_once_drains_the_spool_into_artifacts() {
     let reason = std::fs::read_to_string(spool.join("failed/broken.camp.err")).unwrap();
     assert!(reason.contains("expected `key = value`"), "{reason}");
 
-    // The spool itself is drained: a second pass finds nothing.
+    // The spool itself is drained: a second pass finds nothing, and
+    // nothing is left parked in the claim directory.
     let again = serve_once(&spool, &out, &engine, Some(&store), false).expect("serve");
     assert!(again.is_empty());
+    let parked = std::fs::read_dir(spool.join("claimed")).unwrap().count();
+    assert_eq!(parked, 0, "claimed/ settles into done//failed/");
 
     for d in [&spool, &out] {
         std::fs::remove_dir_all(d).ok();
     }
     std::fs::remove_dir_all(store.root()).ok();
+}
+
+#[test]
+fn serve_claims_specs_before_running_so_workers_never_double_execute() {
+    let engine = Engine::new(1);
+    let spool = temp_dir("spool_claim");
+    let out = temp_dir("spool_claim_out");
+    std::fs::write(
+        spool.join("race.camp"),
+        "id = raced\nn = 8\nseeds = 1\ncap = 50nn\n",
+    )
+    .unwrap();
+
+    // Simulate the losing worker of a claim race: the spec was listed,
+    // but a rival renamed it into claimed/ before this worker could.
+    // serve_once must skip it without executing or erroring.
+    std::fs::create_dir_all(spool.join("claimed")).unwrap();
+    std::fs::rename(spool.join("race.camp"), spool.join("claimed/race.camp")).unwrap();
+    std::fs::write(
+        spool.join("race.camp.listing"), // decoy: wrong extension, ignored
+        "not a camp file\n",
+    )
+    .unwrap();
+    let outcomes = serve_once(&spool, &out, &engine, None, false).expect("serve");
+    assert!(outcomes.is_empty(), "a lost claim is skipped, not re-run");
+    assert!(
+        spool.join("claimed/race.camp").exists(),
+        "the rival's claim is untouched"
+    );
+    assert!(!out.join("BENCH_raced.json").exists());
+
+    // The winning path: the spec sits in claimed/ for the duration of
+    // the run (never observable in the spool root), then settles.
+    std::fs::rename(spool.join("claimed/race.camp"), spool.join("race.camp")).unwrap();
+    let outcomes = serve_once(&spool, &out, &engine, None, false).expect("serve");
+    assert_eq!(outcomes.len(), 1);
+    assert!(outcomes[0].result.is_ok());
+    assert!(spool.join("done/race.camp").exists());
+    assert!(!spool.join("claimed/race.camp").exists());
+
+    for d in [&spool, &out] {
+        std::fs::remove_dir_all(d).ok();
+    }
 }

@@ -10,7 +10,7 @@
 //!   two distinct runs can collide on a cache slot by construction.
 
 use dyncode_core::params::{Params, Placement};
-use dyncode_engine::{AdversaryKind, CellSpec, Kernel, ProtocolSpec};
+use dyncode_engine::{AdversaryKind, CellSpec, DeliverySpec, Kernel, ProtocolSpec};
 use dyncode_store::CellKey;
 use proptest::prelude::*;
 
@@ -81,6 +81,26 @@ fn kernel() -> BoxedStrategy<Kernel> {
     .boxed()
 }
 
+/// Canonical delivery specs across every registry model (per-mille
+/// integers keep the float rendering exact, like `adversary_name`).
+fn delivery() -> BoxedStrategy<DeliverySpec> {
+    prop_oneof![
+        Just(DeliverySpec::Reliable),
+        (1u32..=1000).prop_map(|p| DeliverySpec::Radio {
+            p: p as f64 / 1000.0,
+            spont: 0.0,
+        }),
+        (1u32..=1000, 1u32..1000).prop_map(|(p, s)| DeliverySpec::Radio {
+            p: p as f64 / 1000.0,
+            spont: s as f64 / 1000.0,
+        }),
+        (0u32..1000).prop_map(|e| DeliverySpec::Lossy {
+            eps: e as f64 / 1000.0,
+        }),
+    ]
+    .boxed()
+}
+
 /// An arbitrary cell spec; keys are pure string functions, so the grid
 /// point needs no cross-field validation.
 fn cell_spec() -> BoxedStrategy<CellSpec> {
@@ -91,21 +111,25 @@ fn cell_spec() -> BoxedStrategy<CellSpec> {
             placement(),
             kernel(),
             any::<bool>(),
+            delivery(),
         ),
         (2usize..64, 1usize..64, 1usize..512, 1usize..512),
         (1usize..16, 1usize..10_000, any::<u64>()),
     )
         .prop_map(
-            |((proto, adv, placement, kernel, hist), (n, k, d, b), (t, cap, iseed))| CellSpec {
-                params: Params { n, k, d, b },
-                t,
-                adversary: AdversaryKind::parse(&adv).expect("generated adversary parses"),
-                placement,
-                protocol: ProtocolSpec::parse(&proto).expect("generated protocol parses"),
-                cap,
-                instance_seed: iseed,
-                kernel,
-                record_history: hist,
+            |((proto, adv, placement, kernel, hist, delivery), (n, k, d, b), (t, cap, iseed))| {
+                CellSpec {
+                    params: Params { n, k, d, b },
+                    t,
+                    adversary: AdversaryKind::parse(&adv).expect("generated adversary parses"),
+                    placement,
+                    protocol: ProtocolSpec::parse(&proto).expect("generated protocol parses"),
+                    cap,
+                    instance_seed: iseed,
+                    kernel,
+                    record_history: hist,
+                    delivery,
+                }
             },
         )
         .boxed()
@@ -124,6 +148,8 @@ proptest! {
             .expect("canonical protocol string re-parses");
         reparsed.adversary = AdversaryKind::parse(&cell.adversary.name())
             .expect("canonical adversary name re-parses");
+        reparsed.delivery = DeliverySpec::parse(&cell.delivery.to_string())
+            .expect("canonical delivery spec re-parses");
         prop_assert_eq!(
             CellKey::new(&cell, seed).canonical(),
             CellKey::new(&reparsed, seed).canonical()
@@ -172,6 +198,20 @@ proptest! {
                     ProtocolSpec::Centralized
                 }
             },
+            |c: &mut CellSpec| {
+                c.delivery = match c.delivery {
+                    // reliable → radio, radio → a different p, lossy → a
+                    // different eps: every arm changes the delivery axis.
+                    DeliverySpec::Reliable => DeliverySpec::Radio { p: 0.5, spont: 0.0 },
+                    DeliverySpec::Radio { p, spont } => DeliverySpec::Radio {
+                        p: if p == 0.5 { 0.25 } else { 0.5 },
+                        spont,
+                    },
+                    DeliverySpec::Lossy { eps } => DeliverySpec::Lossy {
+                        eps: if eps == 0.5 { 0.25 } else { 0.5 },
+                    },
+                }
+            },
         ] {
             let mut v = cell.clone();
             f(&mut v);
@@ -185,6 +225,25 @@ proptest! {
             base.digest_hex(),
             CellKey::new(&cell, seed.wrapping_add(1)).digest_hex()
         );
+    }
+
+    /// The default delivery model is **elided** from the canonical
+    /// string: a `reliable` cell keys exactly like a pre-delivery-axis
+    /// cell (its canonical carries no `delivery=` segment), so warm
+    /// caches written before the axis existed keep hitting. Any
+    /// non-default model keys to a fresh slot.
+    #[test]
+    fn reliable_delivery_collides_with_legacy_keys(cell in cell_spec(), seed in any::<u64>()) {
+        let mut reliable = cell.clone();
+        reliable.delivery = DeliverySpec::Reliable;
+        let key = CellKey::new(&reliable, seed);
+        prop_assert!(!key.canonical().contains("delivery="));
+
+        let mut radio = cell.clone();
+        radio.delivery = DeliverySpec::Radio { p: 0.5, spont: 0.0 };
+        let radio_key = CellKey::new(&radio, seed);
+        prop_assert!(radio_key.canonical().contains("|delivery=radio(p=0.5)|"));
+        prop_assert_ne!(key.digest_hex(), radio_key.digest_hex());
     }
 
     /// Kernel aliasing is exactly the equivalence contract: `reference`
