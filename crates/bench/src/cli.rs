@@ -221,7 +221,7 @@ pub fn reject_store_flags(flags: &Flags, cmd: &str, allow_rss: bool) -> Result<(
 /// protocol column), on stderr.
 pub fn print_usage_and_registry() {
     eprintln!(
-        "usage: experiments <all | e1 .. e22>... [--quick] [--threads N] [--json] [--out DIR]\n\
+        "usage: experiments <all | e1 .. e23>... [--quick] [--threads N] [--json] [--out DIR]\n\
          \x20                  [--events PATH] [--metrics PATH]"
     );
     eprintln!("       experiments --list");
@@ -248,7 +248,7 @@ pub fn print_usage_and_registry() {
          [--store DIR]\n\
          \x20                  [--events PATH] [--metrics PATH]"
     );
-    eprintln!("       experiments store <stats | gc --max-bytes N> --store DIR");
+    eprintln!("       experiments store <stats | gc --max-bytes N | pin DIGEST...> --store DIR");
     eprintln!("       experiments obs <check | summarize> <EVENTS.jsonl>\n");
     eprintln!("global: --quiet (errors only) / --verbose (debug detail) on any subcommand\n");
     eprintln!("experiments:");
@@ -259,13 +259,37 @@ pub fn print_usage_and_registry() {
     eprintln!("\nprotocol and delivery spec strings are listed by `experiments protocols`.");
 }
 
+/// The distinct termination-predicate names behind an experiment's
+/// protocol column — derived by parsing each column entry against the
+/// spec registry (grammar placeholders and node-level-demo notes do not
+/// parse and contribute nothing; a column with no parseable spec shows
+/// `n/a`).
+fn termination_column(protocols: &str) -> String {
+    let mut terms: Vec<&'static str> = Vec::new();
+    for part in protocols.split(", ") {
+        if let Ok(s) = spec::ProtocolSpec::parse(part) {
+            let name = s.termination().name();
+            if !terms.contains(&name) {
+                terms.push(name);
+            }
+        }
+    }
+    if terms.is_empty() {
+        "n/a".into()
+    } else {
+        terms.join(", ")
+    }
+}
+
 /// The machine-friendlier registry listing on stdout (`--list`): one line
-/// per experiment with its protocol column, then the delivery-model
+/// per experiment with its protocol column and the termination
+/// predicate(s) those protocols run under, then the delivery-model
 /// registry (the `delivery =` campaign axis applies to every experiment
 /// that routes through the engine).
 pub fn print_registry_listing() {
     for (id, desc, protocols, _) in &registry() {
-        println!("{id:<5} {desc}  [{protocols}]");
+        let term = termination_column(protocols);
+        println!("{id:<5} {desc}  [{protocols}]  term: {term}");
     }
     for (grammar, desc) in delivery_registry() {
         println!("delivery {grammar}  {desc}");
@@ -282,6 +306,7 @@ pub fn print_protocol_registry() {
         println!("{}", info.grammar);
         println!("    {}", info.summary);
         println!("    parameters: {}", info.params);
+        println!("    termination: {}", info.termination);
     }
     println!("\nconfigured variants round-trip: a spec's canonical string parses back");
     println!("to the same protocol (e.g. greedy-forward(gather=2,bcast=3)).");

@@ -16,6 +16,7 @@ mod delivery;
 mod fields;
 mod forwarding;
 mod progress;
+mod quorum;
 mod scenarios;
 mod tstable;
 
@@ -27,6 +28,7 @@ pub use delivery::e22;
 pub use fields::{e11, e9};
 pub use forwarding::{e1, e6};
 pub use progress::e17;
+pub use quorum::e23;
 pub use scenarios::{e18, e19, e20};
 pub use tstable::{e12, e3};
 

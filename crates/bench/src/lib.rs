@@ -193,6 +193,12 @@ fn registry_unsorted() -> Vec<Experiment> {
              field-broadcast(gf256)",
             experiments::e22,
         ),
+        (
+            "e23",
+            "Quorum: rounds to decision across adversaries and channels",
+            "quorum-watermark(f=1), quorum-decide(f=1,q=4), token-forwarding",
+            experiments::e23,
+        ),
     ]
 }
 
@@ -203,12 +209,12 @@ mod tests {
     #[test]
     fn registry_is_sorted_numerically_and_complete() {
         let reg = registry();
-        assert_eq!(reg.len(), 22);
+        assert_eq!(reg.len(), 23);
         let ids: Vec<usize> = reg
             .iter()
             .map(|(id, _, _, _)| id.trim_start_matches('e').parse::<usize>().unwrap())
             .collect();
-        assert_eq!(ids, (1..=22).collect::<Vec<_>>(), "numeric order, e2 < e10");
+        assert_eq!(ids, (1..=23).collect::<Vec<_>>(), "numeric order, e2 < e10");
     }
 
     #[test]

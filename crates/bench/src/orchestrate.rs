@@ -355,10 +355,13 @@ pub fn cmd_serve(args: &[String]) -> i32 {
     }
 }
 
-const STORE_USAGE: &str = "experiments store <stats | gc --max-bytes N> --store DIR";
+const STORE_USAGE: &str =
+    "experiments store <stats | gc --max-bytes N | pin DIGEST...> --store DIR";
 
-/// `experiments store`: cache hygiene. `stats` prints object count and
-/// bytes; `gc --max-bytes N` evicts oldest-first down to the budget.
+/// `experiments store`: cache hygiene. `stats` prints object count,
+/// bytes, and pin count; `gc --max-bytes N` evicts coldest-first
+/// (ascending hit count, then age) down to the budget, never touching
+/// pinned objects; `pin DIGEST...` marks digests that gc must keep.
 /// `--store DIR` is required explicitly — gc deletes files, so there is
 /// deliberately no default directory.
 pub fn cmd_store(args: &[String]) -> i32 {
@@ -404,10 +407,11 @@ pub fn cmd_store(args: &[String]) -> i32 {
             match store.stats() {
                 Ok(s) => {
                     println!(
-                        "store {}: {} object(s), {} bytes",
+                        "store {}: {} object(s), {} bytes, {} pinned",
                         root.display(),
                         s.objects,
-                        s.bytes
+                        s.bytes,
+                        s.pinned
                     );
                     0
                 }
@@ -425,12 +429,14 @@ pub fn cmd_store(args: &[String]) -> i32 {
             match store.gc(max_bytes) {
                 Ok(r) => {
                     println!(
-                        "gc {}: removed {} object(s) ({} bytes), {} bytes remain (budget {})",
+                        "gc {}: removed {} object(s) ({} bytes), {} bytes remain \
+                         (budget {}), {} pinned kept",
                         root.display(),
                         r.removed_objects,
                         r.removed_bytes,
                         r.remaining_bytes,
-                        max_bytes
+                        max_bytes,
+                        r.pinned_kept
                     );
                     0
                 }
@@ -439,6 +445,28 @@ pub fn cmd_store(args: &[String]) -> i32 {
                     1
                 }
             }
+        }
+        [action, digests @ ..] if action == "pin" => {
+            if flags.max_bytes.is_some() {
+                eprintln!("error: --max-bytes is only valid for store gc");
+                return 2;
+            }
+            if digests.is_empty() {
+                eprintln!("error: store pin needs at least one DIGEST");
+                eprintln!("usage: {STORE_USAGE}");
+                return 2;
+            }
+            for digest in digests {
+                match store.pin(digest) {
+                    Ok(true) => println!("pinned {digest}"),
+                    Ok(false) => println!("already pinned {digest}"),
+                    Err(e) => {
+                        eprintln!("error: cannot pin {digest}: {e}");
+                        return 1;
+                    }
+                }
+            }
+            0
         }
         _ => {
             eprintln!("usage: {STORE_USAGE}");

@@ -69,21 +69,39 @@ fn list_flag_prints_sorted_registry_with_protocol_column() {
         .lines()
         .filter_map(|l| l.split_whitespace().next())
         .collect();
-    // e1..e22 in numeric order, then one row per delivery model.
-    let mut expected: Vec<String> = (1..=22).map(|i| format!("e{i}")).collect();
+    // e1..e23 in numeric order, then one row per delivery model.
+    let mut expected: Vec<String> = (1..=23).map(|i| format!("e{i}")).collect();
     expected.extend(std::iter::repeat_n("delivery".to_string(), 3));
     assert_eq!(
         ids, expected,
-        "--list must print e1..e22 then the delivery registry"
+        "--list must print e1..e23 then the delivery registry"
     );
-    // Every experiment line carries its protocol column in brackets.
+    // Every experiment line carries its protocol column in brackets and a
+    // termination-predicate column.
     for line in text.lines().filter(|l| l.starts_with('e')) {
         assert!(line.contains('['), "missing protocol column: {line}");
+        assert!(
+            line.contains("term: "),
+            "missing termination column: {line}"
+        );
     }
     assert!(
         text.contains("field-broadcast(gf256)"),
         "e21's protocol column names the registry specs:\n{text}"
     );
+    // e23 mixes both predicates; the node-level demos have none.
+    let line_of = |id: &str| {
+        text.lines()
+            .find(|l| l.starts_with(&format!("{id} ")))
+            .unwrap_or_else(|| panic!("{id} row missing:\n{text}"))
+    };
+    assert!(
+        line_of("e23").contains("term: quorum-threshold, all-tokens-decoded"),
+        "{}",
+        line_of("e23")
+    );
+    assert!(line_of("e1").contains("term: all-tokens-decoded"), "{text}");
+    assert!(line_of("e5").contains("term: n/a"), "{text}");
     for needle in ["reliable", "radio(p=..[,spont=..])", "lossy(eps=..)"] {
         assert!(
             text.contains(needle),
@@ -105,6 +123,10 @@ fn protocols_subcommand_prints_the_registry_grammar() {
         "field-broadcast(gf2|gf256|gf257|m61[,det=S])",
         "patch-indexed",
         "parameters:",
+        "quorum-watermark(f=F[,rounds=R])",
+        "quorum-decide(f=F,q=Q)",
+        "termination: all-tokens-decoded",
+        "termination: quorum-threshold",
     ] {
         assert!(text.contains(needle), "missing {needle:?}:\n{text}");
     }
@@ -530,6 +552,62 @@ fn store_subcommand_requires_an_explicit_store_and_gcs_to_budget() {
     );
     let out = experiments(&["store", "stats", "--store", store_s]);
     assert!(stdout(&out).contains("0 object(s)"), "{}", stdout(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn store_pin_protects_objects_from_gc() {
+    let dir = temp_dir("storepin");
+    let spec = dir.join("mini.camp");
+    std::fs::write(&spec, MINI_SPEC).unwrap();
+    let store = dir.join("cache");
+    let store_s = store.to_str().unwrap();
+    let out = experiments(&["campaign", spec.to_str().unwrap(), "--store", store_s]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+
+    // Recover one object's digest from the put log.
+    let index = std::fs::read_to_string(store.join("index.log")).unwrap();
+    let digest = index
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().next())
+        .expect("index has at least one put")
+        .to_string();
+
+    // Pin it (idempotently), then gc to zero: the pinned object survives.
+    let out = experiments(&["store", "pin", &digest, "--store", store_s]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains(&format!("pinned {digest}")));
+    let out = experiments(&["store", "pin", &digest, "--store", store_s]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout(&out).contains("already pinned"), "{}", stdout(&out));
+
+    let out = experiments(&["store", "gc", "--max-bytes", "0", "--store", store_s]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("removed 7 object(s)"), "{text}");
+    assert!(text.contains("1 pinned kept"), "{text}");
+    let out = experiments(&["store", "stats", "--store", store_s]);
+    assert!(stdout(&out).contains("1 object(s)"), "{}", stdout(&out));
+    assert!(stdout(&out).contains("1 pinned"), "{}", stdout(&out));
+
+    // A malformed digest is rejected before touching the pins file.
+    let out = experiments(&["store", "pin", "not-a-digest", "--store", store_s]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("64 lowercase hex"),
+        "{}",
+        stderr(&out)
+    );
+    // `pin` with no digests is a usage error.
+    let out = experiments(&["store", "pin", "--store", store_s]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("at least one DIGEST"),
+        "{}",
+        stderr(&out)
+    );
+
     std::fs::remove_dir_all(&dir).ok();
 }
 

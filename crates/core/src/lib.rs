@@ -58,6 +58,7 @@ pub mod params;
 pub mod protocols;
 pub mod runner;
 pub mod spec;
+pub mod term;
 pub mod theory;
 
 pub use params::{Instance, Params, Placement};
@@ -66,3 +67,4 @@ pub use protocols::{
     TokenForwarding,
 };
 pub use spec::{FieldKind, ProtocolSpec};
+pub use term::TerminationPredicate;

@@ -15,11 +15,13 @@ use crate::protocols::field_broadcast::token_to_symbols;
 use crate::protocols::patch::{patch_dissemination, PatchParams};
 use crate::protocols::token_forwarding::ForwardingConfig;
 use crate::spec::{FieldKind, ProtocolSpec};
+use crate::term::{TerminationPredicate, TOKEN_COMPLETION};
 use dyncode_dynet::adversary::Adversary;
 use dyncode_dynet::simulator::{run, run_erased, Protocol, RunResult, SimConfig};
 use dyncode_gf::{Field, Gf256, Gf257, Mersenne61};
 use dyncode_kernel::{
     run_fast, DenseCell, ErasedCell, FastCell, ForwardCell, Gf256Cell, Gf2Cell, Gf2ViewMode,
+    QuorumCell,
 };
 
 pub use dyncode_kernel::Kernel;
@@ -74,14 +76,39 @@ pub fn summarize(results: &[RunResult]) -> Summary {
 }
 
 /// Runs one freshly built `(protocol, adversary)` cell under `config` from
-/// `seed`, asserting dissemination correctness on completion.
+/// `seed`, verifying the dissemination postcondition
+/// ([`TOKEN_COMPLETION`]) on completion.
 ///
 /// This is the single-cell primitive every sweep goes through: the serial
 /// [`sweep_seeds`] below and the parallel `dyncode-engine` executor both
 /// delegate here, which is what makes `--threads N` output identical to
 /// serial output — a cell's result depends only on `(build, adv, config,
 /// seed)`, never on which thread or in which order it ran.
+///
+/// Concrete protocols with a different meaning of done (e.g. the quorum
+/// family) go through [`run_one_term`] with their own predicate; spec
+/// runs ([`run_spec`]) pick the predicate from the registry.
 pub fn run_one<P, FB, FA>(build: &FB, adv: &FA, config: &SimConfig, seed: u64) -> RunResult
+where
+    P: Protocol,
+    FB: Fn() -> P,
+    FA: Fn() -> Box<dyn Adversary>,
+{
+    run_one_term(build, adv, config, seed, &TOKEN_COMPLETION)
+}
+
+/// [`run_one`] under an explicit [`TerminationPredicate`]: the completed
+/// run's final knowledge view is verified against `term` instead of the
+/// token-completion default. The predicate only checks the postcondition
+/// — it never alters the run itself, so results are bit-identical across
+/// predicates.
+pub fn run_one_term<P, FB, FA>(
+    build: &FB,
+    adv: &FA,
+    config: &SimConfig,
+    seed: u64,
+    term: &dyn TerminationPredicate,
+) -> RunResult
 where
     P: Protocol,
     FB: Fn() -> P,
@@ -98,10 +125,12 @@ where
     {
         let _teardown = dyncode_obs::span!("runner.teardown", seed = seed);
         if r.completed {
-            assert!(
-                fully_disseminated(&p),
-                "completed run left a node without some token (seed {seed})"
-            );
+            if let Err(e) = term.verify(&p.view(), p.num_tokens()) {
+                panic!(
+                    "completed run failed its {} postcondition (seed {seed}): {e}",
+                    term.name()
+                );
+            }
         }
         drop(a);
         drop(p);
@@ -111,8 +140,10 @@ where
 
 /// [`run_one`] for a registry spec: builds the protocol named by `spec`
 /// over `inst` (with the cell's stability interval `t`) and runs it
-/// through the dyn-dispatch simulator twin, asserting dissemination
-/// correctness on completion.
+/// through the dyn-dispatch simulator twin, verifying the spec's own
+/// [`TerminationPredicate`] ([`ProtocolSpec::termination`]) on
+/// completion — token completion for dissemination families, the quorum
+/// threshold for the quorum families.
 ///
 /// Equivalence contract: for every simulator spec the returned
 /// `RunResult` is bit-identical to running the monomorphized protocol
@@ -162,10 +193,13 @@ where
     {
         let _teardown = dyncode_obs::span!("runner.teardown", seed = seed);
         if r.completed {
-            assert!(
-                fully_disseminated(&p),
-                "completed {spec} run left a node without some token (seed {seed})"
-            );
+            let term = spec.termination();
+            if let Err(e) = term.verify(&p.view(), p.num_tokens()) {
+                panic!(
+                    "completed {spec} run failed its {} postcondition (seed {seed}): {e}",
+                    term.name()
+                );
+            }
         }
         drop(a);
         drop(p);
@@ -200,7 +234,7 @@ pub fn fast_ineligibility(spec: &ProtocolSpec) -> Option<String> {
         "{spec} has no fast kernel ({why}); eligible specs: token-forwarding, \
          pipelined-forwarding, greedy-forward, priority-forward, random-forward, \
          naive-coded, indexed-broadcast, field-broadcast(gf2|gf256|gf257|m61), \
-         centralized"
+         centralized, quorum-watermark, quorum-decide"
     ))
 }
 
@@ -330,6 +364,10 @@ pub fn build_fast_cell(
         | ProtocolSpec::RandomForward { .. }
         | ProtocolSpec::NaiveCoded
         | ProtocolSpec::Centralized => Box::new(ErasedCell::new(spec.build(inst, t))),
+        ProtocolSpec::QuorumWatermark { .. } | ProtocolSpec::QuorumDecide { .. } => {
+            let cfg = spec.quorum_config().expect("quorum spec has a config");
+            Box::new(QuorumCell::new(p.n, p.k, cfg))
+        }
         other => {
             return Err(fast_ineligibility(other)
                 .expect("specs without an ineligibility reason have a fast cell"))
@@ -375,10 +413,13 @@ where
     {
         let _teardown = dyncode_obs::span!("runner.teardown", seed = seed);
         if r.completed {
-            assert!(
-                cell.fully_disseminated(),
-                "completed {spec} run left a node without some token (seed {seed})"
-            );
+            let term = spec.termination();
+            if let Err(e) = term.verify(&cell.view(), inst.params.k) {
+                panic!(
+                    "completed {spec} run failed its {} postcondition (seed {seed}): {e}",
+                    term.name()
+                );
+            }
         }
         drop(a);
         drop(cell);
@@ -549,6 +590,8 @@ mod tests {
             "field-broadcast(gf257)",
             "field-broadcast(m61)",
             "centralized",
+            "quorum-watermark(f=1)",
+            "quorum-decide(f=1,q=3)",
         ];
         let reference = [
             "field-broadcast(gf2,det=1)",
@@ -617,6 +660,9 @@ mod tests {
             "field-broadcast(gf257)",
             "field-broadcast(m61)",
             "centralized",
+            "quorum-watermark(f=1)",
+            "quorum-watermark(f=2,rounds=12)",
+            "quorum-decide(f=2,q=5)",
         ] {
             let spec = ProtocolSpec::parse(s).unwrap();
             for seed in [1u64, 7] {

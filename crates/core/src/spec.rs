@@ -31,6 +31,9 @@
 //! field-broadcast(m61,det=7)            Cor 6.2 deterministic advice mode
 //! centralized                           Cor 2.6 header-free coding
 //! patch-indexed                         §8 T-stable patch dissemination
+//! quorum-watermark(f=1)                 consensus gossip to max_round⁺ = 8
+//! quorum-watermark(f=2,rounds=16)       explicit watermark target
+//! quorum-decide(f=1,q=4)                4f+1 quorum prevotes round q
 //! ```
 //!
 //! [`ProtocolSpec::parse`] and the `Display` impl are mutually inverse on
@@ -42,9 +45,11 @@ use crate::protocols::{
     Centralized, FieldBroadcast, GreedyConfig, GreedyForward, IndexedBroadcast, NaiveCoded,
     PriorityConfig, PriorityForward, RandomForward, TokenForwarding,
 };
+use crate::term::{TerminationPredicate, QUORUM_DECISION, TOKEN_COMPLETION};
 use dyncode_dynet::simulator::{Erased, ErasedProtocol};
 use dyncode_dynet::split_top_level as split_args;
 use dyncode_gf::{Gf2, Gf256, Gf257, Mersenne61};
+use dyncode_quorum::{QuorumConfig, QuorumGoal, QuorumProtocol, DEFAULT_WATERMARK_ROUNDS};
 use std::fmt;
 
 /// The coding field of a [`ProtocolSpec::FieldBroadcast`] cell.
@@ -134,6 +139,25 @@ pub enum ProtocolSpec {
     /// charged-rounds model rather than a per-message simulation: it runs
     /// through [`crate::runner::run_spec`], not [`ProtocolSpec::build`].
     PatchIndexed,
+    /// `quorum-watermark(f=F[,rounds=R])` — latest-round-per-peer
+    /// consensus gossip; a node terminates when its monotone `max_round⁺`
+    /// (the f+1 watermark over `max_rounds`) reaches `R`.
+    QuorumWatermark {
+        /// Fault bound; requires `n ≥ 5f+1` at build time.
+        f: usize,
+        /// Target round for `max_round⁺` (default 8, collapsed by
+        /// `Display`).
+        rounds: usize,
+    },
+    /// `quorum-decide(f=F,q=Q)` — as above, but a node terminates when
+    /// `max_round` (the 4f+1 quorum watermark) reaches the decision
+    /// round `Q`: a full quorum is known to have prevoted round Q.
+    QuorumDecide {
+        /// Fault bound; requires `n ≥ 5f+1` at build time.
+        f: usize,
+        /// Decision round the 4f+1 watermark must reach.
+        q: usize,
+    },
 }
 
 /// One registry row: spec grammar, defaults, and the headline claim —
@@ -148,70 +172,98 @@ pub struct SpecInfo {
     pub params: &'static str,
     /// The algorithm and its paper result.
     pub summary: &'static str,
+    /// The termination predicate's registry label (see [`crate::term`]) —
+    /// what "completed" verifies for this family.
+    pub termination: &'static str,
 }
 
 /// The registry: every protocol the crate implements, in display order.
 pub fn registry() -> &'static [SpecInfo] {
+    const TOKENS: &str = "all-tokens-decoded";
     &[
         SpecInfo {
             name: "token-forwarding",
             grammar: "token-forwarding",
             params: "none",
             summary: "KLO batched smallest-first flooding (Thm 2.1 baseline)",
+            termination: TOKENS,
         },
         SpecInfo {
             name: "pipelined-forwarding",
             grammar: "pipelined-forwarding[(T)]",
             params: "T = pipelining interval (default: the cell's T)",
             summary: "T-stable pipelined forwarding schedule (Thm 2.1)",
+            termination: TOKENS,
         },
         SpecInfo {
             name: "greedy-forward",
             grammar: "greedy-forward[(gather=G,bcast=B)]",
             params: "G = gather phase mult of n (default 1), B = broadcast mult (default 2)",
             summary: "gather-then-code, O(nkd/b² + nb) (Thm 7.3)",
+            termination: TOKENS,
         },
         SpecInfo {
             name: "priority-forward",
             grammar: "priority-forward[(warmup=W,bcast=B)]",
             params: "W = warmup mult of n (default 2), B = broadcast mult (default 3)",
             summary: "random block priorities, O(log n/b · nkd/b + n log n) (Thm 7.5)",
+            termination: TOKENS,
         },
         SpecInfo {
             name: "random-forward",
             grammar: "random-forward[(rounds=auto|R)]",
             params: "R = forwarding rounds (default auto = 2n)",
             summary: "the gathering primitive; reaches √(bk/d) tokens (Lem 7.2)",
+            termination: TOKENS,
         },
         SpecInfo {
             name: "naive-coded",
             grammar: "naive-coded",
             params: "none",
             summary: "flooded-ID indexing + coding, O(nk·log n/b) (Cor 7.1)",
+            termination: TOKENS,
         },
         SpecInfo {
             name: "indexed-broadcast",
             grammar: "indexed-broadcast",
             params: "none",
             summary: "packed-GF(2) RLNC k-indexed broadcast, O(n + k) (Lem 5.3)",
+            termination: TOKENS,
         },
         SpecInfo {
             name: "field-broadcast",
             grammar: "field-broadcast(gf2|gf256|gf257|m61[,det=S])",
             params: "field = coding field; det=S = deterministic advice seed (Cor 6.2)",
             summary: "indexed broadcast over any field; header k·lg q (Lem 5.3, q ≥ 2)",
+            termination: TOKENS,
         },
         SpecInfo {
             name: "centralized",
             grammar: "centralized",
             params: "none",
             summary: "header-free coding under central control, Θ(n) (Cor 2.6)",
+            termination: TOKENS,
         },
         SpecInfo {
             name: "patch-indexed",
             grammar: "patch-indexed",
             params: "none (uses the cell's T and b; charged-rounds model)",
             summary: "T-stable share-pass-share patch dissemination (§8.3, Thm 2.4)",
+            termination: TOKENS,
+        },
+        SpecInfo {
+            name: "quorum-watermark",
+            grammar: "quorum-watermark(f=F[,rounds=R])",
+            params: "F = fault bound (needs n ≥ 5f+1); R = max_round⁺ target (default 8)",
+            summary: "latest-round-per-peer gossip to the f+1 watermark (FaB sketch)",
+            termination: "quorum-threshold",
+        },
+        SpecInfo {
+            name: "quorum-decide",
+            grammar: "quorum-decide(f=F,q=Q)",
+            params: "F = fault bound (needs n ≥ 5f+1); Q = decision round (4f+1 quorum)",
+            summary: "consensus gossip: decide when a 4f+1 quorum prevotes round ≥ Q",
+            termination: "quorum-threshold",
         },
     ]
 }
@@ -380,6 +432,50 @@ impl ProtocolSpec {
                 };
                 Ok(ProtocolSpec::FieldBroadcast { field, det })
             }
+            "quorum-watermark" => {
+                let mut f = None;
+                let mut rounds = DEFAULT_WATERMARK_ROUNDS;
+                for arg in &args {
+                    match keyed_usize(arg, s)? {
+                        ("f", v) if v > 0 => f = Some(v),
+                        ("rounds", v) if v > 0 => rounds = v,
+                        (k @ ("f" | "rounds"), _) => {
+                            return Err(format!("{k} must be ≥ 1 in {s:?}"))
+                        }
+                        (k, _) => {
+                            return Err(format!(
+                                "unknown {head} parameter {k:?} in {s:?} (valid: f, rounds)"
+                            ))
+                        }
+                    }
+                }
+                let f = f.ok_or(format!(
+                    "{head} needs its fault bound (e.g. {head}(f=1)), got {s:?}"
+                ))?;
+                Ok(ProtocolSpec::QuorumWatermark { f, rounds })
+            }
+            "quorum-decide" => {
+                let (mut f, mut q) = (None, None);
+                for arg in &args {
+                    match keyed_usize(arg, s)? {
+                        ("f", v) if v > 0 => f = Some(v),
+                        ("q", v) if v > 0 => q = Some(v),
+                        (k @ ("f" | "q"), _) => return Err(format!("{k} must be ≥ 1 in {s:?}")),
+                        (k, _) => {
+                            return Err(format!(
+                                "unknown {head} parameter {k:?} in {s:?} (valid: f, q)"
+                            ))
+                        }
+                    }
+                }
+                match (f, q) {
+                    (Some(f), Some(q)) => Ok(ProtocolSpec::QuorumDecide { f, q }),
+                    _ => Err(format!(
+                        "{head} needs both its fault bound and decision round \
+                         (e.g. {head}(f=1,q=4)), got {s:?}"
+                    )),
+                }
+            }
             other => Err(format!(
                 "unknown protocol {other:?}; valid protocols: {}",
                 valid_names()
@@ -392,6 +488,48 @@ impl ProtocolSpec {
     /// driven per stability window (see [`crate::runner::run_spec`]).
     pub fn is_simulated(&self) -> bool {
         !matches!(self, ProtocolSpec::PatchIndexed)
+    }
+
+    /// The quorum configuration of a quorum-family spec; `None` for every
+    /// dissemination family.
+    pub fn quorum_config(&self) -> Option<QuorumConfig> {
+        match self {
+            ProtocolSpec::QuorumWatermark { f, rounds } => Some(QuorumConfig {
+                f: *f,
+                goal: QuorumGoal::Watermark {
+                    rounds: *rounds as u32,
+                },
+            }),
+            ProtocolSpec::QuorumDecide { f, q } => Some(QuorumConfig {
+                f: *f,
+                goal: QuorumGoal::Decide { q: *q as u32 },
+            }),
+            _ => None,
+        }
+    }
+
+    /// Instance-size validation a parse alone cannot do: the quorum
+    /// families require `n ≥ 5f+1` (quorum intersection). Dissemination
+    /// families accept any `n`. Campaign builders call this per
+    /// (protocol, n) grid point so misconfigured sweeps fail at parse
+    /// time, not inside a worker.
+    pub fn validate_for_n(&self, n: usize) -> Result<(), String> {
+        match self.quorum_config() {
+            Some(cfg) => cfg.validate_for(n),
+            None => Ok(()),
+        }
+    }
+
+    /// The termination predicate "completed" verifies for this family:
+    /// token completion for every dissemination family, the quorum
+    /// threshold for the quorum families.
+    pub fn termination(&self) -> &'static dyn TerminationPredicate {
+        match self {
+            ProtocolSpec::QuorumWatermark { .. } | ProtocolSpec::QuorumDecide { .. } => {
+                &QUORUM_DECISION
+            }
+            _ => &TOKEN_COMPLETION,
+        }
     }
 
     /// Builds the protocol over `inst` as an erased simulator protocol.
@@ -452,6 +590,14 @@ impl ProtocolSpec {
             ProtocolSpec::PatchIndexed => {
                 panic!("patch-indexed is a charged-rounds model; run it via runner::run_spec")
             }
+            ProtocolSpec::QuorumWatermark { .. } | ProtocolSpec::QuorumDecide { .. } => {
+                let cfg = self.quorum_config().expect("quorum spec has a config");
+                Box::new(Erased::new(QuorumProtocol::new(
+                    inst.params.n,
+                    inst.params.k,
+                    cfg,
+                )))
+            }
         }
     }
 }
@@ -501,6 +647,14 @@ impl fmt::Display for ProtocolSpec {
             } => write!(f, "field-broadcast({},det={s})", field.name()),
             ProtocolSpec::Centralized => write!(f, "centralized"),
             ProtocolSpec::PatchIndexed => write!(f, "patch-indexed"),
+            ProtocolSpec::QuorumWatermark { f: fb, rounds } => {
+                if *rounds == DEFAULT_WATERMARK_ROUNDS {
+                    write!(f, "quorum-watermark(f={fb})")
+                } else {
+                    write!(f, "quorum-watermark(f={fb},rounds={rounds})")
+                }
+            }
+            ProtocolSpec::QuorumDecide { f: fb, q } => write!(f, "quorum-decide(f={fb},q={q})"),
         }
     }
 }
@@ -533,6 +687,9 @@ mod tests {
             "field-broadcast(m61,det=7)",
             "centralized",
             "patch-indexed",
+            "quorum-watermark(f=1)",
+            "quorum-watermark(f=2,rounds=16)",
+            "quorum-decide(f=1,q=4)",
         ] {
             let v = ProtocolSpec::parse(spec).expect(spec);
             assert_eq!(v.to_string(), spec, "canonical form is stable");
@@ -558,29 +715,41 @@ mod tests {
         // Defaults spelled out collapse to the bare canonical name.
         let spelled = ProtocolSpec::parse("greedy-forward(gather=1,bcast=2)").unwrap();
         assert_eq!(spelled.to_string(), "greedy-forward");
+        // … including the quorum watermark default (rounds = 8).
+        let spelled = ProtocolSpec::parse("quorum-watermark(rounds=8,f=3)").unwrap();
+        assert_eq!(spelled.to_string(), "quorum-watermark(f=3)");
     }
 
     #[test]
     fn malformed_specs_are_rejected_with_context() {
         for bad in [
-            "mystery",                      // unknown bare name
-            "mystery(1,2)",                 // unknown head
-            "token-forwarding(1)",          // arity
-            "pipelined-forwarding(0)",      // T = 0
-            "pipelined-forwarding(a)",      // not a number
-            "pipelined-forwarding(1,2)",    // too many args
-            "greedy-forward(cap=2)",        // unknown key
-            "greedy-forward(gather=0)",     // zero multiplier
-            "greedy-forward(gather)",       // missing =
-            "random-forward(rounds=0)",     // zero rounds
-            "random-forward(laps=3)",       // unknown key
-            "field-broadcast",              // missing field
-            "field-broadcast(gf9)",         // unknown field
-            "field-broadcast(m61,det=x)",   // bad seed
-            "field-broadcast(m61,mode=1)",  // unknown key
-            "field-broadcast(gf2,det=1,0)", // too many args
-            "greedy-forward(gather=2",      // unbalanced paren
-            "patch-indexed(3)",             // arity
+            "mystery",                        // unknown bare name
+            "mystery(1,2)",                   // unknown head
+            "token-forwarding(1)",            // arity
+            "pipelined-forwarding(0)",        // T = 0
+            "pipelined-forwarding(a)",        // not a number
+            "pipelined-forwarding(1,2)",      // too many args
+            "greedy-forward(cap=2)",          // unknown key
+            "greedy-forward(gather=0)",       // zero multiplier
+            "greedy-forward(gather)",         // missing =
+            "random-forward(rounds=0)",       // zero rounds
+            "random-forward(laps=3)",         // unknown key
+            "field-broadcast",                // missing field
+            "field-broadcast(gf9)",           // unknown field
+            "field-broadcast(m61,det=x)",     // bad seed
+            "field-broadcast(m61,mode=1)",    // unknown key
+            "field-broadcast(gf2,det=1,0)",   // too many args
+            "greedy-forward(gather=2",        // unbalanced paren
+            "patch-indexed(3)",               // arity
+            "quorum-watermark",               // missing f
+            "quorum-watermark(rounds=8)",     // still missing f
+            "quorum-watermark(f=0)",          // zero fault bound
+            "quorum-watermark(f=1,rounds=0)", // zero target
+            "quorum-watermark(f=1,laps=2)",   // unknown key
+            "quorum-decide(f=1)",             // missing q
+            "quorum-decide(q=4)",             // missing f
+            "quorum-decide(f=1,q=0)",         // zero decision round
+            "quorum-decide(f=1,q=4,x=2)",     // unknown key
         ] {
             assert!(ProtocolSpec::parse(bad).is_err(), "{bad} should fail");
         }
@@ -594,17 +763,33 @@ mod tests {
     #[test]
     fn registry_names_parse_and_cover_the_enum() {
         for info in registry() {
-            // Every bare registry name parses, except field-broadcast
-            // (which requires its field argument).
-            let probe = if info.name == "field-broadcast" {
-                "field-broadcast(gf256)".to_string()
-            } else {
-                info.name.to_string()
+            // Every bare registry name parses, except the families whose
+            // required arguments have no default.
+            let probe = match info.name {
+                "field-broadcast" => "field-broadcast(gf256)".to_string(),
+                "quorum-watermark" => "quorum-watermark(f=1)".to_string(),
+                "quorum-decide" => "quorum-decide(f=1,q=4)".to_string(),
+                name => name.to_string(),
             };
             let spec = ProtocolSpec::parse(&probe).expect(info.name);
             assert!(spec.to_string().starts_with(info.name), "{probe}");
+            assert_eq!(
+                spec.termination().name(),
+                info.termination,
+                "{probe}: the registry row and the erased predicate disagree"
+            );
         }
-        assert_eq!(registry().len(), 10);
+        assert_eq!(registry().len(), 12);
+    }
+
+    #[test]
+    fn quorum_specs_validate_the_instance_size() {
+        let spec = ProtocolSpec::parse("quorum-watermark(f=2)").unwrap();
+        assert!(spec.validate_for_n(11).is_ok());
+        let err = spec.validate_for_n(10).unwrap_err();
+        assert!(err.contains("n ≥ 5f+1"), "{err}");
+        // Dissemination families accept any n.
+        assert!(ProtocolSpec::TokenForwarding.validate_for_n(1).is_ok());
     }
 
     #[test]
@@ -617,6 +802,8 @@ mod tests {
             "indexed-broadcast",
             "field-broadcast(gf256)",
             "centralized",
+            "quorum-watermark(f=1)",
+            "quorum-decide(f=1,q=3)",
         ] {
             let spec = ProtocolSpec::parse(spec).unwrap();
             assert!(spec.is_simulated());

@@ -658,6 +658,15 @@ impl CampaignBuilder {
                 }
             }
         }
+        // Instance-size constraints (the quorum families need n ≥ 5f+1)
+        // must hold at every grid point, quick profile included.
+        for spec in &c.protocols {
+            for &n in c.ns.iter().chain(c.quick_ns.iter().flatten()) {
+                if let Err(why) = spec.validate_for_n(n) {
+                    return Err(format!("protocol {spec} cannot run at n = {n}: {why}"));
+                }
+            }
+        }
         Ok(c)
     }
 }

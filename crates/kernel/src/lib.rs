@@ -58,6 +58,7 @@ pub mod forward;
 pub mod gf256cell;
 pub mod gf2cell;
 pub mod phase;
+pub mod quorumcell;
 
 pub use cell::{run_fast, FastCell};
 pub use csr::CsrTopology;
@@ -66,6 +67,7 @@ pub use erased::ErasedCell;
 pub use forward::ForwardCell;
 pub use gf256cell::Gf256Cell;
 pub use gf2cell::{Gf2Cell, Gf2ViewMode};
+pub use quorumcell::QuorumCell;
 
 use std::fmt;
 

@@ -1,0 +1,493 @@
+//! # dyncode-quorum
+//!
+//! Latest-message-per-peer consensus gossip on the dynamic-network round
+//! loop: the FaB-Tendermint state sketch run over the paper's anonymous
+//! broadcast substrate.
+//!
+//! Each node keeps `max_rounds: [Round; n]` — the latest PREVOTE round it
+//! has heard from each peer (`0` = ⊥, nothing heard yet), merged by
+//! element-wise max on every delivery. From that vector two **monotone**
+//! watermarks are derived by order statistics:
+//!
+//! * `max_round⁺` — the (f+1)-th largest entry: the largest round that at
+//!   least one *honest* peer (under at most `f` faults) has provably
+//!   reached.
+//! * `max_round` — the (4f+1)-th largest entry: the largest round a full
+//!   quorum has reached, valid in the `n ≥ 5f+1` regime.
+//!
+//! Both are monotone because the underlying entries only grow (max
+//! merges) and order statistics are monotone in every argument — so a
+//! node may use them as commit triggers without ever rolling back.
+//!
+//! Protocol dynamics: every node starts having prevoted round 1; on each
+//! delivery it max-merges its inbox, then takes **one** advancement step
+//! (if `max_round⁺ ≥ own_round`, it prevotes `max_round⁺ + 1`).
+//! Termination is a *quorum threshold*, not token completion — the
+//! [`QuorumGoal`] picks which watermark must reach which round. Messages
+//! are the sender's whole `max_rounds` vector at a fixed 32 bits per
+//! entry, so per-node state and message size are both O(n) — exactly the
+//! shape the fast kernel packs into a flat u32 arena.
+//!
+//! The protocol draws **zero** randomness: compose, deliver, and the
+//! advancement rule are all deterministic functions of delivered state.
+//! Fast == reference bit-equivalence is therefore structural, like the
+//! forwarding cell: both backends only have to merge the same delivered
+//! rows in any order (max is commutative and associative).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::rc::Rc;
+use std::sync::OnceLock;
+
+use dyncode_dynet::adversary::KnowledgeView;
+use dyncode_dynet::bitset::BitSet;
+use dyncode_dynet::graph::NodeId;
+use dyncode_dynet::simulator::Protocol;
+use dyncode_obs::metrics::{self, Gauge, Histogram};
+use rand::rngs::StdRng;
+
+/// A PREVOTE round number. `0` is ⊥ — nothing heard from that peer yet;
+/// real rounds start at 1.
+pub type Round = u32;
+
+/// Default `rounds` target for `quorum-watermark` when the spec omits it.
+pub const DEFAULT_WATERMARK_ROUNDS: usize = 8;
+
+/// Shared telemetry handles for the quorum family (reference protocol and
+/// fast kernel cell record into the same instruments).
+pub struct QuorumMetrics {
+    /// Gauge: number of nodes whose termination goal currently holds.
+    pub decided_nodes: &'static Gauge,
+    /// Histogram of own-round advancement step sizes (`new - old`).
+    pub watermark_advance: &'static Histogram,
+}
+
+/// The process-wide quorum metric handles (obs is observe-only: recording
+/// never feeds back into protocol state).
+pub fn quorum_metrics() -> &'static QuorumMetrics {
+    static M: OnceLock<QuorumMetrics> = OnceLock::new();
+    M.get_or_init(|| QuorumMetrics {
+        decided_nodes: metrics::gauge("quorum.decided_nodes"),
+        watermark_advance: metrics::histogram("quorum.watermark_advance"),
+    })
+}
+
+/// The `c`-th largest entry of `rounds` (1-indexed): the largest round
+/// `r` such that at least `c` entries are ≥ `r`. Returns ⊥ (0) when the
+/// threshold is degenerate (`c == 0` or `c > rounds.len()`).
+///
+/// `scratch` is a reusable buffer (cleared and refilled here) so hot
+/// callers avoid per-call allocation.
+pub fn watermark_with(rounds: &[Round], c: usize, scratch: &mut Vec<Round>) -> Round {
+    if c == 0 || c > rounds.len() {
+        return 0;
+    }
+    scratch.clear();
+    scratch.extend_from_slice(rounds);
+    let idx = c - 1;
+    let (_, kth, _) = scratch.select_nth_unstable_by(idx, |a, b| b.cmp(a));
+    *kth
+}
+
+/// Allocating convenience wrapper around [`watermark_with`].
+pub fn watermark(rounds: &[Round], c: usize) -> Round {
+    watermark_with(rounds, c, &mut Vec::new())
+}
+
+/// Which watermark must reach which round for a node to terminate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuorumGoal {
+    /// Terminate once `max_round⁺` (the f+1 watermark) reaches `rounds`.
+    Watermark {
+        /// Target round for `max_round⁺`.
+        rounds: Round,
+    },
+    /// Terminate once `max_round` (the 4f+1 quorum watermark) reaches
+    /// `q` — a full quorum is known to have prevoted round `q`.
+    Decide {
+        /// Decision round for `max_round`.
+        q: Round,
+    },
+}
+
+/// Configuration for one quorum protocol instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuorumConfig {
+    /// Fault bound: watermark thresholds are `f+1` and `4f+1`, and the
+    /// quorum-intersection regime requires `n ≥ 5f+1`.
+    pub f: usize,
+    /// The termination goal.
+    pub goal: QuorumGoal,
+}
+
+impl QuorumConfig {
+    /// The `max_round⁺` threshold, `f + 1`.
+    pub fn plus_threshold(&self) -> usize {
+        self.f + 1
+    }
+
+    /// The `max_round` quorum threshold, `4f + 1`.
+    pub fn full_threshold(&self) -> usize {
+        4 * self.f + 1
+    }
+
+    /// The threshold the termination goal watches.
+    pub fn goal_threshold(&self) -> usize {
+        match self.goal {
+            QuorumGoal::Watermark { .. } => self.plus_threshold(),
+            QuorumGoal::Decide { .. } => self.full_threshold(),
+        }
+    }
+
+    /// The round the goal watermark must reach.
+    pub fn goal_round(&self) -> Round {
+        match self.goal {
+            QuorumGoal::Watermark { rounds } => rounds,
+            QuorumGoal::Decide { q } => q,
+        }
+    }
+
+    /// Checks the quorum-intersection regime `n ≥ 5f + 1` (equivalently
+    /// `f < n/5`) and that `f ≥ 1` / the goal round is ≥ 1.
+    pub fn validate_for(&self, n: usize) -> Result<(), String> {
+        if self.f == 0 {
+            return Err("quorum fault bound f must be ≥ 1".into());
+        }
+        if self.goal_round() == 0 {
+            return Err("quorum goal round must be ≥ 1".into());
+        }
+        if 5 * self.f + 1 > n {
+            return Err(format!(
+                "quorum with f={} needs n ≥ 5f+1 = {} nodes (f must stay below n/5), got n={n}",
+                self.f,
+                5 * self.f + 1,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Does `row` (one node's `max_rounds` vector) satisfy the goal?
+    pub fn decided(&self, row: &[Round], scratch: &mut Vec<Round>) -> bool {
+        watermark_with(row, self.goal_threshold(), scratch) >= self.goal_round()
+    }
+}
+
+/// One advancement step for node `own` on its (already inbox-merged)
+/// `max_rounds` row: if `max_round⁺ ≥ own_round`, prevote
+/// `max_round⁺ + 1`. Returns the step size (`new - old`) when the node
+/// advanced. Exactly one step per delivery event — both backends apply
+/// the identical rule, which is what makes fast == reference structural.
+pub fn advance_own_round(
+    row: &mut [Round],
+    own: usize,
+    plus_threshold: usize,
+    scratch: &mut Vec<Round>,
+) -> Option<Round> {
+    let wplus = watermark_with(row, plus_threshold, scratch);
+    let cur = row[own];
+    if wplus >= cur {
+        row[own] = wplus + 1;
+        Some(wplus + 1 - cur)
+    } else {
+        None
+    }
+}
+
+/// The reference quorum protocol: per-node `max_rounds` vectors, whole-row
+/// snapshot messages, max-merge delivery, one advancement step per
+/// delivery, quorum-threshold termination.
+pub struct QuorumProtocol {
+    n: usize,
+    k: usize,
+    cfg: QuorumConfig,
+    /// `rounds[u][v]`: the latest round node `u` knows node `v` prevoted.
+    rounds: Vec<Vec<Round>>,
+    scratch: Vec<Round>,
+}
+
+impl QuorumProtocol {
+    /// A fresh instance: every node has prevoted round 1 and knows ⊥ for
+    /// every peer. `k` is carried only for the knowledge-view shape (the
+    /// family owns no tokens). Panics outside the `n ≥ 5f+1` regime.
+    pub fn new(n: usize, k: usize, cfg: QuorumConfig) -> Self {
+        if let Err(e) = cfg.validate_for(n) {
+            panic!("{e}");
+        }
+        let rounds = (0..n)
+            .map(|u| {
+                let mut row = vec![0; n];
+                row[u] = 1;
+                row
+            })
+            .collect();
+        QuorumProtocol {
+            n,
+            k,
+            cfg,
+            rounds,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// This instance's configuration.
+    pub fn config(&self) -> QuorumConfig {
+        self.cfg
+    }
+
+    /// Node `u`'s current `max_rounds` row.
+    pub fn row(&self, u: NodeId) -> &[Round] {
+        &self.rounds[u]
+    }
+
+    /// Node `u`'s `max_round⁺` (f+1 watermark).
+    pub fn max_round_plus(&self, u: NodeId) -> Round {
+        watermark(&self.rounds[u], self.cfg.plus_threshold())
+    }
+
+    /// Node `u`'s `max_round` (4f+1 quorum watermark).
+    pub fn max_round(&self, u: NodeId) -> Round {
+        watermark(&self.rounds[u], self.cfg.full_threshold())
+    }
+}
+
+impl Protocol for QuorumProtocol {
+    // Snapshot of the sender's whole row; `Rc` so the reference path's
+    // per-neighbor clones stay O(1).
+    type Message = Rc<Vec<Round>>;
+
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    fn num_tokens(&self) -> usize {
+        self.k
+    }
+
+    fn compose(&mut self, node: NodeId, _round: usize, _rng: &mut StdRng) -> Option<Self::Message> {
+        // Every node gossips every round, decided or not: quorum
+        // watermarks at *other* nodes keep depending on this node's
+        // latest row, and a constant speaking set keeps the delivery
+        // coin stream aligned with the fast kernel.
+        Some(Rc::new(self.rounds[node].clone()))
+    }
+
+    fn message_bits(&self, msg: &Self::Message) -> u64 {
+        // Fixed-width wire format: 32 bits per (peer, round) entry.
+        (msg.len() as u64) * u64::from(Round::BITS)
+    }
+
+    fn deliver(&mut self, node: NodeId, inbox: &[Self::Message], _round: usize, _rng: &mut StdRng) {
+        let row = &mut self.rounds[node];
+        for msg in inbox {
+            for (slot, &r) in row.iter_mut().zip(msg.iter()) {
+                if r > *slot {
+                    *slot = r;
+                }
+            }
+        }
+        if let Some(step) =
+            advance_own_round(row, node, self.cfg.plus_threshold(), &mut self.scratch)
+        {
+            quorum_metrics().watermark_advance.record(u64::from(step));
+        }
+    }
+
+    fn node_done(&self, node: NodeId) -> bool {
+        self.cfg.decided(&self.rounds[node], &mut Vec::new())
+    }
+
+    fn view(&self) -> KnowledgeView {
+        KnowledgeView {
+            tokens: vec![BitSet::new(self.k); self.n],
+            dims: self
+                .rounds
+                .iter()
+                .map(|row| row.iter().filter(|&&r| r > 0).count())
+                .collect(),
+            done: (0..self.n).map(|u| self.node_done(u)).collect(),
+        }
+    }
+
+    fn round_end(&mut self, _round: usize, _rng: &mut StdRng) {
+        let decided = (0..self.n).filter(|&u| self.node_done(u)).count();
+        quorum_metrics().decided_nodes.set(decided as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyncode_dynet::adversaries::{RandomConnectedAdversary, ShuffledPathAdversary};
+    use dyncode_dynet::simulator::{run, SimConfig};
+    use rand::{RngExt, SeedableRng};
+
+    fn naive_kth_largest(v: &[Round], c: usize) -> Round {
+        let mut s = v.to_vec();
+        s.sort_unstable_by(|a, b| b.cmp(a));
+        s[c - 1]
+    }
+
+    #[test]
+    fn watermark_is_the_kth_order_statistic() {
+        let v = [3, 0, 7, 7, 1, 0, 5];
+        assert_eq!(watermark(&v, 1), 7);
+        assert_eq!(watermark(&v, 2), 7);
+        assert_eq!(watermark(&v, 3), 5);
+        assert_eq!(watermark(&v, 5), 1);
+        assert_eq!(watermark(&v, 7), 0);
+        // Degenerate thresholds are ⊥, not a panic.
+        assert_eq!(watermark(&v, 0), 0);
+        assert_eq!(watermark(&v, 8), 0);
+        // Randomized cross-check against a full sort.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let len = rng.random_range(1..20usize);
+            let v: Vec<Round> = (0..len).map(|_| rng.random_range(0..10u32)).collect();
+            let c = rng.random_range(1..=len);
+            assert_eq!(watermark(&v, c), naive_kth_largest(&v, c));
+        }
+    }
+
+    #[test]
+    fn watermarks_are_monotone_under_merges_and_advancement() {
+        // Random max-merges + advancement steps: entries, max_round⁺ and
+        // max_round never decrease.
+        let cfg = QuorumConfig {
+            f: 1,
+            goal: QuorumGoal::Decide { q: 6 },
+        };
+        let n = 8;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut row: Vec<Round> = vec![0; n];
+        row[0] = 1;
+        let mut scratch = Vec::new();
+        let (mut wplus, mut wfull) = (0, 0);
+        for _ in 0..500 {
+            let before = row.clone();
+            let incoming: Vec<Round> = (0..n).map(|_| rng.random_range(0..8u32)).collect();
+            for (slot, &r) in row.iter_mut().zip(incoming.iter()) {
+                if r > *slot {
+                    *slot = r;
+                }
+            }
+            advance_own_round(&mut row, 0, cfg.plus_threshold(), &mut scratch);
+            for (b, a) in before.iter().zip(row.iter()) {
+                assert!(a >= b, "an entry decreased: {before:?} -> {row:?}");
+            }
+            let p = watermark(&row, cfg.plus_threshold());
+            let f = watermark(&row, cfg.full_threshold());
+            assert!(p >= wplus && f >= wfull, "a watermark rolled back");
+            assert!(p >= f, "max_round⁺ must dominate max_round");
+            wplus = p;
+            wfull = f;
+        }
+    }
+
+    #[test]
+    fn advancement_steps_past_the_plus_watermark() {
+        let mut row = vec![1, 0, 0, 0, 0, 0];
+        let mut scratch = Vec::new();
+        // Nothing heard yet: w⁺ (threshold 2) = 0 < own 1, no step.
+        assert_eq!(advance_own_round(&mut row, 0, 2, &mut scratch), None);
+        // One peer at round 1: w⁺ = 1 = own, prevote 2.
+        row[3] = 1;
+        assert_eq!(advance_own_round(&mut row, 0, 2, &mut scratch), Some(1));
+        assert_eq!(row[0], 2);
+        // A burst of far-ahead peers: one step jumps own round to w⁺+1.
+        row[1] = 9;
+        row[2] = 9;
+        assert_eq!(advance_own_round(&mut row, 0, 2, &mut scratch), Some(8));
+        assert_eq!(row[0], 10);
+    }
+
+    #[test]
+    fn watermark_goal_completes_on_a_worst_case_path() {
+        let n = 12;
+        let mut p = QuorumProtocol::new(
+            n,
+            n,
+            QuorumConfig {
+                f: 2,
+                goal: QuorumGoal::Watermark { rounds: 8 },
+            },
+        );
+        let cfg = SimConfig::with_max_rounds(50 * n * n);
+        let r = run(&mut p, &mut ShuffledPathAdversary, &cfg, 7);
+        assert!(r.completed, "watermark goal censored at the round cap");
+        let view = p.view();
+        assert!(view.done.iter().all(|&d| d));
+        for u in 0..n {
+            assert!(p.max_round_plus(u) >= 8);
+            assert!(p.max_round_plus(u) >= p.max_round(u));
+        }
+    }
+
+    #[test]
+    fn decide_goal_reaches_a_full_quorum() {
+        let n = 11; // exactly 5f+1 for f=2
+        let mut p = QuorumProtocol::new(
+            n,
+            n,
+            QuorumConfig {
+                f: 2,
+                goal: QuorumGoal::Decide { q: 4 },
+            },
+        );
+        let cfg = SimConfig::with_max_rounds(50 * n * n);
+        let r = run(&mut p, &mut RandomConnectedAdversary::new(2), &cfg, 3);
+        assert!(r.completed);
+        for u in 0..n {
+            assert!(p.max_round(u) >= 4, "node {u} decided below q");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n ≥ 5f+1")]
+    fn f_at_or_above_n_over_5_is_rejected() {
+        // f=2 needs n ≥ 11.
+        QuorumProtocol::new(
+            10,
+            10,
+            QuorumConfig {
+                f: 2,
+                goal: QuorumGoal::Watermark { rounds: 8 },
+            },
+        );
+    }
+
+    #[test]
+    fn validate_for_matches_the_regime_boundary() {
+        for f in 1usize..6 {
+            for n in 1usize..40 {
+                let cfg = QuorumConfig {
+                    f,
+                    goal: QuorumGoal::Decide { q: 3 },
+                };
+                assert_eq!(
+                    cfg.validate_for(n).is_ok(),
+                    n > 5 * f,
+                    "f={f} n={n} disagrees with n ≥ 5f+1"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn messages_are_32_bits_per_peer() {
+        let n = 6;
+        let mut p = QuorumProtocol::new(
+            n,
+            n,
+            QuorumConfig {
+                f: 1,
+                goal: QuorumGoal::Watermark { rounds: 2 },
+            },
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let msg = p
+            .compose(0, 0, &mut rng)
+            .expect("quorum nodes always speak");
+        assert_eq!(p.message_bits(&msg), 32 * n as u64);
+    }
+}

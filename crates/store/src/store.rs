@@ -8,6 +8,13 @@
 //! index.log                    append-only `<digest> <bytes>` lines,
 //!                              one per put (advisory: rebuilt by gc,
 //!                              never consulted on the read path)
+//! hits.log                     append-only usage log: a bare `<digest>`
+//!                              line per cache hit (gc compacts it to
+//!                              `<digest> <count>` lines); advisory like
+//!                              the index — gc weighs eviction by it
+//! pins                         one `<digest>` per line; pinned objects
+//!                              (committed baselines, long campaigns) are
+//!                              never evicted by gc
 //! ```
 //!
 //! Writes are atomic (`.tmp-<pid>` then rename), so concurrent writers —
@@ -74,6 +81,9 @@ pub struct StoreStats {
     pub objects: u64,
     /// Total object bytes.
     pub bytes: u64,
+    /// Digests pinned against eviction (present in `pins`; the pin may
+    /// name an object not yet written).
+    pub pinned: u64,
 }
 
 /// A [`Store::gc`] report.
@@ -85,6 +95,9 @@ pub struct GcReport {
     pub removed_bytes: u64,
     /// Object bytes remaining after eviction.
     pub remaining_bytes: u64,
+    /// Pinned objects held back from eviction (counted only when the
+    /// budget would otherwise have claimed them).
+    pub pinned_kept: u64,
 }
 
 /// A content-addressed store of cell results rooted at one directory.
@@ -145,6 +158,10 @@ impl Store {
             Some(r) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 m.hits.add(1);
+                // Usage log for gc's hit-weighted eviction. Best-effort,
+                // like the index: a lost append only makes the object
+                // look slightly colder than it is.
+                let _ = self.append_hit(key.digest_hex());
                 Some(r)
             }
             None => {
@@ -182,6 +199,87 @@ impl Store {
         Ok(path)
     }
 
+    fn append_hit(&self, digest_hex: &str) -> io::Result<()> {
+        use std::io::Write;
+        let mut log = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.root.join("hits.log"))?;
+        writeln!(log, "{digest_hex}")
+    }
+
+    /// Parses `hits.log` into per-digest counts. Bare `<digest>` lines
+    /// (live appends) count 1 each; `<digest> <count>` lines (gc's
+    /// compacted form) contribute `count`. Unparsable lines are skipped —
+    /// the log is advisory.
+    fn hit_counts(&self) -> std::collections::HashMap<String, u64> {
+        let mut counts = std::collections::HashMap::new();
+        let Ok(text) = std::fs::read_to_string(self.root.join("hits.log")) else {
+            return counts;
+        };
+        for line in text.lines() {
+            let mut fields = line.split_whitespace();
+            let Some(digest) = fields.next() else {
+                continue;
+            };
+            let weight = match fields.next() {
+                None => 1,
+                Some(c) => match c.parse::<u64>() {
+                    Ok(c) => c,
+                    Err(_) => continue,
+                },
+            };
+            *counts.entry(digest.to_string()).or_insert(0) += weight;
+        }
+        counts
+    }
+
+    /// Pins `digest_hex` against gc eviction: the digest is recorded in
+    /// the `pins` file (atomic rewrite) and [`Store::gc`] will never
+    /// remove its object. Returns `Ok(true)` if newly pinned,
+    /// `Ok(false)` if it was already pinned. The digest need not name an
+    /// existing object — pin-then-put works. Rejects anything that is
+    /// not 64 lowercase hex characters.
+    pub fn pin(&self, digest_hex: &str) -> io::Result<bool> {
+        let valid = digest_hex.len() == 64
+            && digest_hex
+                .bytes()
+                .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b));
+        if !valid {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("not a store digest (need 64 lowercase hex chars): {digest_hex:?}"),
+            ));
+        }
+        let mut pins = self.pins()?;
+        if !pins.insert(digest_hex.to_string()) {
+            return Ok(false);
+        }
+        let mut text = String::new();
+        for d in &pins {
+            text.push_str(d);
+            text.push('\n');
+        }
+        let tmp = self.root.join(format!("pins.tmp-{}", std::process::id()));
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, self.root.join("pins"))?;
+        Ok(true)
+    }
+
+    /// The pinned digest set (empty if no `pins` file exists).
+    pub fn pins(&self) -> io::Result<std::collections::BTreeSet<String>> {
+        match std::fs::read_to_string(self.root.join("pins")) {
+            Ok(text) => Ok(text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty())
+                .map(String::from)
+                .collect()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Default::default()),
+            Err(e) => Err(e),
+        }
+    }
+
     /// Walks `objects/` and returns every `(path, bytes, mtime)` triple,
     /// sorted by `(mtime, path)` — oldest first, ties broken by path so
     /// eviction order is deterministic.
@@ -208,26 +306,53 @@ impl Store {
         Ok(out)
     }
 
-    /// On-disk usage: object count and total bytes.
+    /// On-disk usage: object count, total bytes, and pinned digests.
     pub fn stats(&self) -> io::Result<StoreStats> {
         let objects = self.walk_objects()?;
         Ok(StoreStats {
             objects: objects.len() as u64,
             bytes: objects.iter().map(|(_, len, _)| len).sum(),
+            pinned: self.pins()?.len() as u64,
         })
     }
 
-    /// Evicts oldest-first (by mtime) until total object bytes fit under
-    /// `max_bytes`, then rewrites `index.log` from the survivors.
+    /// Evicts objects until total object bytes fit under `max_bytes`,
+    /// then rewrites `index.log` from the survivors and compacts
+    /// `hits.log` to their counts.
+    ///
+    /// Eviction order is coldest-first: ascending hit count (from
+    /// `hits.log`), ties broken by `(mtime, path)` so a never-read store
+    /// degrades to the deterministic oldest-first order. Pinned digests
+    /// (see [`Store::pin`]) are never evicted — if the pinned objects
+    /// alone exceed the budget, gc keeps them all and
+    /// `remaining_bytes > max_bytes` in the report.
     pub fn gc(&self, max_bytes: u64) -> io::Result<GcReport> {
         let start = Instant::now();
-        let objects = self.walk_objects()?;
+        let mut objects = self.walk_objects()?;
+        let pins = self.pins()?;
+        let hits = self.hit_counts();
+        let digest_of = |path: &Path| -> String {
+            let shard = path
+                .parent()
+                .and_then(|d| d.file_name())
+                .and_then(|s| s.to_str())
+                .unwrap_or("");
+            let rest = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+            format!("{shard}{rest}")
+        };
+        // walk_objects already sorted by (mtime, path); a stable sort on
+        // hit count alone preserves that as the tie-break.
+        objects.sort_by_key(|(path, _, _)| hits.get(&digest_of(path)).copied().unwrap_or(0));
         let mut total: u64 = objects.iter().map(|(_, len, _)| len).sum();
         let mut report = GcReport::default();
         let mut removed = std::collections::HashSet::new();
         for (path, len, _) in &objects {
             if total <= max_bytes {
                 break;
+            }
+            if pins.contains(&digest_of(path)) {
+                report.pinned_kept += 1;
+                continue;
             }
             std::fs::remove_file(path)?;
             removed.insert(path.clone());
@@ -236,26 +361,31 @@ impl Store {
             report.removed_bytes += len;
         }
         report.remaining_bytes = total;
-        // Rebuild the index to match the surviving objects (atomically,
-        // like the objects themselves).
+        // Rebuild the index and compact the hit log to match the
+        // surviving objects (atomically, like the objects themselves).
+        objects.sort_by(|a, b| (a.2, &a.0).cmp(&(b.2, &b.0)));
         let mut index = String::new();
+        let mut compacted = String::new();
         for (path, len, _) in &objects {
             if removed.contains(path) {
                 continue;
             }
-            let shard = path
-                .parent()
-                .and_then(|d| d.file_name())
-                .and_then(|s| s.to_str())
-                .unwrap_or("");
-            let rest = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
-            index.push_str(&format!("{shard}{rest} {len}\n"));
+            let digest = digest_of(path);
+            index.push_str(&format!("{digest} {len}\n"));
+            if let Some(&count) = hits.get(&digest) {
+                compacted.push_str(&format!("{digest} {count}\n"));
+            }
         }
         let tmp = self
             .root
             .join(format!("index.log.tmp-{}", std::process::id()));
         std::fs::write(&tmp, index)?;
         std::fs::rename(&tmp, self.root.join("index.log"))?;
+        let tmp = self
+            .root
+            .join(format!("hits.log.tmp-{}", std::process::id()));
+        std::fs::write(&tmp, compacted)?;
+        std::fs::rename(&tmp, self.root.join("hits.log"))?;
         obs_metrics()
             .gc_ns
             .record(start.elapsed().as_nanos() as u64);
@@ -454,6 +584,87 @@ mod tests {
         let report = store.gc(u64::MAX).unwrap();
         assert_eq!(report.removed_objects, 0);
         assert_eq!(store.stats().unwrap().objects, 1);
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn gc_evicts_cold_objects_before_hot_ones() {
+        let store = temp_store("gc_hot");
+        for seed in 0..4 {
+            store.put(&sample_key(seed), &sample_result(false)).unwrap();
+        }
+        // Seed 2 is read twice, seed 0 once; 1 and 3 stay cold. All four
+        // objects are the same size, so a budget of two objects must
+        // evict exactly the cold pair regardless of write order.
+        for seed in [2, 0, 2] {
+            assert!(store.get(&sample_key(seed)).is_some());
+        }
+        let object_bytes = store.stats().unwrap().bytes / 4;
+        let report = store.gc(2 * object_bytes).unwrap();
+        assert_eq!(report.removed_objects, 2);
+        assert!(store.get(&sample_key(0)).is_some(), "hot survivor");
+        assert!(store.get(&sample_key(2)).is_some(), "hot survivor");
+        assert_eq!(store.get(&sample_key(1)), None, "cold evictee");
+        assert_eq!(store.get(&sample_key(3)), None, "cold evictee");
+        // gc compacted the hit log to `digest count` lines for the
+        // survivors (the two post-gc probe hits above re-appended bare
+        // lines after that, which is fine — check the compacted pair).
+        let log = std::fs::read_to_string(store.root().join("hits.log")).unwrap();
+        let compacted: Vec<&str> = log
+            .lines()
+            .filter(|l| l.split_whitespace().count() == 2)
+            .collect();
+        assert_eq!(compacted.len(), 2, "{log:?}");
+        assert!(
+            compacted
+                .iter()
+                .any(|l| l.ends_with(" 2") && l.starts_with(sample_key(2).digest_hex())),
+            "{log:?}"
+        );
+        // A second gc folds the probe hits into the counts.
+        store.gc(u64::MAX).unwrap();
+        let log = std::fs::read_to_string(store.root().join("hits.log")).unwrap();
+        assert!(
+            log.lines()
+                .any(|l| l == format!("{} 3", sample_key(2).digest_hex())),
+            "{log:?}"
+        );
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn gc_never_evicts_pinned_objects() {
+        let store = temp_store("gc_pin");
+        for seed in 0..3 {
+            store.put(&sample_key(seed), &sample_result(false)).unwrap();
+        }
+        // Pin the zero-hit seed-1 object; a zero budget then removes
+        // everything else but keeps it.
+        assert!(store.pin(sample_key(1).digest_hex()).unwrap());
+        assert_eq!(store.stats().unwrap().pinned, 1);
+        let report = store.gc(0).unwrap();
+        assert_eq!(report.removed_objects, 2);
+        assert_eq!(report.pinned_kept, 1);
+        assert!(report.remaining_bytes > 0, "budget exceeded by the pin");
+        assert!(store.get(&sample_key(1)).is_some(), "pinned survivor");
+        // The rebuilt index lists exactly the pinned survivor.
+        let index = std::fs::read_to_string(store.root().join("index.log")).unwrap();
+        assert_eq!(index.lines().count(), 1);
+        assert!(index.starts_with(sample_key(1).digest_hex()), "{index:?}");
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn pin_validates_digests_and_reports_idempotence() {
+        let store = temp_store("pin");
+        let digest = sample_key(5).digest_hex().to_string();
+        assert!(store.pin(&digest).unwrap(), "first pin is new");
+        assert!(!store.pin(&digest).unwrap(), "second pin is a no-op");
+        assert_eq!(store.pins().unwrap().len(), 1);
+        for bad in ["", "abc", &digest.to_uppercase(), &format!("{digest}0")] {
+            let err = store.pin(bad).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "{bad:?}");
+        }
         std::fs::remove_dir_all(store.root()).ok();
     }
 }

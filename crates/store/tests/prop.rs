@@ -35,6 +35,9 @@ fn proto_string() -> BoxedStrategy<String> {
             .prop_map(|(f, s)| format!("field-broadcast({f},det={s})")),
         Just("centralized".to_string()),
         Just("patch-indexed".to_string()),
+        (1usize..8).prop_map(|f| format!("quorum-watermark(f={f})")),
+        (1usize..8, 1usize..64).prop_map(|(f, r)| format!("quorum-watermark(f={f},rounds={r})")),
+        (1usize..8, 1usize..64).prop_map(|(f, q)| format!("quorum-decide(f={f},q={q})")),
     ]
     .boxed()
 }
@@ -265,4 +268,57 @@ proptest! {
                 || auto.digest_hex() == fast.digest_hex()
         );
     }
+}
+
+/// Every quorum spec parameter is key-relevant: changing `f`, `rounds`,
+/// or `q` — or crossing between the two quorum families, or to a
+/// non-quorum family — lands on a distinct digest. (The elided default
+/// `rounds=8` must alias the explicit form, since they are the same spec
+/// value.)
+#[test]
+fn quorum_parameters_are_digest_sensitive() {
+    let cell_with = |proto: &str| {
+        let c = CellSpec {
+            params: Params {
+                n: 16,
+                k: 16,
+                d: 5,
+                b: 10,
+            },
+            t: 1,
+            adversary: AdversaryKind::ShuffledPath,
+            placement: Placement::OneTokenPerNode,
+            protocol: ProtocolSpec::parse(proto).expect(proto),
+            cap: 1000,
+            instance_seed: 7,
+            kernel: Kernel::Reference,
+            record_history: false,
+            delivery: DeliverySpec::Reliable,
+        };
+        CellKey::new(&c, 3).digest_hex().to_string()
+    };
+    let distinct = [
+        "quorum-watermark(f=1)",
+        "quorum-watermark(f=2)",
+        "quorum-watermark(f=1,rounds=16)",
+        "quorum-decide(f=1,q=4)",
+        "quorum-decide(f=2,q=4)",
+        "quorum-decide(f=1,q=5)",
+        "token-forwarding",
+    ];
+    let digests: Vec<String> = distinct.iter().map(|p| cell_with(p)).collect();
+    for i in 0..digests.len() {
+        for j in i + 1..digests.len() {
+            assert_ne!(
+                digests[i], digests[j],
+                "{} and {} must not share a cache slot",
+                distinct[i], distinct[j]
+            );
+        }
+    }
+    assert_eq!(
+        cell_with("quorum-watermark(f=3)"),
+        cell_with("quorum-watermark(f=3,rounds=8)"),
+        "the elided default rounds=8 is the same spec value"
+    );
 }

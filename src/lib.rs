@@ -36,6 +36,11 @@
 //!   deltas, word-packed GF(2) elimination cells, and the
 //!   `Kernel::{Reference, Fast, Auto}` selection enum, bit-identical to
 //!   the reference simulator on every eligible spec.
+//! * [`quorum`] (`dyncode-quorum`) — latest-message-per-peer consensus:
+//!   per-node `max_rounds` tables merged by max on delivery, monotone
+//!   f+1 / 4f+1 watermarks, and the `quorum-watermark` /
+//!   `quorum-decide` registry families with quorum-threshold
+//!   termination.
 //!
 //! See `examples/quickstart.rs` for a first run and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment index.
@@ -48,6 +53,7 @@ pub use dyncode_dynet as dynet;
 pub use dyncode_engine as engine;
 pub use dyncode_gf as gf;
 pub use dyncode_kernel as kernel;
+pub use dyncode_quorum as quorum;
 pub use dyncode_rlnc as rlnc;
 pub use dyncode_scenarios as scenarios;
 

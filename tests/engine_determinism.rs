@@ -125,6 +125,42 @@ fn scenario_campaign_is_thread_count_independent() {
     }
 }
 
+/// The quorum-family determinism contract: a campaign crossing both
+/// quorum specs with degraded delivery models and a churn adversary —
+/// on the fast kernel via `kernel = auto` — produces byte-identical
+/// artifacts at 1 and 8 threads, and every cell reaches its quorum goal.
+#[test]
+fn quorum_campaign_is_thread_count_independent() {
+    let text = "
+        id = quorum-determinism
+        protocol = quorum-watermark(f=1), quorum-decide(f=2,q=4)
+        adversaries = shuffled-path
+        scenario = churn(0.15,random-connected)
+        delivery = reliable, lossy(eps=0.2)
+        kernel = auto
+        n = 12, 16
+        k = n
+        d = lgn+1
+        b = 2d
+        seeds = 1, 2
+        cap = 500nn
+        record_history = true
+    ";
+    let campaign = Campaign::parse(text).expect("spec parses");
+    let serial = run_campaign(&Engine::new(1), &campaign);
+    let parallel = run_campaign(&Engine::new(8), &campaign);
+    assert_eq!(
+        serial.to_json_string(),
+        parallel.to_json_string(),
+        "quorum artifact differs between 1 and 8 threads"
+    );
+    // 2 sizes × 2 deliveries × 2 protocols × 2 adversaries.
+    assert_eq!(serial.cells.len(), 2 * 2 * 2 * 2);
+    for cell in &serial.cells {
+        assert!(cell.stats.all_completed(), "{}", cell.label);
+    }
+}
+
 /// The protocol-grid determinism contract: a campaign sweeping the
 /// `protocol =` axis across heterogeneous registry specs — forwarding,
 /// coding over three fields, configured variants, and the charged-rounds

@@ -16,7 +16,7 @@ use dyncode::core::params::{Instance, Params, Placement};
 use dyncode::core::runner::{fast_eligible, resolve_kernel, run_spec_kernel, Kernel};
 use dyncode::core::spec::ProtocolSpec;
 use dyncode::dynet::adversary::Adversary;
-use dyncode::dynet::simulator::SimConfig;
+use dyncode::dynet::simulator::{DeliverySpec, SimConfig};
 use dyncode::engine::AdversaryKind;
 use proptest::prelude::*;
 
@@ -88,6 +88,41 @@ fn exhaustive_small_matrix() {
     for spec in ELIGIBLE {
         for adv in ADVERSARIES {
             assert_equivalent(spec, adv, 8, 1, 1);
+        }
+    }
+}
+
+/// The quorum family keeps its own equivalence matrix: its `n ≥ 5f+1`
+/// regime floor rules out the small sizes the randomized matrix above
+/// draws, and — gossiping every round with no protocol randomness — it is
+/// the family where delivery-model coins are the *only* stochastic input,
+/// so the matrix crosses every adversary with every delivery model.
+#[test]
+fn quorum_specs_match_across_adversaries_and_delivery_models() {
+    let deliveries = ["reliable", "lossy(eps=0.2)", "radio(p=0.4)"];
+    for spec_s in [
+        "quorum-watermark(f=1)",
+        "quorum-watermark(f=2,rounds=12)",
+        "quorum-decide(f=2,q=5)",
+    ] {
+        let spec = ProtocolSpec::parse(spec_s).expect(spec_s);
+        assert!(fast_eligible(&spec), "{spec_s}");
+        for adv_s in ADVERSARIES {
+            for del_s in deliveries {
+                let kind = AdversaryKind::parse(adv_s).expect(adv_s);
+                let delivery = DeliverySpec::parse(del_s).expect(del_s);
+                let n = 12;
+                let inst =
+                    Instance::generate(Params::new(n, n, 6, 12), Placement::OneTokenPerNode, 42);
+                let cfg = SimConfig::with_max_rounds(500 * n * n)
+                    .recording()
+                    .with_delivery(delivery);
+                let adv = || kind.build(1) as Box<dyn Adversary>;
+                let reference = run_spec_kernel(&spec, &inst, 1, &adv, &cfg, 7, Kernel::Reference);
+                let fast = run_spec_kernel(&spec, &inst, 1, &adv, &cfg, 7, Kernel::Fast);
+                assert_eq!(reference, fast, "{spec_s} × {adv_s} × {del_s}");
+                assert!(reference.completed, "{spec_s} × {adv_s} × {del_s}");
+            }
         }
     }
 }

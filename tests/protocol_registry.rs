@@ -21,6 +21,7 @@ use dyncode::dynet::adversaries::{RandomConnectedAdversary, ShuffledPathAdversar
 use dyncode::dynet::adversary::Adversary;
 use dyncode::dynet::simulator::{run, Protocol, RunResult, SimConfig};
 use dyncode::gf::{Gf256, Gf257, Mersenne61};
+use dyncode::quorum::{QuorumConfig, QuorumGoal, QuorumProtocol};
 use proptest::prelude::*;
 
 proptest! {
@@ -29,7 +30,7 @@ proptest! {
     /// and so must a second print (canonical forms are fixed points).
     #[test]
     fn parse_display_round_trips(
-        which in 0usize..10,
+        which in 0usize..12,
         a in 1usize..64,
         b in 1usize..64,
         seed in any::<u64>(),
@@ -57,7 +58,15 @@ proptest! {
                 ProtocolSpec::FieldBroadcast { field, det: with_param.then_some(seed) }
             }
             8 => ProtocolSpec::Centralized,
-            _ => ProtocolSpec::PatchIndexed,
+            9 => ProtocolSpec::PatchIndexed,
+            // The quorum families: `rounds` stores the parse-normalized
+            // value (8 when elided), so generating the default sometimes
+            // exercises the Display collapse.
+            10 => ProtocolSpec::QuorumWatermark {
+                f: a,
+                rounds: if with_param { b } else { 8 },
+            },
+            _ => ProtocolSpec::QuorumDecide { f: a, q: b },
         };
         let printed = spec.to_string();
         let back = ProtocolSpec::parse(&printed).expect("canonical strings parse");
@@ -79,19 +88,29 @@ proptest! {
 #[test]
 fn rejection_cases_cover_every_malformation_class() {
     for bad in [
-        "",                          // empty
-        "token-forwarding(2)",       // arity on a bare protocol
-        "pipelined-forwarding(0)",   // zero T
-        "greedy-forward(gather=0)",  // zero multiplier
-        "greedy-forward(cycle=2)",   // unknown parameter
-        "priority-forward(warmup)",  // missing value
-        "random-forward(rounds=x)",  // non-numeric value
-        "field-broadcast",           // missing field
-        "field-broadcast(gf1024)",   // unknown field
-        "field-broadcast(m61,det=)", // empty seed
-        "greedy-forward(gather=1",   // unbalanced paren
-        "patch-indexed(T)",          // arity
-        "Token-Forwarding",          // case matters
+        "",                               // empty
+        "token-forwarding(2)",            // arity on a bare protocol
+        "pipelined-forwarding(0)",        // zero T
+        "greedy-forward(gather=0)",       // zero multiplier
+        "greedy-forward(cycle=2)",        // unknown parameter
+        "priority-forward(warmup)",       // missing value
+        "random-forward(rounds=x)",       // non-numeric value
+        "field-broadcast",                // missing field
+        "field-broadcast(gf1024)",        // unknown field
+        "field-broadcast(m61,det=)",      // empty seed
+        "greedy-forward(gather=1",        // unbalanced paren
+        "patch-indexed(T)",               // arity
+        "Token-Forwarding",               // case matters
+        "quorum-watermark",               // missing required f
+        "quorum-watermark()",             // empty parameter list
+        "quorum-watermark(f=0)",          // zero fault bound
+        "quorum-watermark(rounds=8)",     // rounds without f
+        "quorum-watermark(f=1,rounds=0)", // zero goal round
+        "quorum-watermark(f=1,q=2)",      // q belongs to quorum-decide
+        "quorum-decide(f=1)",             // missing required q
+        "quorum-decide(q=3)",             // missing required f
+        "quorum-decide(f=1,q=0)",         // zero goal round
+        "quorum-decide(f=x,q=1)",         // non-numeric value
     ] {
         assert!(ProtocolSpec::parse(bad).is_err(), "{bad:?} should fail");
     }
@@ -196,6 +215,41 @@ fn erased_dispatch_reproduces_monomorphized_runs_across_the_registry() {
             seed,
         );
         assert_erased_equals_mono("centralized", 1, Centralized::new, 100_000, seed);
+        // The quorum families terminate by the quorum-threshold
+        // predicate, not token completion; the erased and monomorphized
+        // paths must still agree on every byte of the result.
+        assert_erased_equals_mono(
+            "quorum-watermark(f=1)",
+            1,
+            |i: &Instance| {
+                QuorumProtocol::new(
+                    i.params.n,
+                    i.params.k,
+                    QuorumConfig {
+                        f: 1,
+                        goal: QuorumGoal::Watermark { rounds: 8 },
+                    },
+                )
+            },
+            100_000,
+            seed,
+        );
+        assert_erased_equals_mono(
+            "quorum-decide(f=2,q=5)",
+            1,
+            |i: &Instance| {
+                QuorumProtocol::new(
+                    i.params.n,
+                    i.params.k,
+                    QuorumConfig {
+                        f: 2,
+                        goal: QuorumGoal::Decide { q: 5 },
+                    },
+                )
+            },
+            100_000,
+            seed,
+        );
     }
 }
 
